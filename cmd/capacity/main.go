@@ -1,0 +1,116 @@
+// Command capacity reproduces every table and figure of the paper's
+// evaluation section in one run:
+//
+//	capacity -all          # everything (Table I in packetized mode)
+//	capacity -fig3         # analytical Erlang-B curves
+//	capacity -table1       # the empirical method at A=40..240
+//	capacity -fig6         # empirical vs Erlang-B N=160/165/170
+//	capacity -fig7         # population dimensioning
+//	capacity -sizing       # the Sec. IV worked example
+//	capacity -ablations    # design-choice ablations
+//
+// -quick switches Table I to the flow-level media model and trims
+// replication counts, for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every table and figure")
+		fig3      = flag.Bool("fig3", false, "Figure 3: Erlang-B curves")
+		table1    = flag.Bool("table1", false, "Table I: empirical method")
+		fig6      = flag.Bool("fig6", false, "Figure 6: empirical vs analytical")
+		fig7      = flag.Bool("fig7", false, "Figure 7: population blocking")
+		sizing    = flag.Bool("sizing", false, "Sec. IV sizing check")
+		ablations = flag.Bool("ablations", false, "design ablations")
+		extras    = flag.Bool("extras", false, "codec, finite-population and redial studies")
+		quick     = flag.Bool("quick", false, "fast mode: flow media, fewer reps")
+		steady    = flag.Bool("steady", false, "Figure 6 in steady-state mode (longer windows, warmup)")
+		capacity  = flag.Int("capacity", 165, "PBX channel capacity")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment workers")
+		seed      = flag.Uint64("seed", 20150525, "base RNG seed")
+	)
+	flag.Parse()
+	if !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras) {
+		*all = true
+	}
+	out := os.Stdout
+	start := time.Now()
+
+	if *all || *fig3 {
+		bench.WriteFig3(out, bench.Fig3(260))
+		fmt.Fprintln(out)
+	}
+	if *all || *table1 {
+		cols := bench.TableI(bench.TableIOptions{
+			Capacity:  *capacity,
+			FlowMedia: *quick,
+			Workers:   *workers,
+			Seed:      *seed,
+		})
+		bench.WriteTableI(out, cols)
+		fmt.Fprintln(out)
+	}
+	if *all || *fig6 {
+		reps := 3
+		if *quick {
+			reps = 1
+		}
+		opts := bench.Fig6Options{
+			Capacity:    *capacity,
+			Reps:        reps,
+			Workers:     *workers,
+			SteadyState: *steady,
+			Seed:        *seed,
+		}
+		points := bench.Fig6(opts)
+		bench.WriteFig6(out, points, []int{160, 165, 170})
+		fmt.Fprintln(out)
+	}
+	if *all || *fig7 {
+		bench.WriteFig7(out, bench.Fig7(8000, *capacity), 8000, *capacity)
+		fmt.Fprintln(out)
+	}
+	if *all || *sizing {
+		bench.WriteSizing(out, bench.Sizing())
+		fmt.Fprintln(out)
+	}
+	if *all || *ablations {
+		bench.WriteAdmissionAblation(out, bench.RunAdmissionAblation(240, *seed))
+		fmt.Fprintln(out)
+		bench.WriteMediaAblation(out, bench.RunMediaAblation(*seed))
+		fmt.Fprintln(out)
+		reps := 3
+		if *quick {
+			reps = 2
+		}
+		bench.WriteArrivalAblation(out, bench.RunArrivalAblation(200, reps, *seed))
+		fmt.Fprintln(out)
+		bench.WriteHoldAblation(out, bench.RunHoldAblation(200, reps, *seed))
+		fmt.Fprintln(out)
+		bench.WriteClusterScaling(out, bench.RunClusterScaling(240, 165, 3, *seed))
+		fmt.Fprintln(out)
+	}
+	if *all || *extras {
+		bench.WriteCodecComparison(out, bench.CodecComparison())
+		fmt.Fprintln(out)
+		bench.WriteFinitePopulation(out, 150, *capacity,
+			bench.FinitePopulation(150, *capacity, []int{200, 400, 1000, 8000, 50000}))
+		fmt.Fprintln(out)
+		bench.WriteRetryInflation(out, 200, *capacity,
+			bench.RetryInflation(200, *capacity, []float64{0, 0.25, 0.5, 0.75}))
+		fmt.Fprintln(out)
+		bench.WriteWiFiStudy(out, bench.WiFiStudy(*seed))
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

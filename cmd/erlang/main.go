@@ -1,0 +1,62 @@
+// Command erlang is a teletraffic calculator over the models of
+// internal/erlang:
+//
+//	erlang -a 150 -n 165              # blocking of 150 E on 165 channels
+//	erlang -calls 3000 -minutes 3 -n 165
+//	erlang -a 150 -pb 0.018           # channels needed for 1.8% blocking
+//	erlang -n 165 -pb 0.05            # admissible load at 5% blocking
+//	erlang -a 150 -n 165 -c           # Erlang-C waiting probability
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/erlang"
+)
+
+func main() {
+	var (
+		a       = flag.Float64("a", 0, "offered traffic in Erlangs")
+		calls   = flag.Float64("calls", 0, "busy-hour call attempts (alternative to -a)")
+		minutes = flag.Float64("minutes", 0, "mean call duration in minutes (with -calls)")
+		n       = flag.Int("n", 0, "number of channels")
+		pb      = flag.Float64("pb", 0, "target blocking probability (enables inverse solving)")
+		useC    = flag.Bool("c", false, "report Erlang-C waiting probability instead of Erlang-B loss")
+	)
+	flag.Parse()
+
+	load := erlang.Erlangs(*a)
+	if *calls > 0 && *minutes > 0 {
+		load = erlang.Traffic(*calls, *minutes)
+		fmt.Printf("offered traffic: %.2f Erlangs (%.0f calls/h x %.2g min)\n", float64(load), *calls, *minutes)
+	}
+
+	switch {
+	case load > 0 && *n > 0 && *pb == 0:
+		if *useC {
+			fmt.Printf("Erlang-C  P(wait)  A=%.4g N=%d : %.4f%%\n", float64(load), *n, erlang.C(load, *n)*100)
+		} else {
+			fmt.Printf("Erlang-B  Pb      A=%.4g N=%d : %.4f%%\n", float64(load), *n, erlang.B(load, *n)*100)
+		}
+	case load > 0 && *pb > 0 && *n == 0:
+		ch, err := erlang.ChannelsFor(load, *pb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("channels for A=%.4g at Pb<=%.3g%%: N=%d (actual Pb %.4f%%)\n",
+			float64(load), *pb*100, ch, erlang.B(load, ch)*100)
+	case *n > 0 && *pb > 0 && load == 0:
+		amax, err := erlang.TrafficFor(*n, *pb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("admissible traffic on N=%d at Pb<=%.3g%%: %.2f Erlangs\n", *n, *pb*100, float64(amax))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

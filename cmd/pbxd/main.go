@@ -1,0 +1,82 @@
+// Command pbxd runs the Asterisk-style PBX on a real UDP socket, so
+// the same server code measured in the simulation can be driven with
+// cmd/sipload (or any SIP user agent) over loopback or a LAN:
+//
+//	pbxd -addr 127.0.0.1:5060 -capacity 165 -users 200 -relay
+//
+// Provisioned users are u0…uN-1 with passwords pw-u0…, plus the
+// generator pair uac/uas. Statistics print every 5 s and on SIGINT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/pbx"
+	"repro/internal/sip"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:5060", "UDP listen address")
+		capacity = flag.Int("capacity", pbx.DefaultCapacity, "channel capacity (0 = unlimited)")
+		users    = flag.Int("users", 100, "number of provisioned users (u0..uN-1)")
+		relay    = flag.Bool("relay", true, "relay RTP through the server")
+		rtpBase  = flag.Int("rtp-base", 10000, "first RTP relay port")
+		quiet    = flag.Bool("quiet", false, "suppress periodic stats")
+	)
+	flag.Parse()
+
+	tr, err := transport.ListenUDP(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbxd:", err)
+		os.Exit(1)
+	}
+	clock := transport.NewRealClock()
+	ep := sip.NewEndpoint(tr, clock)
+
+	dir := directory.New()
+	dir.Provision("u", 0, *users)
+	dir.AddUser(directory.User{Username: "uac", Password: "pw-uac"})
+	dir.AddUser(directory.User{Username: "uas", Password: "pw-uas"})
+
+	host, _, _ := strings.Cut(tr.LocalAddr(), ":")
+	factory := func(port int) (transport.Transport, error) {
+		return transport.ListenUDP(fmt.Sprintf("%s:%d", host, port))
+	}
+	server := pbx.New(ep, dir, factory, pbx.Config{
+		MaxChannels: *capacity,
+		RelayRTP:    *relay,
+		RTPPortBase: *rtpBase,
+		Seed:        uint64(time.Now().UnixNano()),
+	})
+	fmt.Printf("pbxd: listening on %s, capacity %d, %d users, relay=%v\n",
+		tr.LocalAddr(), *capacity, dir.Users(), *relay)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if !*quiet {
+				c := server.CountersSnapshot()
+				_, mean, _ := server.CPUBand()
+				fmt.Printf("pbxd: active=%d attempts=%d established=%d blocked=%d relayed=%d cpu~%.1f%%\n",
+					server.ActiveChannels(), c.Attempts, c.Established, c.Blocked, c.RelayedPackets, mean)
+			}
+		case <-stop:
+			server.Close()
+			c := server.CountersSnapshot()
+			fmt.Printf("\npbxd: final counters: %+v\n", c)
+			return
+		}
+	}
+}

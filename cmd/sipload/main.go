@@ -1,0 +1,120 @@
+// Command sipload is the SIPp stand-in for real-UDP runs: it registers
+// a caller (uac) and an auto-answering callee (uas) against a pbxd
+// server, places calls at a Poisson rate for a window, holds each for
+// the configured duration, and prints the blocking rate — the paper's
+// empirical method (Fig. 5) on real sockets.
+//
+//	pbxd -addr 127.0.0.1:5060 &
+//	sipload -proxy 127.0.0.1:5060 -rate 2 -window 30s -hold 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/sip"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		proxy  = flag.String("proxy", "127.0.0.1:5060", "PBX address")
+		caller = flag.String("caller-addr", "127.0.0.1:0", "caller UDP bind address")
+		callee = flag.String("callee-addr", "127.0.0.1:0", "callee UDP bind address")
+		rate   = flag.Float64("rate", 1, "call arrival rate (calls/second)")
+		window = flag.Duration("window", 30*time.Second, "call placement window")
+		hold   = flag.Duration("hold", 10*time.Second, "call hold time")
+		target = flag.String("target", "uas", "extension to dial")
+	)
+	flag.Parse()
+
+	clock := transport.NewRealClock()
+	mkPhone := func(addr, user string) *sip.Phone {
+		tr, err := transport.ListenUDP(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sipload:", err)
+			os.Exit(1)
+		}
+		return sip.NewPhone(sip.NewEndpoint(tr, clock),
+			sip.PhoneConfig{User: user, Password: "pw-" + user, Proxy: *proxy})
+	}
+	uac := mkPhone(*caller, "uac")
+	uas := mkPhone(*callee, *target)
+
+	reg := make(chan bool, 2)
+	uac.Register(time.Hour, func(ok bool) { reg <- ok })
+	uas.Register(time.Hour, func(ok bool) { reg <- ok })
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-reg:
+			if !ok {
+				fmt.Fprintln(os.Stderr, "sipload: registration failed (is pbxd running?)")
+				os.Exit(1)
+			}
+		case <-time.After(5 * time.Second):
+			fmt.Fprintln(os.Stderr, "sipload: registration timeout (is pbxd running?)")
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("sipload: registered uac and %s at %s; λ=%.2f/s window=%v hold=%v (A=%.1f E)\n",
+		*target, *proxy, *rate, *window, *hold, *rate*hold.Seconds())
+
+	var (
+		mu          sync.Mutex
+		attempts    int
+		established int
+		blocked     int
+		failed      int
+		wg          sync.WaitGroup
+	)
+	deadline := time.Now().Add(*window)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for time.Now().Before(deadline) {
+		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+		time.Sleep(gap)
+		if !time.Now().Before(deadline) {
+			break
+		}
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		wg.Add(1)
+		uac.InviteWithHandlers(*target, nil, func(c *sip.Call) {
+			mu.Lock()
+			established++
+			mu.Unlock()
+			time.AfterFunc(*hold, func() { uac.Hangup(c) })
+		}, func(c *sip.Call) {
+			if c.Cause() == sip.EndRejected {
+				mu.Lock()
+				if c.RejectStatus() == sip.StatusServiceUnavailable || c.RejectStatus() == sip.StatusBusyHere {
+					blocked++
+				} else {
+					failed++
+				}
+				mu.Unlock()
+			} else if c.Cause() == sip.EndTimeout {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+
+	pb := 0.0
+	if attempts > 0 {
+		pb = float64(blocked) / float64(attempts)
+	}
+	fmt.Printf("sipload: attempts=%d established=%d blocked=%d failed=%d Pb=%.2f%%\n",
+		attempts, established, blocked, failed, pb*100)
+	if math.IsNaN(pb) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Campus reproduces the VoWiFi dimensioning narrative of Sec. IV: a
+// university (UnB) wants one Asterisk server to carry voice for a
+// large population. It walks the paper's Figure 7 analysis for an
+// 8000-user population, extends it to the full 50000-user campus, and
+// evaluates the call-policy mitigation the paper proposes ("impose
+// limits to the number of calls a user may place").
+//
+//	go run ./examples/campus -population 8000 -channels 165
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	var (
+		population = flag.Int("population", 8000, "users served by the VoWiFi project")
+		channels   = flag.Int("channels", 165, "Asterisk server capacity (concurrent calls)")
+	)
+	flag.Parse()
+
+	fmt.Printf("campus dimensioning: %d users, one PBX with %d channels\n\n", *population, *channels)
+
+	// Figure 7: what fraction of the population can call in the busy
+	// hour before blocking becomes painful, by mean call duration?
+	fmt.Println("blocking vs busy-hour caller percentage (Fig. 7):")
+	fmt.Printf("%8s%12s%12s%12s\n", "pop %", "2.0 min", "2.5 min", "3.0 min")
+	for pct := 20; pct <= 100; pct += 20 {
+		callsPerHour := float64(*population) * float64(pct) / 100
+		fmt.Printf("%7d%%", pct)
+		for _, dur := range []float64{2.0, 2.5, 3.0} {
+			pb := repro.ErlangB(repro.Traffic(callsPerHour, dur), *channels)
+			fmt.Printf("%11.2f%%", pb*100)
+		}
+		fmt.Println()
+	}
+
+	// The grade-of-service frontier: how many busy-hour callers can
+	// the server sustain at 5% blocking?
+	fmt.Println("\nmaximum busy-hour callers at 5% blocking:")
+	amax, err := repro.AdmissibleTraffic(*channels, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	for _, dur := range []float64{2.0, 2.5, 3.0} {
+		callers := float64(amax) * 60 / dur
+		fmt.Printf("  %.1f-minute calls: %.0f callers (%.1f%% of %d users)\n",
+			dur, callers, callers/float64(*population)*100, *population)
+	}
+
+	// The paper's mitigation: a per-user call-duration policy. If the
+	// institution caps calls at L minutes, how does the serviceable
+	// fraction of the *full* 50000-user campus change, assuming 10% of
+	// users call in the busy hour?
+	fullCampus := 50000.0
+	callsPerHour := fullCampus * 0.10
+	fmt.Printf("\nfull campus (%.0f users, 10%% calling in the busy hour = %.0f calls/h):\n",
+		fullCampus, callsPerHour)
+	for _, limit := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		pb := repro.ErlangB(repro.Traffic(callsPerHour, limit), *channels)
+		verdict := "OK"
+		if pb > 0.05 {
+			verdict = "over the 5% GoS target"
+		}
+		fmt.Printf("  policy: max %.1f min/call → Pb = %6.2f%%  (%s)\n", limit, pb*100, verdict)
+	}
+
+	// Or scale out: how many channels would the full campus need
+	// without a policy (3-minute calls)?
+	needed, err := repro.ChannelsFor(repro.Traffic(callsPerHour, 3), 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwithout a policy, 3-minute calls need %d channels (%.1f servers of %d)\n",
+		needed, float64(needed)/float64(*channels), *channels)
+}

@@ -1,0 +1,38 @@
+// Quickstart: dimension a PBX analytically with Erlang-B, then verify
+// the answer against the simulated Asterisk testbed — the paper's two
+// instruments in twenty lines.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// The paper's busy-hour scenario (Sec. IV): 3000 calls of 3
+	// minutes. How much traffic is that, and how many channels does a
+	// 1.8%-blocking service need?
+	load := repro.Traffic(3000, 3)
+	fmt.Printf("offered traffic: %.0f Erlangs\n", load)
+
+	n, err := repro.ChannelsFor(load, 0.018)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("channels for <=1.8%% blocking: %d (paper: 165)\n", n)
+	fmt.Printf("Erlang-B check: B(%.0f, %d) = %.2f%%\n", load, n, repro.ErlangB(load, n)*100)
+
+	// Now measure: offer 150 Erlangs to a PBX with exactly that many
+	// channels and compare the simulated blocking.
+	res := repro.Run(repro.Experiment{
+		Workload: load,
+		Capacity: n,
+		Seed:     1,
+	})
+	fmt.Printf("empirical run: %d calls placed, %d blocked (Pb = %.2f%%), mean MOS %.2f\n",
+		res.Load.Attempts, res.Load.Blocked,
+		res.BlockingProbability()*100, res.MOS.Mean())
+	fmt.Printf("peak concurrent calls: %d, server CPU %.0f%%-%.0f%%\n",
+		res.ChannelsUsed, res.CPULo, res.CPUHi)
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/erlang"
+	"repro/internal/mos"
+)
+
+// CodecRow is one line of the codec-choice study: what the campus
+// would trade by picking a lower-rate codec than the G.711 the paper
+// uses "due to its compatibility to the available telephone network".
+type CodecRow struct {
+	Codec mos.Codec
+	// MOSCeiling is the best attainable score on a clean LAN path.
+	MOSCeiling float64
+	// LossFor36 is the packet loss that drags MOS to 3.6 ("medium").
+	LossFor36 float64
+	// WireKbps is one direction's IP-layer rate.
+	WireKbps float64
+	// CallsOn100Mbps is how many concurrent relayed calls a 100 Mb/s
+	// access link (the paper's switch, Fig. 4) carries: each call
+	// crosses the link twice (in and out) in each direction.
+	CallsOn100Mbps int
+}
+
+// CodecComparison evaluates the built-in codec presets.
+func CodecComparison() []CodecRow {
+	const linkBps = 100e6
+	rows := make([]CodecRow, 0, 4)
+	for _, c := range mos.Codecs() {
+		perCall := c.WireBitsPerSecond() * 4 // 2 directions × 2 hops
+		rows = append(rows, CodecRow{
+			Codec:          c,
+			MOSCeiling:     mos.MaxForCodec(c),
+			LossFor36:      mos.LossForTarget(c, 40*time.Millisecond, 3.6),
+			WireKbps:       c.WireBitsPerSecond() / 1000,
+			CallsOn100Mbps: int(linkBps / perCall),
+		})
+	}
+	return rows
+}
+
+// WriteCodecComparison renders the study.
+func WriteCodecComparison(w io.Writer, rows []CodecRow) {
+	fmt.Fprintln(w, "Codec choice study (paper uses G.711 µ-law for PSTN compatibility)")
+	fmt.Fprintf(w, "%-12s%10s%12s%14s%18s%16s\n",
+		"codec", "kbit/s", "wire kbit/s", "MOS ceiling", "loss @ MOS 3.6", "calls @100Mb/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s%10.0f%12.1f%14.2f%17.1f%%%16d\n",
+			r.Codec.Name, r.Codec.BitsPerSecond()/1000, r.WireKbps,
+			r.MOSCeiling, r.LossFor36*100, r.CallsOn100Mbps)
+	}
+}
+
+// FinitePopulationRow compares infinite-source Erlang-B with the
+// finite-source Engset model at one population size — relevant to
+// Fig. 7, which applies Erlang-B to an 8 000-user population (large
+// enough that the models agree; small departments are not).
+type FinitePopulationRow struct {
+	Population int
+	ErlangB    float64
+	Engset     float64
+}
+
+// FinitePopulation evaluates both models with total intended load a
+// and n channels across population sizes.
+func FinitePopulation(a float64, n int, populations []int) []FinitePopulationRow {
+	rows := make([]FinitePopulationRow, 0, len(populations))
+	eb := erlang.B(erlang.Erlangs(a), n)
+	for _, p := range populations {
+		perSource := a / float64(p)
+		rows = append(rows, FinitePopulationRow{
+			Population: p,
+			ErlangB:    eb,
+			Engset:     erlang.Engset(p, perSource, n),
+		})
+	}
+	return rows
+}
+
+// WriteFinitePopulation renders the comparison.
+func WriteFinitePopulation(w io.Writer, a float64, n int, rows []FinitePopulationRow) {
+	fmt.Fprintf(w, "Finite-population check: A=%.0f Erlangs on N=%d (Fig. 7 uses Erlang-B)\n", a, n)
+	fmt.Fprintf(w, "%12s%12s%12s\n", "population", "Engset", "Erlang-B")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d%11.2f%%%11.2f%%\n", r.Population, r.Engset*100, r.ErlangB*100)
+	}
+}
+
+// RetryInflation quantifies the Sec. III-B remark that "unpredictable
+// factors can cause unexpected peak demands": redial behaviour turns
+// nominal load into higher effective load and blocking.
+type RetryInflationRow struct {
+	RetryProb     float64
+	EffectiveLoad float64
+	Blocking      float64
+}
+
+// RetryInflation evaluates redial inflation at nominal load a on n
+// channels.
+func RetryInflation(a float64, n int, probs []float64) []RetryInflationRow {
+	rows := make([]RetryInflationRow, 0, len(probs))
+	for _, p := range probs {
+		eff := erlang.OfferedWithRetries(erlang.Erlangs(a), n, p)
+		rows = append(rows, RetryInflationRow{
+			RetryProb:     p,
+			EffectiveLoad: float64(eff),
+			Blocking:      erlang.B(eff, n),
+		})
+	}
+	return rows
+}
+
+// WriteRetryInflation renders the study.
+func WriteRetryInflation(w io.Writer, a float64, n int, rows []RetryInflationRow) {
+	fmt.Fprintf(w, "Redial inflation at nominal A=%.0f Erlangs, N=%d\n", a, n)
+	fmt.Fprintf(w, "%12s%16s%12s\n", "retry prob", "effective load", "blocking")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12.0f%%%15.1fE%11.2f%%\n", r.RetryProb*100, r.EffectiveLoad, r.Blocking*100)
+	}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCodecComparison(t *testing.T) {
+	rows := CodecComparison()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]CodecRow)
+	for _, r := range rows {
+		byName[r.Codec.Name] = r
+	}
+	g711 := byName["G.711"]
+	g729 := byName["G.729A"]
+	// G.711 has the best clean-path quality, G.729 the best density.
+	if g711.MOSCeiling <= g729.MOSCeiling {
+		t.Errorf("MOS ceilings: G.711 %v vs G.729 %v", g711.MOSCeiling, g729.MOSCeiling)
+	}
+	if g729.CallsOn100Mbps <= g711.CallsOn100Mbps {
+		t.Errorf("call density: G.711 %d vs G.729 %d", g711.CallsOn100Mbps, g729.CallsOn100Mbps)
+	}
+	// G.711 at 20ms: 160 payload + 40 header = 80 kbit/s on the wire;
+	// 4 traversals/call → ~312 calls on 100 Mb/s.
+	if g711.WireKbps != 80 {
+		t.Errorf("G.711 wire rate = %v kbit/s, want 80", g711.WireKbps)
+	}
+	if g711.CallsOn100Mbps < 300 || g711.CallsOn100Mbps > 320 {
+		t.Errorf("G.711 calls on 100Mb/s = %d, want ~312", g711.CallsOn100Mbps)
+	}
+	// PLC tolerates more loss than plain G.711 at the same target.
+	if byName["G.711+PLC"].LossFor36 <= g711.LossFor36 {
+		t.Error("PLC loss tolerance should exceed plain G.711")
+	}
+	var sb strings.Builder
+	WriteCodecComparison(&sb, rows)
+	if !strings.Contains(sb.String(), "G.726-32") {
+		t.Error("missing codec row")
+	}
+}
+
+func TestFinitePopulation(t *testing.T) {
+	rows := FinitePopulation(150, 165, []int{200, 400, 1000, 8000})
+	prev := -1.0
+	for _, r := range rows {
+		// Engset never exceeds Erlang-B and approaches it with size.
+		if r.Engset > r.ErlangB+1e-9 {
+			t.Errorf("Engset %v above Erlang-B %v at P=%d", r.Engset, r.ErlangB, r.Population)
+		}
+		if r.Engset < prev {
+			t.Errorf("Engset not increasing with population at P=%d", r.Population)
+		}
+		prev = r.Engset
+	}
+	// At P=8000 the absolute gap is small (Fig. 7's premise for using
+	// Erlang-B), though the finite-source correction is still visible
+	// in relative terms (~30% at this operating point).
+	last := rows[len(rows)-1]
+	if last.ErlangB-last.Engset > 0.01 {
+		t.Errorf("at P=8000 the gap should be < 1 point: Engset %v vs B %v",
+			last.Engset, last.ErlangB)
+	}
+	first := rows[0]
+	if first.ErlangB-first.Engset < 0.01 {
+		t.Errorf("at P=200 the finite-source effect should be large: Engset %v vs B %v",
+			first.Engset, first.ErlangB)
+	}
+	var sb strings.Builder
+	WriteFinitePopulation(&sb, 150, 165, rows)
+	if !strings.Contains(sb.String(), "8000") {
+		t.Error("missing population row")
+	}
+}
+
+func TestRetryInflation(t *testing.T) {
+	rows := RetryInflation(200, 165, []float64{0, 0.25, 0.5, 0.75})
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EffectiveLoad <= rows[i-1].EffectiveLoad {
+			t.Errorf("load not increasing with retry prob: %+v", rows)
+		}
+		if rows[i].Blocking <= rows[i-1].Blocking {
+			t.Errorf("blocking not increasing with retry prob: %+v", rows)
+		}
+	}
+	if rows[0].EffectiveLoad != 200 {
+		t.Errorf("zero-retry load = %v", rows[0].EffectiveLoad)
+	}
+	var sb strings.Builder
+	WriteRetryInflation(&sb, 200, 165, rows)
+	if !strings.Contains(sb.String(), "Redial") {
+		t.Error("missing title")
+	}
+}

@@ -1,0 +1,158 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Sec. IV): the analytical Erlang-B curves of Fig. 3, the
+// empirical Table I, the empirical-vs-analytical comparison of Fig. 6,
+// the population dimensioning of Fig. 7, and the ablation studies
+// DESIGN.md calls out. Each generator returns structured series (for
+// assertions and benchmarks) and can render itself as the text table
+// the paper prints.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/erlang"
+)
+
+// Fig3Workloads are the traffic curves of Figure 3: 20 to 240 Erlangs
+// in steps of 20.
+func Fig3Workloads() []float64 {
+	var out []float64
+	for a := 20.0; a <= 240; a += 20 {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Fig3Curve is one Erlang-B curve: blocking probability vs channels.
+type Fig3Curve struct {
+	Workload float64
+	Channels []int
+	Pb       []float64
+}
+
+// Fig3 evaluates the analytical model of Fig. 3 for channels
+// 1..maxChannels (paper plots to ~260).
+func Fig3(maxChannels int) []Fig3Curve {
+	if maxChannels <= 0 {
+		maxChannels = 260
+	}
+	curves := make([]Fig3Curve, 0, 12)
+	for _, a := range Fig3Workloads() {
+		c := Fig3Curve{Workload: a}
+		for n := 1; n <= maxChannels; n++ {
+			c.Channels = append(c.Channels, n)
+			c.Pb = append(c.Pb, erlang.B(erlang.Erlangs(a), n))
+		}
+		curves = append(curves, c)
+	}
+	return curves
+}
+
+// WriteFig3 renders the curves as a sampled table (every 20 channels),
+// the series the paper plots.
+func WriteFig3(w io.Writer, curves []Fig3Curve) {
+	fmt.Fprintln(w, "Figure 3: Erlang-B blocking probability (%) vs number of channels N")
+	fmt.Fprintf(w, "%6s", "N")
+	for _, c := range curves {
+		fmt.Fprintf(w, "%9.0fE", c.Workload)
+	}
+	fmt.Fprintln(w)
+	for n := 20; n <= len(curves[0].Channels); n += 20 {
+		fmt.Fprintf(w, "%6d", n)
+		for _, c := range curves {
+			fmt.Fprintf(w, "%10.3f", c.Pb[n-1]*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig7Durations are the mean call durations (minutes) of Figure 7.
+var Fig7Durations = []float64{2.0, 2.5, 3.0}
+
+// Fig7Point is one point of a Figure 7 curve.
+type Fig7Point struct {
+	PopulationPct float64
+	Erlangs       float64
+	Pb            float64
+}
+
+// Fig7Curve is blocking vs percentage of the population calling in the
+// busy hour, for one mean duration.
+type Fig7Curve struct {
+	DurationMinutes float64
+	Points          []Fig7Point
+}
+
+// Fig7 evaluates the population analysis of Fig. 7: a population of
+// `population` users (paper: 8000), of whom pct% each place one call
+// of the given mean duration in the busy hour, against n channels
+// (paper: 165).
+func Fig7(population int, n int) []Fig7Curve {
+	if population <= 0 {
+		population = 8000
+	}
+	if n <= 0 {
+		n = 165
+	}
+	curves := make([]Fig7Curve, 0, len(Fig7Durations))
+	for _, dur := range Fig7Durations {
+		c := Fig7Curve{DurationMinutes: dur}
+		for pct := 1.0; pct <= 100; pct++ {
+			callsPerHour := float64(population) * pct / 100
+			a := erlang.Traffic(callsPerHour, dur)
+			c.Points = append(c.Points, Fig7Point{
+				PopulationPct: pct,
+				Erlangs:       float64(a),
+				Pb:            erlang.B(a, n),
+			})
+		}
+		curves = append(curves, c)
+	}
+	return curves
+}
+
+// WriteFig7 renders the curves sampled every 10%.
+func WriteFig7(w io.Writer, curves []Fig7Curve, population, n int) {
+	fmt.Fprintf(w, "Figure 7: blocking (%%) vs %% of a %d-user population calling in the busy hour (N=%d)\n", population, n)
+	fmt.Fprintf(w, "%6s", "pop%")
+	for _, c := range curves {
+		fmt.Fprintf(w, "  %4.1f min", c.DurationMinutes)
+	}
+	fmt.Fprintln(w)
+	for pct := 10; pct <= 100; pct += 10 {
+		fmt.Fprintf(w, "%5d%%", pct)
+		for _, c := range curves {
+			fmt.Fprintf(w, "%10.2f", c.Points[pct-1].Pb*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SizingCheck reproduces the Sec. IV dimensioning statement: 3000
+// busy-hour calls of 3 minutes on 165 channels block at ~1.8%.
+type SizingCheck struct {
+	CallsPerHour    float64
+	DurationMinutes float64
+	Channels        int
+	Erlangs         float64
+	Pb              float64
+}
+
+// Sizing evaluates the paper's worked sizing example.
+func Sizing() SizingCheck {
+	a := erlang.Traffic(3000, 3)
+	return SizingCheck{
+		CallsPerHour:    3000,
+		DurationMinutes: 3,
+		Channels:        165,
+		Erlangs:         float64(a),
+		Pb:              erlang.B(a, 165),
+	}
+}
+
+// WriteSizing renders the worked example.
+func WriteSizing(w io.Writer, s SizingCheck) {
+	fmt.Fprintf(w, "Sizing check (Sec. IV): %.0f calls/h × %.0f min = %.0f Erlangs on N=%d → Pb = %.2f%% (paper: 1.8%%)\n",
+		s.CallsPerHour, s.DurationMinutes, s.Erlangs, s.Channels, s.Pb*100)
+}

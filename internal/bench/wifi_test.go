@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWiFiStudy(t *testing.T) {
+	results := WiFiStudy(51)
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Quality degrades monotonically from wired to congested.
+	for i := 1; i < len(results); i++ {
+		if results[i].MOS.Mean() > results[i-1].MOS.Mean()+0.02 {
+			t.Errorf("MOS not degrading: %s %.2f after %s %.2f",
+				results[i].Condition.Name, results[i].MOS.Mean(),
+				results[i-1].Condition.Name, results[i-1].MOS.Mean())
+		}
+	}
+	wired := results[0]
+	congested := results[3]
+	if wired.MOS.Mean() < 4.3 {
+		t.Errorf("wired MOS = %v", wired.MOS.Mean())
+	}
+	if wired.EffectiveLoss != 0 {
+		t.Errorf("wired loss = %v", wired.EffectiveLoss)
+	}
+	if congested.MOS.Mean() >= wired.MOS.Mean() {
+		t.Error("congestion did not hurt")
+	}
+	if congested.EffectiveLoss <= 0.02 {
+		t.Errorf("congested loss = %v, want > network loss alone", congested.EffectiveLoss)
+	}
+	// Heavy jitter against a 40ms buffer: some loss must be late loss.
+	if congested.LateShare <= 0 {
+		t.Error("no late discards under 45ms jitter")
+	}
+	var sb strings.Builder
+	WriteWiFiStudy(&sb, results)
+	if !strings.Contains(sb.String(), "congested WiFi") {
+		t.Error("missing condition row")
+	}
+}

@@ -1,0 +1,261 @@
+// Package cluster implements the scale-out alternative the paper's
+// final considerations propose ("increasing the number of servers and
+// server capacity are also a possible alternative", Sec. IV): a farm
+// of identical PBX servers behind a SIP redirect balancer, sharing one
+// user directory the way the paper's deployment shares its LDAP
+// server.
+//
+// The balancer is a redirect server: it answers each INVITE with
+// 302 Moved Temporarily pointing at a chosen backend, and the caller
+// re-INVITEs there directly — so the balancer never carries media and
+// is not itself a capacity bottleneck. REGISTERs are proxied
+// statefully to a per-user-pinned backend (so digest challenges and
+// answers reach the same nonce issuer); bindings land in the shared
+// directory either way.
+//
+// Two placement policies expose the classic teletraffic trade-off that
+// the cluster experiment (BenchmarkClusterScaling) measures: random/
+// round-robin splitting partitions the Erlang-B economies of scale
+// away, while least-busy placement recovers near-pooled blocking.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/directory"
+	"repro/internal/netsim"
+	"repro/internal/pbx"
+	"repro/internal/sip"
+	"repro/internal/transport"
+)
+
+// Policy selects how the balancer places calls.
+type Policy int
+
+// Placement policies.
+const (
+	// RoundRobin cycles through backends regardless of load.
+	RoundRobin Policy = iota
+	// LeastBusy picks the backend with the fewest active channels —
+	// approximating a pooled system.
+	LeastBusy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastBusy:
+		return "least-busy"
+	default:
+		return "unknown"
+	}
+}
+
+// Counters aggregates balancer activity.
+type Counters struct {
+	Redirects         uint64
+	RegistersProxied  uint64
+	UnroutableInvites uint64
+}
+
+// Cluster is a balancer plus its PBX backends on a simulated network.
+type Cluster struct {
+	ep       *sip.Endpoint
+	policy   Policy
+	dir      *directory.Directory
+	backends []*pbx.Server
+
+	mu       sync.Mutex
+	next     int
+	counters Counters
+}
+
+// Config shapes a cluster.
+type Config struct {
+	// Servers is the number of PBX backends (k).
+	Servers int
+	// PerServer configures each backend; MaxChannels is the paper's
+	// 165 when zero.
+	PerServer pbx.Config
+	// Policy selects placement (default RoundRobin).
+	Policy Policy
+}
+
+// New builds a cluster on net: backends at pbx1..pbxk:5060, balancer
+// at balancer:5060, all sharing one directory. Provision users through
+// Directory().
+func New(net *netsim.Network, clock transport.Clock, cfg Config) *Cluster {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 2
+	}
+	if cfg.PerServer.MaxChannels == 0 {
+		cfg.PerServer.MaxChannels = pbx.DefaultCapacity
+	}
+	dir := directory.New()
+	c := &Cluster{
+		policy: cfg.Policy,
+		dir:    dir,
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		host := fmt.Sprintf("pbx%d", i+1)
+		sCfg := cfg.PerServer
+		sCfg.Seed = cfg.PerServer.Seed + uint64(i)*7919
+		factory := func(port int) (transport.Transport, error) {
+			return transport.NewSim(net, fmt.Sprintf("%s:%d", host, port)), nil
+		}
+		ep := sip.NewEndpoint(transport.NewSim(net, host+":5060"), clock)
+		c.backends = append(c.backends, pbx.New(ep, dir, factory, sCfg))
+	}
+	c.ep = sip.NewEndpoint(transport.NewSim(net, "balancer:5060"), clock)
+	c.ep.Handle(c.handleRequest)
+	return c
+}
+
+// Addr returns the balancer's signalling address, the proxy phones use.
+func (c *Cluster) Addr() string { return c.ep.Addr() }
+
+// Directory returns the shared user store.
+func (c *Cluster) Directory() *directory.Directory { return c.dir }
+
+// Backends returns the PBX servers.
+func (c *Cluster) Backends() []*pbx.Server { return c.backends }
+
+// CountersSnapshot returns balancer totals.
+func (c *Cluster) CountersSnapshot() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}
+
+// TotalCounters sums the backends' PBX counters.
+func (c *Cluster) TotalCounters() pbx.Counters {
+	var total pbx.Counters
+	for _, b := range c.backends {
+		s := b.CountersSnapshot()
+		total.Attempts += s.Attempts
+		total.Established += s.Established
+		total.Blocked += s.Blocked
+		total.Rejected += s.Rejected
+		total.Completed += s.Completed
+		total.Canceled += s.Canceled
+		total.Failed += s.Failed
+		total.RelayedPackets += s.RelayedPackets
+		total.DroppedPackets += s.DroppedPackets
+		total.PeakChannels += s.PeakChannels
+	}
+	return total
+}
+
+// Close stops the backends' samplers.
+func (c *Cluster) Close() {
+	for _, b := range c.backends {
+		b.Close()
+	}
+}
+
+// pick chooses a backend per the policy.
+func (c *Cluster) pick() *pbx.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.policy {
+	case LeastBusy:
+		best := c.backends[0]
+		bestLoad := best.ActiveChannels()
+		for _, b := range c.backends[1:] {
+			if load := b.ActiveChannels(); load < bestLoad {
+				best, bestLoad = b, load
+			}
+		}
+		return best
+	default:
+		b := c.backends[c.next%len(c.backends)]
+		c.next++
+		return b
+	}
+}
+
+// backendFor pins a user to a backend for REGISTER proxying, so a
+// digest challenge and its answer reach the same nonce issuer.
+func (c *Cluster) backendFor(user string) *pbx.Server {
+	h := fnv.New32a()
+	h.Write([]byte(user))
+	return c.backends[int(h.Sum32())%len(c.backends)]
+}
+
+func (c *Cluster) handleRequest(tx *sip.ServerTx, req *sip.Message, src string) {
+	switch req.Method {
+	case sip.REGISTER:
+		c.proxyRegister(tx, req)
+	case sip.INVITE:
+		c.redirectInvite(tx, req)
+	case sip.OPTIONS:
+		tx.Respond(req.Response(sip.StatusOK))
+	case sip.ACK:
+		// ACK to our 302 final: absorbed by the transaction layer;
+		// nothing to do at the TU.
+	default:
+		resp := req.Response(481)
+		resp.ReasonStr = "Call/Transaction Does Not Exist"
+		tx.Respond(resp)
+	}
+}
+
+// proxyRegister forwards a REGISTER to the user's pinned backend and
+// relays the response back on the original transaction.
+func (c *Cluster) proxyRegister(tx *sip.ServerTx, req *sip.Message) {
+	user := req.To.URI.User
+	if user == "" {
+		user = req.From.URI.User
+	}
+	backend := c.backendFor(user)
+	c.mu.Lock()
+	c.counters.RegistersProxied++
+	c.mu.Unlock()
+
+	fwd := sip.NewRequest(sip.REGISTER, req.RequestURI, req.From, req.To, req.CallID, req.CSeq.Seq)
+	fwd.Contact = req.Contact
+	fwd.Expires = req.Expires
+	fwd.Authorization = req.Authorization
+	c.ep.SendRequest(backend.Addr(), fwd, func(resp *sip.Message) {
+		back := req.Response(resp.StatusCode)
+		back.ReasonStr = resp.ReasonStr
+		back.WWWAuthenticate = resp.WWWAuthenticate
+		back.Contact = resp.Contact
+		back.Expires = resp.Expires
+		tx.Respond(back)
+	})
+}
+
+// redirectInvite answers an INVITE with 302 pointing at the chosen
+// backend.
+func (c *Cluster) redirectInvite(tx *sip.ServerTx, req *sip.Message) {
+	if len(c.backends) == 0 {
+		c.mu.Lock()
+		c.counters.UnroutableInvites++
+		c.mu.Unlock()
+		tx.Respond(req.Response(sip.StatusServiceUnavailable))
+		return
+	}
+	backend := c.pick()
+	c.mu.Lock()
+	c.counters.Redirects++
+	c.mu.Unlock()
+
+	resp := req.Response(sip.StatusMovedTemporarily)
+	resp.To.Tag = c.ep.NewTag()
+	host, port := splitAddr(backend.Addr())
+	contact := sip.NameAddr{URI: sip.NewURI(req.RequestURI.User, host, port)}
+	resp.Contact = &contact
+	tx.Respond(resp)
+}
+
+func splitAddr(addr string) (string, int) {
+	u, err := sip.ParseURI("sip:" + addr)
+	if err != nil {
+		return addr, sip.DefaultPort
+	}
+	return u.Host, u.Port
+}

@@ -1,0 +1,138 @@
+// Package g711 implements the ITU-T G.711 µ-law and A-law audio
+// codecs used by the paper's testbed ("The G.711 (µ-law) codec has
+// been used due to its compatibility to the available telephone
+// network", Sec. II-A), plus the PCM tone synthesis used to fill RTP
+// payloads in the packetized media model.
+//
+// G.711 carries 8 kHz audio at 64 kbit/s; at the conventional 20 ms
+// packetization each RTP packet carries 160 codec bytes, giving the
+// 50 packets/s per direction (100 messages/s per call through the
+// relay) that Table I of the paper reports.
+package g711
+
+// SampleRate is the G.711 sampling rate in Hz.
+const SampleRate = 8000
+
+// BitRate is the G.711 payload bit rate in bits per second.
+const BitRate = 64000
+
+// SamplesPerFrame returns the number of samples in a frame of the
+// given duration in milliseconds.
+func SamplesPerFrame(ms int) int { return SampleRate * ms / 1000 }
+
+const (
+	ulawBias = 0x84 // 132
+	ulawClip = 32635
+	alawClip = 32635
+)
+
+// EncodeMulaw compresses one 16-bit linear PCM sample to 8-bit µ-law.
+// This is the exact ITU G.711 companding algorithm (bias 132,
+// segment/mantissa encoding, complemented output).
+func EncodeMulaw(pcm int16) byte {
+	sign := byte(0)
+	s := int32(pcm)
+	if s < 0 {
+		s = -s
+		sign = 0x80
+	}
+	if s > ulawClip {
+		s = ulawClip
+	}
+	s += ulawBias
+	exp := byte(7)
+	for mask := int32(0x4000); mask != 0 && s&mask == 0; mask >>= 1 {
+		exp--
+	}
+	mantissa := byte(s>>(exp+3)) & 0x0F
+	return ^(sign | exp<<4 | mantissa)
+}
+
+// DecodeMulaw expands one 8-bit µ-law byte to 16-bit linear PCM.
+func DecodeMulaw(u byte) int16 {
+	u = ^u
+	sign := u & 0x80
+	exp := (u >> 4) & 0x07
+	mantissa := u & 0x0F
+	s := (int32(mantissa)<<3 + ulawBias) << exp
+	s -= ulawBias
+	if sign != 0 {
+		s = -s
+	}
+	return int16(s)
+}
+
+// EncodeAlaw compresses one 16-bit linear PCM sample to 8-bit A-law.
+func EncodeAlaw(pcm int16) byte {
+	sign := byte(0x80)
+	s := int32(pcm)
+	if s < 0 {
+		s = -s - 1
+		sign = 0
+	}
+	if s > alawClip {
+		s = alawClip
+	}
+	var out byte
+	if s < 256 {
+		out = byte(s >> 4)
+	} else {
+		exp := byte(7)
+		for mask := int32(0x4000); mask != 0 && s&mask == 0; mask >>= 1 {
+			exp--
+		}
+		mantissa := byte(s>>(exp+3)) & 0x0F
+		out = exp<<4 | mantissa
+	}
+	return (out | sign) ^ 0x55
+}
+
+// DecodeAlaw expands one 8-bit A-law byte to 16-bit linear PCM.
+func DecodeAlaw(a byte) int16 {
+	a ^= 0x55
+	sign := a & 0x80
+	a &= 0x7F
+	exp := a >> 4
+	mantissa := int32(a & 0x0F)
+	var s int32
+	if exp == 0 {
+		s = mantissa<<4 + 8
+	} else {
+		s = (mantissa<<4 + 0x108) << (exp - 1)
+	}
+	if sign == 0 {
+		s = -s
+	}
+	return int16(s)
+}
+
+// EncodeMulawBuf encodes pcm into dst, which must be at least len(pcm)
+// bytes; it returns the encoded slice.
+func EncodeMulawBuf(dst []byte, pcm []int16) []byte {
+	dst = dst[:len(pcm)]
+	for i, s := range pcm {
+		dst[i] = EncodeMulaw(s)
+	}
+	return dst
+}
+
+// DecodeMulawBuf decodes u into dst, which must be at least len(u)
+// samples; it returns the decoded slice.
+func DecodeMulawBuf(dst []int16, u []byte) []int16 {
+	dst = dst[:len(u)]
+	for i, b := range u {
+		dst[i] = DecodeMulaw(b)
+	}
+	return dst
+}
+
+// Silence returns the µ-law code for digital zero (0xFF), which is the
+// encoded value of PCM 0. Useful for comfort-noise-free fill.
+const Silence = 0xFF
+
+// PayloadTypeMulaw and PayloadTypeAlaw are the static RTP payload type
+// numbers for G.711 (RFC 3551).
+const (
+	PayloadTypeMulaw = 0
+	PayloadTypeAlaw  = 8
+)

@@ -1,0 +1,217 @@
+package g711
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulawKnownValues(t *testing.T) {
+	// Reference points from the ITU G.711 tables.
+	cases := []struct {
+		pcm  int16
+		code byte
+	}{
+		{0, 0xFF},
+		{-1, 0x7F},
+		{32635, 0x80},
+		{-32635, 0x00},
+	}
+	for _, c := range cases {
+		if got := EncodeMulaw(c.pcm); got != c.code {
+			t.Errorf("EncodeMulaw(%d) = %#02x, want %#02x", c.pcm, got, c.code)
+		}
+	}
+}
+
+func TestSilenceConstant(t *testing.T) {
+	if EncodeMulaw(0) != Silence {
+		t.Errorf("Silence constant %#02x != EncodeMulaw(0) %#02x", Silence, EncodeMulaw(0))
+	}
+}
+
+func TestMulawRoundTripQuantization(t *testing.T) {
+	// Property: decode(encode(x)) is within the segment quantization
+	// error of x. For µ-law the error bound is half the segment step:
+	// step = 2^(exp+3), and |x| maps inside its segment.
+	f := func(x int16) bool {
+		y := DecodeMulaw(EncodeMulaw(x))
+		diff := math.Abs(float64(x) - float64(y))
+		mag := math.Abs(float64(x))
+		// Worst-case µ-law quantization error grows with magnitude:
+		// bounded by mag/16 + 16 comfortably for all x.
+		return diff <= mag/16+16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulawIdempotentOnCodewords(t *testing.T) {
+	// Property: encoding a decoded codeword returns the same codeword
+	// (the decoder output is the segment centroid).
+	for c := 0; c < 256; c++ {
+		pcm := DecodeMulaw(byte(c))
+		got := EncodeMulaw(pcm)
+		// 0x7F and 0xFF both decode to 0; re-encoding 0 yields 0xFF.
+		if byte(c) == 0x7F && got == 0xFF {
+			continue
+		}
+		if got != byte(c) {
+			t.Errorf("code %#02x -> pcm %d -> %#02x", c, pcm, got)
+		}
+	}
+}
+
+func TestMulawMonotone(t *testing.T) {
+	// Property: the decoder is monotone in the signed interpretation —
+	// larger PCM in, larger (or equal) PCM out after a round trip.
+	f := func(a, b int16) bool {
+		if a > b {
+			a, b = b, a
+		}
+		ya := DecodeMulaw(EncodeMulaw(a))
+		yb := DecodeMulaw(EncodeMulaw(b))
+		return ya <= yb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlawRoundTripQuantization(t *testing.T) {
+	f := func(x int16) bool {
+		y := DecodeAlaw(EncodeAlaw(x))
+		diff := math.Abs(float64(x) - float64(y))
+		mag := math.Abs(float64(x))
+		return diff <= mag/16+32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlawIdempotentOnCodewords(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		pcm := DecodeAlaw(byte(c))
+		got := EncodeAlaw(pcm)
+		if got != byte(c) {
+			t.Errorf("code %#02x -> pcm %d -> %#02x", c, pcm, got)
+		}
+	}
+}
+
+func TestAlawSignSymmetry(t *testing.T) {
+	// +1000 and -1001 encode to sign-mirrored codes.
+	p := EncodeAlaw(1000)
+	n := EncodeAlaw(-1001)
+	if p^n != 0x80 {
+		t.Errorf("sign bits not mirrored: %#02x vs %#02x", p, n)
+	}
+}
+
+func TestBufEncoders(t *testing.T) {
+	pcm := []int16{0, 100, -100, 32000, -32000}
+	enc := EncodeMulawBuf(make([]byte, len(pcm)), pcm)
+	dec := DecodeMulawBuf(make([]int16, len(enc)), enc)
+	for i := range pcm {
+		if enc[i] != EncodeMulaw(pcm[i]) {
+			t.Errorf("buf encode mismatch at %d", i)
+		}
+		if dec[i] != DecodeMulaw(enc[i]) {
+			t.Errorf("buf decode mismatch at %d", i)
+		}
+	}
+}
+
+func TestSamplesPerFrame(t *testing.T) {
+	if got := SamplesPerFrame(20); got != 160 {
+		t.Errorf("20ms frame = %d samples, want 160", got)
+	}
+	if got := SamplesPerFrame(30); got != 240 {
+		t.Errorf("30ms frame = %d samples, want 240", got)
+	}
+}
+
+func TestToneGeneratorContinuity(t *testing.T) {
+	g := NewToneGenerator(440, 0.5)
+	a := make([]int16, 160)
+	b := make([]int16, 160)
+	g.Fill(a)
+	g.Fill(b)
+	// The first sample of frame b must continue the sine from frame a:
+	// reconstruct expected value from phase step.
+	gRef := NewToneGenerator(440, 0.5)
+	full := make([]int16, 320)
+	gRef.Fill(full)
+	for i := 0; i < 160; i++ {
+		if a[i] != full[i] || b[i] != full[160+i] {
+			t.Fatalf("tone frames not contiguous at %d", i)
+		}
+	}
+}
+
+func TestToneGeneratorAmplitude(t *testing.T) {
+	g := NewToneGenerator(1000, 0.25)
+	pcm := make([]int16, 8000)
+	g.Fill(pcm)
+	var peak int16
+	for _, s := range pcm {
+		if s > peak {
+			peak = s
+		}
+	}
+	want := int16(32767 / 4)
+	if peak < want-400 || peak > want+400 {
+		t.Errorf("peak %d, want ~%d", peak, want)
+	}
+}
+
+func TestToneGeneratorClampsAmplitude(t *testing.T) {
+	g := NewToneGenerator(1000, 5)
+	pcm := make([]int16, 100)
+	g.Fill(pcm) // must not overflow int16
+	g2 := NewToneGenerator(1000, -3)
+	g2.Fill(pcm)
+	for _, s := range pcm {
+		if s != 0 {
+			t.Fatal("negative amplitude not clamped to silence")
+		}
+	}
+}
+
+func TestNextFrameMulawSize(t *testing.T) {
+	g := NewToneGenerator(440, 0.5)
+	frame := g.NextFrameMulaw(nil, 20)
+	if len(frame) != 160 {
+		t.Errorf("20ms µ-law frame = %d bytes, want 160", len(frame))
+	}
+	// Reuse path.
+	frame2 := g.NextFrameMulaw(frame, 20)
+	if len(frame2) != 160 {
+		t.Errorf("reused frame = %d bytes", len(frame2))
+	}
+}
+
+func BenchmarkEncodeMulawFrame(b *testing.B) {
+	pcm := make([]int16, 160)
+	g := NewToneGenerator(440, 0.5)
+	g.Fill(pcm)
+	dst := make([]byte, 160)
+	b.SetBytes(160)
+	for i := 0; i < b.N; i++ {
+		EncodeMulawBuf(dst, pcm)
+	}
+}
+
+func BenchmarkDecodeMulawFrame(b *testing.B) {
+	enc := make([]byte, 160)
+	for i := range enc {
+		enc[i] = byte(i)
+	}
+	dst := make([]int16, 160)
+	b.SetBytes(160)
+	for i := 0; i < b.N; i++ {
+		DecodeMulawBuf(dst, enc)
+	}
+}

@@ -1,0 +1,55 @@
+package g711
+
+import "math"
+
+// ToneGenerator synthesizes a continuous sine tone as 16-bit PCM at
+// the G.711 sample rate, maintaining phase across frames so successive
+// RTP payloads splice without clicks. It stands in for the "dialogue
+// between end-points without moments of idleness" the paper uses as
+// call content (Sec. III-C).
+type ToneGenerator struct {
+	freq      float64
+	amplitude float64
+	phase     float64
+	step      float64
+}
+
+// NewToneGenerator returns a generator for a freq-Hz tone with the
+// given amplitude in [0,1] of full scale.
+func NewToneGenerator(freq, amplitude float64) *ToneGenerator {
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	if amplitude > 1 {
+		amplitude = 1
+	}
+	return &ToneGenerator{
+		freq:      freq,
+		amplitude: amplitude,
+		step:      2 * math.Pi * freq / SampleRate,
+	}
+}
+
+// Fill writes the next len(pcm) samples of the tone into pcm.
+func (g *ToneGenerator) Fill(pcm []int16) {
+	scale := g.amplitude * 32767
+	for i := range pcm {
+		pcm[i] = int16(scale * math.Sin(g.phase))
+		g.phase += g.step
+		if g.phase > 2*math.Pi {
+			g.phase -= 2 * math.Pi
+		}
+	}
+}
+
+// NextFrameMulaw returns the next ms-millisecond frame of the tone,
+// already µ-law encoded, appended to dst (which may be nil).
+func (g *ToneGenerator) NextFrameMulaw(dst []byte, ms int) []byte {
+	n := SamplesPerFrame(ms)
+	pcm := make([]int16, n)
+	g.Fill(pcm)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	return EncodeMulawBuf(dst[:n], pcm)
+}

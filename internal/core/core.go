@@ -1,0 +1,246 @@
+// Package core is the paper's primary contribution in executable form:
+// the capacity-evaluation methodology of Sec. III. It composes the
+// substrates — the discrete-event network, the Asterisk-style PBX, the
+// SIPp-style generator, the Wireshark/VoIPmonitor-style capture, the
+// CPU model and the E-model — into the four-step empirical method of
+// Fig. 5, and pairs it with the Erlang-B analytical model so the two
+// can be compared (Fig. 6).
+//
+// One call to Run is one cell of Table I; RunReplications fans
+// independent seeds across a worker pool for confidence intervals,
+// which is where the evaluation earns its parallel-computing keep.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/erlang"
+	"repro/internal/media"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/pbx"
+	"repro/internal/sip"
+	"repro/internal/sipp"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// ExperimentConfig describes one empirical run.
+type ExperimentConfig struct {
+	// Workload is the offered traffic A in Erlangs; the arrival rate
+	// is derived as λ = A/h (Sec. III-C).
+	Workload erlang.Erlangs
+	// Hold is the call duration h (paper: 120 s).
+	Hold time.Duration
+	// Window is the call placement window (paper: 180 s).
+	Window time.Duration
+	// Warmup excludes calls placed in the first Warmup of the window
+	// from the measured aggregates, yielding steady-state figures that
+	// Erlang-B predicts. Zero reproduces the paper's transient-included
+	// measurement.
+	Warmup time.Duration
+	// Capacity is the PBX channel cap (paper's host: ≈165). Zero
+	// means unlimited.
+	Capacity int
+	// CPUAdmission switches to CPU-threshold admission (ablation).
+	CPUAdmission bool
+	// CPUThreshold is the admission limit when CPUAdmission is set.
+	CPUThreshold float64
+	// Media selects packetized RTP or signalling-only with flow-model
+	// quality.
+	Media sipp.MediaMode
+	// Arrivals and HoldDist select the stochastic shape
+	// (default Poisson + fixed hold, like the paper).
+	Arrivals sipp.ArrivalProcess
+	HoldDist sipp.HoldDistribution
+	// LinkDelay/LinkJitter/LinkLoss shape every host↔PBX link, the
+	// switch of Fig. 4. Defaults: 1 ms, 0, 0.
+	LinkDelay  time.Duration
+	LinkJitter time.Duration
+	LinkLoss   float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+}
+
+// withDefaults fills the paper's parameter values.
+func (c ExperimentConfig) withDefaults() ExperimentConfig {
+	if c.Hold == 0 {
+		c.Hold = 120 * time.Second
+	}
+	if c.Window == 0 {
+		c.Window = 180 * time.Second
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = time.Millisecond
+	}
+	return c
+}
+
+// ArrivalRate returns λ = A/h for the configured workload.
+func (c ExperimentConfig) ArrivalRate() float64 {
+	cc := c.withDefaults()
+	return erlang.ArrivalRate(cc.Workload, cc.Hold.Seconds())
+}
+
+// ExperimentResult is one Table I column plus run metadata.
+type ExperimentResult struct {
+	Config ExperimentConfig
+
+	// Load reports the generator's view.
+	Load sipp.Results
+	// Server reports the PBX's counters.
+	Server pbx.Counters
+	// Capture reports the wire-level message counts.
+	Capture monitor.TableRow
+	// CPU band (lo, mean, hi) as sampled once per second.
+	CPULo, CPUMean, CPUHi float64
+	// MOS summarizes per-call scores: CDR-based (the VoIPmonitor
+	// position) in packetized mode, flow-model in signalling mode.
+	// Completed calls only, as the paper notes.
+	MOS stats.Summary
+	// ChannelsUsed is the peak concurrent call count (the paper's
+	// "Number of Channels (N)" row).
+	ChannelsUsed int
+	// Events and Elapsed record simulation effort.
+	Events  uint64
+	Elapsed time.Duration
+}
+
+// BlockingProbability returns the measured Pb.
+func (r ExperimentResult) BlockingProbability() float64 {
+	return r.Load.BlockingProbability
+}
+
+// AnalyticalBlocking returns Erlang-B for the run's workload on n
+// channels, for empirical-vs-model comparison (Fig. 6).
+func (r ExperimentResult) AnalyticalBlocking(n int) float64 {
+	return erlang.B(r.Config.Workload, n)
+}
+
+// Run executes one experiment to completion and returns its results.
+func Run(cfg ExperimentConfig) ExperimentResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	sched := netsim.NewScheduler()
+	rng := stats.NewRNG(cfg.Seed)
+	net := netsim.NewNetwork(sched, rng.Split())
+	net.SetDefaultProfile(netsim.LinkProfile{
+		Delay:  cfg.LinkDelay,
+		Jitter: cfg.LinkJitter,
+		Loss:   cfg.LinkLoss,
+	})
+	clock := transport.SimClock{Sched: sched}
+
+	// Measurement tap: the mirrored switch port of the testbed.
+	capture := monitor.NewCapture()
+	net.AddTap(capture.Tap())
+
+	// The PBX host and its directory.
+	dir := directory.New()
+	for _, u := range []string{"uac", "uas"} {
+		if err := dir.AddUser(directory.User{Username: u, Password: "pw-" + u}); err != nil {
+			panic(fmt.Sprintf("core: provisioning %s: %v", u, err))
+		}
+	}
+	factory := func(port int) (transport.Transport, error) {
+		return transport.NewSim(net, fmt.Sprintf("pbx:%d", port)), nil
+	}
+	server := pbx.New(
+		sip.NewEndpoint(transport.NewSim(net, "pbx:5060"), clock),
+		dir, factory,
+		pbx.Config{
+			MaxChannels:  cfg.Capacity,
+			CPUAdmission: cfg.CPUAdmission,
+			CPUThreshold: cfg.CPUThreshold,
+			RelayRTP:     cfg.Media == sipp.MediaPacketized,
+			Seed:         cfg.Seed ^ 0x9bd1,
+		})
+
+	// The SIPp pair (Fig. 4: generator client and server machines).
+	gen := sipp.New(net, "sippc", "sipps", "pbx:5060", sipp.Config{
+		Rate:     cfg.ArrivalRate(),
+		Window:   cfg.Window,
+		Warmup:   cfg.Warmup,
+		Hold:     cfg.Hold,
+		Arrivals: cfg.Arrivals,
+		HoldDist: cfg.HoldDist,
+		Media:    cfg.Media,
+		Target:   "uas",
+		Seed:     cfg.Seed ^ 0x51bb01,
+	})
+
+	var results sipp.Results
+	finished := false
+	gen.Start(func(r sipp.Results) {
+		results = r
+		finished = true
+		// Freeze the CPU meter at end of traffic so the reported band
+		// spans the loaded interval, not the idle drain tail.
+		server.Close()
+	})
+
+	// Horizon: registration + window + the longest possible call tail
+	// plus transaction timeouts.
+	horizon := cfg.Window + 10*cfg.Hold + 5*time.Minute
+	if _, err := sched.Run(horizon); err != nil {
+		panic(fmt.Sprintf("core: scheduler: %v", err))
+	}
+	if !finished {
+		// Exponential hold times can exceed the 10·h allowance;
+		// extend until the generator completes.
+		for i := 0; i < 64 && !finished; i++ {
+			sched.Run(sched.Now() + horizon)
+		}
+		if !finished {
+			panic("core: experiment did not converge")
+		}
+	}
+
+	res := ExperimentResult{
+		Config:       cfg,
+		Load:         results,
+		Server:       server.CountersSnapshot(),
+		Capture:      capture.Row(),
+		ChannelsUsed: server.CountersSnapshot().PeakChannels,
+		Events:       sched.Fired(),
+		Elapsed:      time.Since(start),
+	}
+	res.CPULo, res.CPUMean, res.CPUHi = server.CPUBand()
+	res.MOS = collectMOS(cfg, server, results)
+	return res
+}
+
+// collectMOS gathers per-call MOS. Packetized mode uses CDRs — the
+// VoIPmonitor position on the server; signalling-only mode evaluates
+// the flow model per completed call with the path the run configured
+// plus the CPU model's overload drop rate.
+func collectMOS(cfg ExperimentConfig, server *pbx.Server, results sipp.Results) stats.Summary {
+	var s stats.Summary
+	if cfg.Media == sipp.MediaPacketized {
+		for _, cdr := range server.CDRs() {
+			if cdr.Completed && cdr.MOS > 0 {
+				s.Add(cdr.MOS)
+			}
+		}
+		return s
+	}
+	_, meanUtil, _ := server.CPUBand()
+	drop := serverDropAt(meanUtil)
+	for _, rec := range results.Records {
+		if !rec.Established {
+			continue
+		}
+		rep := media.Flow(media.FlowParams{
+			Duration:   rec.Duration,
+			PathLoss:   1 - (1-cfg.LinkLoss)*(1-drop)*(1-cfg.LinkLoss),
+			PathDelay:  2 * cfg.LinkDelay,
+			PathJitter: 2 * cfg.LinkJitter,
+			Codec:      pbxScoreCodec(),
+		}, nil)
+		s.Add(rep.MOS)
+	}
+	return s
+}

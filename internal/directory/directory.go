@@ -1,0 +1,151 @@
+// Package directory is the user store behind the PBX — the stand-in
+// for the LDAP server the paper's deployment uses "for user
+// authentication and call registration" (Sec. II-A). It maps SIP
+// usernames to digest credentials and assigned extensions, and records
+// contact bindings created by REGISTER.
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// User is one provisioned account.
+type User struct {
+	// Username is the SIP user part (also the dialable extension).
+	Username string
+	// Password is the digest secret.
+	Password string
+	// DisplayName is informational.
+	DisplayName string
+}
+
+// Binding is a registered contact: where to reach a user right now.
+type Binding struct {
+	Contact   string // transport address "host:port"
+	ExpiresAt time.Duration
+}
+
+// Directory is an in-memory user and registration store. It is safe
+// for concurrent use (the real-UDP PBX serves from multiple
+// goroutines).
+type Directory struct {
+	mu       sync.RWMutex
+	users    map[string]User
+	bindings map[string]Binding
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{
+		users:    make(map[string]User),
+		bindings: make(map[string]Binding),
+	}
+}
+
+// Errors.
+var (
+	ErrNoSuchUser    = errors.New("directory: no such user")
+	ErrDuplicateUser = errors.New("directory: user already exists")
+)
+
+// AddUser provisions an account. Adding an existing username fails.
+func (d *Directory) AddUser(u User) error {
+	if u.Username == "" {
+		return errors.New("directory: empty username")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.users[u.Username]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateUser, u.Username)
+	}
+	d.users[u.Username] = u
+	return nil
+}
+
+// Provision bulk-creates users named <prefix><start>…<prefix><start+n-1>
+// with per-user passwords, mirroring how the campus assigns accounts
+// from institutional IDs. It returns the created usernames.
+func (d *Directory) Provision(prefix string, start, n int) []string {
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s%d", prefix, start+i)
+		if err := d.AddUser(User{Username: name, Password: "pw-" + name}); err == nil {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// Lookup returns the account for username.
+func (d *Directory) Lookup(username string) (User, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	u, ok := d.users[username]
+	if !ok {
+		return User{}, fmt.Errorf("%w: %s", ErrNoSuchUser, username)
+	}
+	return u, nil
+}
+
+// Authenticate verifies a password.
+func (d *Directory) Authenticate(username, password string) bool {
+	u, err := d.Lookup(username)
+	return err == nil && u.Password == password
+}
+
+// Register stores a contact binding for username with the given
+// lifetime measured on the caller's clock.
+func (d *Directory) Register(username, contact string, now, ttl time.Duration) error {
+	if _, err := d.Lookup(username); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ttl <= 0 {
+		delete(d.bindings, username)
+		return nil
+	}
+	d.bindings[username] = Binding{Contact: contact, ExpiresAt: now + ttl}
+	return nil
+}
+
+// Contact resolves a username to its registered, unexpired contact.
+func (d *Directory) Contact(username string, now time.Duration) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	b, ok := d.bindings[username]
+	if !ok || b.ExpiresAt <= now {
+		return "", false
+	}
+	return b.Contact, true
+}
+
+// Unregister removes a binding.
+func (d *Directory) Unregister(username string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.bindings, username)
+}
+
+// Users returns the number of provisioned accounts.
+func (d *Directory) Users() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.users)
+}
+
+// Registered returns the number of live bindings at time now.
+func (d *Directory) Registered(now time.Duration) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, b := range d.bindings {
+		if b.ExpiresAt > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddLookup(t *testing.T) {
+	d := New()
+	if err := d.AddUser(User{Username: "alice", Password: "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := d.Lookup("alice")
+	if err != nil || u.Password != "pw" {
+		t.Fatalf("lookup: %+v, %v", u, err)
+	}
+	if _, err := d.Lookup("nobody"); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("missing user error = %v", err)
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	d := New()
+	d.AddUser(User{Username: "alice", Password: "a"})
+	if err := d.AddUser(User{Username: "alice", Password: "b"}); !errors.Is(err, ErrDuplicateUser) {
+		t.Errorf("duplicate error = %v", err)
+	}
+	// Original untouched.
+	u, _ := d.Lookup("alice")
+	if u.Password != "a" {
+		t.Error("duplicate add overwrote user")
+	}
+}
+
+func TestAddEmptyUsername(t *testing.T) {
+	if err := New().AddUser(User{}); err == nil {
+		t.Error("empty username accepted")
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	d := New()
+	d.AddUser(User{Username: "alice", Password: "pw"})
+	if !d.Authenticate("alice", "pw") {
+		t.Error("valid credentials rejected")
+	}
+	if d.Authenticate("alice", "nope") {
+		t.Error("wrong password accepted")
+	}
+	if d.Authenticate("ghost", "pw") {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestProvision(t *testing.T) {
+	d := New()
+	names := d.Provision("u", 1000, 50)
+	if len(names) != 50 || d.Users() != 50 {
+		t.Fatalf("provisioned %d users", d.Users())
+	}
+	if names[0] != "u1000" || names[49] != "u1049" {
+		t.Errorf("names: %v ... %v", names[0], names[49])
+	}
+	if !d.Authenticate("u1007", "pw-u1007") {
+		t.Error("provisioned credentials do not verify")
+	}
+	// Re-provisioning the same range adds nothing.
+	if again := d.Provision("u", 1000, 50); len(again) != 0 {
+		t.Errorf("re-provision created %d users", len(again))
+	}
+}
+
+func TestRegisterContactLifecycle(t *testing.T) {
+	d := New()
+	d.AddUser(User{Username: "alice", Password: "pw"})
+	if err := d.Register("alice", "10.0.0.2:5060", 0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := d.Contact("alice", 30*time.Minute)
+	if !ok || c != "10.0.0.2:5060" {
+		t.Fatalf("contact = %q ok=%v", c, ok)
+	}
+	// Expired binding is invisible.
+	if _, ok := d.Contact("alice", 2*time.Hour); ok {
+		t.Error("expired binding returned")
+	}
+	// TTL 0 unregisters.
+	d.Register("alice", "10.0.0.2:5060", 0, time.Hour)
+	d.Register("alice", "10.0.0.2:5060", 0, 0)
+	if _, ok := d.Contact("alice", time.Minute); ok {
+		t.Error("binding survived ttl-0 register")
+	}
+}
+
+func TestRegisterUnknownUser(t *testing.T) {
+	d := New()
+	if err := d.Register("ghost", "x:1", 0, time.Hour); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRegisteredCount(t *testing.T) {
+	d := New()
+	d.Provision("u", 0, 10)
+	for i := 0; i < 5; i++ {
+		d.Register(fmt.Sprintf("u%d", i), "h:1", 0, time.Hour)
+	}
+	d.Register("u0", "h:1", 0, time.Millisecond) // will expire
+	if got := d.Registered(time.Minute); got != 4 {
+		t.Errorf("registered = %d, want 4", got)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	d := New()
+	d.AddUser(User{Username: "a", Password: "p"})
+	d.Register("a", "h:1", 0, time.Hour)
+	d.Unregister("a")
+	if _, ok := d.Contact("a", 0); ok {
+		t.Error("contact survived Unregister")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New()
+	d.Provision("u", 0, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				user := fmt.Sprintf("u%d", (g*1000+i)%100)
+				d.Register(user, "h:1", 0, time.Hour)
+				d.Contact(user, time.Minute)
+				d.Authenticate(user, "pw-"+user)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := d.Registered(time.Minute); got != 100 {
+		t.Errorf("registered = %d", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Package erlang implements the classical teletraffic models the paper
+// uses to dimension the Asterisk PBX: the Erlang unit of traffic
+// intensity (Eq. 1), the Erlang-B blocking formula (Eq. 2), and the
+// companion Erlang-C and Engset models together with the inverse
+// solvers (channels for a target blocking, admissible traffic for a
+// target blocking) needed to size a server.
+//
+// All formulas use numerically stable recurrences rather than the
+// factorial form printed in the paper, so they remain exact for
+// hundreds of channels where N! would overflow.
+package erlang
+
+import (
+	"errors"
+	"math"
+)
+
+// Erlangs is a traffic intensity: one Erlang is one channel occupied
+// continuously for the observation period (Sec. III-A, Eq. 1).
+type Erlangs float64
+
+// Traffic computes the offered load per Eq. 1 of the paper:
+//
+//	Erlang = calls/hour × duration(minutes) / 60 minutes
+//
+// i.e. the mean number of simultaneously busy channels.
+func Traffic(callsPerHour, meanDurationMinutes float64) Erlangs {
+	return Erlangs(callsPerHour * meanDurationMinutes / 60)
+}
+
+// TrafficRate computes offered load from an arrival rate (calls per
+// second) and a mean holding time in seconds: A = λ·h. This is the
+// form used by the empirical method, which fixes h = 120 s and derives
+// λ = A/h.
+func TrafficRate(arrivalsPerSecond, holdSeconds float64) Erlangs {
+	return Erlangs(arrivalsPerSecond * holdSeconds)
+}
+
+// ArrivalRate returns the call arrival rate λ (calls per second) that
+// produces offered load a with mean holding time holdSeconds.
+func ArrivalRate(a Erlangs, holdSeconds float64) float64 {
+	if holdSeconds <= 0 {
+		return 0
+	}
+	return float64(a) / holdSeconds
+}
+
+// B returns the Erlang-B blocking probability for offered traffic a on
+// n channels (Eq. 2 of the paper):
+//
+//	Pb = (A^N / N!) / Σ_{i=0}^{N} A^i / i!
+//
+// computed by the stable recurrence B(0)=1, B(k) = A·B(k-1)/(k + A·B(k-1)).
+// By the Erlang-B insensitivity property the result depends only on the
+// mean of the holding-time distribution, not its shape.
+//
+// Degenerate inputs take their limiting values: a <= 0 yields 0 and
+// n <= 0 yields 1 (no channels blocks everything).
+func B(a Erlangs, n int) float64 {
+	if a <= 0 {
+		return 0
+	}
+	if n <= 0 {
+		return 1
+	}
+	af := float64(a)
+	b := 1.0
+	for k := 1; k <= n; k++ {
+		b = af * b / (float64(k) + af*b)
+	}
+	return b
+}
+
+// BFractional evaluates the Erlang-B formula for a non-integral number
+// of channels using the continued integral representation
+// 1/B(a,x) = a·∫₀^∞ e^(−a·t)·(1+t)^x dt, evaluated by the
+// Jagerman-style recurrence from floor(x) with a numeric correction
+// step. It matches B exactly at integer x. Used by the inverse solvers
+// to report fractional channel requirements before rounding.
+func BFractional(a Erlangs, x float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	if x <= 0 {
+		return 1
+	}
+	af := float64(a)
+	// Evaluate at the fractional part via numerical integration of the
+	// Jagerman integral, then extend with the integer recurrence.
+	frac := x - math.Floor(x)
+	b := 1.0
+	if frac > 0 {
+		b = 1 / jagermanIntegral(af, frac)
+	}
+	for k := frac + 1; k <= x+1e-12; k++ {
+		b = af * b / (k + af*b)
+	}
+	return b
+}
+
+// jagermanIntegral computes 1/B(a,x) = a ∫₀^∞ e^{-a t}(1+t)^x dt via
+// adaptive Gauss–Legendre panels on the substitution u = a·t.
+func jagermanIntegral(a, x float64) float64 {
+	// integrand in u: e^{-u} (1 + u/a)^x, integrated over [0, ∞).
+	f := func(u float64) float64 { return math.Exp(-u) * math.Pow(1+u/a, x) }
+	// Integrate [0, 40] with panels; e^{-40} tail is negligible for the
+	// small x in (0,1) this is used with.
+	const panels = 80
+	var sum float64
+	h := 40.0 / panels
+	// 5-point Gauss–Legendre nodes/weights on [-1,1].
+	nodes := [5]float64{-0.9061798459386640, -0.5384693101056831, 0, 0.5384693101056831, 0.9061798459386640}
+	weights := [5]float64{0.2369268850561891, 0.4786286704993665, 0.5688888888888889, 0.4786286704993665, 0.2369268850561891}
+	for p := 0; p < panels; p++ {
+		mid := (float64(p) + 0.5) * h
+		for i := range nodes {
+			sum += weights[i] * f(mid+nodes[i]*h/2)
+		}
+	}
+	return sum * h / 2
+}
+
+// C returns the Erlang-C probability that an arriving call must wait
+// (all n channels busy, infinite queue). It is only defined for a < n;
+// for a >= n the queue is unstable and C returns 1.
+func C(a Erlangs, n int) float64 {
+	if a <= 0 {
+		return 0
+	}
+	if n <= 0 || float64(a) >= float64(n) {
+		return 1
+	}
+	b := B(a, n)
+	rho := float64(a) / float64(n)
+	return b / (1 - rho*(1-b))
+}
+
+// Engset returns the blocking probability for a finite population of
+// sources offering traffic. sources is the population size, perSource
+// the offered traffic per idle source (in Erlangs), n the channel
+// count. As sources → ∞ with total load fixed it converges to Erlang-B.
+func Engset(sources int, perSource float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	if sources <= n {
+		return 0 // every source can always find a channel
+	}
+	if perSource <= 0 {
+		return 0
+	}
+	// Stable recurrence: E(0)=1, E(k) = (S-k+1)·α·E(k-1) / (k + (S-k+1)·α·E(k-1))
+	// where α = perSource.
+	e := 1.0
+	s := float64(sources)
+	for k := 1; k <= n; k++ {
+		num := (s - float64(k)) * perSource * e
+		e = num / (float64(k) + num)
+	}
+	return e
+}
+
+// ErrNoSolution reports that an inverse solver's target is unreachable
+// within its search bounds.
+var ErrNoSolution = errors.New("erlang: no solution within bounds")
+
+// ChannelsFor returns the minimum number of channels N such that
+// B(a, N) <= targetPb. This is the dimensioning question of Sec. III-B:
+// the least amount of resources that meets the offered load at the
+// blocking the operator is willing to accept.
+func ChannelsFor(a Erlangs, targetPb float64) (int, error) {
+	if targetPb <= 0 || targetPb >= 1 {
+		return 0, errors.New("erlang: target blocking must be in (0,1)")
+	}
+	if a <= 0 {
+		return 0, nil
+	}
+	// Run the recurrence outward; blocking is strictly decreasing in N.
+	af := float64(a)
+	b := 1.0
+	// Upper bound: A + 10·sqrt(A) + 50 covers any practical target.
+	limit := int(af+10*math.Sqrt(af)) + 50
+	for k := 1; k <= limit; k++ {
+		b = af * b / (float64(k) + af*b)
+		if b <= targetPb {
+			return k, nil
+		}
+	}
+	return 0, ErrNoSolution
+}
+
+// TrafficFor returns the largest offered traffic A such that
+// B(A, n) <= targetPb, found by bisection. This answers "how much load
+// can my N-channel server admit at this grade of service".
+func TrafficFor(n int, targetPb float64) (Erlangs, error) {
+	if targetPb <= 0 || targetPb >= 1 {
+		return 0, errors.New("erlang: target blocking must be in (0,1)")
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, float64(n)*4+100
+	if B(Erlangs(hi), n) < targetPb {
+		return 0, ErrNoSolution
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if B(Erlangs(mid), n) <= targetPb {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Erlangs(lo), nil
+}
+
+// Load describes a busy-hour workload in the units the paper reports.
+type Load struct {
+	CallsPerHour    float64 // mean call attempts in the busy hour
+	DurationMinutes float64 // mean call duration
+}
+
+// Erlangs returns the offered traffic of the load per Eq. 1.
+func (l Load) Erlangs() Erlangs { return Traffic(l.CallsPerHour, l.DurationMinutes) }
+
+// Blocking returns the Erlang-B blocking of the load on n channels.
+func (l Load) Blocking(n int) float64 { return B(l.Erlangs(), n) }

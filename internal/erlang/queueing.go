@@ -1,0 +1,110 @@
+package erlang
+
+import (
+	"errors"
+	"math"
+)
+
+// The paper motivates Erlang-B via its contact-center heritage ("The
+// Erlang-B model is widely used in dimensioning the capacity of a
+// Contact Center", citing Angus's introduction to Erlang B and
+// Erlang C). This file completes that toolbox with the Erlang-C
+// queueing quantities used to dimension waiting systems: average speed
+// of answer, service level, and the staffing inverse. They also apply
+// to a PBX configured to queue rather than reject overflow calls.
+
+// AverageSpeedOfAnswer returns the mean wait (seconds) of an M/M/N
+// queue offered a Erlangs with mean service time ahtSeconds:
+// ASA = C(a,n) · AHT / (N − A). It returns +Inf for an unstable queue
+// (a >= n).
+func AverageSpeedOfAnswer(a Erlangs, n int, ahtSeconds float64) float64 {
+	if float64(a) >= float64(n) {
+		return math.Inf(1)
+	}
+	return C(a, n) * ahtSeconds / (float64(n) - float64(a))
+}
+
+// ServiceLevel returns the probability a call is answered within
+// targetSeconds: SL = 1 − C(a,n)·e^(−(N−A)·t/AHT).
+func ServiceLevel(a Erlangs, n int, ahtSeconds, targetSeconds float64) float64 {
+	if float64(a) >= float64(n) {
+		return 0
+	}
+	sl := 1 - C(a, n)*math.Exp(-(float64(n)-float64(a))*targetSeconds/ahtSeconds)
+	if sl < 0 {
+		return 0
+	}
+	return sl
+}
+
+// ErrUnattainable reports a service-level target no agent count in the
+// search range can meet.
+var ErrUnattainable = errors.New("erlang: service level unattainable")
+
+// AgentsForServiceLevel returns the minimum N such that at least
+// targetSL (e.g. 0.80) of calls are answered within targetSeconds —
+// the classic "80/20" staffing question.
+func AgentsForServiceLevel(a Erlangs, ahtSeconds, targetSeconds, targetSL float64) (int, error) {
+	if targetSL <= 0 || targetSL >= 1 {
+		return 0, errors.New("erlang: target service level must be in (0,1)")
+	}
+	if a <= 0 {
+		return 0, nil
+	}
+	// The queue must be stable, so start just above A.
+	start := int(math.Floor(float64(a))) + 1
+	limit := start + int(10*math.Sqrt(float64(a))) + 100
+	for n := start; n <= limit; n++ {
+		if ServiceLevel(a, n, ahtSeconds, targetSeconds) >= targetSL {
+			return n, nil
+		}
+	}
+	return 0, ErrUnattainable
+}
+
+// WaitPercentile returns the wait time (seconds) below which fraction
+// p of *all* calls fall (calls that never wait count as zero wait):
+// solves SL(t) = p. Returns 0 when p <= 1 − C (the mass that is
+// answered immediately).
+func WaitPercentile(a Erlangs, n int, ahtSeconds, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if float64(a) >= float64(n) || p >= 1 {
+		return math.Inf(1)
+	}
+	c := C(a, n)
+	if p <= 1-c {
+		return 0
+	}
+	// 1 − c·e^(−(n−a)t/aht) = p  →  t = −ln((1−p)/c)·aht/(n−a).
+	return -math.Log((1-p)/c) * ahtSeconds / (float64(n) - float64(a))
+}
+
+// OfferedWithRetries models blocked-call retry inflation, the
+// "unpredictable factors that can cause unexpected peak demands" of
+// Sec. III-B: if a fraction retryProb of blocked calls immediately
+// retries, the effective offered load A' satisfies
+// A' = A + retryProb·B(A',N)·A'. Solved by fixed-point iteration; the
+// returned load plugs back into B to get the blocking with retries.
+//
+// retryProb is clamped below 1: with certain retry under deep
+// overload the load has no finite fixed point (every blocked call
+// returns forever), so 0.95 is the model ceiling.
+func OfferedWithRetries(a Erlangs, n int, retryProb float64) Erlangs {
+	if retryProb <= 0 || a <= 0 {
+		return a
+	}
+	if retryProb > 0.95 {
+		retryProb = 0.95
+	}
+	eff := float64(a)
+	for i := 0; i < 500; i++ {
+		next := float64(a) + retryProb*B(Erlangs(eff), n)*eff
+		if math.Abs(next-eff) < 1e-9 {
+			return Erlangs(next)
+		}
+		eff = next
+	}
+	return Erlangs(eff)
+}

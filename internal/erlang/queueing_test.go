@@ -1,0 +1,158 @@
+package erlang
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestASAKnownValue(t *testing.T) {
+	// Classic example: A=10 Erlangs, N=12 agents, AHT=180s.
+	// C(10,12) ≈ 0.434; ASA = 0.434·180/2 ≈ 39s.
+	asa := AverageSpeedOfAnswer(10, 12, 180)
+	if math.Abs(asa-39) > 3 {
+		t.Errorf("ASA = %v, want ~39s", asa)
+	}
+}
+
+func TestASAUnstable(t *testing.T) {
+	if !math.IsInf(AverageSpeedOfAnswer(12, 12, 180), 1) {
+		t.Error("unstable queue should have infinite ASA")
+	}
+	if !math.IsInf(AverageSpeedOfAnswer(15, 12, 180), 1) {
+		t.Error("overloaded queue should have infinite ASA")
+	}
+}
+
+func TestASADecreasesWithAgents(t *testing.T) {
+	f := func(extra uint8) bool {
+		n := 11 + int(extra%50)
+		return AverageSpeedOfAnswer(10, n+1, 180) < AverageSpeedOfAnswer(10, n, 180)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServiceLevelBounds(t *testing.T) {
+	f := func(aRaw uint8, extra uint8, tRaw uint8) bool {
+		a := Erlangs(1 + float64(aRaw%40))
+		n := int(a) + 1 + int(extra%30)
+		target := float64(tRaw%120) + 1
+		sl := ServiceLevel(a, n, 180, target)
+		return sl >= 0 && sl <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServiceLevelMonotoneInTarget(t *testing.T) {
+	a, n := Erlangs(10), 12
+	prev := -1.0
+	for tgt := 0.0; tgt <= 120; tgt += 10 {
+		sl := ServiceLevel(a, n, 180, tgt)
+		if sl < prev {
+			t.Fatalf("SL not monotone at t=%v", tgt)
+		}
+		prev = sl
+	}
+	// At t=0, SL = 1 - C (the never-waiting mass).
+	if got, want := ServiceLevel(a, n, 180, 0), 1-C(a, n); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SL(0) = %v, want %v", got, want)
+	}
+}
+
+func TestServiceLevelUnstable(t *testing.T) {
+	if ServiceLevel(20, 12, 180, 30) != 0 {
+		t.Error("unstable queue should have zero service level")
+	}
+}
+
+func TestAgentsForServiceLevel(t *testing.T) {
+	// 80% in 20s at A=10, AHT=180: a classic staffing answer ~14.
+	n, err := AgentsForServiceLevel(10, 180, 20, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 12 || n > 16 {
+		t.Errorf("agents = %d, want ~14", n)
+	}
+	// Verify minimality and attainment.
+	if ServiceLevel(10, n, 180, 20) < 0.80 {
+		t.Error("returned N misses the target")
+	}
+	if n > 11 && ServiceLevel(10, n-1, 180, 20) >= 0.80 {
+		t.Error("N-1 already meets the target; not minimal")
+	}
+}
+
+func TestAgentsForServiceLevelDegenerate(t *testing.T) {
+	if _, err := AgentsForServiceLevel(10, 180, 20, 0); err == nil {
+		t.Error("SL=0 accepted")
+	}
+	if _, err := AgentsForServiceLevel(10, 180, 20, 1); err == nil {
+		t.Error("SL=1 accepted")
+	}
+	if n, err := AgentsForServiceLevel(0, 180, 20, 0.8); err != nil || n != 0 {
+		t.Errorf("A=0: n=%d err=%v", n, err)
+	}
+}
+
+func TestWaitPercentile(t *testing.T) {
+	a, n := Erlangs(10), 12
+	// Median of all calls: most are answered immediately when
+	// 1-C > 0.5.
+	c := C(a, n)
+	if 1-c > 0.5 {
+		if got := WaitPercentile(a, n, 180, 0.5); got != 0 {
+			t.Errorf("median wait = %v, want 0", got)
+		}
+	}
+	// 95th percentile is positive and consistent with ServiceLevel.
+	p95 := WaitPercentile(a, n, 180, 0.95)
+	if p95 <= 0 {
+		t.Fatalf("p95 = %v", p95)
+	}
+	if sl := ServiceLevel(a, n, 180, p95); math.Abs(sl-0.95) > 1e-9 {
+		t.Errorf("SL at p95 wait = %v, want 0.95", sl)
+	}
+	if !math.IsInf(WaitPercentile(15, 12, 180, 0.9), 1) {
+		t.Error("unstable percentile should be infinite")
+	}
+}
+
+func TestOfferedWithRetries(t *testing.T) {
+	// No blocking → no inflation.
+	if got := OfferedWithRetries(10, 100, 0.5); math.Abs(float64(got-10)) > 1e-6 {
+		t.Errorf("uncongested inflation: %v", got)
+	}
+	// Heavy congestion with persistent retry inflates substantially.
+	base := Erlangs(200)
+	eff := OfferedWithRetries(base, 165, 0.9)
+	if eff <= base {
+		t.Fatalf("no inflation: %v", eff)
+	}
+	// Fixed point property: A' = A + p·B(A',N)·A'.
+	want := float64(base) + 0.9*B(eff, 165)*float64(eff)
+	if math.Abs(float64(eff)-want) > 1e-6 {
+		t.Errorf("fixed point violated: %v vs %v", eff, want)
+	}
+	// More retries → more load; blocking with retries exceeds without.
+	half := OfferedWithRetries(base, 165, 0.5)
+	if !(half > base && half < eff) {
+		t.Errorf("retry ordering: %v %v %v", base, half, eff)
+	}
+	if B(eff, 165) <= B(base, 165) {
+		t.Error("retries should raise blocking")
+	}
+}
+
+func TestOfferedWithRetriesClamp(t *testing.T) {
+	if got := OfferedWithRetries(100, 50, 5); got < 100 {
+		t.Errorf("retryProb > 1 mishandled: %v", got)
+	}
+	if got := OfferedWithRetries(0, 50, 0.5); got != 0 {
+		t.Errorf("zero load inflated: %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package media
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/rtp"
+)
+
+// DTMF over RTP per RFC 4733 (telephone-event): digits are carried as
+// dedicated RTP payloads rather than tones, which is how SIP phones
+// drive an Asterisk IVR or dial through a trunk. The PBX relay
+// forwards these like any RTP packet; the receiving session decodes
+// and deduplicates them.
+
+// DTMFPayloadType is the dynamic payload type conventionally
+// negotiated for telephone-event.
+const DTMFPayloadType = 101
+
+// dtmfEvent codes per RFC 4733 §3.2.
+var dtmfCodes = map[rune]uint8{
+	'0': 0, '1': 1, '2': 2, '3': 3, '4': 4,
+	'5': 5, '6': 6, '7': 7, '8': 8, '9': 9,
+	'*': 10, '#': 11,
+	'A': 12, 'B': 13, 'C': 14, 'D': 15,
+}
+
+var dtmfRunes = func() map[uint8]rune {
+	m := make(map[uint8]rune, len(dtmfCodes))
+	for r, c := range dtmfCodes {
+		m[c] = r
+	}
+	return m
+}()
+
+// ErrBadDTMF reports an undecodable telephone-event payload.
+var ErrBadDTMF = errors.New("media: malformed telephone-event")
+
+// encodeDTMF builds the 4-byte telephone-event payload.
+func encodeDTMF(digit rune, end bool, durationTicks uint16) ([]byte, error) {
+	code, ok := dtmfCodes[digit]
+	if !ok {
+		return nil, fmt.Errorf("media: %q is not a DTMF digit", digit)
+	}
+	b := make([]byte, 4)
+	b[0] = code
+	b[1] = 10 // volume -10 dBm0
+	if end {
+		b[1] |= 0x80
+	}
+	b[2] = byte(durationTicks >> 8)
+	b[3] = byte(durationTicks)
+	return b, nil
+}
+
+// decodeDTMF parses a telephone-event payload.
+func decodeDTMF(payload []byte) (digit rune, end bool, durationTicks uint16, err error) {
+	if len(payload) < 4 {
+		return 0, false, 0, ErrBadDTMF
+	}
+	r, ok := dtmfRunes[payload[0]]
+	if !ok {
+		return 0, false, 0, ErrBadDTMF
+	}
+	return r, payload[1]&0x80 != 0, uint16(payload[2])<<8 | uint16(payload[3]), nil
+}
+
+// SendDigit transmits one DTMF digit per RFC 4733: a marked start
+// packet, a continuation, and the end packet retransmitted twice for
+// loss robustness — all sharing the event's RTP timestamp.
+func (s *Session) SendDigit(digit rune, duration time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ticks := uint16(duration * rtp.ClockRate / time.Second)
+	eventTS := s.ts
+	send := func(end bool, marker bool) error {
+		payload, err := encodeDTMF(digit, end, ticks)
+		if err != nil {
+			return err
+		}
+		pkt := rtp.Packet{
+			PayloadType: DTMFPayloadType,
+			Marker:      marker,
+			Sequence:    s.seq,
+			Timestamp:   eventTS,
+			SSRC:        s.cfg.SSRC,
+			Payload:     payload,
+		}
+		s.tr.Send(s.cfg.Remote, pkt.Marshal(nil))
+		s.seq++
+		s.sent++
+		return nil
+	}
+	if err := send(false, true); err != nil {
+		return err
+	}
+	if err := send(false, false); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ { // end packet ×3 per RFC 4733 §5
+		if err := send(true, false); err != nil {
+			return err
+		}
+	}
+	// The event occupies media timeline: advance the timestamp so the
+	// next event (or audio frame) is distinct — receivers deduplicate
+	// end-packet retransmissions by event timestamp.
+	s.ts += uint32(ticks)
+	if ticks == 0 {
+		s.ts += 160
+	}
+	return nil
+}
+
+// OnDigit installs the DTMF receive callback. Each distinct event
+// (deduplicated by RTP timestamp) fires once, on its first end packet.
+func (s *Session) OnDigit(fn func(digit rune, duration time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onDigit = fn
+}
+
+// handleDTMFLocked processes an inbound telephone-event packet.
+func (s *Session) handleDTMFLocked(pkt *rtp.Packet) {
+	digit, end, ticks, err := decodeDTMF(pkt.Payload)
+	if err != nil {
+		s.bad++
+		return
+	}
+	if !end {
+		return
+	}
+	if s.dtmfSeenTS == pkt.Timestamp && s.dtmfSeen {
+		return // retransmitted end packet
+	}
+	s.dtmfSeen = true
+	s.dtmfSeenTS = pkt.Timestamp
+	s.digits = append(s.digits, digit)
+	if s.onDigit != nil {
+		s.onDigit(digit, time.Duration(ticks)*time.Second/rtp.ClockRate)
+	}
+}
+
+// Digits returns all DTMF digits received so far.
+func (s *Session) Digits() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return string(s.digits)
+}

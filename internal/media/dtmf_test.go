@@ -1,0 +1,123 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mos"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func TestDTMFEncodeDecodeRoundTrip(t *testing.T) {
+	for digit := range dtmfCodes {
+		payload, err := encodeDTMF(digit, true, 800)
+		if err != nil {
+			t.Fatalf("%q: %v", digit, err)
+		}
+		d, end, ticks, err := decodeDTMF(payload)
+		if err != nil || d != digit || !end || ticks != 800 {
+			t.Errorf("%q round trip: d=%q end=%v ticks=%d err=%v", digit, d, end, ticks, err)
+		}
+	}
+}
+
+func TestDTMFEncodeRejectsNonDigit(t *testing.T) {
+	if _, err := encodeDTMF('x', false, 0); err == nil {
+		t.Error("accepted 'x'")
+	}
+}
+
+func TestDTMFDecodeErrors(t *testing.T) {
+	if _, _, _, err := decodeDTMF([]byte{1, 2}); err != ErrBadDTMF {
+		t.Errorf("short: %v", err)
+	}
+	if _, _, _, err := decodeDTMF([]byte{200, 0, 0, 0}); err != ErrBadDTMF {
+		t.Errorf("bad code: %v", err)
+	}
+}
+
+func TestDTMFDurationRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		payload, err := encodeDTMF('5', false, raw)
+		if err != nil {
+			return false
+		}
+		_, _, ticks, err := decodeDTMF(payload)
+		return err == nil && ticks == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendDigitAcrossNetwork(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	clock := transport.SimClock{Sched: sched}
+	sa := NewSession(transport.NewSim(net, "a:4000"), clock, SessionConfig{Remote: "b:4000", SSRC: 1})
+	sb := NewSession(transport.NewSim(net, "b:4000"), clock, SessionConfig{Remote: "a:4000", SSRC: 2})
+	_ = sa
+
+	var digits []rune
+	var durations []time.Duration
+	sb.OnDigit(func(d rune, dur time.Duration) {
+		digits = append(digits, d)
+		durations = append(durations, dur)
+	})
+
+	for _, d := range "12#" {
+		if err := sa.SendDigit(d, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		sched.Run(sched.Now() + time.Second)
+	}
+
+	if string(digits) != "12#" {
+		t.Fatalf("received digits %q (end-packet retransmissions must dedupe)", string(digits))
+	}
+	if sb.Digits() != "12#" {
+		t.Errorf("Digits() = %q", sb.Digits())
+	}
+	for _, dur := range durations {
+		if dur != 100*time.Millisecond {
+			t.Errorf("duration = %v, want 100ms", dur)
+		}
+	}
+	// DTMF packets must not be treated as audio loss.
+	rep := sb.Report(mos.G711)
+	if rep.Stream.Received != 0 {
+		t.Errorf("DTMF counted as audio stream: %+v", rep.Stream)
+	}
+}
+
+func TestSendDigitWithLossStillDelivered(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(7))
+	net.SetDuplexLink("a", "b", netsim.LinkProfile{Loss: 0.4})
+	clock := transport.SimClock{Sched: sched}
+	sa := NewSession(transport.NewSim(net, "a:4000"), clock, SessionConfig{Remote: "b:4000", SSRC: 1})
+	sb := NewSession(transport.NewSim(net, "b:4000"), clock, SessionConfig{Remote: "a:4000", SSRC: 2})
+
+	delivered := 0
+	sb.OnDigit(func(rune, time.Duration) { delivered++ })
+	const sent = 30
+	for i := 0; i < sent; i++ {
+		sa.SendDigit('7', 80*time.Millisecond)
+		sched.Run(sched.Now() + time.Second)
+	}
+	// Each digit's end packet is sent 3×: per-digit delivery
+	// probability is 1-0.4³ ≈ 0.936. Expect most digits through.
+	if delivered < sent*3/4 {
+		t.Errorf("delivered %d of %d digits under 40%% loss", delivered, sent)
+	}
+	// Duplicate ends must not double-count: delivered <= sent by
+	// construction of distinct event timestamps per digit... except
+	// consecutive identical timestamps; our sender advances the audio
+	// timestamp only with audio, so verify no over-delivery.
+	if delivered > sent {
+		t.Errorf("delivered %d > sent %d (dedup failure)", delivered, sent)
+	}
+}

@@ -1,0 +1,98 @@
+package media
+
+import (
+	"time"
+
+	"repro/internal/mos"
+	"repro/internal/stats"
+)
+
+// FlowParams describes one call's media path for the analytic
+// flow-level model: instead of simulating every 20 ms frame as an
+// event, the per-call packet counts, loss and jitter are computed in
+// closed form (with sampling noise from rng when provided). This keeps
+// wide parameter sweeps (Fig. 6) cheap while producing the same report
+// shape as the packetized model; the ablation bench
+// (BenchmarkAblationMediaModel) checks the two agree.
+type FlowParams struct {
+	// Duration is the talk time (the paper's h = 120 s).
+	Duration time.Duration
+	// FrameMs is the packetization interval.
+	FrameMs int
+	// PathLoss is the end-to-end packet loss probability, combining
+	// link loss on both hops and server overload drops.
+	PathLoss float64
+	// PathDelay is the one-way network delay.
+	PathDelay time.Duration
+	// PathJitter is the one-way delay variation amplitude.
+	PathJitter time.Duration
+	// JitterDepth is the playout buffer depth (default 40 ms).
+	JitterDepth time.Duration
+	// Codec selects the E-model parameters (default mos.G711).
+	Codec mos.Codec
+}
+
+// Flow evaluates the model. rng, when non-nil, adds binomial sampling
+// noise to the loss count so replications differ like real runs;
+// nil gives the deterministic expectation.
+func Flow(p FlowParams, rng *stats.RNG) Report {
+	if p.FrameMs == 0 {
+		p.FrameMs = 20
+	}
+	if p.JitterDepth == 0 {
+		p.JitterDepth = 40 * time.Millisecond
+	}
+	if p.Codec.Name == "" {
+		p.Codec = mos.G711
+	}
+	frames := uint64(p.Duration.Milliseconds() / int64(p.FrameMs))
+	if frames == 0 {
+		frames = 1
+	}
+
+	// Late-discard probability: arrival delay beyond the first packet
+	// follows Uniform(-J, +J) around PathDelay; a packet is late when
+	// its extra delay relative to the schedule exceeds JitterDepth.
+	// With uniform jitter this is max(0, (J - depth) / (2J)).
+	late := 0.0
+	if p.PathJitter > p.JitterDepth {
+		late = float64(p.PathJitter-p.JitterDepth) / float64(2*p.PathJitter)
+	}
+	effLoss := p.PathLoss + (1-p.PathLoss)*late
+
+	lost := uint64(0)
+	if rng != nil {
+		for i := uint64(0); i < frames; i++ {
+			if rng.Float64() < effLoss {
+				lost++
+			}
+		}
+	} else {
+		lost = uint64(effLoss * float64(frames))
+	}
+
+	received := frames - lost
+	// RFC 3550 jitter for uniform(-J, J) interarrival variation
+	// converges near E|D|: mean |difference of two uniforms| = 2J/3.
+	jit := time.Duration(float64(p.PathJitter) * 2 / 3)
+
+	r := Report{Sent: frames}
+	r.Stream.Received = received
+	r.Stream.Expected = frames
+	r.Stream.Lost = int64(lost)
+	if frames > 0 {
+		r.Stream.LossRatio = float64(lost) / float64(frames)
+	}
+	r.Stream.Jitter = jit
+	r.Stream.MinTransit = p.PathDelay
+	r.Stream.MeanTransit = p.PathDelay + p.PathJitter/2
+	r.Stream.Duration = p.Duration
+	r.Stream.Bytes = received * 172
+	r.EffectiveLoss = r.Stream.LossRatio
+	r.MOS = mos.Score(p.Codec, mos.Metrics{
+		OneWayDelay: p.PathDelay + p.JitterDepth + time.Duration(p.FrameMs)*time.Millisecond,
+		LossRatio:   r.EffectiveLoss,
+		BurstRatio:  1,
+	})
+	return r
+}

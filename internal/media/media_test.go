@@ -1,0 +1,316 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mos"
+	"repro/internal/netsim"
+	"repro/internal/rtp"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func TestJitterBufferInOrder(t *testing.T) {
+	jb := &JitterBuffer{Depth: 40 * time.Millisecond}
+	now := time.Duration(0)
+	ts := uint32(0)
+	for i := 0; i < 100; i++ {
+		playAt, ok := jb.Arrive(now, &rtp.Packet{Timestamp: ts})
+		if !ok {
+			t.Fatalf("packet %d discarded on perfect stream", i)
+		}
+		want := 40*time.Millisecond + time.Duration(i)*20*time.Millisecond
+		if playAt != want {
+			t.Fatalf("packet %d plays at %v, want %v", i, playAt, want)
+		}
+		now += 20 * time.Millisecond
+		ts += 160
+	}
+	if jb.Played() != 100 || jb.Late() != 0 {
+		t.Errorf("played=%d late=%d", jb.Played(), jb.Late())
+	}
+}
+
+func TestJitterBufferLateDiscard(t *testing.T) {
+	jb := &JitterBuffer{Depth: 30 * time.Millisecond}
+	jb.Arrive(0, &rtp.Packet{Timestamp: 0})
+	// Second packet should play at 30ms + 20ms = 50ms; arriving at
+	// 80ms it is late.
+	_, ok := jb.Arrive(80*time.Millisecond, &rtp.Packet{Timestamp: 160})
+	if ok {
+		t.Error("late packet accepted")
+	}
+	if jb.Late() != 1 {
+		t.Errorf("late = %d", jb.Late())
+	}
+	if jb.LateRatio() != 0.5 {
+		t.Errorf("late ratio = %v", jb.LateRatio())
+	}
+	// A packet within budget is still fine afterwards.
+	if _, ok := jb.Arrive(85*time.Millisecond, &rtp.Packet{Timestamp: 480}); !ok {
+		t.Error("on-time packet rejected after a late one")
+	}
+}
+
+func TestJitterBufferAbsorbsJitterWithinDepth(t *testing.T) {
+	jb := &JitterBuffer{Depth: 40 * time.Millisecond}
+	// Arrivals jittered ±30ms around the 20ms cadence never exceed
+	// the 40ms budget.
+	rng := stats.NewRNG(3)
+	base := time.Duration(0)
+	ts := uint32(0)
+	jb.Arrive(0, &rtp.Packet{Timestamp: 0})
+	for i := 1; i < 1000; i++ {
+		base += 20 * time.Millisecond
+		ts += 160
+		jitter := time.Duration((2*rng.Float64() - 1) * float64(30*time.Millisecond))
+		at := base + jitter
+		if at < 0 {
+			at = 0
+		}
+		jb.Arrive(at, &rtp.Packet{Timestamp: ts})
+	}
+	// First packet may itself have been jittered early/late, shifting
+	// the schedule; tolerate a small discard fraction.
+	if jb.LateRatio() > 0.10 {
+		t.Errorf("late ratio %.3f with jitter < depth", jb.LateRatio())
+	}
+}
+
+// sessionPair wires two media sessions over a simulated network.
+func sessionPair(t *testing.T, profile netsim.LinkProfile, depth time.Duration) (*netsim.Scheduler, *Session, *Session) {
+	t.Helper()
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(11))
+	net.SetDuplexLink("a", "b", profile)
+	clock := transport.SimClock{Sched: sched}
+	sa := NewSession(transport.NewSim(net, "a:4000"), clock,
+		SessionConfig{Remote: "b:4000", SSRC: 1, JitterDepth: depth})
+	sb := NewSession(transport.NewSim(net, "b:4000"), clock,
+		SessionConfig{Remote: "a:4000", SSRC: 2, JitterDepth: depth})
+	return sched, sa, sb
+}
+
+func TestSessionCleanPath(t *testing.T) {
+	sched, sa, sb := sessionPair(t, netsim.LinkProfile{Delay: 2 * time.Millisecond}, 0)
+	sa.Start()
+	sb.Start()
+	sched.Run(10 * time.Second)
+	sa.Stop()
+	sb.Stop()
+	sched.Run(11 * time.Second)
+
+	ra := sa.Report(mos.G711)
+	rb := sb.Report(mos.G711)
+	// 10s at 50 pps = 500 packets ±1 boundary.
+	if ra.Sent < 499 || ra.Sent > 501 {
+		t.Errorf("sent = %d, want ~500", ra.Sent)
+	}
+	if rb.Stream.Received < 499 {
+		t.Errorf("received = %d", rb.Stream.Received)
+	}
+	if ra.EffectiveLoss != 0 || rb.EffectiveLoss != 0 {
+		t.Errorf("loss on clean path: %v / %v", ra.EffectiveLoss, rb.EffectiveLoss)
+	}
+	if ra.MOS < 4.3 {
+		t.Errorf("clean-path MOS = %.3f, want >= 4.3", ra.MOS)
+	}
+	// One-way delay is measurable because timestamps share the clock.
+	if d := rb.Stream.MinTransit; d < time.Millisecond || d > 3*time.Millisecond {
+		t.Errorf("measured transit %v, want ~2ms", d)
+	}
+}
+
+func TestSessionLossDegradesMOS(t *testing.T) {
+	sched, sa, sb := sessionPair(t, netsim.LinkProfile{Delay: 2 * time.Millisecond, Loss: 0.05}, 0)
+	sa.Start()
+	sb.Start()
+	sched.Run(30 * time.Second)
+	sa.Stop()
+	sb.Stop()
+	sched.Run(31 * time.Second)
+
+	rb := sb.Report(mos.G711)
+	if rb.EffectiveLoss < 0.03 || rb.EffectiveLoss > 0.07 {
+		t.Errorf("observed loss %v, want ~0.05", rb.EffectiveLoss)
+	}
+	clean := mos.Score(mos.G711, mos.Metrics{OneWayDelay: 60 * time.Millisecond})
+	if rb.MOS >= clean {
+		t.Errorf("MOS %v not degraded vs clean %v", rb.MOS, clean)
+	}
+	// 5% loss on G.711 *without* concealment is severe (Bpl = 4.3):
+	// Ie,eff ≈ 51 drags R to ~40, MOS ~2.0.
+	if rb.MOS < 1.8 || rb.MOS > 2.4 {
+		t.Errorf("MOS %v, want ~2.0 for 5%% loss without PLC", rb.MOS)
+	}
+	// With PLC the same stream stays usable.
+	if plc := sb.Report(mos.G711PLC); plc.MOS < 3.7 {
+		t.Errorf("PLC MOS %v, want > 3.7", plc.MOS)
+	}
+}
+
+func TestSessionJitterCausesLateLoss(t *testing.T) {
+	// Jitter 30ms with a 5ms playout buffer: late discards must show.
+	sched, sa, sb := sessionPair(t,
+		netsim.LinkProfile{Delay: 10 * time.Millisecond, Jitter: 30 * time.Millisecond},
+		5*time.Millisecond)
+	sa.Start()
+	sched.Run(20 * time.Second)
+	sa.Stop()
+	sched.Run(21 * time.Second)
+	rb := sb.Report(mos.G711)
+	if rb.Late == 0 {
+		t.Error("no late discards despite jitter >> buffer depth")
+	}
+	if rb.EffectiveLoss <= rb.Stream.LossRatio {
+		t.Error("effective loss should exceed network loss")
+	}
+}
+
+func TestSessionTonePayloadDiffers(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	clock := transport.SimClock{Sched: sched}
+	var payloads [][]byte
+	net.Bind(netsim.Addr{Host: "b", Port: 4000}, netsim.HandlerFunc(func(_ time.Duration, p *netsim.Packet) {
+		pkt, err := rtp.Parse(p.Payload)
+		if err == nil {
+			payloads = append(payloads, append([]byte(nil), pkt.Payload...))
+		}
+	}))
+	s := NewSession(transport.NewSim(net, "a:4000"), clock,
+		SessionConfig{Remote: "b:4000", SynthesizeTone: true})
+	s.Start()
+	sched.Run(100 * time.Millisecond)
+	s.Stop()
+	if len(payloads) < 3 {
+		t.Fatalf("got %d packets", len(payloads))
+	}
+	// A real tone's successive frames differ (phase advances).
+	same := 0
+	for i := 1; i < len(payloads); i++ {
+		if string(payloads[i]) == string(payloads[0]) {
+			same++
+		}
+	}
+	if same == len(payloads)-1 {
+		t.Error("synthesized frames are all identical")
+	}
+}
+
+func TestSessionBadDataCounted(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	clock := transport.SimClock{Sched: sched}
+	s := NewSession(transport.NewSim(net, "a:4000"), clock, SessionConfig{Remote: "b:4000"})
+	net.Send(netsim.Addr{Host: "x", Port: 1}, netsim.Addr{Host: "a", Port: 4000}, []byte("junk"))
+	sched.Run(time.Second)
+	if r := s.Report(mos.G711); r.BadData != 1 {
+		t.Errorf("bad data = %d", r.BadData)
+	}
+}
+
+func TestFlowMatchesExpectation(t *testing.T) {
+	p := FlowParams{
+		Duration:  120 * time.Second,
+		PathLoss:  0.02,
+		PathDelay: 5 * time.Millisecond,
+	}
+	r := Flow(p, nil)
+	if r.Sent != 6000 {
+		t.Errorf("frames = %d, want 6000 (120s at 50pps)", r.Sent)
+	}
+	if math.Abs(r.EffectiveLoss-0.02) > 0.001 {
+		t.Errorf("loss = %v", r.EffectiveLoss)
+	}
+	// 2% loss without PLC: R ≈ 62, MOS ≈ 3.2.
+	if r.MOS < 3.0 || r.MOS > 3.5 {
+		t.Errorf("MOS = %v, want ~3.2", r.MOS)
+	}
+	// The PLC-aware score (what VoIPmonitor reports) stays above 4.
+	plc := p
+	plc.Codec = mos.G711PLC
+	if r2 := Flow(plc, nil); r2.MOS < 4.0 {
+		t.Errorf("PLC MOS = %v, want > 4", r2.MOS)
+	}
+}
+
+func TestFlowSamplingNoise(t *testing.T) {
+	p := FlowParams{Duration: 120 * time.Second, PathLoss: 0.02}
+	rng := stats.NewRNG(9)
+	a := Flow(p, rng)
+	b := Flow(p, rng)
+	if a.Stream.Lost == b.Stream.Lost {
+		t.Log("two samples equal; acceptable but unusual") // not fatal
+	}
+	var s stats.Summary
+	for i := 0; i < 200; i++ {
+		s.Add(Flow(p, rng).EffectiveLoss)
+	}
+	if math.Abs(s.Mean()-0.02) > 0.002 {
+		t.Errorf("sampled loss mean = %v, want ~0.02", s.Mean())
+	}
+}
+
+func TestFlowLateLossFromJitter(t *testing.T) {
+	noJitter := Flow(FlowParams{Duration: time.Minute, PathJitter: 0}, nil)
+	jittery := Flow(FlowParams{Duration: time.Minute, PathJitter: 80 * time.Millisecond}, nil)
+	if noJitter.EffectiveLoss != 0 {
+		t.Errorf("loss without jitter = %v", noJitter.EffectiveLoss)
+	}
+	if jittery.EffectiveLoss <= 0 {
+		t.Error("jitter beyond buffer depth should create late loss")
+	}
+	if jittery.MOS >= noJitter.MOS {
+		t.Error("late loss should reduce MOS")
+	}
+}
+
+func TestFlowVsPacketizedAgree(t *testing.T) {
+	// The two media models must agree on loss and MOS within
+	// tolerance — the property the ablation bench quantifies.
+	profile := netsim.LinkProfile{Delay: 5 * time.Millisecond, Loss: 0.03}
+	sched, sa, sb := sessionPair(t, profile, 0)
+	sa.Start()
+	sched.Run(120 * time.Second)
+	sa.Stop()
+	sched.Run(121 * time.Second)
+	pkt := sb.Report(mos.G711)
+
+	flow := Flow(FlowParams{
+		Duration:  120 * time.Second,
+		PathLoss:  0.03,
+		PathDelay: 5 * time.Millisecond,
+	}, nil)
+
+	if math.Abs(pkt.EffectiveLoss-flow.EffectiveLoss) > 0.01 {
+		t.Errorf("loss: packetized %v vs flow %v", pkt.EffectiveLoss, flow.EffectiveLoss)
+	}
+	if math.Abs(pkt.MOS-flow.MOS) > 0.15 {
+		t.Errorf("MOS: packetized %v vs flow %v", pkt.MOS, flow.MOS)
+	}
+}
+
+func BenchmarkSessionFrame(b *testing.B) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	clock := transport.SimClock{Sched: sched}
+	sa := NewSession(transport.NewSim(net, "a:4000"), clock, SessionConfig{Remote: "b:4000"})
+	sb := NewSession(transport.NewSim(net, "b:4000"), clock, SessionConfig{Remote: "a:4000"})
+	_ = sb
+	sa.Start()
+	b.ResetTimer()
+	// Each iteration advances one frame interval: one send + one recv.
+	for i := 0; i < b.N; i++ {
+		sched.Run(time.Duration(i+1) * 20 * time.Millisecond)
+	}
+}
+
+func BenchmarkFlowCall(b *testing.B) {
+	p := FlowParams{Duration: 120 * time.Second, PathLoss: 0.01, PathDelay: 5 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		_ = Flow(p, nil)
+	}
+}

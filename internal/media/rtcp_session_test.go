@@ -1,0 +1,93 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mos"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// rtcpPair wires two sessions with RTCP enabled over a lossy/delayed
+// simulated link.
+func rtcpPair(t *testing.T, profile netsim.LinkProfile) (*netsim.Scheduler, *Session, *Session) {
+	t.Helper()
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(21))
+	net.SetDuplexLink("a", "b", profile)
+	clock := transport.SimClock{Sched: sched}
+	cfg := func(remote string, ssrc uint32) SessionConfig {
+		return SessionConfig{Remote: remote, SSRC: ssrc, RTCPInterval: 5 * time.Second}
+	}
+	sa := NewSession(transport.NewSim(net, "a:4000"), clock, cfg("b:4000", 1))
+	sb := NewSession(transport.NewSim(net, "b:4000"), clock, cfg("a:4000", 2))
+	return sched, sa, sb
+}
+
+func TestRTCPExchangedAndRTTMeasured(t *testing.T) {
+	sched, sa, sb := rtcpPair(t, netsim.LinkProfile{Delay: 15 * time.Millisecond})
+	sa.Start()
+	sb.Start()
+	sched.Run(60 * time.Second)
+	sa.Stop()
+	sb.Stop()
+	sched.Run(61 * time.Second)
+
+	ra := sa.Report(mos.G711)
+	rb := sb.Report(mos.G711)
+	// 60s at one report per 5s: ~12 reports each way.
+	if ra.RTCPSent < 10 || ra.RTCPSent > 13 {
+		t.Errorf("a sent %d RTCP reports, want ~12", ra.RTCPSent)
+	}
+	if rb.RTCPReceived < 10 {
+		t.Errorf("b received %d RTCP reports", rb.RTCPReceived)
+	}
+	// RTT over a symmetric 15ms link is ~30ms; RTCP middle-32 units
+	// give ~15µs resolution.
+	for name, r := range map[string]Report{"a": ra, "b": rb} {
+		if r.RTT < 25*time.Millisecond || r.RTT > 40*time.Millisecond {
+			t.Errorf("%s RTT = %v, want ~30ms", name, r.RTT)
+		}
+	}
+	// Clean link: peers report no loss.
+	if ra.PeerLoss != 0 || rb.PeerLoss != 0 {
+		t.Errorf("peer loss on clean link: %v / %v", ra.PeerLoss, rb.PeerLoss)
+	}
+	// RTCP does not pollute RTP stream accounting.
+	if ra.BadData != 0 || ra.Stream.LossRatio != 0 {
+		t.Errorf("RTCP polluted stream stats: bad=%d loss=%v", ra.BadData, ra.Stream.LossRatio)
+	}
+}
+
+func TestRTCPFeedbackReportsLoss(t *testing.T) {
+	sched, sa, sb := rtcpPair(t, netsim.LinkProfile{Delay: 5 * time.Millisecond, Loss: 0.10})
+	sa.Start()
+	sb.Start()
+	sched.Run(2 * time.Minute)
+	sa.Stop()
+	sb.Stop()
+	sched.Run(121 * time.Second)
+
+	// a learns from b's report blocks that ~10% of its stream is lost.
+	ra := sa.Report(mos.G711)
+	if ra.PeerLoss < 0.03 || ra.PeerLoss > 0.20 {
+		t.Errorf("peer loss feedback = %v, want ~0.10", ra.PeerLoss)
+	}
+}
+
+func TestRTCPDisabledByDefault(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	clock := transport.SimClock{Sched: sched}
+	sa := NewSession(transport.NewSim(net, "a:4000"), clock, SessionConfig{Remote: "b:4000", SSRC: 1})
+	sb := NewSession(transport.NewSim(net, "b:4000"), clock, SessionConfig{Remote: "a:4000", SSRC: 2})
+	sa.Start()
+	sb.Start()
+	sched.Run(30 * time.Second)
+	if r := sa.Report(mos.G711); r.RTCPSent != 0 || r.RTCPReceived != 0 {
+		t.Errorf("RTCP active without RTCPInterval: %+v", r)
+	}
+	_ = sb
+}

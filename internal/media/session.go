@@ -1,0 +1,330 @@
+package media
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/codec/g711"
+	"repro/internal/mos"
+	"repro/internal/rtp"
+	"repro/internal/transport"
+)
+
+// SessionConfig configures one RTP session (one call leg's media).
+type SessionConfig struct {
+	// Remote is the peer's RTP address ("host:port") from SDP.
+	Remote string
+	// PayloadType is the negotiated RTP payload type (0 = PCMU).
+	PayloadType uint8
+	// SSRC identifies this sender. Zero picks a per-session default.
+	SSRC uint32
+	// FrameMs is the packetization interval (default 20 ms).
+	FrameMs int
+	// JitterDepth is the receive playout buffer depth (default 40 ms).
+	JitterDepth time.Duration
+	// SynthesizeTone, when true, generates a real 440 Hz µ-law tone
+	// per frame. When false (the default for load experiments) a
+	// precomputed frame is reused — indistinguishable on the wire for
+	// capacity purposes, and far cheaper at hundreds of streams.
+	SynthesizeTone bool
+	// RTCPInterval enables periodic RTCP sender reports multiplexed on
+	// the RTP socket (RFC 5761), giving the peer loss feedback and
+	// this session a round-trip-time estimate. Zero disables RTCP;
+	// the RFC 3550 default is 5 s.
+	RTCPInterval time.Duration
+}
+
+// staticFrame is the shared 20 ms payload for non-synthesized sessions.
+var staticFrame = func() []byte {
+	g := g711.NewToneGenerator(440, 0.5)
+	return g.NextFrameMulaw(nil, 20)
+}()
+
+// Session is one bidirectional RTP media endpoint: it transmits a
+// frame every FrameMs and feeds received packets through a jitter
+// buffer into RFC 3550 receiver statistics.
+type Session struct {
+	mu    sync.Mutex
+	tr    transport.Transport
+	clock transport.Clock
+	cfg   SessionConfig
+
+	seq     uint16
+	ts      uint32
+	tsBase  uint32
+	sent    uint64
+	nextAt  time.Duration
+	running bool
+	timer   transport.Timer
+	tone    *g711.ToneGenerator
+	frame   []byte
+
+	recv *rtp.Receiver
+	jb   *JitterBuffer
+	bad  uint64 // undecodable inbound datagrams
+
+	onDigit    func(digit rune, duration time.Duration)
+	digits     []rune
+	dtmfSeen   bool
+	dtmfSeenTS uint32
+
+	rtcpTimer    transport.Timer
+	rtcpSent     uint64
+	rtcpReceived uint64
+	bytesSent    uint64
+	lastRTT      time.Duration
+	// peerFraction is the peer's most recent fraction-lost feedback
+	// for our outgoing stream, from its report blocks.
+	peerFraction float64
+}
+
+// NewSession creates a media session on a dedicated RTP transport.
+// The session takes over the transport's receiver.
+func NewSession(tr transport.Transport, clock transport.Clock, cfg SessionConfig) *Session {
+	if cfg.FrameMs == 0 {
+		cfg.FrameMs = 20
+	}
+	if cfg.JitterDepth == 0 {
+		cfg.JitterDepth = 40 * time.Millisecond
+	}
+	if cfg.SSRC == 0 {
+		cfg.SSRC = 0x5150
+	}
+	s := &Session{
+		tr:    tr,
+		clock: clock,
+		cfg:   cfg,
+		recv:  rtp.NewReceiver(),
+		jb:    &JitterBuffer{Depth: cfg.JitterDepth},
+	}
+	if cfg.SynthesizeTone {
+		s.tone = g711.NewToneGenerator(440, 0.5)
+		s.frame = make([]byte, g711.SamplesPerFrame(cfg.FrameMs))
+	}
+	// Align the RTP timestamp base with the shared clock so receivers
+	// can measure one-way transit (see rtp.Stats.MinTransit).
+	s.tsBase = uint32(clock.Now() * rtp.ClockRate / time.Second)
+	s.ts = s.tsBase
+	tr.SetReceiver(s.handleInbound)
+	return s
+}
+
+// Start begins transmitting until Stop.
+func (s *Session) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return
+	}
+	s.running = true
+	s.nextAt = s.clock.Now()
+	s.sendFrameLocked()
+	if s.cfg.RTCPInterval > 0 {
+		s.armRTCPLocked()
+	}
+}
+
+// Stop halts transmission. The receive side stays live so trailing
+// packets still count.
+func (s *Session) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running = false
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	if s.rtcpTimer != nil {
+		s.rtcpTimer.Stop()
+	}
+}
+
+// Close stops the session and releases its transport.
+func (s *Session) Close() error {
+	s.Stop()
+	return s.tr.Close()
+}
+
+func (s *Session) sendFrameLocked() {
+	var payload []byte
+	if s.tone != nil {
+		payload = s.tone.NextFrameMulaw(make([]byte, len(s.frame)), s.cfg.FrameMs)
+	} else {
+		payload = staticFrame
+	}
+	pkt := rtp.Packet{
+		PayloadType: s.cfg.PayloadType,
+		Marker:      s.sent == 0,
+		Sequence:    s.seq,
+		Timestamp:   s.ts,
+		SSRC:        s.cfg.SSRC,
+		Payload:     payload,
+	}
+	s.tr.Send(s.cfg.Remote, pkt.Marshal(make([]byte, 0, rtp.HeaderLen+len(payload))))
+	s.bytesSent += uint64(pkt.Size())
+	s.seq++
+	s.ts += uint32(g711.SamplesPerFrame(s.cfg.FrameMs))
+	s.sent++
+	// Pace against an absolute timeline so real-clock timer overhead
+	// does not accumulate as drift between wall time and the RTP
+	// timestamps (which would push every packet late at the peer's
+	// jitter buffer). Virtual clocks fire exactly, so delay == frame.
+	frame := time.Duration(s.cfg.FrameMs) * time.Millisecond
+	s.nextAt += frame
+	delay := s.nextAt - s.clock.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	s.timer = s.clock.AfterFunc(delay, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.running {
+			s.sendFrameLocked()
+		}
+	})
+}
+
+// armRTCPLocked schedules the next periodic report.
+func (s *Session) armRTCPLocked() {
+	s.rtcpTimer = s.clock.AfterFunc(s.cfg.RTCPInterval, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.running {
+			return
+		}
+		s.sendRTCPLocked()
+		s.armRTCPLocked()
+	})
+}
+
+// sendRTCPLocked emits a sender report with a reception block for the
+// peer's stream, multiplexed on the RTP socket.
+func (s *Session) sendRTCPLocked() {
+	now := s.clock.Now()
+	sr := rtp.SenderReport{
+		SSRC:        s.cfg.SSRC,
+		NTPTime:     rtp.NTPTime(now),
+		RTPTime:     s.ts,
+		PacketCount: uint32(s.sent),
+		OctetCount:  uint32(s.bytesSent),
+	}
+	if s.recv.Snapshot().Received > 0 {
+		sr.Blocks = append(sr.Blocks, s.recv.ReportBlock(now))
+	}
+	s.rtcpSent++
+	s.tr.Send(s.cfg.Remote, sr.Marshal(nil))
+}
+
+func (s *Session) handleInbound(src string, data []byte) {
+	now := s.clock.Now()
+	if rtp.IsRTCP(data) {
+		s.handleRTCP(now, data)
+		return
+	}
+	pkt, err := rtp.Parse(data)
+	if err != nil {
+		s.mu.Lock()
+		s.bad++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	if pkt.PayloadType == DTMFPayloadType {
+		s.handleDTMFLocked(pkt)
+		s.mu.Unlock()
+		return
+	}
+	s.recv.Observe(now, pkt)
+	s.jb.Arrive(now, pkt)
+	s.mu.Unlock()
+}
+
+func (s *Session) handleRTCP(now time.Duration, data []byte) {
+	sr, rr, err := rtp.ParseRTCP(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.bad++
+		return
+	}
+	s.rtcpReceived++
+	var blocks []rtp.ReportBlock
+	if sr != nil {
+		s.recv.NoteSenderReport(now, sr)
+		blocks = sr.Blocks
+	} else {
+		blocks = rr.Blocks
+	}
+	for _, b := range blocks {
+		if b.SSRC != s.cfg.SSRC {
+			continue // feedback about someone else's stream
+		}
+		s.peerFraction = float64(b.FractionLost) / 256
+		if rtt := rtp.RoundTrip(now, b); rtt > 0 {
+			s.lastRTT = rtt
+		}
+	}
+}
+
+// Report is the per-leg media quality summary a monitor derives.
+type Report struct {
+	Sent    uint64
+	Stream  rtp.Stats
+	Late    uint64
+	BadData uint64
+	// EffectiveLoss combines network loss with late discards — the
+	// loss the listener experiences and the MOS input.
+	EffectiveLoss float64
+	// MOS is the E-model estimate for this leg (G.711).
+	MOS float64
+	// RTCP feedback state (zero when RTCPInterval is disabled).
+	RTCPSent     uint64
+	RTCPReceived uint64
+	// RTT is the last RTCP-derived round-trip estimate.
+	RTT time.Duration
+	// PeerLoss is the peer's latest fraction-lost feedback for our
+	// outgoing stream.
+	PeerLoss float64
+}
+
+// Report computes the session's quality report using codec c.
+func (s *Session) Report(c mos.Codec) Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.recv.Snapshot()
+	r := Report{
+		Sent:         s.sent,
+		Stream:       st,
+		Late:         s.jb.Late(),
+		BadData:      s.bad,
+		RTCPSent:     s.rtcpSent,
+		RTCPReceived: s.rtcpReceived,
+		RTT:          s.lastRTT,
+		PeerLoss:     s.peerFraction,
+	}
+	if st.Expected > 0 {
+		r.EffectiveLoss = float64(uint64(st.Lost)+s.jb.Late()) / float64(st.Expected)
+		if r.EffectiveLoss > 1 {
+			r.EffectiveLoss = 1
+		}
+	}
+	delay := st.MinTransit
+	if delay < 0 {
+		delay = 0
+	}
+	// Mouth-to-ear: network transit + jitter buffer + one frame of
+	// packetization.
+	delay += s.jb.Depth + time.Duration(s.cfg.FrameMs)*time.Millisecond
+	r.MOS = mos.Score(c, mos.Metrics{
+		OneWayDelay: delay,
+		LossRatio:   r.EffectiveLoss,
+		BurstRatio:  1,
+	})
+	return r
+}
+
+// SentPackets returns the number of RTP packets transmitted.
+func (s *Session) SentPackets() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}

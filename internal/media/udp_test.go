@@ -1,0 +1,57 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mos"
+	"repro/internal/transport"
+)
+
+// TestUDPSessionPair runs two sessions over real loopback sockets with
+// the wall clock — the configuration cmd/pbxd and the realudp example
+// use — and checks that pacing does not drift (accumulated timer
+// overhead once pushed every packet past the jitter buffer).
+func TestUDPSessionPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	clock := transport.NewRealClock()
+	ta, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := NewSession(ta, clock, SessionConfig{Remote: tb.LocalAddr(), SSRC: 1})
+	sb := NewSession(tb, clock, SessionConfig{Remote: ta.LocalAddr(), SSRC: 2})
+	sa.Start()
+	sb.Start()
+	time.Sleep(2 * time.Second)
+	sa.Stop()
+	sb.Stop()
+	time.Sleep(100 * time.Millisecond)
+
+	for name, s := range map[string]*Session{"a": sa, "b": sb} {
+		r := s.Report(mos.G711)
+		// 2 s at 50 pps: ~100 packets; absolute pacing keeps the count
+		// near nominal even when the host is loaded (bounds are
+		// generous for single-core CI noise).
+		if r.Sent < 95 || r.Sent > 105 {
+			t.Errorf("%s sent %d packets, want ~100", name, r.Sent)
+		}
+		if r.EffectiveLoss > 0.10 {
+			t.Errorf("%s effective loss %.3f on loopback", name, r.EffectiveLoss)
+		}
+		if r.MOS < 3.5 {
+			t.Errorf("%s MOS %.2f on loopback", name, r.MOS)
+		}
+		// Mean transit must stay near min transit: drift between RTP
+		// timestamps and the wall clock shows up here first.
+		if r.Stream.MeanTransit > r.Stream.MinTransit+30*time.Millisecond {
+			t.Errorf("%s transit drift: min %v mean %v", name, r.Stream.MinTransit, r.Stream.MeanTransit)
+		}
+	}
+}

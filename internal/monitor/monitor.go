@@ -1,0 +1,155 @@
+// Package monitor is the measurement plane of the testbed: the role
+// Wireshark and VoIPmonitor play in the paper (Sec. III-C). It
+// attaches to the simulated network as a tap — the position of a
+// port-mirroring switch — classifies every datagram as SIP or RTP, and
+// accumulates exactly the rows Table I reports: per-method SIP counts,
+// the error-message count, and the RTP message total.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rtp"
+	"repro/internal/sip"
+)
+
+// Capture accumulates wire-level counts. Attach to a network with
+// Tap(); it is not safe for concurrent use (the simulator is
+// single-threaded).
+type Capture struct {
+	// SIP message counts by row label: methods ("INVITE", "ACK",
+	// "BYE", …) and status codes ("100", "180", "200", …).
+	sipByKind map[string]uint64
+	sipTotal  uint64
+	errorMsgs uint64
+
+	rtpPackets uint64
+	rtpBytes   uint64
+
+	unparsable uint64
+
+	firstAt, lastAt time.Duration
+	sawAny          bool
+}
+
+// NewCapture returns an empty capture.
+func NewCapture() *Capture {
+	return &Capture{sipByKind: make(map[string]uint64)}
+}
+
+// Tap returns the netsim.Tap to register with Network.AddTap.
+func (c *Capture) Tap() netsim.Tap {
+	return func(now time.Duration, pkt *netsim.Packet) {
+		c.Observe(now, pkt.Payload)
+	}
+}
+
+// Observe classifies and counts one datagram.
+func (c *Capture) Observe(now time.Duration, data []byte) {
+	if !c.sawAny {
+		c.firstAt = now
+		c.sawAny = true
+	}
+	c.lastAt = now
+
+	if sip.LooksLikeSIP(data) {
+		msg, err := sip.Parse(data)
+		if err != nil {
+			c.unparsable++
+			return
+		}
+		c.sipTotal++
+		key := ""
+		if msg.IsRequest() {
+			key = string(msg.Method)
+		} else {
+			key = fmt.Sprintf("%d", msg.StatusCode)
+			if msg.StatusCode >= 400 {
+				c.errorMsgs++
+			}
+		}
+		c.sipByKind[key]++
+		return
+	}
+	if pkt, err := rtp.Parse(data); err == nil {
+		c.rtpPackets++
+		c.rtpBytes += uint64(pkt.Size())
+		return
+	}
+	c.unparsable++
+}
+
+// SIPCount returns the count for one row label ("INVITE", "180", …).
+func (c *Capture) SIPCount(kind string) uint64 { return c.sipByKind[kind] }
+
+// SIPTotal returns all SIP messages seen.
+func (c *Capture) SIPTotal() uint64 { return c.sipTotal }
+
+// ErrorMessages returns SIP responses with status >= 400, the
+// "Error Msgs" row of Table I.
+func (c *Capture) ErrorMessages() uint64 { return c.errorMsgs }
+
+// RTPPackets returns the RTP message total, the "RTP Msg" row.
+func (c *Capture) RTPPackets() uint64 { return c.rtpPackets }
+
+// RTPBytes returns total RTP bytes.
+func (c *Capture) RTPBytes() uint64 { return c.rtpBytes }
+
+// Unparsable returns datagrams that were neither SIP nor RTP.
+func (c *Capture) Unparsable() uint64 { return c.unparsable }
+
+// Span returns the time between the first and last observed packet.
+func (c *Capture) Span() time.Duration {
+	if !c.sawAny {
+		return 0
+	}
+	return c.lastAt - c.firstAt
+}
+
+// TableRow mirrors the SIP section of Table I for one experiment.
+type TableRow struct {
+	Invite uint64 // INVITE
+	Trying uint64 // 100 TRY
+	Ring   uint64 // RING (180)
+	OK     uint64 // OK (200)
+	Ack    uint64 // ACK
+	Bye    uint64 // BYE
+	Errors uint64 // Error Msgs
+	Total  uint64 // SIP Messages (Total)
+	RTP    uint64 // RTP Msg
+}
+
+// Row extracts the Table I SIP rows from the capture.
+func (c *Capture) Row() TableRow {
+	return TableRow{
+		Invite: c.SIPCount("INVITE"),
+		Trying: c.SIPCount("100"),
+		Ring:   c.SIPCount("180"),
+		OK:     c.SIPCount("200"),
+		Ack:    c.SIPCount("ACK"),
+		Bye:    c.SIPCount("BYE"),
+		Errors: c.ErrorMessages(),
+		Total:  c.SIPTotal(),
+		RTP:    c.RTPPackets(),
+	}
+}
+
+// String renders the capture as a protocol-analyzer style summary.
+func (c *Capture) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capture: %d SIP msgs, %d RTP pkts (%d bytes), %d errors, span %v\n",
+		c.sipTotal, c.rtpPackets, c.rtpBytes, c.errorMsgs, c.Span())
+	kinds := make([]string, 0, len(c.sipByKind))
+	for k := range c.sipByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-8s %d\n", k, c.sipByKind[k])
+	}
+	return b.String()
+}

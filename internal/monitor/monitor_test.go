@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rtp"
+	"repro/internal/sip"
+)
+
+func sipWire(kind string) []byte {
+	from := sip.NameAddr{URI: sip.NewURI("a", "h", 5060), Tag: "t1"}
+	to := sip.NameAddr{URI: sip.NewURI("b", "h", 5060)}
+	if code := map[string]int{"100": 100, "180": 180, "200": 200, "404": 404, "503": 503}[kind]; code != 0 {
+		req := sip.NewRequest(sip.INVITE, to.URI, from, to, "c1", 1)
+		req.Via = []sip.Via{{SentBy: "h:5060", Branch: "z9hG4bK1"}}
+		return req.Response(code).Marshal()
+	}
+	req := sip.NewRequest(sip.Method(kind), to.URI, from, to, "c1", 1)
+	req.Via = []sip.Via{{SentBy: "h:5060", Branch: "z9hG4bK1"}}
+	return req.Marshal()
+}
+
+func rtpWire(seq uint16) []byte {
+	p := rtp.Packet{Sequence: seq, SSRC: 9, Payload: make([]byte, 160)}
+	return p.Marshal(nil)
+}
+
+func TestCaptureClassification(t *testing.T) {
+	c := NewCapture()
+	now := time.Duration(0)
+	for _, k := range []string{"INVITE", "INVITE", "100", "180", "180", "200", "200", "200", "200", "ACK", "ACK", "BYE", "BYE"} {
+		c.Observe(now, sipWire(k))
+		now += time.Millisecond
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(now, rtpWire(uint16(i)))
+		now += time.Millisecond
+	}
+	row := c.Row()
+	if row.Invite != 2 || row.Trying != 1 || row.Ring != 2 || row.OK != 4 || row.Ack != 2 || row.Bye != 2 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.Total != 13 {
+		t.Errorf("total = %d, want 13 (one bridged call)", row.Total)
+	}
+	if row.RTP != 100 {
+		t.Errorf("rtp = %d", row.RTP)
+	}
+	if row.Errors != 0 {
+		t.Errorf("errors = %d", row.Errors)
+	}
+	if c.RTPBytes() != 100*172 {
+		t.Errorf("rtp bytes = %d", c.RTPBytes())
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	c := NewCapture()
+	c.Observe(0, sipWire("404"))
+	c.Observe(0, sipWire("503"))
+	c.Observe(0, sipWire("200"))
+	if c.ErrorMessages() != 2 {
+		t.Errorf("errors = %d, want 2", c.ErrorMessages())
+	}
+	if c.SIPTotal() != 3 {
+		t.Errorf("total = %d", c.SIPTotal())
+	}
+}
+
+func TestUnparsableCounted(t *testing.T) {
+	c := NewCapture()
+	c.Observe(0, []byte("not anything recognizable here"))
+	c.Observe(0, []byte{0x80}) // too short for RTP
+	if c.Unparsable() != 2 {
+		t.Errorf("unparsable = %d", c.Unparsable())
+	}
+	if c.SIPTotal() != 0 || c.RTPPackets() != 0 {
+		t.Error("garbage counted as traffic")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	c := NewCapture()
+	if c.Span() != 0 {
+		t.Error("empty capture has nonzero span")
+	}
+	c.Observe(10*time.Second, rtpWire(0))
+	c.Observe(25*time.Second, rtpWire(1))
+	if c.Span() != 15*time.Second {
+		t.Errorf("span = %v", c.Span())
+	}
+}
+
+func TestSIPCountByKind(t *testing.T) {
+	c := NewCapture()
+	c.Observe(0, sipWire("REGISTER"))
+	c.Observe(0, sipWire("REGISTER"))
+	if c.SIPCount("REGISTER") != 2 {
+		t.Errorf("REGISTER = %d", c.SIPCount("REGISTER"))
+	}
+	if c.SIPCount("INVITE") != 0 {
+		t.Error("phantom INVITEs")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	c := NewCapture()
+	c.Observe(0, sipWire("INVITE"))
+	c.Observe(0, rtpWire(1))
+	s := c.String()
+	for _, want := range []string{"1 SIP msgs", "1 RTP pkts", "INVITE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func BenchmarkObserveSIP(b *testing.B) {
+	c := NewCapture()
+	wire := sipWire("INVITE")
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		c.Observe(time.Duration(i), wire)
+	}
+}
+
+func BenchmarkObserveRTP(b *testing.B) {
+	c := NewCapture()
+	wire := rtpWire(1)
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		c.Observe(time.Duration(i), wire)
+	}
+}

@@ -1,0 +1,187 @@
+// Package mos implements the ITU-T G.107 E-model, the objective
+// voice-quality estimator behind tools like VoIPmonitor, which the
+// paper uses to score every completed call ("Assessing the quality of
+// the call is made by measuring voice quality according to the Mean
+// Opinion Score (MOS) test", Sec. III-C).
+//
+// The model computes a transmission rating factor R from the mouth-to-
+// ear delay, the codec's equipment impairment and the observed packet
+// loss, then maps R to the 1–5 MOS scale of ITU-T P.800. With G.711,
+// no impairments and negligible delay it yields R = 93.2 → MOS ≈ 4.41,
+// the "good to great" band Table I reports.
+package mos
+
+import "time"
+
+// Codec describes the E-model parameters of a speech codec: the base
+// equipment impairment Ie and the packet-loss robustness factor Bpl
+// from ITU-T G.113 Appendix I.
+type Codec struct {
+	Name string
+	// Ie is the equipment impairment factor at zero loss.
+	Ie float64
+	// Bpl is the packet-loss robustness factor; larger is more robust.
+	Bpl float64
+	// FrameMs is the packetization interval in milliseconds,
+	// contributing to the one-way delay budget.
+	FrameMs int
+	// PayloadBytes is the codec payload per packet at FrameMs.
+	PayloadBytes int
+}
+
+// Standard codecs. G711 matches the paper's testbed; the PLC variant
+// models a receiver that conceals isolated losses.
+var (
+	// G711 is G.711 µ-law/A-law without packet-loss concealment.
+	G711 = Codec{Name: "G.711", Ie: 0, Bpl: 4.3, FrameMs: 20, PayloadBytes: 160}
+	// G711PLC is G.711 with packet loss concealment (G.711 Appendix I).
+	G711PLC = Codec{Name: "G.711+PLC", Ie: 0, Bpl: 25.1, FrameMs: 20, PayloadBytes: 160}
+	// G726 (ADPCM at 32 kbit/s) and G729 are lower-rate comparison
+	// points for the codec-choice study.
+	G726 = Codec{Name: "G.726-32", Ie: 7, Bpl: 19, FrameMs: 20, PayloadBytes: 80}
+	G729 = Codec{Name: "G.729A", Ie: 11, Bpl: 19, FrameMs: 20, PayloadBytes: 20}
+)
+
+// Codecs lists the built-in presets in bit-rate order.
+func Codecs() []Codec { return []Codec{G711, G711PLC, G726, G729} }
+
+// BitsPerSecond returns the codec's raw payload bit rate.
+func (c Codec) BitsPerSecond() float64 {
+	if c.FrameMs == 0 {
+		return 0
+	}
+	return float64(c.PayloadBytes) * 8 * 1000 / float64(c.FrameMs)
+}
+
+// WireBitsPerSecond returns the on-the-wire rate of one direction
+// including the 40-byte IP/UDP/RTP header stack at the codec's
+// packetization.
+func (c Codec) WireBitsPerSecond() float64 {
+	if c.FrameMs == 0 {
+		return 0
+	}
+	return float64(c.PayloadBytes+40) * 8 * 1000 / float64(c.FrameMs)
+}
+
+// Metrics are the network observations the model consumes, as produced
+// by rtp.Receiver or the flow-level media model.
+type Metrics struct {
+	// OneWayDelay is the mouth-to-ear delay: network one-way delay
+	// plus packetization and jitter-buffer delay.
+	OneWayDelay time.Duration
+	// LossRatio is the end-to-end packet loss probability in [0,1],
+	// including packets discarded by the jitter buffer.
+	LossRatio float64
+	// BurstRatio characterizes loss burstiness per G.107: 1 for random
+	// (independent) loss, >1 for bursty loss. Zero is treated as 1.
+	BurstRatio float64
+}
+
+// DefaultR0 is the basic signal-to-noise ratio term of the E-model
+// with all default G.107 parameter values.
+const DefaultR0 = 93.2
+
+// RFactor computes the transmission rating R = R0 − Id − Ie,eff (+A with
+// A=0, the default advantage factor) for the codec and observations.
+func RFactor(c Codec, m Metrics) float64 {
+	r := DefaultR0 - delayImpairment(m.OneWayDelay) - effectiveEquipmentImpairment(c, m)
+	if r < 0 {
+		r = 0
+	}
+	if r > 100 {
+		r = 100
+	}
+	return r
+}
+
+// delayImpairment implements the simplified Id formula of G.107
+// (ITU-T G.107 Eq. 7-27 simplification used industry-wide):
+// Id = 0.024·d + 0.11·(d − 177.3)·H(d − 177.3), d in milliseconds.
+func delayImpairment(d time.Duration) float64 {
+	ms := float64(d) / float64(time.Millisecond)
+	id := 0.024 * ms
+	if ms > 177.3 {
+		id += 0.11 * (ms - 177.3)
+	}
+	return id
+}
+
+// effectiveEquipmentImpairment implements G.107 Eq. 7-29:
+// Ie,eff = Ie + (95 − Ie) · Ppl / (Ppl/BurstR + Bpl).
+func effectiveEquipmentImpairment(c Codec, m Metrics) float64 {
+	ppl := m.LossRatio * 100
+	if ppl <= 0 {
+		return c.Ie
+	}
+	burst := m.BurstRatio
+	if burst < 1 {
+		burst = 1
+	}
+	return c.Ie + (95-c.Ie)*ppl/(ppl/burst+c.Bpl)
+}
+
+// FromR maps an R factor to MOS per ITU-T G.107 Annex B:
+// MOS = 1 for R ≤ 0, 4.5 for R ≥ 100, else
+// 1 + 0.035·R + R·(R−60)·(100−R)·7·10⁻⁶.
+func FromR(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	default:
+		m := 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+		// The cubic dips below 1 for R < 6.52; clamp to the scale
+		// floor, which also keeps the mapping monotone.
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+}
+
+// Score computes the MOS estimate for the codec and observations.
+func Score(c Codec, m Metrics) float64 { return FromR(RFactor(c, m)) }
+
+// Grade buckets a MOS into the conventional user-satisfaction labels
+// (ITU-T G.107 Annex B, Table B.1).
+func Grade(mos float64) string {
+	switch {
+	case mos >= 4.34:
+		return "best"
+	case mos >= 4.03:
+		return "high"
+	case mos >= 3.60:
+		return "medium"
+	case mos >= 3.10:
+		return "low"
+	default:
+		return "poor"
+	}
+}
+
+// MaxForCodec returns the MOS ceiling of a codec on an unimpaired path
+// (zero network delay beyond one packetization interval, zero loss).
+func MaxForCodec(c Codec) float64 {
+	return Score(c, Metrics{OneWayDelay: time.Duration(c.FrameMs) * time.Millisecond})
+}
+
+// LossForTarget inverts the model: it returns the loss ratio at which
+// the codec's MOS (at the given delay) drops to target, found by
+// bisection; returns 1 if even total loss stays above target (cannot
+// happen for real targets) and 0 if the target is unreachable.
+func LossForTarget(c Codec, delay time.Duration, target float64) float64 {
+	if Score(c, Metrics{OneWayDelay: delay}) <= target {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if Score(c, Metrics{OneWayDelay: delay, LossRatio: mid}) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,199 @@
+package mos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCleanG711Score(t *testing.T) {
+	// G.711 on a clean LAN path: R ≈ 93.2 − Id(20ms) → MOS ≈ 4.4.
+	// This is the ceiling the paper's Table I MOS column sits near.
+	m := Score(G711, Metrics{OneWayDelay: 20 * time.Millisecond})
+	if m < 4.35 || m > 4.45 {
+		t.Errorf("clean G.711 MOS = %.3f, want ~4.4", m)
+	}
+}
+
+func TestFromRAnchors(t *testing.T) {
+	if got := FromR(0); got != 1 {
+		t.Errorf("FromR(0) = %v", got)
+	}
+	if got := FromR(-5); got != 1 {
+		t.Errorf("FromR(-5) = %v", got)
+	}
+	if got := FromR(100); got != 4.5 {
+		t.Errorf("FromR(100) = %v", got)
+	}
+	if got := FromR(200); got != 4.5 {
+		t.Errorf("FromR(200) = %v", got)
+	}
+	// Textbook anchor: R = 93.2 -> MOS ≈ 4.41.
+	if got := FromR(93.2); math.Abs(got-4.41) > 0.01 {
+		t.Errorf("FromR(93.2) = %v, want ~4.41", got)
+	}
+	// R = 50 -> MOS ≈ 2.58 (standard table value 2.6).
+	if got := FromR(50); math.Abs(got-2.6) > 0.05 {
+		t.Errorf("FromR(50) = %v, want ~2.6", got)
+	}
+}
+
+func TestFromRMonotone(t *testing.T) {
+	f := func(raw uint16) bool {
+		r := float64(raw%1000) / 10 // [0, 100)
+		return FromR(r+0.1) >= FromR(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreDecreasesWithLoss(t *testing.T) {
+	f := func(raw uint8) bool {
+		// Keep loss below the point where R clamps to 0 and the MOS
+		// floor makes the comparison non-strict.
+		loss := float64(raw%100) / 512 // [0, ~0.2)
+		base := Metrics{OneWayDelay: 20 * time.Millisecond, LossRatio: loss}
+		more := base
+		more.LossRatio += 0.01
+		return Score(G711, more) < Score(G711, base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreDecreasesWithDelay(t *testing.T) {
+	f := func(raw uint16) bool {
+		d := time.Duration(raw%400) * time.Millisecond
+		a := Score(G711, Metrics{OneWayDelay: d})
+		b := Score(G711, Metrics{OneWayDelay: d + 10*time.Millisecond})
+		return b <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayKneeAt177ms(t *testing.T) {
+	// The Id slope steepens past 177.3 ms.
+	slopeBefore := RFactor(G711, Metrics{OneWayDelay: 100 * time.Millisecond}) -
+		RFactor(G711, Metrics{OneWayDelay: 110 * time.Millisecond})
+	slopeAfter := RFactor(G711, Metrics{OneWayDelay: 250 * time.Millisecond}) -
+		RFactor(G711, Metrics{OneWayDelay: 260 * time.Millisecond})
+	if slopeAfter <= slopeBefore*2 {
+		t.Errorf("delay impairment knee missing: before=%.3f after=%.3f", slopeBefore, slopeAfter)
+	}
+}
+
+func TestPLCIsMoreRobust(t *testing.T) {
+	m := Metrics{OneWayDelay: 20 * time.Millisecond, LossRatio: 0.03}
+	if Score(G711PLC, m) <= Score(G711, m) {
+		t.Error("PLC variant should score higher under loss")
+	}
+	// At zero loss they match.
+	clean := Metrics{OneWayDelay: 20 * time.Millisecond}
+	if Score(G711PLC, clean) != Score(G711, clean) {
+		t.Error("PLC variant should match at zero loss")
+	}
+}
+
+func TestG729BelowG711(t *testing.T) {
+	clean := Metrics{OneWayDelay: 20 * time.Millisecond}
+	if Score(G729, clean) >= Score(G711, clean) {
+		t.Error("G.729 should score below G.711 on a clean path")
+	}
+	// G.729 clean MOS ≈ 4.0-4.1.
+	if m := Score(G729, clean); m < 3.9 || m > 4.2 {
+		t.Errorf("clean G.729 MOS = %.3f, want ~4.05", m)
+	}
+}
+
+func TestBurstinessHurts(t *testing.T) {
+	base := Metrics{OneWayDelay: 20 * time.Millisecond, LossRatio: 0.02, BurstRatio: 1}
+	bursty := base
+	bursty.BurstRatio = 4
+	if Score(G711, bursty) >= Score(G711, base) {
+		t.Error("bursty loss should score worse than random loss")
+	}
+	// BurstRatio 0 behaves as 1.
+	zero := base
+	zero.BurstRatio = 0
+	if Score(G711, zero) != Score(G711, base) {
+		t.Error("BurstRatio 0 should default to random loss")
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	f := func(dRaw uint16, lRaw uint8, bRaw uint8) bool {
+		m := Metrics{
+			OneWayDelay: time.Duration(dRaw) * time.Millisecond,
+			LossRatio:   float64(lRaw) / 255,
+			BurstRatio:  float64(bRaw) / 16,
+		}
+		for _, c := range []Codec{G711, G711PLC, G729} {
+			s := Score(c, m)
+			if s < 1 || s > 4.5 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrade(t *testing.T) {
+	cases := []struct {
+		mos  float64
+		want string
+	}{
+		{4.45, "best"}, {4.2, "high"}, {3.8, "medium"}, {3.3, "low"}, {2.0, "poor"},
+	}
+	for _, c := range cases {
+		if got := Grade(c.mos); got != c.want {
+			t.Errorf("Grade(%v) = %q, want %q", c.mos, got, c.want)
+		}
+	}
+}
+
+func TestMaxForCodec(t *testing.T) {
+	if m := MaxForCodec(G711); m < 4.35 {
+		t.Errorf("G.711 ceiling = %v", m)
+	}
+}
+
+func TestLossForTarget(t *testing.T) {
+	// Find the loss that drags G.711 to MOS 4.0, then verify.
+	loss := LossForTarget(G711, 20*time.Millisecond, 4.0)
+	if loss <= 0 || loss > 0.10 {
+		t.Fatalf("loss for MOS 4.0 = %v, want small positive", loss)
+	}
+	got := Score(G711, Metrics{OneWayDelay: 20 * time.Millisecond, LossRatio: loss})
+	if math.Abs(got-4.0) > 0.01 {
+		t.Errorf("score at solved loss = %v, want 4.0", got)
+	}
+	// Unreachable target.
+	if l := LossForTarget(G711, 400*time.Millisecond, 4.4); l != 0 {
+		t.Errorf("unreachable target returned %v, want 0", l)
+	}
+}
+
+func TestTableIShapeMOSAboveFour(t *testing.T) {
+	// The paper's Table I keeps MOS > 4 even at A=240 where packet
+	// errors appear. Our model must allow that: at 1% loss with PLC and
+	// LAN delay the MOS stays above 4.
+	m := Score(G711PLC, Metrics{OneWayDelay: 25 * time.Millisecond, LossRatio: 0.01})
+	if m <= 4.0 {
+		t.Errorf("MOS at 1%% loss with PLC = %.3f, want > 4", m)
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	m := Metrics{OneWayDelay: 35 * time.Millisecond, LossRatio: 0.012, BurstRatio: 1.3}
+	for i := 0; i < b.N; i++ {
+		_ = Score(G711, m)
+	}
+}

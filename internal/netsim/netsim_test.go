@@ -1,0 +1,398 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30*time.Millisecond, func(time.Duration) { order = append(order, 3) })
+	s.At(10*time.Millisecond, func(time.Duration) { order = append(order, 1) })
+	s.At(20*time.Millisecond, func(time.Duration) { order = append(order, 2) })
+	if _, err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSchedulerFIFOAtEqualTimes(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(time.Millisecond, func(time.Duration) { order = append(order, i) })
+	}
+	s.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of FIFO order: %v at %d", v, i)
+		}
+	}
+}
+
+func TestSchedulerHorizon(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.At(5*time.Millisecond, func(time.Duration) { fired++ })
+	s.At(15*time.Millisecond, func(time.Duration) { fired++ })
+	n, err := s.Run(10 * time.Millisecond)
+	if err != nil || n != 1 || fired != 1 {
+		t.Fatalf("Run to 10ms fired %d (n=%d, err=%v)", fired, n, err)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("clock = %v, want 10ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	// Event exactly at the horizon runs.
+	s.At(20*time.Millisecond, func(time.Duration) { fired++ })
+	s.Run(20 * time.Millisecond)
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+}
+
+func TestSchedulerPastClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	var at time.Duration
+	s.At(10*time.Millisecond, func(now time.Duration) {
+		s.At(now-5*time.Millisecond, func(when time.Duration) { at = when })
+	})
+	s.Run(time.Second)
+	if at != 10*time.Millisecond {
+		t.Errorf("past event ran at %v, want clamp to 10ms", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(10*time.Millisecond, func(time.Duration) { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	s.Run(time.Second)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler()
+	var tm *Timer
+	tm = s.After(time.Millisecond, func(time.Duration) {})
+	s.Run(time.Second)
+	if tm.Stop() {
+		t.Error("Stop after firing returned true")
+	}
+}
+
+func TestTimerStopFromEvent(t *testing.T) {
+	// A timer cancelled by an earlier event at the same timestamp
+	// must not fire.
+	s := NewScheduler()
+	fired := false
+	var victim *Timer
+	s.At(time.Millisecond, func(time.Duration) { victim.Stop() })
+	victim = s.At(time.Millisecond, func(time.Duration) { fired = true })
+	s.Run(time.Second)
+	if fired {
+		t.Error("cancelled same-timestamp timer fired")
+	}
+}
+
+func TestReentrantRun(t *testing.T) {
+	s := NewScheduler()
+	var inner error
+	s.After(time.Millisecond, func(time.Duration) {
+		_, inner = s.Run(time.Second)
+	})
+	if _, err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if inner != ErrReentrantRun {
+		t.Errorf("inner Run error = %v, want ErrReentrantRun", inner)
+	}
+}
+
+func TestDrainCap(t *testing.T) {
+	s := NewScheduler()
+	var loop func(time.Duration)
+	loop = func(time.Duration) { s.After(time.Millisecond, loop) }
+	s.After(0, loop)
+	n, capped := s.Drain(1000)
+	if !capped {
+		t.Error("runaway loop not capped")
+	}
+	if n != 1000 {
+		t.Errorf("drained %d, want 1000", n)
+	}
+}
+
+func TestSchedulerClockMonotoneProperty(t *testing.T) {
+	// Property: regardless of scheduling order, events observe a
+	// non-decreasing clock.
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		var last time.Duration
+		ok := true
+		for _, d := range delays {
+			s.At(time.Duration(d)*time.Microsecond, func(now time.Duration) {
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+		}
+		s.Run(time.Second)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestNet() (*Scheduler, *Network) {
+	s := NewScheduler()
+	return s, NewNetwork(s, stats.NewRNG(1))
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	s, n := newTestNet()
+	a := Addr{Host: "client", Port: 5060}
+	b := Addr{Host: "server", Port: 5060}
+	var got []byte
+	var at time.Duration
+	n.Bind(b, HandlerFunc(func(now time.Duration, p *Packet) {
+		got = p.Payload
+		at = now
+		if p.Src != a || p.Dst != b {
+			t.Errorf("addressing: %v -> %v", p.Src, p.Dst)
+		}
+	}))
+	n.SetLink("client", "server", LinkProfile{Delay: 2 * time.Millisecond})
+	n.Send(a, b, []byte("INVITE"))
+	s.Run(time.Second)
+	if string(got) != "INVITE" {
+		t.Fatalf("payload = %q", got)
+	}
+	if at != 2*time.Millisecond {
+		t.Errorf("delivered at %v, want 2ms", at)
+	}
+}
+
+func TestNetworkUnboundCounted(t *testing.T) {
+	s, n := newTestNet()
+	n.Send(Addr{"a", 1}, Addr{"b", 2}, []byte("x"))
+	s.Run(time.Second)
+	if n.NoRoute() != 1 {
+		t.Errorf("noRoute = %d", n.NoRoute())
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	s, n := newTestNet()
+	n.SetLink("a", "b", LinkProfile{Loss: 0.25})
+	dst := Addr{"b", 9}
+	recv := 0
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { recv++ }))
+	const total = 20000
+	for i := 0; i < total; i++ {
+		n.Send(Addr{"a", 1}, dst, []byte("p"))
+	}
+	s.Run(time.Minute)
+	gotLoss := 1 - float64(recv)/total
+	if gotLoss < 0.23 || gotLoss > 0.27 {
+		t.Errorf("observed loss %.3f, want ~0.25", gotLoss)
+	}
+	ls := n.LinkStats("a", "b")
+	if ls.Sent != total || ls.Dropped+ls.Delivered != total {
+		t.Errorf("link accounting: %+v", ls)
+	}
+}
+
+func TestNetworkJitterBounds(t *testing.T) {
+	s, n := newTestNet()
+	n.SetLink("a", "b", LinkProfile{Delay: 10 * time.Millisecond, Jitter: 3 * time.Millisecond})
+	dst := Addr{"b", 9}
+	var min, max time.Duration = time.Hour, 0
+	n.Bind(dst, HandlerFunc(func(now time.Duration, p *Packet) {
+		d := now - p.SentAt
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}))
+	for i := 0; i < 5000; i++ {
+		n.Send(Addr{"a", 1}, dst, []byte("p"))
+	}
+	s.Run(time.Minute)
+	if min < 7*time.Millisecond || max > 13*time.Millisecond {
+		t.Errorf("delay range [%v, %v], want within [7ms, 13ms]", min, max)
+	}
+	if max-min < 3*time.Millisecond {
+		t.Errorf("jitter spread %v suspiciously small", max-min)
+	}
+}
+
+func TestNetworkRateLimitSerializes(t *testing.T) {
+	s, n := newTestNet()
+	// 1000 bits per second; 97-byte payload + 28 overhead = 1000 bits
+	// => one packet per second.
+	n.SetLink("a", "b", LinkProfile{RateBps: 1000})
+	dst := Addr{"b", 9}
+	var arrivals []time.Duration
+	n.Bind(dst, HandlerFunc(func(now time.Duration, p *Packet) { arrivals = append(arrivals, now) }))
+	payload := make([]byte, 97)
+	for i := 0; i < 3; i++ {
+		n.Send(Addr{"a", 1}, dst, payload)
+	}
+	s.Run(time.Minute)
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if d := arrivals[i] - want; d < -time.Millisecond || d > time.Millisecond {
+			t.Errorf("arrival %d at %v, want ~%v", i, arrivals[i], want)
+		}
+	}
+}
+
+func TestNetworkQueueLimitDrops(t *testing.T) {
+	s, n := newTestNet()
+	n.SetLink("a", "b", LinkProfile{RateBps: 1000, QueueLimit: 2})
+	dst := Addr{"b", 9}
+	recv := 0
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { recv++ }))
+	payload := make([]byte, 97)
+	for i := 0; i < 10; i++ {
+		n.Send(Addr{"a", 1}, dst, payload)
+	}
+	s.Run(time.Hour)
+	if recv >= 10 {
+		t.Errorf("no tail drop despite tiny queue: recv=%d", recv)
+	}
+	if ls := n.LinkStats("a", "b"); ls.Dropped == 0 {
+		t.Errorf("drops not counted: %+v", ls)
+	}
+}
+
+func TestTapSeesLostPackets(t *testing.T) {
+	s, n := newTestNet()
+	n.SetLink("a", "b", LinkProfile{Loss: 1.0})
+	tapped := 0
+	n.AddTap(func(time.Duration, *Packet) { tapped++ })
+	n.Send(Addr{"a", 1}, Addr{"b", 2}, []byte("x"))
+	s.Run(time.Second)
+	if tapped != 1 {
+		t.Errorf("tap saw %d packets, want 1 (before loss)", tapped)
+	}
+}
+
+func TestDuplexLink(t *testing.T) {
+	s, n := newTestNet()
+	n.SetDuplexLink("a", "b", LinkProfile{Delay: 5 * time.Millisecond})
+	var aAt, bAt time.Duration
+	n.Bind(Addr{"a", 1}, HandlerFunc(func(now time.Duration, _ *Packet) { aAt = now }))
+	n.Bind(Addr{"b", 1}, HandlerFunc(func(now time.Duration, _ *Packet) { bAt = now }))
+	n.Send(Addr{"a", 1}, Addr{"b", 1}, []byte("ping"))
+	n.Send(Addr{"b", 1}, Addr{"a", 1}, []byte("pong"))
+	s.Run(time.Second)
+	if aAt != 5*time.Millisecond || bAt != 5*time.Millisecond {
+		t.Errorf("delays %v / %v, want 5ms both ways", aAt, bAt)
+	}
+}
+
+func TestRebindReplacesHandler(t *testing.T) {
+	s, n := newTestNet()
+	dst := Addr{"b", 9}
+	first, second := 0, 0
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { first++ }))
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { second++ }))
+	n.Send(Addr{"a", 1}, dst, []byte("x"))
+	s.Run(time.Second)
+	if first != 0 || second != 1 {
+		t.Errorf("first=%d second=%d", first, second)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	s, n := newTestNet()
+	dst := Addr{"b", 9}
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { t.Error("handler called after Unbind") }))
+	n.Unbind(dst)
+	n.Send(Addr{"a", 1}, dst, []byte("x"))
+	s.Run(time.Second)
+	if n.NoRoute() != 1 {
+		t.Errorf("noRoute = %d", n.NoRoute())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		s := NewScheduler()
+		n := NewNetwork(s, stats.NewRNG(99))
+		n.SetLink("a", "b", LinkProfile{Delay: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.1})
+		dst := Addr{"b", 9}
+		var arrivals []time.Duration
+		n.Bind(dst, HandlerFunc(func(now time.Duration, _ *Packet) { arrivals = append(arrivals, now) }))
+		for i := 0; i < 1000; i++ {
+			n.Send(Addr{"a", 1}, dst, []byte("x"))
+		}
+		s.Run(time.Minute)
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler()
+	var tick func(now time.Duration)
+	n := 0
+	tick = func(now time.Duration) {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, tick)
+	s.Drain(uint64(b.N) + 1)
+}
+
+func BenchmarkNetworkSendDeliver(b *testing.B) {
+	s := NewScheduler()
+	n := NewNetwork(s, stats.NewRNG(1))
+	dst := Addr{"b", 9}
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) {}))
+	payload := make([]byte, 172) // G.711 20ms frame + RTP header
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(Addr{"a", 1}, dst, payload)
+		if i%1024 == 0 {
+			s.Drain(2048)
+		}
+	}
+	s.Drain(uint64(b.N))
+}

@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Addr identifies an endpoint on the simulated network, in the spirit
+// of a host:port pair. Host selects the node, Port the handler bound on
+// that node.
+type Addr struct {
+	Host string
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// Packet is a datagram in flight on the simulated network.
+type Packet struct {
+	Src, Dst Addr
+	Payload  []byte
+	// SentAt is stamped by the network when the packet enters a link,
+	// so receivers can compute one-way delay in virtual time.
+	SentAt time.Duration
+}
+
+// Handler receives packets delivered to a bound port.
+type Handler interface {
+	HandlePacket(now time.Duration, pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(now time.Duration, pkt *Packet)
+
+// HandlePacket calls f(now, pkt).
+func (f HandlerFunc) HandlePacket(now time.Duration, pkt *Packet) { f(now, pkt) }
+
+// LinkProfile describes the impairments of a path between two hosts.
+// The zero value is an ideal link (no delay, no loss).
+type LinkProfile struct {
+	Delay  time.Duration // fixed propagation + switching delay
+	Jitter time.Duration // uniform ±Jitter added to Delay
+	Loss   float64       // independent packet loss probability [0,1]
+	// RateBps, if > 0, limits throughput: packets are serialized at
+	// this many bits per second, queueing behind one another. This is
+	// how the 10/100 Mb/s switch of the paper's testbed is modelled.
+	RateBps float64
+	// QueueLimit bounds the serialization backlog (in packets) when
+	// RateBps > 0; excess packets are tail-dropped. Zero means 512.
+	QueueLimit int
+}
+
+type link struct {
+	profile LinkProfile
+	// busyUntil tracks the serialization horizon for rate limiting.
+	busyUntil time.Duration
+	queued    int
+	// counters
+	sent, dropped, delivered uint64
+}
+
+// LinkStats reports per-link counters.
+type LinkStats struct {
+	Sent, Dropped, Delivered uint64
+}
+
+// Tap observes every packet accepted onto the network, before loss is
+// applied — the position a port-mirroring switch (where the paper ran
+// Wireshark) would see.
+type Tap func(now time.Duration, pkt *Packet)
+
+// Network is a simulated datagram fabric: hosts, point-to-point link
+// profiles, and port bindings. All methods must be called from the
+// scheduler's goroutine (i.e., inside events or before Run).
+type Network struct {
+	sched    *Scheduler
+	rng      *stats.RNG
+	links    map[[2]string]*link
+	defaults LinkProfile
+	bindings map[Addr]Handler
+	taps     []Tap
+	// counters
+	noRoute uint64
+}
+
+// NewNetwork creates a network on the given scheduler, with rng
+// driving loss and jitter decisions.
+func NewNetwork(s *Scheduler, rng *stats.RNG) *Network {
+	return &Network{
+		sched:    s,
+		rng:      rng,
+		links:    make(map[[2]string]*link),
+		bindings: make(map[Addr]Handler),
+	}
+}
+
+// SetDefaultProfile sets the profile used for host pairs without an
+// explicit link.
+func (n *Network) SetDefaultProfile(p LinkProfile) { n.defaults = p }
+
+// SetLink installs a unidirectional link profile from src to dst hosts.
+func (n *Network) SetLink(srcHost, dstHost string, p LinkProfile) {
+	n.links[[2]string{srcHost, dstHost}] = &link{profile: p}
+}
+
+// SetDuplexLink installs the same profile in both directions.
+func (n *Network) SetDuplexLink(a, b string, p LinkProfile) {
+	n.SetLink(a, b, p)
+	n.SetLink(b, a, p)
+}
+
+// Bind attaches a handler to an address. Binding an already bound
+// address replaces the previous handler, matching UDP rebind semantics
+// in the tests.
+func (n *Network) Bind(addr Addr, h Handler) { n.bindings[addr] = h }
+
+// Unbind removes a binding; packets to it are then dropped and counted.
+func (n *Network) Unbind(addr Addr) { delete(n.bindings, addr) }
+
+// AddTap registers an observer for all sent packets.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// Send queues a datagram for delivery. The payload is not copied; the
+// caller must not reuse it. Loss, jitter and rate limiting are applied
+// per the link profile between the source and destination hosts.
+func (n *Network) Send(src, dst Addr, payload []byte) {
+	pkt := &Packet{Src: src, Dst: dst, Payload: payload, SentAt: n.sched.Now()}
+	for _, t := range n.taps {
+		t(n.sched.Now(), pkt)
+	}
+	l := n.linkFor(src.Host, dst.Host)
+	l.sent++
+	p := l.profile
+	now := n.sched.Now()
+
+	// Serialization under a rate limit.
+	depart := now
+	if p.RateBps > 0 {
+		limit := p.QueueLimit
+		if limit == 0 {
+			limit = 512
+		}
+		if l.busyUntil > now && l.queued >= limit {
+			l.dropped++
+			return
+		}
+		bits := float64(len(payload)+28) * 8 // UDP+IP header overhead
+		txTime := time.Duration(bits / p.RateBps * float64(time.Second))
+		if l.busyUntil > now {
+			depart = l.busyUntil
+			l.queued++
+		}
+		l.busyUntil = depart + txTime
+		depart += txTime
+	}
+
+	if p.Loss > 0 && n.rng.Float64() < p.Loss {
+		l.dropped++
+		if p.RateBps > 0 && depart > now {
+			// Still consumed wire time before being lost downstream;
+			// queue accounting below handles the slot release.
+			n.sched.At(depart, func(time.Duration) {
+				if l.queued > 0 {
+					l.queued--
+				}
+			})
+		}
+		return
+	}
+
+	delay := p.Delay
+	if p.Jitter > 0 {
+		delay += time.Duration((2*n.rng.Float64() - 1) * float64(p.Jitter))
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	n.sched.At(depart+delay, func(at time.Duration) {
+		if p.RateBps > 0 && l.queued > 0 {
+			l.queued--
+		}
+		h, ok := n.bindings[pkt.Dst]
+		if !ok {
+			n.noRoute++
+			return
+		}
+		l.delivered++
+		h.HandlePacket(at, pkt)
+	})
+}
+
+func (n *Network) linkFor(src, dst string) *link {
+	key := [2]string{src, dst}
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	l := &link{profile: n.defaults}
+	n.links[key] = l
+	return l
+}
+
+// LinkStats returns counters for the src→dst link, creating it if absent.
+func (n *Network) LinkStats(srcHost, dstHost string) LinkStats {
+	l := n.linkFor(srcHost, dstHost)
+	return LinkStats{Sent: l.sent, Dropped: l.dropped, Delivered: l.delivered}
+}
+
+// NoRoute returns the count of packets addressed to unbound ports.
+func (n *Network) NoRoute() uint64 { return n.noRoute }
+
+// Scheduler returns the scheduler driving this network.
+func (n *Network) Scheduler() *Scheduler { return n.sched }

@@ -1,0 +1,177 @@
+// Package netsim provides the deterministic discrete-event substrate
+// for the capacity experiments: a virtual-time scheduler and a
+// simulated packet network with configurable per-link delay, jitter,
+// loss and rate limits.
+//
+// The scheduler is single-threaded and deterministic: events at equal
+// timestamps fire in the order they were scheduled. Parallelism in the
+// benchmark harness comes from running many independent simulations,
+// each with its own Scheduler, across a worker pool — not from sharing
+// one scheduler between goroutines.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now time.Duration)
+
+type schedItem struct {
+	at    time.Duration
+	seq   uint64 // FIFO tiebreak for equal timestamps
+	fn    Event
+	index int // heap index, -1 once popped or cancelled
+}
+
+type eventHeap []*schedItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*schedItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Timer is a handle to a scheduled event that can be stopped before it
+// fires, in the manner of time.Timer.
+type Timer struct {
+	item *schedItem
+	s    *Scheduler
+}
+
+// Stop cancels the timer. It reports whether the event had not yet
+// fired (and therefore was actually cancelled). Stopping an already
+// fired or already stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.item == nil || t.item.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.heap, t.item.index)
+	t.item.fn = nil
+	return true
+}
+
+// Scheduler is a virtual-time event loop. The zero value is not usable;
+// use NewScheduler.
+type Scheduler struct {
+	now     time.Duration
+	heap    eventHeap
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// NewScheduler returns a scheduler with virtual time at zero.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{}
+	heap.Init(&s.heap)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far, a useful
+// throughput denominator in benchmarks.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return s.heap.Len() }
+
+// At schedules fn at absolute virtual time at. Scheduling in the past
+// (before Now) clamps to Now, preserving causal order.
+func (s *Scheduler) At(at time.Duration, fn Event) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	it := &schedItem{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, it)
+	return &Timer{item: it, s: s}
+}
+
+// After schedules fn after delay d from the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn Event) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// ErrReentrantRun reports that Run was called from inside an event.
+var ErrReentrantRun = errors.New("netsim: reentrant Run")
+
+// Run executes events in timestamp order until either no events remain
+// or virtual time would exceed until. Events scheduled exactly at until
+// still run. It returns the number of events fired during this call.
+func (s *Scheduler) Run(until time.Duration) (uint64, error) {
+	if s.running {
+		return 0, ErrReentrantRun
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	start := s.fired
+	for s.heap.Len() > 0 {
+		it := s.heap[0]
+		if it.at > until {
+			break
+		}
+		heap.Pop(&s.heap)
+		s.now = it.at
+		if it.fn != nil {
+			fn := it.fn
+			it.fn = nil
+			s.fired++
+			fn(s.now)
+		}
+	}
+	// Advance the clock to the horizon so repeated Runs are monotone.
+	if s.now < until {
+		s.now = until
+	}
+	return s.fired - start, nil
+}
+
+// Drain runs until no events remain, with a safety cap on the number of
+// events to stop runaway self-scheduling loops in tests. It returns
+// the number of events fired and whether the cap was hit.
+func (s *Scheduler) Drain(maxEvents uint64) (uint64, bool) {
+	var n uint64
+	s.running = true
+	defer func() { s.running = false }()
+	for s.heap.Len() > 0 && n < maxEvents {
+		it := heap.Pop(&s.heap).(*schedItem)
+		s.now = it.at
+		if it.fn != nil {
+			fn := it.fn
+			it.fn = nil
+			s.fired++
+			n++
+			fn(s.now)
+		}
+	}
+	return n, s.heap.Len() > 0
+}

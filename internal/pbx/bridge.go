@@ -1,0 +1,479 @@
+package pbx
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/sdp"
+	"repro/internal/sip"
+)
+
+// bridge is one B2BUA call: the caller-facing leg (A, where the PBX is
+// UAS) and the callee-facing leg (B, where the PBX is UAC), glued by
+// an RTP relay.
+type bridge struct {
+	s *Server
+
+	// A leg (caller side).
+	aCallID   string
+	aTx       *sip.ServerTx
+	aInvite   *sip.Message
+	aLocalTag string // the PBX's To tag on the A leg
+	aRemote   string // caller's signalling address
+	aSDP      *sdp.Session
+
+	// B leg (callee side).
+	bCallID    string
+	bLocalTag  string // the PBX's From tag on the B leg
+	bRemoteTag string
+	bRemote    string // callee's signalling address
+	bSeq       uint32
+	bSDP       *sdp.Session
+	bTx        *sip.ClientTx // the outbound INVITE, for CANCEL
+
+	relay *relay
+
+	state         bridgeState
+	establishedAt time.Duration
+	startedAt     time.Duration
+	callee        string
+	caller        string
+}
+
+type bridgeState int
+
+const (
+	bridgeProceeding bridgeState = iota
+	bridgeEstablished
+	bridgeTerminated
+)
+
+// handleInvite runs the paper's Fig. 2 flow from the PBX's seat.
+func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
+	s.mu.Lock()
+	if _, dup := s.bridges[req.CallID]; dup {
+		// Retransmission that slipped past the transaction layer.
+		s.mu.Unlock()
+		return
+	}
+	s.counters.Attempts++
+	s.attemptsWindow++
+	s.mu.Unlock()
+
+	// Authentication (optional; see Config.AuthInvites).
+	if s.cfg.AuthInvites {
+		if !s.authorizeInvite(tx, req) {
+			return
+		}
+	}
+
+	// SDP offer from the caller.
+	offer, err := sdp.Parse(req.Body)
+	if err != nil {
+		s.rejectInvite(tx, req, sip.StatusInternalError, false)
+		return
+	}
+
+	// Resolve the callee: dialplan rules first (trunk routes to the
+	// telephone exchange, explicit rejections), then registered users.
+	callee := req.RequestURI.User
+	if route, matched := s.cfg.Dialplan.Resolve(callee); matched {
+		switch route.Kind {
+		case RouteTrunk:
+			if !s.admitCall(tx, req) {
+				return
+			}
+			s.mu.Lock()
+			s.counters.TrunkCalls++
+			s.mu.Unlock()
+			s.bridgeTo(tx, req, src, route.Target, route.Trunk, offer)
+			return
+		case RouteReject:
+			s.rejectInvite(tx, req, route.Status, false)
+			return
+		default:
+			callee = route.Target
+		}
+	}
+	calleeContact, registered := s.dir.Contact(callee, s.ep.Clock().Now())
+	if !registered {
+		// Unreachable user: voicemail answers when enabled and the
+		// user is provisioned; otherwise 404.
+		if _, err := s.dir.Lookup(callee); err == nil && s.cfg.Voicemail {
+			if !s.admitCall(tx, req) {
+				return
+			}
+			s.answerVoicemail(tx, req, src, callee, offer)
+			return
+		}
+		s.rejectInvite(tx, req, sip.StatusNotFound, false)
+		return
+	}
+
+	if !s.admitCall(tx, req) {
+		return
+	}
+	s.bridgeTo(tx, req, src, callee, calleeContact, offer)
+}
+
+// bridgeTo runs the B2BUA flow toward a resolved destination (a
+// registered contact or a trunk gateway). Admission must already have
+// been charged.
+func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calleeContact string, offer *sdp.Session) {
+	br := &bridge{
+		s:         s,
+		aCallID:   req.CallID,
+		aTx:       tx,
+		aInvite:   req,
+		aLocalTag: s.ep.NewTag(),
+		aRemote:   src,
+		caller:    req.From.URI.User,
+		callee:    callee,
+		startedAt: s.ep.Clock().Now(),
+	}
+	if req.Contact != nil {
+		br.aRemote = req.Contact.URI.HostPort()
+	}
+
+	// 100 Trying toward the caller — the "100 TRY" row of Table I.
+	trying := req.Response(sip.StatusTrying)
+	tx.Respond(trying)
+
+	// Caller abandonment (RFC 3261 9.2): answer the INVITE with 487
+	// and propagate the CANCEL to the callee leg.
+	tx.OnCancel(func(*sip.Message) {
+		if br.state != bridgeProceeding {
+			return
+		}
+		terminated := req.Response(sip.StatusRequestTerminated)
+		terminated.To.Tag = br.aLocalTag
+		tx.Respond(terminated)
+		s.cancelBLeg(br)
+		s.mu.Lock()
+		s.counters.Canceled++
+		s.mu.Unlock()
+		s.removeBridge(br, false)
+	})
+
+	// Media relay between the two legs.
+	if s.cfg.RelayRTP {
+		r, err := s.newRelay(br, offer)
+		if err != nil {
+			s.releaseChannel()
+			s.rejectInvite(tx, req, sip.StatusInternalError, true)
+			return
+		}
+		br.relay = r
+	} else {
+		// Signalling-only mode: legs exchange media directly.
+		br.relay = nil
+	}
+
+	// Build the B-leg INVITE: fresh Call-ID and From tag (the B2BUA is
+	// a new UA), caller identity preserved in the From URI.
+	br.bCallID = s.ep.NewCallID()
+	br.bLocalTag = s.ep.NewTag()
+	br.bSeq = 1
+	br.bRemote = calleeContact
+
+	var bOffer *sdp.Session
+	if br.relay != nil {
+		bOffer = sdp.NewG711Session("asterisk", s.host, br.relay.bPort)
+	} else {
+		bOffer = offer
+	}
+	calleeURI := sip.NewURI(callee, hostOf(calleeContact), portOf(calleeContact))
+	bInvite := sip.NewRequest(sip.INVITE, calleeURI,
+		sip.NameAddr{Display: req.From.Display, URI: req.From.URI, Tag: br.bLocalTag},
+		sip.NameAddr{URI: calleeURI},
+		br.bCallID, br.bSeq)
+	contact := sip.NameAddr{URI: sip.NewURI("asterisk", s.host, portOf(s.ep.Addr()))}
+	bInvite.Contact = &contact
+	bInvite.ContentType = sdp.ContentType
+	bInvite.Body = bOffer.Marshal()
+
+	s.mu.Lock()
+	s.bridges[br.aCallID] = br
+	s.bridges[br.bCallID] = br
+	s.mu.Unlock()
+
+	br.bTx = s.ep.SendRequest(calleeContact, bInvite, func(resp *sip.Message) {
+		s.handleBLegResponse(br, resp)
+	})
+}
+
+// cancelBLeg propagates a caller's CANCEL to the pending callee leg.
+func (s *Server) cancelBLeg(br *bridge) {
+	if br.bTx == nil {
+		return
+	}
+	inv := br.bTx.Request()
+	cancel := sip.NewRequest(sip.CANCEL, inv.RequestURI, inv.From, inv.To, inv.CallID, inv.CSeq.Seq)
+	cancel.CSeq.Method = sip.CANCEL
+	cancel.Via = []sip.Via{inv.Via[0]}
+	s.ep.SendRequest(br.bRemote, cancel, nil)
+}
+
+// admitCall runs admission control — where blocked calls (Table I)
+// happen — charging one channel on success. On rejection it answers
+// the INVITE with 503 and reports false.
+func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message) bool {
+	s.mu.Lock()
+	admitted := true
+	if s.cfg.CPUAdmission {
+		projected := s.cfg.CPU.Utilization(s.channels+1, float64(s.attemptsWindow), float64(s.errorsWindow))
+		admitted = projected <= s.cfg.CPUThreshold
+	} else if s.cfg.MaxChannels > 0 {
+		admitted = s.channels < s.cfg.MaxChannels
+	}
+	if !admitted {
+		s.counters.Blocked++
+		s.errorsWindow++
+		s.mu.Unlock()
+		resp := req.Response(sip.StatusServiceUnavailable)
+		resp.To.Tag = s.ep.NewTag()
+		tx.Respond(resp)
+		return false
+	}
+	s.channels++
+	if s.channels > s.counters.PeakChannels {
+		s.counters.PeakChannels = s.channels
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// authorizeInvite challenges and verifies INVITE credentials.
+// It reports whether processing may continue.
+func (s *Server) authorizeInvite(tx *sip.ServerTx, req *sip.Message) bool {
+	creds, have := sip.ParseDigestCredentials(req.Authorization)
+	if !have {
+		resp := req.Response(sip.StatusUnauthorized)
+		resp.To.Tag = s.ep.NewTag()
+		resp.WWWAuthenticate = sip.DigestChallenge{Realm: s.cfg.Realm, Nonce: s.newNonce()}.Header()
+		tx.Respond(resp)
+		return false
+	}
+	acct, err := s.dir.Lookup(creds.Username)
+	ch := sip.DigestChallenge{Realm: creds.Realm, Nonce: creds.Nonce}
+	if err != nil || creds.Realm != s.cfg.Realm || !ch.Verify(creds, acct.Password, sip.INVITE) {
+		s.countError()
+		resp := req.Response(sip.StatusTemporarilyDenied)
+		resp.To.Tag = s.ep.NewTag()
+		tx.Respond(resp)
+		return false
+	}
+	return true
+}
+
+func (s *Server) rejectInvite(tx *sip.ServerTx, req *sip.Message, status int, blocked bool) {
+	s.mu.Lock()
+	if blocked {
+		s.counters.Blocked++
+	} else {
+		s.counters.Rejected++
+	}
+	s.errorsWindow++
+	s.mu.Unlock()
+	resp := req.Response(status)
+	resp.To.Tag = s.ep.NewTag()
+	tx.Respond(resp)
+}
+
+func (s *Server) releaseChannel() {
+	s.mu.Lock()
+	if s.channels > 0 {
+		s.channels--
+	}
+	s.mu.Unlock()
+}
+
+// handleBLegResponse relays callee responses to the caller.
+func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
+	if br.state == bridgeTerminated {
+		return
+	}
+	switch {
+	case resp.StatusCode == sip.StatusTrying:
+		// Hop-by-hop; the caller already got its own 100.
+	case resp.StatusCode < 200:
+		if resp.To.Tag != "" {
+			br.bRemoteTag = resp.To.Tag
+		}
+		// Forward 180 Ringing to the A leg with the PBX's tag.
+		fwd := br.aInvite.Response(resp.StatusCode)
+		fwd.ReasonStr = resp.ReasonStr
+		fwd.To.Tag = br.aLocalTag
+		br.aTx.Respond(fwd)
+	case resp.StatusCode == sip.StatusOK:
+		br.bRemoteTag = resp.To.Tag
+		if resp.Contact != nil {
+			br.bRemote = resp.Contact.URI.HostPort()
+		}
+		answer, err := sdp.Parse(resp.Body)
+		if err != nil {
+			s.terminateBridge(br, true)
+			return
+		}
+		br.bSDP = answer
+		if br.relay != nil {
+			br.relay.setCalleeMedia(answer.Host, answer.Port)
+		}
+		// ACK the B leg.
+		ack := sip.NewRequest(sip.ACK, sip.NewURI(br.callee, hostOf(br.bRemote), portOf(br.bRemote)),
+			sip.NameAddr{URI: br.aInvite.From.URI, Tag: br.bLocalTag},
+			sip.NameAddr{URI: sip.NewURI(br.callee, hostOf(br.bRemote), portOf(br.bRemote)), Tag: br.bRemoteTag},
+			br.bCallID, br.bSeq)
+		ack.CSeq.Method = sip.ACK
+		s.ep.SendACK(br.bRemote, ack)
+
+		// Answer the A leg with the relay (or pass-through) SDP.
+		fwd := br.aInvite.Response(sip.StatusOK)
+		fwd.To.Tag = br.aLocalTag
+		contact := sip.NameAddr{URI: sip.NewURI("asterisk", s.host, portOf(s.ep.Addr()))}
+		fwd.Contact = &contact
+		fwd.ContentType = sdp.ContentType
+		if br.relay != nil {
+			fwd.Body = sdp.NewG711Session("asterisk", s.host, br.relay.aPort).Marshal()
+		} else {
+			fwd.Body = resp.Body
+		}
+		br.aTx.Respond(fwd)
+		// Established is confirmed by the caller's ACK (handleAck).
+	default:
+		// Relay the rejection and release resources.
+		fwd := br.aInvite.Response(resp.StatusCode)
+		fwd.ReasonStr = resp.ReasonStr
+		fwd.To.Tag = br.aLocalTag
+		br.aTx.Respond(fwd)
+		s.mu.Lock()
+		s.counters.Rejected++
+		s.errorsWindow++
+		s.mu.Unlock()
+		s.removeBridge(br, false)
+	}
+}
+
+// handleAck confirms the A leg once the caller's 2xx ACK arrives.
+func (s *Server) handleAck(req *sip.Message) {
+	s.mu.Lock()
+	br := s.bridges[req.CallID]
+	s.mu.Unlock()
+	if br == nil {
+		s.ackVoicemail(req.CallID)
+		return
+	}
+	if br.state != bridgeProceeding || req.CallID != br.aCallID {
+		return
+	}
+	br.state = bridgeEstablished
+	br.establishedAt = s.ep.Clock().Now()
+	s.mu.Lock()
+	s.counters.Established++
+	s.mu.Unlock()
+}
+
+// handleBye tears down the bridge from whichever leg hung up first.
+func (s *Server) handleBye(tx *sip.ServerTx, req *sip.Message) {
+	s.mu.Lock()
+	br := s.bridges[req.CallID]
+	s.mu.Unlock()
+	tx.Respond(req.Response(sip.StatusOK))
+	if br == nil {
+		if !s.byeVoicemail(req.CallID) {
+			s.countError()
+		}
+		return
+	}
+	fromA := req.CallID == br.aCallID
+	s.forwardBye(br, fromA)
+	s.removeBridge(br, true)
+}
+
+// forwardBye sends BYE on the leg opposite the one that hung up.
+func (s *Server) forwardBye(br *bridge, hungUpA bool) {
+	if br.state == bridgeTerminated {
+		return
+	}
+	if hungUpA {
+		// BYE toward the callee on the B leg.
+		br.bSeq++
+		bye := sip.NewRequest(sip.BYE,
+			sip.NewURI(br.callee, hostOf(br.bRemote), portOf(br.bRemote)),
+			sip.NameAddr{URI: br.aInvite.From.URI, Tag: br.bLocalTag},
+			sip.NameAddr{URI: sip.NewURI(br.callee, hostOf(br.bRemote), portOf(br.bRemote)), Tag: br.bRemoteTag},
+			br.bCallID, br.bSeq)
+		s.ep.SendRequest(br.bRemote, bye, nil)
+	} else {
+		// BYE toward the caller on the A leg (PBX is UAS there, so the
+		// dialog's From is the caller; our in-dialog request flips it).
+		bye := sip.NewRequest(sip.BYE,
+			sip.NewURI(br.caller, hostOf(br.aRemote), portOf(br.aRemote)),
+			sip.NameAddr{URI: br.aInvite.To.URI, Tag: br.aLocalTag},
+			sip.NameAddr{URI: br.aInvite.From.URI, Tag: br.aInvite.From.Tag},
+			br.aCallID, 1)
+		s.ep.SendRequest(br.aRemote, bye, nil)
+	}
+}
+
+// terminateBridge ends an active call abnormally (media failure).
+func (s *Server) terminateBridge(br *bridge, failed bool) {
+	if failed {
+		s.mu.Lock()
+		s.counters.Failed++
+		s.mu.Unlock()
+	}
+	s.removeBridge(br, false)
+}
+
+// removeBridge releases the channel, closes the relay and writes a CDR.
+func (s *Server) removeBridge(br *bridge, completed bool) {
+	if br.state == bridgeTerminated {
+		return
+	}
+	wasEstablished := br.state == bridgeEstablished
+	br.state = bridgeTerminated
+
+	var relayFwd, relayDrop uint64
+	if br.relay != nil {
+		br.relay.close()
+		relayFwd, relayDrop = br.relay.stats()
+	}
+	s.mu.Lock()
+	delete(s.bridges, br.aCallID)
+	delete(s.bridges, br.bCallID)
+	if s.channels > 0 {
+		s.channels--
+	}
+	if br.relay != nil {
+		s.freeRelayPortLocked(br.relay.aPort)
+		s.freeRelayPortLocked(br.relay.bPort)
+		s.counters.RelayedPackets += relayFwd
+		s.counters.DroppedPackets += relayDrop
+	}
+	if completed && wasEstablished {
+		s.counters.Completed++
+	}
+	s.cdrs = append(s.cdrs, s.buildCDR(br, completed && wasEstablished))
+	s.mu.Unlock()
+}
+
+func hostOf(addr string) string {
+	h, _, _ := strings.Cut(addr, ":")
+	return h
+}
+
+func portOf(addr string) int {
+	_, p, ok := strings.Cut(addr, ":")
+	if !ok {
+		return sip.DefaultPort
+	}
+	n := 0
+	for _, c := range p {
+		if c < '0' || c > '9' {
+			return sip.DefaultPort
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package pbx
+
+import (
+	"strings"
+)
+
+// Dialplan routing, the Asterisk capability behind Fig. 1's topology:
+// "VoWiFi users can place calls to another VoWiFi user as well as
+// reach landline telephones within the UnB campuses" through the
+// university telephone exchange. Registered users are matched first;
+// otherwise pattern rules decide, most typically routing numeric
+// extensions to a trunk gateway that stands in for the exchange.
+
+// RouteKind is what a dialplan rule does with a match.
+type RouteKind int
+
+// Route kinds.
+const (
+	// RouteUser resolves the dialed extension as a registered user
+	// (the implicit default for exact username matches).
+	RouteUser RouteKind = iota
+	// RouteTrunk forwards the call to a gateway address (the
+	// "Telephone Exchange" box of Fig. 1).
+	RouteTrunk
+	// RouteReject refuses the call with the rule's status code.
+	RouteReject
+)
+
+// Rule is one dialplan entry. Patterns use the Asterisk convention:
+// a literal extension, or an underscore-prefixed template where
+// X matches any digit, N matches 2-9, and a trailing '.' matches one
+// or more remaining characters. Examples:
+//
+//	"_85XXXXXX"  campus landlines
+//	"_9."        anything after a 9 prefix
+type Rule struct {
+	Pattern string
+	Kind    RouteKind
+	// Trunk is the gateway transport address for RouteTrunk.
+	Trunk string
+	// StripDigits removes the first n digits before forwarding
+	// (dropping a dial-out prefix like 9).
+	StripDigits int
+	// Status is the rejection code for RouteReject (default 403).
+	Status int
+}
+
+// Dialplan is an ordered rule list; first match wins.
+type Dialplan struct {
+	Rules []Rule
+}
+
+// Route is a resolved routing decision.
+type Route struct {
+	Kind   RouteKind
+	Trunk  string
+	Target string // possibly digit-stripped extension
+	Status int
+}
+
+// Resolve matches ext against the plan. ok is false when no rule
+// matches (the caller falls back to user routing / 404).
+func (d *Dialplan) Resolve(ext string) (Route, bool) {
+	if d == nil {
+		return Route{}, false
+	}
+	for _, r := range d.Rules {
+		if !MatchPattern(r.Pattern, ext) {
+			continue
+		}
+		target := ext
+		if r.StripDigits > 0 && r.StripDigits <= len(target) {
+			target = target[r.StripDigits:]
+		}
+		route := Route{Kind: r.Kind, Trunk: r.Trunk, Target: target, Status: r.Status}
+		if route.Kind == RouteReject && route.Status == 0 {
+			route.Status = 403
+		}
+		return route, true
+	}
+	return Route{}, false
+}
+
+// MatchPattern reports whether ext matches an Asterisk-style pattern.
+// Patterns without the leading underscore are literal.
+func MatchPattern(pattern, ext string) bool {
+	if !strings.HasPrefix(pattern, "_") {
+		return pattern == ext
+	}
+	p := pattern[1:]
+	i := 0
+	for ; i < len(p); i++ {
+		switch c := p[i]; c {
+		case '.':
+			// Matches one or more remaining characters; must be last.
+			return i == len(p)-1 && len(ext) > i
+		case 'X', 'x':
+			if i >= len(ext) || ext[i] < '0' || ext[i] > '9' {
+				return false
+			}
+		case 'N', 'n':
+			if i >= len(ext) || ext[i] < '2' || ext[i] > '9' {
+				return false
+			}
+		case 'Z', 'z':
+			if i >= len(ext) || ext[i] < '1' || ext[i] > '9' {
+				return false
+			}
+		default:
+			if i >= len(ext) || ext[i] != c {
+				return false
+			}
+		}
+	}
+	return i == len(ext)
+}

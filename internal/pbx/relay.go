@@ -1,0 +1,165 @@
+package pbx
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rtp"
+	"repro/internal/sdp"
+	"repro/internal/transport"
+)
+
+// relay is the per-call RTP media path through the PBX: two dedicated
+// ports, one facing each party. Every packet is observed (for
+// VoIPmonitor-style per-direction statistics), subjected to the
+// overload drop probability of the CPU model, and forwarded out the
+// opposite port — the paper's "the Asterisk PBX handles all the VoIP
+// messages encapsulated by the RTP protocol".
+type relay struct {
+	s *Server
+
+	aPort, bPort int
+	aTr, bTr     transport.Transport
+
+	// mu guards the mutable fields below: over real UDP each relay
+	// port has its own read-loop goroutine, racing the signalling
+	// goroutine that learns media addresses and tears the call down.
+	mu sync.Mutex
+	// Party media addresses, learned from SDP.
+	callerAddr string
+	calleeAddr string
+
+	// Per-direction stream observers (caller→callee and callee→caller).
+	fromCaller *rtp.Receiver
+	fromCallee *rtp.Receiver
+
+	forwarded uint64
+	dropped   uint64
+	closed    bool
+}
+
+// newRelay opens the two relay ports for a call whose caller offered
+// the given SDP.
+func (s *Server) newRelay(br *bridge, offer *sdp.Session) (*relay, error) {
+	if s.factory == nil {
+		return nil, fmt.Errorf("pbx: RelayRTP enabled without a transport factory")
+	}
+	s.mu.Lock()
+	aPort := s.allocRelayPortLocked()
+	bPort := s.allocRelayPortLocked()
+	s.mu.Unlock()
+
+	aTr, err := s.factory(aPort)
+	if err != nil {
+		s.mu.Lock()
+		s.freeRelayPortLocked(aPort)
+		s.freeRelayPortLocked(bPort)
+		s.mu.Unlock()
+		return nil, err
+	}
+	bTr, err := s.factory(bPort)
+	if err != nil {
+		aTr.Close()
+		s.mu.Lock()
+		s.freeRelayPortLocked(aPort)
+		s.freeRelayPortLocked(bPort)
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	r := &relay{
+		s:          s,
+		aPort:      aPort,
+		bPort:      bPort,
+		aTr:        aTr,
+		bTr:        bTr,
+		callerAddr: fmt.Sprintf("%s:%d", offer.Host, offer.Port),
+		fromCaller: rtp.NewReceiver(),
+		fromCallee: rtp.NewReceiver(),
+	}
+	// Caller RTP arrives on the A port and leaves toward the callee
+	// from the B port, and vice versa.
+	aTr.SetReceiver(func(src string, data []byte) {
+		r.forward(data, r.fromCaller, r.bTr, false)
+	})
+	bTr.SetReceiver(func(src string, data []byte) {
+		r.forward(data, r.fromCallee, r.aTr, true)
+	})
+	return r, nil
+}
+
+// setCalleeMedia records where the callee listens, once its SDP answer
+// arrives.
+func (r *relay) setCalleeMedia(host string, port int) {
+	r.mu.Lock()
+	r.calleeAddr = fmt.Sprintf("%s:%d", host, port)
+	r.mu.Unlock()
+}
+
+// forward observes and forwards one RTP packet, applying the overload
+// drop model. toCaller selects the output direction.
+func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport, toCaller bool) {
+	r.mu.Lock()
+	dst := r.calleeAddr
+	if toCaller {
+		dst = r.callerAddr
+	}
+	if r.closed || dst == "" {
+		r.mu.Unlock()
+		return
+	}
+	now := r.s.ep.Clock().Now()
+	if rtp.IsRTCP(data) {
+		// RTCP is control traffic: forward it unconditionally (it is
+		// exempt from the overload drop model, like Asterisk's
+		// prioritized handling of control packets) and do not count it
+		// against the stream statistics.
+		r.mu.Unlock()
+		out.Send(dst, data)
+		return
+	}
+	// Observe audio only: dynamic payload types (>= 96, e.g. RFC 4733
+	// telephone-events) are control-ish payloads whose timestamps do
+	// not track the audio clock and would poison loss/transit stats.
+	if pkt, err := rtp.Parse(data); err == nil && pkt.PayloadType < 96 {
+		obs.Observe(now, pkt)
+	}
+	// Overload packet errors: the paper's A=240 row.
+	if r.overloadDrop() {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	r.forwarded++
+	r.mu.Unlock()
+	out.Send(dst, data)
+}
+
+// overloadDrop samples the CPU model's drop decision under the server
+// lock (meter and RNG are shared across relays).
+func (r *relay) overloadDrop() bool {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.meter.DropProbability()
+	return p > 0 && s.rng.Float64() < p
+}
+
+// stats snapshots the relay counters.
+func (r *relay) stats() (forwarded, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.forwarded, r.dropped
+}
+
+func (r *relay) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.aTr.Close()
+	r.bTr.Close()
+}

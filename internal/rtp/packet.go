@@ -1,0 +1,88 @@
+// Package rtp implements the subset of RFC 3550 (RTP: A Transport
+// Protocol for Real-Time Applications) the paper's media path uses:
+// RTP packet marshalling, receiver-side sequence and interarrival
+// jitter tracking, and compact sender/receiver report summaries.
+//
+// The paper notes that "the RTP messages carry the bulk of the traffic
+// and are responsible for the great part of the CPU demands"; this
+// package provides the packets whose relay through the PBX generates
+// that load, and the per-stream statistics VoIPmonitor-style MOS
+// scoring consumes.
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the RTP protocol version carried in every header.
+const Version = 2
+
+// HeaderLen is the length of a fixed RTP header with no CSRCs.
+const HeaderLen = 12
+
+// Packet is a parsed RTP packet. Only the fixed header plus payload is
+// modelled; CSRC lists, extensions and padding are rejected by Parse
+// rather than silently mishandled.
+type Packet struct {
+	PayloadType uint8
+	Marker      bool
+	Sequence    uint16
+	Timestamp   uint32
+	SSRC        uint32
+	Payload     []byte
+}
+
+// Errors returned by Parse.
+var (
+	ErrTooShort    = errors.New("rtp: packet shorter than fixed header")
+	ErrBadVersion  = errors.New("rtp: unsupported version")
+	ErrUnsupported = errors.New("rtp: padding/extension/CSRC not supported")
+)
+
+// Marshal appends the wire form of p to dst and returns the result.
+func (p *Packet) Marshal(dst []byte) []byte {
+	var hdr [HeaderLen]byte
+	hdr[0] = Version << 6
+	hdr[1] = p.PayloadType & 0x7F
+	if p.Marker {
+		hdr[1] |= 0x80
+	}
+	binary.BigEndian.PutUint16(hdr[2:], p.Sequence)
+	binary.BigEndian.PutUint32(hdr[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(hdr[8:], p.SSRC)
+	dst = append(dst, hdr[:]...)
+	return append(dst, p.Payload...)
+}
+
+// Size returns the marshalled size of p in bytes.
+func (p *Packet) Size() int { return HeaderLen + len(p.Payload) }
+
+// Parse decodes an RTP packet from wire form. The returned packet's
+// Payload aliases data; the caller must not reuse the buffer while the
+// packet is live.
+func Parse(data []byte) (*Packet, error) {
+	if len(data) < HeaderLen {
+		return nil, ErrTooShort
+	}
+	if data[0]>>6 != Version {
+		return nil, ErrBadVersion
+	}
+	if data[0]&0x3F != 0 { // padding, extension or CSRC count bits set
+		return nil, ErrUnsupported
+	}
+	return &Packet{
+		Marker:      data[1]&0x80 != 0,
+		PayloadType: data[1] & 0x7F,
+		Sequence:    binary.BigEndian.Uint16(data[2:]),
+		Timestamp:   binary.BigEndian.Uint32(data[4:]),
+		SSRC:        binary.BigEndian.Uint32(data[8:]),
+		Payload:     data[HeaderLen:],
+	}, nil
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("RTP pt=%d seq=%d ts=%d ssrc=%#x len=%d",
+		p.PayloadType, p.Sequence, p.Timestamp, p.SSRC, len(p.Payload))
+}

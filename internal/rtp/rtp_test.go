@@ -1,0 +1,246 @@
+package rtp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	f := func(pt uint8, marker bool, seq uint16, ts, ssrc uint32, payload []byte) bool {
+		in := &Packet{
+			PayloadType: pt & 0x7F,
+			Marker:      marker,
+			Sequence:    seq,
+			Timestamp:   ts,
+			SSRC:        ssrc,
+			Payload:     payload,
+		}
+		out, err := Parse(in.Marshal(nil))
+		if err != nil {
+			return false
+		}
+		if out.PayloadType != in.PayloadType || out.Marker != in.Marker ||
+			out.Sequence != in.Sequence || out.Timestamp != in.Timestamp ||
+			out.SSRC != in.SSRC || len(out.Payload) != len(in.Payload) {
+			return false
+		}
+		for i := range payload {
+			if out.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(make([]byte, 11)); err != ErrTooShort {
+		t.Errorf("short packet: %v", err)
+	}
+	bad := make([]byte, 12)
+	bad[0] = 1 << 6 // version 1
+	if _, err := Parse(bad); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+	csrc := make([]byte, 12)
+	csrc[0] = Version<<6 | 2 // CSRC count 2
+	if _, err := Parse(csrc); err != ErrUnsupported {
+		t.Errorf("csrc: %v", err)
+	}
+	padded := make([]byte, 12)
+	padded[0] = Version<<6 | 0x20 // padding bit
+	if _, err := Parse(padded); err != ErrUnsupported {
+		t.Errorf("padding: %v", err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	p := &Packet{Payload: make([]byte, 160)}
+	if p.Size() != 172 {
+		t.Errorf("G.711 20ms packet size = %d, want 172", p.Size())
+	}
+	if got := len(p.Marshal(nil)); got != p.Size() {
+		t.Errorf("marshal length %d != Size %d", got, p.Size())
+	}
+}
+
+// sendStream delivers a sequence of packets to a receiver with the
+// given per-packet interval and RTP timestamp increment.
+func sendStream(r *Receiver, start uint16, count int, dropEvery int) {
+	now := time.Duration(0)
+	ts := uint32(0)
+	for i := 0; i < count; i++ {
+		seq := start + uint16(i)
+		if dropEvery > 0 && i%dropEvery == dropEvery-1 {
+			now += 20 * time.Millisecond
+			ts += 160
+			continue
+		}
+		r.Observe(now, &Packet{Sequence: seq, Timestamp: ts, SSRC: 7, Payload: make([]byte, 160)})
+		now += 20 * time.Millisecond
+		ts += 160
+	}
+}
+
+func TestReceiverNoLoss(t *testing.T) {
+	r := NewReceiver()
+	sendStream(r, 100, 500, 0)
+	s := r.Snapshot()
+	if s.Received != 500 || s.Expected != 500 || s.Lost != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.LossRatio != 0 {
+		t.Errorf("loss ratio = %v", s.LossRatio)
+	}
+	// Perfectly paced stream: jitter ~ 0.
+	if s.Jitter > time.Millisecond {
+		t.Errorf("jitter = %v for perfectly paced stream", s.Jitter)
+	}
+	if s.Duration != 499*20*time.Millisecond {
+		t.Errorf("duration = %v", s.Duration)
+	}
+}
+
+func TestReceiverLoss(t *testing.T) {
+	r := NewReceiver()
+	sendStream(r, 0, 1000, 10) // drop every 10th
+	s := r.Snapshot()
+	if s.Received != 900 {
+		t.Errorf("received = %d", s.Received)
+	}
+	// The final packet of the stream was dropped, so the highest seen
+	// sequence is 998 -> expected 999, lost 99.
+	if s.Lost != 99 {
+		t.Errorf("lost = %d, want 99", s.Lost)
+	}
+	if s.LossRatio < 0.095 || s.LossRatio > 0.105 {
+		t.Errorf("loss ratio = %v, want ~0.10", s.LossRatio)
+	}
+}
+
+func TestReceiverSequenceWrap(t *testing.T) {
+	r := NewReceiver()
+	sendStream(r, 65500, 100, 0) // wraps past 65535
+	s := r.Snapshot()
+	if s.Expected != 100 || s.Lost != 0 {
+		t.Errorf("wrap stats = %+v", s)
+	}
+}
+
+func TestReceiverDuplicates(t *testing.T) {
+	r := NewReceiver()
+	p := &Packet{Sequence: 5, Timestamp: 0, SSRC: 7}
+	r.Observe(0, p)
+	r.Observe(time.Millisecond, p)
+	s := r.Snapshot()
+	if s.Duplicates != 1 {
+		t.Errorf("duplicates = %d", s.Duplicates)
+	}
+	if s.Lost != 0 {
+		t.Errorf("lost = %d with a duplicate", s.Lost)
+	}
+}
+
+func TestReceiverReordering(t *testing.T) {
+	r := NewReceiver()
+	ts := func(i int) uint32 { return uint32(i * 160) }
+	r.Observe(0, &Packet{Sequence: 1, Timestamp: ts(1), SSRC: 7})
+	r.Observe(20*time.Millisecond, &Packet{Sequence: 3, Timestamp: ts(3), SSRC: 7})
+	r.Observe(40*time.Millisecond, &Packet{Sequence: 2, Timestamp: ts(2), SSRC: 7})
+	s := r.Snapshot()
+	if s.Misordered != 1 {
+		t.Errorf("misordered = %d", s.Misordered)
+	}
+	if s.Lost != 0 {
+		t.Errorf("lost = %d after late arrival filled the gap", s.Lost)
+	}
+}
+
+func TestReceiverIgnoresForeignSSRC(t *testing.T) {
+	r := NewReceiver()
+	r.Observe(0, &Packet{Sequence: 1, SSRC: 7})
+	r.Observe(0, &Packet{Sequence: 2, SSRC: 8})
+	if s := r.Snapshot(); s.Received != 1 {
+		t.Errorf("foreign SSRC counted: %+v", s)
+	}
+}
+
+func TestReceiverJitterEstimate(t *testing.T) {
+	// Alternate arrival intervals 15ms / 25ms around the nominal 20ms:
+	// |D| is constant 5ms (in RTP units 40), so the RFC 3550 estimator
+	// converges toward 40 units = 5ms... specifically J -> |D| as the
+	// filter saturates; check it lands in a sane band.
+	r := NewReceiver()
+	now := time.Duration(0)
+	ts := uint32(0)
+	for i := 0; i < 2000; i++ {
+		r.Observe(now, &Packet{Sequence: uint16(i), Timestamp: ts, SSRC: 7})
+		if i%2 == 0 {
+			now += 15 * time.Millisecond
+		} else {
+			now += 25 * time.Millisecond
+		}
+		ts += 160
+	}
+	j := r.Snapshot().Jitter
+	if j < 3*time.Millisecond || j > 7*time.Millisecond {
+		t.Errorf("jitter estimate %v, want ~5ms", j)
+	}
+}
+
+func TestReceiverEmptySnapshot(t *testing.T) {
+	s := NewReceiver().Snapshot()
+	if s.Received != 0 || s.Expected != 0 || s.Lost != 0 || s.LossRatio != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestStatsLossNeverNegativeProperty(t *testing.T) {
+	f := func(seqs []uint16) bool {
+		r := NewReceiver()
+		now := time.Duration(0)
+		for _, q := range seqs {
+			r.Observe(now, &Packet{Sequence: q, SSRC: 1, Timestamp: uint32(q) * 160})
+			now += 20 * time.Millisecond
+		}
+		s := r.Snapshot()
+		return s.Lost >= 0 && s.LossRatio >= 0 && s.LossRatio <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := &Packet{PayloadType: 0, Sequence: 1, Timestamp: 160, SSRC: 42, Payload: make([]byte, 160)}
+	buf := make([]byte, 0, 172)
+	b.SetBytes(172)
+	for i := 0; i < b.N; i++ {
+		buf = p.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	p := &Packet{PayloadType: 0, Sequence: 1, Timestamp: 160, SSRC: 42, Payload: make([]byte, 160)}
+	wire := p.Marshal(nil)
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceiverObserve(b *testing.B) {
+	r := NewReceiver()
+	p := &Packet{SSRC: 1, Payload: make([]byte, 160)}
+	for i := 0; i < b.N; i++ {
+		p.Sequence = uint16(i)
+		p.Timestamp = uint32(i) * 160
+		r.Observe(time.Duration(i)*20*time.Millisecond, p)
+	}
+}

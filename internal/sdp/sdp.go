@@ -1,0 +1,171 @@
+// Package sdp implements the minimal RFC 4566 Session Description
+// Protocol subset the call path needs: audio session descriptions
+// carrying a connection address, a media port, and G.711 payload
+// types, exchanged in INVITE/200 bodies for the offer/answer handshake
+// (RFC 3264) that tells each side where to send RTP.
+package sdp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the MIME type of SDP bodies in SIP messages.
+const ContentType = "application/sdp"
+
+// Session describes one audio session: where to send RTP and which
+// payload types are on offer.
+type Session struct {
+	// Origin username (o= line); informational.
+	Origin string
+	// SessionID and Version from the o= line.
+	SessionID int64
+	Version   int64
+	// Host is the connection address (c= line, may appear at session
+	// or media level; we emit session level).
+	Host string
+	// Port is the audio media port (m=audio line).
+	Port int
+	// PayloadTypes lists offered RTP payload types in preference order.
+	PayloadTypes []int
+}
+
+// NewG711Session returns an offer for G.711 µ-law and A-law at
+// host:port, the session the paper's endpoints negotiate.
+func NewG711Session(origin, host string, port int) *Session {
+	return &Session{
+		Origin:       origin,
+		SessionID:    1,
+		Version:      1,
+		Host:         host,
+		Port:         port,
+		PayloadTypes: []int{0, 8},
+	}
+}
+
+var payloadNames = map[int]string{
+	0: "PCMU/8000",
+	8: "PCMA/8000",
+}
+
+// Marshal renders the session in wire form.
+func (s *Session) Marshal() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v=0\r\n")
+	fmt.Fprintf(&b, "o=%s %d %d IN IP4 %s\r\n", nonEmpty(s.Origin, "-"), s.SessionID, s.Version, s.Host)
+	fmt.Fprintf(&b, "s=call\r\n")
+	fmt.Fprintf(&b, "c=IN IP4 %s\r\n", s.Host)
+	fmt.Fprintf(&b, "t=0 0\r\n")
+	fmt.Fprintf(&b, "m=audio %d RTP/AVP", s.Port)
+	for _, pt := range s.PayloadTypes {
+		fmt.Fprintf(&b, " %d", pt)
+	}
+	b.WriteString("\r\n")
+	for _, pt := range s.PayloadTypes {
+		if name, ok := payloadNames[pt]; ok {
+			fmt.Fprintf(&b, "a=rtpmap:%d %s\r\n", pt, name)
+		}
+	}
+	return []byte(b.String())
+}
+
+func nonEmpty(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// Errors returned by Parse.
+var (
+	ErrNoMedia      = errors.New("sdp: no audio media line")
+	ErrNoConnection = errors.New("sdp: no connection line")
+	ErrMalformed    = errors.New("sdp: malformed line")
+)
+
+// Parse decodes an SDP body. Unknown lines are skipped, per the
+// robustness rule that SDP consumers ignore attributes they do not
+// understand; the result must contain at least c= and m=audio.
+func Parse(data []byte) (*Session, error) {
+	s := &Session{}
+	haveConn := false
+	haveMedia := false
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if len(line) < 2 || line[1] != '=' {
+			return nil, fmt.Errorf("%w: %q", ErrMalformed, line)
+		}
+		value := line[2:]
+		switch line[0] {
+		case 'o':
+			fields := strings.Fields(value)
+			if len(fields) >= 6 {
+				s.Origin = fields[0]
+				s.SessionID, _ = strconv.ParseInt(fields[1], 10, 64)
+				s.Version, _ = strconv.ParseInt(fields[2], 10, 64)
+				if !haveConn {
+					s.Host = fields[5]
+				}
+			}
+		case 'c':
+			fields := strings.Fields(value)
+			if len(fields) != 3 || fields[0] != "IN" || fields[1] != "IP4" {
+				return nil, fmt.Errorf("%w: %q", ErrMalformed, line)
+			}
+			s.Host = fields[2]
+			haveConn = true
+		case 'm':
+			fields := strings.Fields(value)
+			if len(fields) < 3 || fields[0] != "audio" {
+				continue // ignore non-audio media
+			}
+			port, err := strconv.Atoi(fields[1])
+			if err != nil || port < 0 || port > 65535 {
+				return nil, fmt.Errorf("%w: %q", ErrMalformed, line)
+			}
+			s.Port = port
+			s.PayloadTypes = s.PayloadTypes[:0]
+			for _, f := range fields[3:] {
+				pt, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %q", ErrMalformed, line)
+				}
+				s.PayloadTypes = append(s.PayloadTypes, pt)
+			}
+			haveMedia = true
+		}
+	}
+	if !haveMedia {
+		return nil, ErrNoMedia
+	}
+	if !haveConn && s.Host == "" {
+		return nil, ErrNoConnection
+	}
+	return s, nil
+}
+
+// Answer builds the answer to offer per RFC 3264: it selects the first
+// payload type both sides support and binds the answerer's host:port.
+// It returns an error if no codec is shared.
+func (offer *Session) Answer(origin, host string, port int, supported []int) (*Session, error) {
+	for _, pt := range offer.PayloadTypes {
+		for _, sp := range supported {
+			if pt == sp {
+				return &Session{
+					Origin:       origin,
+					SessionID:    offer.SessionID,
+					Version:      offer.Version + 1,
+					Host:         host,
+					Port:         port,
+					PayloadTypes: []int{pt},
+				}, nil
+			}
+		}
+	}
+	return nil, errors.New("sdp: no codec in common")
+}

@@ -1,0 +1,71 @@
+package sip
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestRoundTrip(t *testing.T) {
+	ch := DigestChallenge{Realm: "unb.br", Nonce: "abc123"}
+	parsed, ok := ParseDigestChallenge(ch.Header())
+	if !ok || parsed != ch {
+		t.Fatalf("challenge round trip: %+v ok=%v", parsed, ok)
+	}
+	creds := ch.Answer("alice", "s3cret", REGISTER, "sip:unb.br")
+	parsedCreds, ok := ParseDigestCredentials(creds.Header())
+	if !ok || parsedCreds != creds {
+		t.Fatalf("credentials round trip: %+v ok=%v", parsedCreds, ok)
+	}
+	if !ch.Verify(parsedCreds, "s3cret", REGISTER) {
+		t.Error("valid credentials rejected")
+	}
+}
+
+func TestDigestRejectsWrongPassword(t *testing.T) {
+	ch := DigestChallenge{Realm: "r", Nonce: "n"}
+	creds := ch.Answer("alice", "right", REGISTER, "sip:r")
+	if ch.Verify(creds, "wrong", REGISTER) {
+		t.Error("wrong password accepted")
+	}
+}
+
+func TestDigestRejectsWrongMethodOrNonce(t *testing.T) {
+	ch := DigestChallenge{Realm: "r", Nonce: "n"}
+	creds := ch.Answer("alice", "pw", REGISTER, "sip:r")
+	if ch.Verify(creds, "pw", INVITE) {
+		t.Error("method substitution accepted")
+	}
+	stale := DigestChallenge{Realm: "r", Nonce: "other"}
+	if stale.Verify(creds, "pw", REGISTER) {
+		t.Error("stale nonce accepted")
+	}
+	foreign := DigestChallenge{Realm: "r2", Nonce: "n"}
+	if foreign.Verify(creds, "pw", REGISTER) {
+		t.Error("foreign realm accepted")
+	}
+}
+
+func TestDigestPropertyVerifyMatchesAnswer(t *testing.T) {
+	f := func(u, p, nonce uint16) bool {
+		ch := DigestChallenge{Realm: "realm", Nonce: string(rune('a'+nonce%26)) + "nonce"}
+		user := "user" + string(rune('a'+u%26))
+		pw := "pw" + string(rune('a'+p%26))
+		creds := ch.Answer(user, pw, INVITE, "sip:pbx")
+		return ch.Verify(creds, pw, INVITE) && !ch.Verify(creds, pw+"x", INVITE)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDigestGarbage(t *testing.T) {
+	if _, ok := ParseDigestChallenge("Basic foo"); ok {
+		t.Error("Basic accepted as Digest")
+	}
+	if _, ok := ParseDigestChallenge("Digest realm=\"r\""); ok {
+		t.Error("challenge without nonce accepted")
+	}
+	if _, ok := ParseDigestCredentials("Digest realm=\"r\""); ok {
+		t.Error("credentials without username/response accepted")
+	}
+}

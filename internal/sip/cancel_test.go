@@ -1,0 +1,113 @@
+package sip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func TestCancelPendingCall(t *testing.T) {
+	// Callee rings for 30 s; caller gives up after 5 s.
+	sched, alice, bob := phonePair(t, 30*time.Second)
+	var bobCall *Call
+	bob.OnIncoming = func(c *Call) { bobCall = c }
+
+	call := alice.Invite("bob")
+	call.OnRinging = func(c *Call) {
+		alice.ep.Clock().AfterFunc(5*time.Second, func() { alice.Cancel(c) })
+	}
+	var cause EndCause = -1
+	call.OnEnded = func(c *Call) { cause = c.Cause() }
+	sched.Run(2 * time.Minute)
+
+	if cause != EndCanceled {
+		t.Fatalf("caller cause = %v, want canceled", cause)
+	}
+	if call.RejectStatus() != StatusRequestTerminated {
+		t.Errorf("status = %d, want 487", call.RejectStatus())
+	}
+	if bobCall == nil || bobCall.State() != CallTerminated || bobCall.Cause() != EndCanceled {
+		t.Errorf("callee call: %+v", bobCall)
+	}
+	if alice.ActiveCalls() != 0 || bob.ActiveCalls() != 0 {
+		t.Errorf("calls leaked after cancel: %d/%d", alice.ActiveCalls(), bob.ActiveCalls())
+	}
+}
+
+func TestCancelAfterAnswerIsNoop(t *testing.T) {
+	sched, alice, _ := phonePair(t, 0)
+	call := alice.Invite("bob")
+	established := false
+	call.OnEstablished = func(c *Call) {
+		established = true
+		alice.Cancel(c) // must be ignored: the call is answered
+	}
+	sched.Run(time.Minute)
+	if !established {
+		t.Fatal("call not established")
+	}
+	if call.State() != CallEstablished {
+		t.Errorf("state = %v after post-answer Cancel", call.State())
+	}
+}
+
+func TestCancelRaceWithAnswer(t *testing.T) {
+	// Cancel lands just as the callee answers (3 s ring, cancel at
+	// 3 s): whichever wins, the system must settle with no leaked
+	// calls and consistent states.
+	sched, alice, bob := phonePair(t, 3*time.Second)
+	call := alice.Invite("bob")
+	alice.ep.Clock().AfterFunc(3*time.Second, func() { alice.Cancel(call) })
+	sched.Run(2 * time.Minute)
+
+	switch call.State() {
+	case CallEstablished:
+		// Answer won; hang up to drain.
+		alice.Hangup(call)
+		sched.Run(sched.Now() + time.Minute)
+	case CallTerminated:
+		// Cancel won.
+	default:
+		t.Fatalf("unsettled state %v", call.State())
+	}
+	sched.Run(sched.Now() + 2*time.Minute)
+	if alice.ActiveCalls() != 0 || bob.ActiveCalls() != 0 {
+		t.Errorf("leak after race: %d/%d", alice.ActiveCalls(), bob.ActiveCalls())
+	}
+}
+
+func TestCancelForUnknownTransactionGets481(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(5))
+	clock := transport.SimClock{Sched: sched}
+	epA := NewEndpoint(transport.NewSim(net, "a:5060"), clock)
+	epB := NewEndpoint(transport.NewSim(net, "b:5060"), clock)
+	epB.Handle(func(tx *ServerTx, req *Message, src string) {})
+
+	cancel := NewRequest(CANCEL, NewURI("x", "b", 5060),
+		NameAddr{URI: NewURI("a", "a", 5060), Tag: "t"},
+		NameAddr{URI: NewURI("x", "b", 5060)}, "ghost", 1)
+	cancel.CSeq.Method = CANCEL
+	var status int
+	epA.SendRequest("b:5060", cancel, func(resp *Message) { status = resp.StatusCode })
+	sched.Run(time.Minute)
+	if status != 481 {
+		t.Errorf("status = %d, want 481", status)
+	}
+}
+
+func TestCancelledCalleeStopsRingingTimer(t *testing.T) {
+	// After a cancel, the callee's pending answer timer must not fire
+	// a 200 into the void.
+	sched, alice, bob := phonePair(t, 10*time.Second)
+	call := alice.Invite("bob")
+	alice.ep.Clock().AfterFunc(2*time.Second, func() { alice.Cancel(call) })
+	sched.Run(5 * time.Minute)
+	st := bob.ep.StatsSnapshot()
+	if st.Sent["200"] > 1 { // only the BYE-less world: 200 for nothing but CANCEL handled at tx layer
+		t.Errorf("bob sent %d 200s after cancel", st.Sent["200"])
+	}
+}

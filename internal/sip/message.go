@@ -1,0 +1,324 @@
+package sip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Method is a SIP request method.
+type Method string
+
+// The methods the call flow uses.
+const (
+	INVITE   Method = "INVITE"
+	ACK      Method = "ACK"
+	BYE      Method = "BYE"
+	CANCEL   Method = "CANCEL"
+	REGISTER Method = "REGISTER"
+	OPTIONS  Method = "OPTIONS"
+	// MESSAGE is RFC 3428 instant messaging — the PBX "SMS messaging"
+	// capability the paper lists among Asterisk's features.
+	MESSAGE Method = "MESSAGE"
+)
+
+// Standard status codes used by the flow in Fig. 2 and the error paths.
+const (
+	StatusTrying             = 100
+	StatusRinging            = 180
+	StatusOK                 = 200
+	StatusAccepted           = 202
+	StatusMovedTemporarily   = 302
+	StatusUnauthorized       = 401
+	StatusNotFound           = 404
+	StatusRequestTimeout     = 408
+	StatusBusyHere           = 486
+	StatusRequestTerminated  = 487
+	StatusTemporarilyDenied  = 403
+	StatusInternalError      = 500
+	StatusServiceUnavailable = 503
+	StatusDeclined           = 603
+)
+
+// ReasonPhrase returns the canonical reason phrase for a status code.
+func ReasonPhrase(code int) string {
+	switch code {
+	case StatusTrying:
+		return "Trying"
+	case StatusRinging:
+		return "Ringing"
+	case StatusOK:
+		return "OK"
+	case StatusAccepted:
+		return "Accepted"
+	case StatusMovedTemporarily:
+		return "Moved Temporarily"
+	case StatusUnauthorized:
+		return "Unauthorized"
+	case StatusTemporarilyDenied:
+		return "Forbidden"
+	case StatusNotFound:
+		return "Not Found"
+	case StatusRequestTimeout:
+		return "Request Timeout"
+	case StatusBusyHere:
+		return "Busy Here"
+	case StatusRequestTerminated:
+		return "Request Terminated"
+	case StatusInternalError:
+		return "Server Internal Error"
+	case StatusServiceUnavailable:
+		return "Service Unavailable"
+	case StatusDeclined:
+		return "Decline"
+	default:
+		return "Unknown"
+	}
+}
+
+// Via is a Via header entry; the branch parameter identifies the
+// transaction and SentBy the sender's address.
+type Via struct {
+	Transport string // "UDP"
+	SentBy    string // host:port
+	Branch    string
+}
+
+// BranchPrefix is the RFC 3261 magic cookie every branch must carry.
+const BranchPrefix = "z9hG4bK"
+
+func (v Via) String() string {
+	t := v.Transport
+	if t == "" {
+		t = "UDP"
+	}
+	s := fmt.Sprintf("SIP/2.0/%s %s", t, v.SentBy)
+	if v.Branch != "" {
+		s += ";branch=" + v.Branch
+	}
+	return s
+}
+
+// CSeq pairs the command sequence number with its method.
+type CSeq struct {
+	Seq    uint32
+	Method Method
+}
+
+func (c CSeq) String() string { return fmt.Sprintf("%d %s", c.Seq, c.Method) }
+
+// Header is a generic header preserved through parsing for headers the
+// typed model does not interpret.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Message is a SIP request or response. A message is a request when
+// Method != "" and a response when StatusCode != 0; exactly one holds
+// for a valid message.
+type Message struct {
+	// Request start line.
+	Method     Method
+	RequestURI URI
+	// Response start line.
+	StatusCode int
+	ReasonStr  string
+	// Headers.
+	Via         []Via // topmost first
+	From, To    NameAddr
+	CallID      string
+	CSeq        CSeq
+	Contact     *NameAddr
+	MaxForwards int
+	Expires     int // -1 when absent
+	ContentType string
+	// WWWAuthenticate and Authorization carry digest auth material.
+	WWWAuthenticate string
+	Authorization   string
+	// UserAgent / Server product token.
+	UserAgent string
+	// Other preserves unrecognized headers verbatim.
+	Other []Header
+	// Body is the payload (SDP in this system).
+	Body []byte
+}
+
+// IsRequest reports whether m is a request.
+func (m *Message) IsRequest() bool { return m.Method != "" && m.StatusCode == 0 }
+
+// IsResponse reports whether m is a response.
+func (m *Message) IsResponse() bool { return m.StatusCode != 0 }
+
+// Reason returns the response reason phrase, defaulting to the
+// canonical phrase for the status code.
+func (m *Message) Reason() string {
+	if m.ReasonStr != "" {
+		return m.ReasonStr
+	}
+	return ReasonPhrase(m.StatusCode)
+}
+
+// TopVia returns the first Via, or nil if none.
+func (m *Message) TopVia() *Via {
+	if len(m.Via) == 0 {
+		return nil
+	}
+	return &m.Via[0]
+}
+
+// TransactionKey identifies the transaction a message belongs to per
+// the RFC 3261 (17.1.3/17.2.3) branch rule: the top Via branch plus
+// the CSeq method. ACK and CANCEL requests keep their own method here
+// (a CANCEL is its own transaction); use MatchingInviteKey to locate
+// the INVITE transaction they refer to.
+func (m *Message) TransactionKey() string {
+	branch := ""
+	if v := m.TopVia(); v != nil {
+		branch = v.Branch
+	}
+	return branch + "|" + string(m.CSeq.Method)
+}
+
+// MatchingInviteKey returns the key of the INVITE transaction an ACK
+// or CANCEL request targets: same branch, method INVITE.
+func (m *Message) MatchingInviteKey() string {
+	branch := ""
+	if v := m.TopVia(); v != nil {
+		branch = v.Branch
+	}
+	return branch + "|" + string(INVITE)
+}
+
+// DialogID returns the dialog identifier from this message's
+// perspective: Call-ID plus local/remote tags. For a UAS, local is the
+// To tag; for a UAC, local is the From tag.
+func (m *Message) DialogID(uas bool) string {
+	if uas {
+		return m.CallID + "|" + m.To.Tag + "|" + m.From.Tag
+	}
+	return m.CallID + "|" + m.From.Tag + "|" + m.To.Tag
+}
+
+// NewRequest builds a request with the mandatory headers filled in.
+func NewRequest(method Method, uri URI, from, to NameAddr, callID string, seq uint32) *Message {
+	return &Message{
+		Method:      method,
+		RequestURI:  uri,
+		From:        from,
+		To:          to,
+		CallID:      callID,
+		CSeq:        CSeq{Seq: seq, Method: method},
+		MaxForwards: 70,
+		Expires:     -1,
+	}
+}
+
+// Response builds a response to request req with the given status,
+// copying the headers RFC 3261 8.2.6.2 requires (Via chain, From, To,
+// Call-ID, CSeq). The To tag is left as the request had it; UAS code
+// sets its tag explicitly.
+func (req *Message) Response(status int) *Message {
+	return &Message{
+		StatusCode: status,
+		Via:        append([]Via(nil), req.Via...),
+		From:       req.From,
+		To:         req.To,
+		CallID:     req.CallID,
+		CSeq:       req.CSeq,
+		Expires:    -1,
+	}
+}
+
+// Append renders the message in wire form, appended to dst.
+func (m *Message) Append(dst []byte) []byte {
+	var b strings.Builder
+	if m.IsRequest() {
+		fmt.Fprintf(&b, "%s %s SIP/2.0\r\n", m.Method, m.RequestURI.String())
+	} else {
+		fmt.Fprintf(&b, "SIP/2.0 %d %s\r\n", m.StatusCode, m.Reason())
+	}
+	for _, v := range m.Via {
+		fmt.Fprintf(&b, "Via: %s\r\n", v.String())
+	}
+	if m.MaxForwards > 0 {
+		fmt.Fprintf(&b, "Max-Forwards: %d\r\n", m.MaxForwards)
+	}
+	fmt.Fprintf(&b, "From: %s\r\n", m.From.String())
+	fmt.Fprintf(&b, "To: %s\r\n", m.To.String())
+	fmt.Fprintf(&b, "Call-ID: %s\r\n", m.CallID)
+	fmt.Fprintf(&b, "CSeq: %s\r\n", m.CSeq.String())
+	if m.Contact != nil {
+		fmt.Fprintf(&b, "Contact: %s\r\n", m.Contact.String())
+	}
+	if m.Expires >= 0 {
+		fmt.Fprintf(&b, "Expires: %d\r\n", m.Expires)
+	}
+	if m.WWWAuthenticate != "" {
+		fmt.Fprintf(&b, "WWW-Authenticate: %s\r\n", m.WWWAuthenticate)
+	}
+	if m.Authorization != "" {
+		fmt.Fprintf(&b, "Authorization: %s\r\n", m.Authorization)
+	}
+	if m.UserAgent != "" {
+		fmt.Fprintf(&b, "User-Agent: %s\r\n", m.UserAgent)
+	}
+	for _, h := range m.Other {
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
+	}
+	if m.ContentType != "" && len(m.Body) > 0 {
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", m.ContentType)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(m.Body))
+	dst = append(dst, b.String()...)
+	return append(dst, m.Body...)
+}
+
+// Marshal renders the message in wire form.
+func (m *Message) Marshal() []byte { return m.Append(nil) }
+
+func (m *Message) String() string {
+	if m.IsRequest() {
+		return fmt.Sprintf("%s %s (%s)", m.Method, m.RequestURI.String(), m.CallID)
+	}
+	return fmt.Sprintf("%d %s (%s %s)", m.StatusCode, m.Reason(), m.CSeq.Method, m.CallID)
+}
+
+// parseCSeq parses "42 INVITE".
+func parseCSeq(s string) (CSeq, error) {
+	numStr, method, ok := strings.Cut(strings.TrimSpace(s), " ")
+	if !ok {
+		return CSeq{}, fmt.Errorf("sip: malformed CSeq %q", s)
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(numStr), 10, 32)
+	if err != nil {
+		return CSeq{}, fmt.Errorf("sip: malformed CSeq %q", s)
+	}
+	return CSeq{Seq: uint32(n), Method: Method(strings.TrimSpace(method))}, nil
+}
+
+// parseVia parses "SIP/2.0/UDP host:port;branch=...".
+func parseVia(s string) (Via, error) {
+	var v Via
+	rest, ok := strings.CutPrefix(strings.TrimSpace(s), "SIP/2.0/")
+	if !ok {
+		return v, fmt.Errorf("sip: malformed Via %q", s)
+	}
+	transport, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return v, fmt.Errorf("sip: malformed Via %q", s)
+	}
+	v.Transport = transport
+	parts := strings.Split(rest, ";")
+	v.SentBy = strings.TrimSpace(parts[0])
+	if v.SentBy == "" {
+		return v, fmt.Errorf("sip: malformed Via %q", s)
+	}
+	for _, p := range parts[1:] {
+		k, val, _ := strings.Cut(strings.TrimSpace(p), "=")
+		if strings.EqualFold(k, "branch") {
+			v.Branch = val
+		}
+	}
+	return v, nil
+}

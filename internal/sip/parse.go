@@ -1,0 +1,186 @@
+package sip
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse errors.
+var (
+	ErrNotSIP       = errors.New("sip: not a SIP message")
+	ErrBadStartLine = errors.New("sip: malformed start line")
+	ErrBadHeader    = errors.New("sip: malformed header")
+	ErrBodyLength   = errors.New("sip: body length mismatch")
+)
+
+// LooksLikeSIP reports whether data plausibly starts a SIP message —
+// used by taps to separate SIP from RTP on a shared capture, the way a
+// protocol analyzer classifies packets.
+func LooksLikeSIP(data []byte) bool {
+	if len(data) < 12 {
+		return false
+	}
+	if strings.HasPrefix(string(data[:8]), "SIP/2.0 ") {
+		return true
+	}
+	// Request: "METHOD sip:... SIP/2.0"
+	head := string(data[:min(len(data), 64)])
+	sp := strings.IndexByte(head, ' ')
+	if sp <= 0 {
+		return false
+	}
+	for _, m := range []Method{INVITE, ACK, BYE, CANCEL, REGISTER, OPTIONS, MESSAGE} {
+		if head[:sp] == string(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse decodes a SIP message from wire form. The body is copied, so
+// the caller may reuse data.
+func Parse(data []byte) (*Message, error) {
+	text := string(data)
+	headerEnd := strings.Index(text, "\r\n\r\n")
+	if headerEnd < 0 {
+		return nil, fmt.Errorf("%w: missing header terminator", ErrNotSIP)
+	}
+	head := text[:headerEnd]
+	body := data[headerEnd+4:]
+
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return nil, ErrNotSIP
+	}
+	m := &Message{Expires: -1}
+	if err := parseStartLine(m, lines[0]); err != nil {
+		return nil, err
+	}
+
+	contentLength := -1
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrBadHeader, line)
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		switch strings.ToLower(name) {
+		case "via", "v":
+			v, err := parseVia(value)
+			if err != nil {
+				return nil, err
+			}
+			m.Via = append(m.Via, v)
+		case "from", "f":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: From: %v", ErrBadHeader, err)
+			}
+			m.From = na
+		case "to", "t":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: To: %v", ErrBadHeader, err)
+			}
+			m.To = na
+		case "call-id", "i":
+			m.CallID = value
+		case "cseq":
+			cs, err := parseCSeq(value)
+			if err != nil {
+				return nil, err
+			}
+			m.CSeq = cs
+		case "contact", "m":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: Contact: %v", ErrBadHeader, err)
+			}
+			m.Contact = &na
+		case "max-forwards":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: Max-Forwards %q", ErrBadHeader, value)
+			}
+			m.MaxForwards = n
+		case "expires":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: Expires %q", ErrBadHeader, value)
+			}
+			m.Expires = n
+		case "content-type", "c":
+			m.ContentType = value
+		case "content-length", "l":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: Content-Length %q", ErrBadHeader, value)
+			}
+			contentLength = n
+		case "www-authenticate":
+			m.WWWAuthenticate = value
+		case "authorization":
+			m.Authorization = value
+		case "user-agent", "server":
+			m.UserAgent = value
+		default:
+			m.Other = append(m.Other, Header{Name: name, Value: value})
+		}
+	}
+
+	if contentLength >= 0 {
+		if contentLength > len(body) {
+			return nil, fmt.Errorf("%w: declared %d, have %d", ErrBodyLength, contentLength, len(body))
+		}
+		body = body[:contentLength]
+	}
+	if len(body) > 0 {
+		m.Body = append([]byte(nil), body...)
+	}
+
+	// Minimal mandatory-header validation (RFC 3261 8.1.1).
+	if m.CallID == "" {
+		return nil, fmt.Errorf("%w: missing Call-ID", ErrBadHeader)
+	}
+	if m.CSeq.Method == "" {
+		return nil, fmt.Errorf("%w: missing CSeq", ErrBadHeader)
+	}
+	return m, nil
+}
+
+func parseStartLine(m *Message, line string) error {
+	if rest, ok := strings.CutPrefix(line, "SIP/2.0 "); ok {
+		codeStr, reason, _ := strings.Cut(rest, " ")
+		code, err := strconv.Atoi(codeStr)
+		if err != nil || code < 100 || code > 699 {
+			return fmt.Errorf("%w: %q", ErrBadStartLine, line)
+		}
+		m.StatusCode = code
+		m.ReasonStr = reason
+		return nil
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 || parts[2] != "SIP/2.0" {
+		return fmt.Errorf("%w: %q", ErrBadStartLine, line)
+	}
+	uri, err := ParseURI(parts[1])
+	if err != nil {
+		return err
+	}
+	m.Method = Method(parts[0])
+	m.RequestURI = uri
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,280 @@
+package sip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// phonePair wires two phones directly to each other (each phone's
+// proxy is the other phone), exercising the full UA call flow without
+// a PBX in between.
+func phonePair(t *testing.T, answerDelay time.Duration) (*netsim.Scheduler, *Phone, *Phone) {
+	t.Helper()
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(5))
+	net.SetDuplexLink("alice", "bob", netsim.LinkProfile{Delay: time.Millisecond})
+	clock := transport.SimClock{Sched: sched}
+	alice := NewPhone(NewEndpoint(transport.NewSim(net, "alice:5060"), clock),
+		PhoneConfig{User: "alice", Proxy: "bob:5060", MediaPort: 4000})
+	bob := NewPhone(NewEndpoint(transport.NewSim(net, "bob:5060"), clock),
+		PhoneConfig{User: "bob", Proxy: "alice:5060", MediaPort: 4100, AnswerDelay: answerDelay})
+	return sched, alice, bob
+}
+
+func TestDirectCallLifecycle(t *testing.T) {
+	sched, alice, bob := phonePair(t, 0)
+	var established, ended, rang bool
+	var bobCall *Call
+	bob.OnIncoming = func(c *Call) { bobCall = c }
+
+	call := alice.Invite("bob")
+	call.OnRinging = func(*Call) { rang = true }
+	call.OnEstablished = func(c *Call) {
+		established = true
+		// Hang up two minutes in, like the paper's h=120s calls.
+		alice.ep.Clock().AfterFunc(120*time.Second, func() { alice.Hangup(c) })
+	}
+	call.OnEnded = func(*Call) { ended = true }
+
+	sched.Run(5 * time.Minute)
+
+	if !rang || !established || !ended {
+		t.Fatalf("rang=%v established=%v ended=%v", rang, established, ended)
+	}
+	if call.Cause() != EndCompleted {
+		t.Errorf("cause = %v", call.Cause())
+	}
+	if bobCall == nil {
+		t.Fatal("bob never saw the call")
+	}
+	if bobCall.State() != CallTerminated || bobCall.Cause() != EndRemoteBye {
+		t.Errorf("bob call state=%v cause=%v", bobCall.State(), bobCall.Cause())
+	}
+	if d := call.Duration(); d < 119*time.Second || d > 121*time.Second {
+		t.Errorf("call duration = %v, want ~120s", d)
+	}
+	if alice.ActiveCalls() != 0 || bob.ActiveCalls() != 0 {
+		t.Errorf("calls leaked: %d/%d", alice.ActiveCalls(), bob.ActiveCalls())
+	}
+}
+
+func TestCallMediaNegotiation(t *testing.T) {
+	sched, alice, bob := phonePair(t, 0)
+	var aliceMedia, bobMedia MediaInfo
+	var bobCall *Call
+	bob.OnIncoming = func(c *Call) {
+		bobCall = c
+		c.OnEstablished = func(c *Call) { bobMedia = c.Media() }
+	}
+	call := alice.Invite("bob")
+	call.OnEstablished = func(c *Call) { aliceMedia = c.Media() }
+	sched.Run(time.Minute)
+
+	if bobCall == nil {
+		t.Fatal("no incoming call")
+	}
+	if aliceMedia.RemoteHost != "bob" || aliceMedia.RemotePort != bobMedia.LocalPort {
+		t.Errorf("alice media %+v vs bob %+v", aliceMedia, bobMedia)
+	}
+	if bobMedia.RemoteHost != "alice" || bobMedia.RemotePort != aliceMedia.LocalPort {
+		t.Errorf("bob media %+v vs alice %+v", bobMedia, aliceMedia)
+	}
+	if aliceMedia.PayloadType != 0 {
+		t.Errorf("negotiated PT = %d, want 0 (PCMU)", aliceMedia.PayloadType)
+	}
+}
+
+func TestAnswerDelayRingsFirst(t *testing.T) {
+	sched, alice, _ := phonePair(t, 3*time.Second)
+	var ringAt, estAt time.Duration
+	call := alice.Invite("bob")
+	call.OnRinging = func(*Call) { ringAt = sched.Now() }
+	call.OnEstablished = func(*Call) { estAt = sched.Now() }
+	sched.Run(time.Minute)
+	if ringAt == 0 || estAt == 0 {
+		t.Fatalf("ringAt=%v estAt=%v", ringAt, estAt)
+	}
+	if estAt-ringAt < 3*time.Second {
+		t.Errorf("answered after %v of ringing, want >= 3s", estAt-ringAt)
+	}
+	if call.SetupTime() < 3*time.Second {
+		t.Errorf("setup time = %v", call.SetupTime())
+	}
+}
+
+func TestCalleeHangsUp(t *testing.T) {
+	sched, alice, bob := phonePair(t, 0)
+	bob.OnIncoming = func(c *Call) {
+		c.OnEstablished = func(c *Call) {
+			bob.ep.Clock().AfterFunc(10*time.Second, func() { bob.Hangup(c) })
+		}
+	}
+	call := alice.Invite("bob")
+	var cause EndCause = -1
+	call.OnEnded = func(c *Call) { cause = c.Cause() }
+	sched.Run(time.Minute)
+	if cause != EndRemoteBye {
+		t.Errorf("alice cause = %v, want remote-bye", cause)
+	}
+}
+
+func TestThirteenMessagesPerCall(t *testing.T) {
+	// Fig. 2 / Sec. IV: 9 messages to establish, 4 to tear down. With
+	// two directly-wired phones (single hop) the wire carries:
+	// INVITE, 180, 200, ACK (setup: 4) + BYE, 200 (teardown: 2).
+	// Through the PBX each is doubled plus the PBX's own 100 Trying,
+	// giving the paper's 13; the PBX test asserts that. Here we pin
+	// the single-hop counts to lock the UA behaviour down.
+	sched, alice, bob := phonePair(t, 0)
+	call := alice.Invite("bob")
+	call.OnEstablished = func(c *Call) {
+		alice.ep.Clock().AfterFunc(time.Second, func() { alice.Hangup(c) })
+	}
+	sched.Run(time.Minute)
+
+	a := alice.ep.StatsSnapshot()
+	b := bob.ep.StatsSnapshot()
+	if a.Sent["INVITE"] != 1 || a.Sent["ACK"] != 1 || a.Sent["BYE"] != 1 {
+		t.Errorf("alice sent: %+v", a.Sent)
+	}
+	if b.Sent["180"] != 1 || b.Sent["200"] != 2 {
+		t.Errorf("bob sent: %+v", b.Sent)
+	}
+	if a.Retransmissions != 0 || b.Retransmissions != 0 {
+		t.Errorf("retransmissions on a clean link: %d/%d", a.Retransmissions, b.Retransmissions)
+	}
+}
+
+func TestConcurrentCallsDistinctMediaPorts(t *testing.T) {
+	sched, alice, bob := phonePair(t, 0)
+	_ = bob
+	ports := make(map[int]bool)
+	for i := 0; i < 5; i++ {
+		c := alice.Invite("bob")
+		c.OnEstablished = func(c *Call) {
+			p := c.Media().LocalPort
+			if ports[p] {
+				t.Errorf("media port %d reused across live calls", p)
+			}
+			ports[p] = true
+		}
+	}
+	sched.Run(time.Minute)
+	if len(ports) != 5 {
+		t.Errorf("established %d calls, want 5", len(ports))
+	}
+}
+
+func TestMediaPortRecycled(t *testing.T) {
+	sched, alice, _ := phonePair(t, 0)
+	var firstPort int
+	c1 := alice.Invite("bob")
+	c1.OnEstablished = func(c *Call) {
+		firstPort = c.Media().LocalPort
+		alice.Hangup(c)
+	}
+	c1.OnEnded = func(*Call) {
+		c2 := alice.Invite("bob")
+		c2.OnEstablished = func(c *Call) {
+			if c.Media().LocalPort != firstPort {
+				t.Errorf("port not recycled: first=%d second=%d", firstPort, c.Media().LocalPort)
+			}
+		}
+	}
+	sched.Run(time.Minute)
+	if firstPort == 0 {
+		t.Fatal("first call never established")
+	}
+}
+
+func TestRegisterWithDigest(t *testing.T) {
+	// A registrar stub that challenges then accepts.
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(5))
+	clock := transport.SimClock{Sched: sched}
+	regEP := NewEndpoint(transport.NewSim(net, "pbx:5060"), clock)
+	ch := DigestChallenge{Realm: "unb.br", Nonce: "n1"}
+	regEP.Handle(func(tx *ServerTx, req *Message, src string) {
+		if req.Method != REGISTER {
+			tx.Respond(req.Response(StatusInternalError))
+			return
+		}
+		if req.Authorization == "" {
+			resp := req.Response(StatusUnauthorized)
+			resp.WWWAuthenticate = ch.Header()
+			tx.Respond(resp)
+			return
+		}
+		creds, ok := ParseDigestCredentials(req.Authorization)
+		if ok && ch.Verify(creds, "pw-alice", REGISTER) {
+			tx.Respond(req.Response(StatusOK))
+		} else {
+			tx.Respond(req.Response(StatusTemporarilyDenied))
+		}
+	})
+
+	alice := NewPhone(NewEndpoint(transport.NewSim(net, "alice:5060"), clock),
+		PhoneConfig{User: "alice", Password: "pw-alice", Proxy: "pbx:5060"})
+	var ok, done bool
+	alice.Register(time.Hour, func(success bool) { ok = success; done = true })
+	sched.Run(time.Minute)
+	if !done || !ok {
+		t.Fatalf("register done=%v ok=%v", done, ok)
+	}
+	if !alice.Registered() {
+		t.Error("phone does not consider itself registered")
+	}
+
+	// Wrong password must fail.
+	mallory := NewPhone(NewEndpoint(transport.NewSim(net, "mallory:5060"), clock),
+		PhoneConfig{User: "alice", Password: "wrong", Proxy: "pbx:5060"})
+	var mok, mdone bool
+	mallory.Register(time.Hour, func(success bool) { mok = success; mdone = true })
+	sched.Run(2 * time.Minute)
+	if !mdone || mok {
+		t.Fatalf("mallory register done=%v ok=%v", mdone, mok)
+	}
+}
+
+func TestRejectedCallReportsStatus(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(5))
+	clock := transport.SimClock{Sched: sched}
+	// A server that rejects all INVITEs with 503, like a saturated PBX.
+	busy := NewEndpoint(transport.NewSim(net, "pbx:5060"), clock)
+	busy.Handle(func(tx *ServerTx, req *Message, src string) {
+		resp := req.Response(StatusServiceUnavailable)
+		resp.To.Tag = "pbxtag"
+		tx.Respond(resp)
+	})
+	alice := NewPhone(NewEndpoint(transport.NewSim(net, "alice:5060"), clock),
+		PhoneConfig{User: "alice", Proxy: "pbx:5060"})
+	call := alice.Invite("bob")
+	var endedCause EndCause = -1
+	call.OnEnded = func(c *Call) { endedCause = c.Cause() }
+	sched.Run(time.Minute)
+	if endedCause != EndRejected {
+		t.Fatalf("cause = %v", endedCause)
+	}
+	if call.RejectStatus() != StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", call.RejectStatus())
+	}
+}
+
+func TestInviteTimeoutEndsCall(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(5))
+	net.SetDefaultProfile(netsim.LinkProfile{Loss: 1})
+	clock := transport.SimClock{Sched: sched}
+	alice := NewPhone(NewEndpoint(transport.NewSim(net, "alice:5060"), clock),
+		PhoneConfig{User: "alice", Proxy: "pbx:5060"})
+	call := alice.Invite("bob")
+	sched.Run(2 * time.Minute)
+	if call.State() != CallTerminated || call.Cause() != EndTimeout {
+		t.Errorf("state=%v cause=%v", call.State(), call.Cause())
+	}
+}

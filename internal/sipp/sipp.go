@@ -1,0 +1,392 @@
+// Package sipp reproduces the paper's traffic generator: "The SIPp
+// v3.3 is used for generating SIP traffic" (Sec. III-C), with one
+// client bank placing calls at arrival rate λ and one server bank
+// answering them, each call holding for h seconds (Fig. 5):
+//
+//  1. the SIP client (SIPp_C) generates calls with arrival rate λ;
+//  2. the SIP server (SIPp_S) answers the calls;
+//  3. both exchange RTP packets for h seconds;
+//  4. voice quality and the blocking rate are evaluated and recorded.
+package sipp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/mos"
+	"repro/internal/netsim"
+	"repro/internal/sip"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// ArrivalProcess selects how call placements are spaced.
+type ArrivalProcess int
+
+// Arrival processes.
+const (
+	// ArrivalPoisson uses exponential interarrival times — the
+	// assumption under which Erlang-B is exact.
+	ArrivalPoisson ArrivalProcess = iota
+	// ArrivalUniform spaces calls deterministically at 1/rate — the
+	// ablation comparator.
+	ArrivalUniform
+)
+
+// HoldDistribution selects call duration behaviour.
+type HoldDistribution int
+
+// Hold distributions.
+const (
+	// HoldFixed holds every call exactly Hold seconds, like the
+	// paper's h = 120 s dialogues.
+	HoldFixed HoldDistribution = iota
+	// HoldExponential draws exponential durations with mean Hold —
+	// the textbook Erlang-B assumption, used to demonstrate the
+	// model's insensitivity property.
+	HoldExponential
+)
+
+// MediaMode selects the voice-path model.
+type MediaMode int
+
+// Media modes.
+const (
+	// MediaNone runs signalling only; quality comes from the
+	// flow-level model applied afterwards.
+	MediaNone MediaMode = iota
+	// MediaPacketized runs a real RTP session per established call.
+	MediaPacketized
+)
+
+// Config parameterizes one load scenario.
+type Config struct {
+	// Rate is the call arrival rate λ in calls/second (A = λ·h).
+	Rate float64
+	// Window is the placement window (the paper uses 180 s).
+	Window time.Duration
+	// Warmup excludes calls placed during the first Warmup of the
+	// window from the aggregate results. They still run and load the
+	// server; they just are not counted. Zero (the paper's setting)
+	// counts everything, including the empty-system transient; setting
+	// Warmup ≈ Hold measures steady-state blocking, which is what
+	// Erlang-B predicts.
+	Warmup time.Duration
+	// Hold is the (mean) call duration h (the paper uses 120 s).
+	Hold time.Duration
+	// Patience, when positive, models caller abandonment: a call that
+	// has not been answered after Patience is CANCELled. The paper's
+	// auto-answering UAS answers within milliseconds, so abandonment
+	// only shows with a configured AnswerDelay or a broken path.
+	Patience time.Duration
+	// AnswerDelay is how long the answering side rings before its
+	// automatic 200 OK (the paper's SIPp UAS answers immediately).
+	AnswerDelay time.Duration
+	// Arrivals and HoldDist select the stochastic shape.
+	Arrivals ArrivalProcess
+	HoldDist HoldDistribution
+	// Media selects the voice-path model.
+	Media MediaMode
+	// Target is the callee extension all calls dial.
+	Target string
+	// ScoreCodec is the E-model profile for per-call MOS
+	// (default mos.G711PLC, VoIPmonitor-style).
+	ScoreCodec mos.Codec
+	// Seed drives arrivals and hold sampling.
+	Seed uint64
+}
+
+// CallRecord is the per-call outcome row.
+type CallRecord struct {
+	ID          int
+	PlacedAt    time.Duration
+	Established bool
+	Blocked     bool // rejected with 486/503 (capacity)
+	Abandoned   bool // caller gave up ringing (CANCEL)
+	Failed      bool // any other non-establishment
+	Status      int  // final SIP status for non-established calls
+	SetupTime   time.Duration
+	Duration    time.Duration
+	// MOS is the caller-side score for packetized media; 0 otherwise.
+	MOS float64
+	// CallerMedia/CalleeMedia are the RTP reports in packetized mode.
+	CallerMedia media.Report
+	CalleeMedia media.Report
+
+	// warmup marks calls placed before the warmup deadline; they are
+	// excluded from aggregates.
+	warmup bool
+}
+
+// Results aggregates a finished scenario.
+type Results struct {
+	Attempts    int
+	Established int
+	Blocked     int
+	Abandoned   int
+	Failed      int
+	// BlockingProbability = Blocked / Attempts.
+	BlockingProbability float64
+	// MOS summarizes completed scored calls only — the paper notes
+	// VoIPmonitor "does not consider dropped calls".
+	MOS stats.Summary
+	// SetupTime summarizes call establishment latency.
+	SetupTime stats.Summary
+	// RTPSent/RTPReceived total the media packets at the endpoints.
+	RTPSent, RTPReceived uint64
+	// PeakConcurrent tracks simultaneous established calls at the
+	// generator.
+	PeakConcurrent int
+	Records        []CallRecord
+}
+
+// Generator drives one scenario: a caller phone bank and an answering
+// phone, both behind the PBX under test.
+type Generator struct {
+	cfg    Config
+	net    *netsim.Network
+	clock  transport.SimClock
+	caller *sip.Phone
+	callee *sip.Phone
+	rng    *stats.RNG
+
+	callerHost, calleeHost string
+
+	placed      int
+	active      int
+	results     Results
+	done        func(Results)
+	outstanding int
+	windowOver  bool
+	windowStart time.Duration
+}
+
+// New creates a generator whose phones live on callerHost and
+// calleeHost and sign in to the PBX at proxy. Register the phones (via
+// Start) before traffic begins.
+func New(net *netsim.Network, callerHost, calleeHost, proxy string, cfg Config) *Generator {
+	if cfg.Target == "" {
+		cfg.Target = "uas"
+	}
+	if cfg.ScoreCodec.Name == "" {
+		cfg.ScoreCodec = mos.G711PLC
+	}
+	clock := transport.SimClock{Sched: net.Scheduler()}
+	g := &Generator{
+		cfg:        cfg,
+		net:        net,
+		clock:      clock,
+		rng:        stats.NewRNG(cfg.Seed ^ 0x51bb),
+		callerHost: callerHost,
+		calleeHost: calleeHost,
+	}
+	g.caller = sip.NewPhone(
+		sip.NewEndpoint(transport.NewSim(net, callerHost+":5060"), clock),
+		sip.PhoneConfig{User: "uac", Password: "pw-uac", Proxy: proxy, MediaPort: 20000})
+	g.callee = sip.NewPhone(
+		sip.NewEndpoint(transport.NewSim(net, calleeHost+":5060"), clock),
+		sip.PhoneConfig{User: cfg.Target, Password: "pw-" + cfg.Target, Proxy: proxy,
+			MediaPort: 30000, AnswerDelay: cfg.AnswerDelay})
+	return g
+}
+
+// Phones returns the generator's client and server phones (for user
+// provisioning).
+func (g *Generator) Phones() (client, server *sip.Phone) { return g.caller, g.callee }
+
+// Start registers both phones and schedules the arrival process. done
+// fires when the window has closed and every placed call has ended.
+func (g *Generator) Start(done func(Results)) {
+	g.done = done
+	registered := 0
+	onReg := func(ok bool) {
+		if !ok {
+			panic("sipp: phone registration failed; provision uac/" + g.cfg.Target)
+		}
+		registered++
+		if registered == 2 {
+			g.wireCalleeMedia()
+			g.windowStart = g.clock.Now()
+			g.scheduleNextArrival()
+			g.clock.AfterFunc(g.cfg.Window, func() {
+				g.windowOver = true
+				g.maybeFinish()
+			})
+		}
+	}
+	g.caller.Register(time.Hour, onReg)
+	g.callee.Register(time.Hour, onReg)
+}
+
+// wireCalleeMedia makes the answering phone start an RTP session per
+// call in packetized mode.
+func (g *Generator) wireCalleeMedia() {
+	if g.cfg.Media != MediaPacketized {
+		return
+	}
+	g.callee.OnIncoming = func(c *sip.Call) {
+		var sess *media.Session
+		c.OnEstablished = func(c *sip.Call) {
+			sess = g.newSession(g.calleeHost, c)
+			sess.Start()
+		}
+		c.OnEnded = func(c *sip.Call) {
+			if sess != nil {
+				// Keep receiving briefly for in-flight packets, then
+				// close and file the report with the matching record.
+				report := sess.Report(g.cfg.ScoreCodec)
+				g.attachCalleeReport(c.CallID, report)
+				sess.Close()
+			}
+		}
+	}
+}
+
+func (g *Generator) newSession(host string, c *sip.Call) *media.Session {
+	mi := c.Media()
+	tr := transport.NewSim(g.net, fmt.Sprintf("%s:%d", host, mi.LocalPort))
+	return media.NewSession(tr, g.clock, media.SessionConfig{
+		Remote:      fmt.Sprintf("%s:%d", mi.RemoteHost, mi.RemotePort),
+		PayloadType: uint8(mi.PayloadType),
+		SSRC:        uint32(mi.LocalPort)<<8 | 1,
+	})
+}
+
+// attachCalleeReport files the callee-side media report on the record
+// whose caller leg shares... the B2BUA gives each leg its own Call-ID,
+// so records are matched positionally: callee call k belongs to the
+// k-th established record. The generator serializes inside the event
+// loop, so a simple FIFO suffices.
+func (g *Generator) attachCalleeReport(callID string, rep media.Report) {
+	for i := range g.results.Records {
+		r := &g.results.Records[i]
+		if r.Established && r.CalleeMedia.Sent == 0 && r.CalleeMedia.Stream.Received == 0 {
+			r.CalleeMedia = rep
+			g.results.RTPSent += rep.Sent
+			g.results.RTPReceived += rep.Stream.Received
+			return
+		}
+	}
+}
+
+// scheduleNextArrival plants the next call placement, stopping once
+// the next arrival would land past the placement window.
+func (g *Generator) scheduleNextArrival() {
+	if g.cfg.Rate <= 0 {
+		return
+	}
+	var gap time.Duration
+	switch g.cfg.Arrivals {
+	case ArrivalUniform:
+		gap = time.Duration(float64(time.Second) / g.cfg.Rate)
+	default:
+		gap = time.Duration(g.rng.Exp(1/g.cfg.Rate) * float64(time.Second))
+	}
+	if g.clock.Now()+gap > g.windowStart+g.cfg.Window {
+		return
+	}
+	g.clock.AfterFunc(gap, func() {
+		g.placeCall()
+		g.scheduleNextArrival()
+	})
+}
+
+// placeCall runs steps 1–4 of the evaluation procedure for one call.
+func (g *Generator) placeCall() {
+	id := g.placed
+	g.placed++
+	g.outstanding++
+	rec := CallRecord{ID: id, PlacedAt: g.clock.Now()}
+	rec.warmup = g.clock.Now() < g.windowStart+g.cfg.Warmup
+
+	hold := g.cfg.Hold
+	if g.cfg.HoldDist == HoldExponential {
+		hold = time.Duration(g.rng.Exp(float64(g.cfg.Hold)))
+	}
+
+	call := g.caller.Invite(g.cfg.Target)
+	if g.cfg.Patience > 0 {
+		g.clock.AfterFunc(g.cfg.Patience, func() {
+			if call.State() != sip.CallEstablished && call.State() != sip.CallTerminated {
+				g.caller.Cancel(call)
+			}
+		})
+	}
+	var sess *media.Session
+	call.OnEstablished = func(c *sip.Call) {
+		rec.Established = true
+		rec.SetupTime = c.SetupTime()
+		g.active++
+		if g.active > g.results.PeakConcurrent {
+			g.results.PeakConcurrent = g.active
+		}
+		if g.cfg.Media == MediaPacketized {
+			sess = g.newSession(g.callerHost, c)
+			sess.Start()
+		}
+		g.clock.AfterFunc(hold, func() { g.caller.Hangup(c) })
+	}
+	call.OnEnded = func(c *sip.Call) {
+		if rec.Established {
+			g.active--
+			rec.Duration = c.Duration()
+		} else {
+			rec.Status = c.RejectStatus()
+			switch {
+			case c.Cause() == sip.EndCanceled:
+				rec.Abandoned = true
+			case c.Cause() == sip.EndRejected &&
+				(rec.Status == sip.StatusServiceUnavailable || rec.Status == sip.StatusBusyHere):
+				rec.Blocked = true
+			default:
+				rec.Failed = true
+			}
+		}
+		if sess != nil {
+			rec.CallerMedia = sess.Report(g.cfg.ScoreCodec)
+			rec.MOS = rec.CallerMedia.MOS
+			g.results.RTPSent += rec.CallerMedia.Sent
+			g.results.RTPReceived += rec.CallerMedia.Stream.Received
+			sess.Close()
+		}
+		g.record(rec)
+	}
+}
+
+func (g *Generator) record(rec CallRecord) {
+	g.results.Records = append(g.results.Records, rec)
+	g.outstanding--
+	if rec.warmup {
+		g.maybeFinish()
+		return
+	}
+	g.results.Attempts++
+	switch {
+	case rec.Established:
+		g.results.Established++
+		if rec.MOS > 0 {
+			g.results.MOS.Add(rec.MOS)
+		}
+		g.results.SetupTime.Add(float64(rec.SetupTime) / float64(time.Millisecond))
+	case rec.Blocked:
+		g.results.Blocked++
+	case rec.Abandoned:
+		g.results.Abandoned++
+	default:
+		g.results.Failed++
+	}
+	g.maybeFinish()
+}
+
+func (g *Generator) maybeFinish() {
+	if !g.windowOver || g.outstanding > 0 || g.done == nil {
+		return
+	}
+	if g.results.Attempts > 0 {
+		g.results.BlockingProbability = float64(g.results.Blocked) / float64(g.results.Attempts)
+	}
+	done := g.done
+	g.done = nil
+	done(g.results)
+}

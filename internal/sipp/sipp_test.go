@@ -1,0 +1,300 @@
+package sipp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/netsim"
+	"repro/internal/pbx"
+	"repro/internal/sip"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// testbed builds network + PBX + generator, provisioned and ready.
+func testbed(t *testing.T, pbxCfg pbx.Config, genCfg Config) (*netsim.Scheduler, *pbx.Server, *Generator) {
+	t.Helper()
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(77))
+	net.SetDefaultProfile(netsim.LinkProfile{Delay: time.Millisecond})
+	clock := transport.SimClock{Sched: sched}
+
+	dir := directory.New()
+	dir.AddUser(directory.User{Username: "uac", Password: "pw-uac"})
+	dir.AddUser(directory.User{Username: "uas", Password: "pw-uas"})
+	factory := func(port int) (transport.Transport, error) {
+		return transport.NewSim(net, fmt.Sprintf("pbx:%d", port)), nil
+	}
+	server := pbx.New(sip.NewEndpoint(transport.NewSim(net, "pbx:5060"), clock), dir, factory, pbxCfg)
+	gen := New(net, "sippc", "sipps", "pbx:5060", genCfg)
+	return sched, server, gen
+}
+
+func runToCompletion(t *testing.T, sched *netsim.Scheduler, gen *Generator) Results {
+	t.Helper()
+	var out Results
+	done := false
+	gen.Start(func(r Results) { out = r; done = true })
+	for i := 0; i < 50 && !done; i++ {
+		sched.Run(sched.Now() + 10*time.Minute)
+	}
+	if !done {
+		t.Fatal("generator did not finish")
+	}
+	return out
+}
+
+func TestPoissonArrivalCount(t *testing.T) {
+	// λ = 1/3 call/s over 180 s → ~60 calls (paper's A=40 row).
+	sched, _, gen := testbed(t, pbx.Config{}, Config{
+		Rate:   1.0 / 3,
+		Window: 180 * time.Second,
+		Hold:   120 * time.Second,
+		Seed:   1,
+	})
+	res := runToCompletion(t, sched, gen)
+	if res.Attempts < 40 || res.Attempts > 80 {
+		t.Errorf("attempts = %d, want ~60", res.Attempts)
+	}
+	if res.Blocked != 0 || res.Failed != 0 {
+		t.Errorf("unexpected blocked=%d failed=%d", res.Blocked, res.Failed)
+	}
+	if res.Established != res.Attempts {
+		t.Errorf("established=%d != attempts=%d", res.Established, res.Attempts)
+	}
+	// ~40 concurrent at steady state (A = λh = 40).
+	if res.PeakConcurrent < 25 || res.PeakConcurrent > 60 {
+		t.Errorf("peak concurrent = %d, want ~40-50", res.PeakConcurrent)
+	}
+}
+
+func TestUniformArrivalsDeterministicCount(t *testing.T) {
+	sched, _, gen := testbed(t, pbx.Config{}, Config{
+		Rate:     0.5,
+		Window:   60 * time.Second,
+		Hold:     10 * time.Second,
+		Arrivals: ArrivalUniform,
+		Seed:     1,
+	})
+	res := runToCompletion(t, sched, gen)
+	// Every 2s within 60s: 30 calls exactly.
+	if res.Attempts != 30 {
+		t.Errorf("attempts = %d, want 30", res.Attempts)
+	}
+}
+
+func TestCallDurationFixed(t *testing.T) {
+	sched, _, gen := testbed(t, pbx.Config{}, Config{
+		Rate:   0.2,
+		Window: 30 * time.Second,
+		Hold:   15 * time.Second,
+		Seed:   2,
+	})
+	res := runToCompletion(t, sched, gen)
+	for _, rec := range res.Records {
+		if !rec.Established {
+			continue
+		}
+		if rec.Duration < 14*time.Second || rec.Duration > 16*time.Second {
+			t.Errorf("call %d duration %v, want ~15s", rec.ID, rec.Duration)
+		}
+	}
+}
+
+func TestExponentialHoldMean(t *testing.T) {
+	sched, _, gen := testbed(t, pbx.Config{}, Config{
+		Rate:     2,
+		Window:   120 * time.Second,
+		Hold:     20 * time.Second,
+		HoldDist: HoldExponential,
+		Seed:     3,
+	})
+	res := runToCompletion(t, sched, gen)
+	var s stats.Summary
+	for _, rec := range res.Records {
+		if rec.Established {
+			s.Add(rec.Duration.Seconds())
+		}
+	}
+	if s.N() < 100 {
+		t.Fatalf("too few calls: %d", s.N())
+	}
+	if math.Abs(s.Mean()-20) > 4 {
+		t.Errorf("mean hold = %vs, want ~20s", s.Mean())
+	}
+	if s.Stddev() < 10 {
+		t.Errorf("hold stddev = %v; exponential expected ~mean", s.Stddev())
+	}
+}
+
+func TestBlockingRecorded(t *testing.T) {
+	sched, server, gen := testbed(t, pbx.Config{MaxChannels: 5}, Config{
+		Rate:   2,
+		Window: 60 * time.Second,
+		Hold:   30 * time.Second,
+		Seed:   4,
+	})
+	res := runToCompletion(t, sched, gen)
+	if res.Blocked == 0 {
+		t.Fatal("no blocking with a 5-channel cap under ~60 Erlangs")
+	}
+	if res.BlockingProbability <= 0.5 {
+		t.Errorf("blocking probability = %v, want high", res.BlockingProbability)
+	}
+	for _, rec := range res.Records {
+		if rec.Blocked && rec.Status != sip.StatusServiceUnavailable {
+			t.Errorf("blocked call %d status %d", rec.ID, rec.Status)
+		}
+	}
+	c := server.CountersSnapshot()
+	if int(c.Blocked) != res.Blocked {
+		t.Errorf("server blocked %d vs generator %d", c.Blocked, res.Blocked)
+	}
+	if res.Attempts != res.Established+res.Blocked+res.Failed {
+		t.Errorf("accounting: %d != %d+%d+%d", res.Attempts, res.Established, res.Blocked, res.Failed)
+	}
+}
+
+func TestWarmupExcludedFromAggregates(t *testing.T) {
+	sched, _, gen := testbed(t, pbx.Config{}, Config{
+		Rate:     1,
+		Window:   60 * time.Second,
+		Warmup:   30 * time.Second,
+		Hold:     5 * time.Second,
+		Arrivals: ArrivalUniform,
+		Seed:     5,
+	})
+	res := runToCompletion(t, sched, gen)
+	// 60 placed, first ~30 in warmup.
+	if len(res.Records) != 60 {
+		t.Fatalf("records = %d, want 60 (all calls recorded)", len(res.Records))
+	}
+	if res.Attempts < 28 || res.Attempts > 32 {
+		t.Errorf("counted attempts = %d, want ~30 (warmup excluded)", res.Attempts)
+	}
+}
+
+func TestPacketizedMediaReports(t *testing.T) {
+	sched, server, gen := testbed(t,
+		pbx.Config{RelayRTP: true},
+		Config{
+			Rate:   0.2,
+			Window: 20 * time.Second,
+			Hold:   30 * time.Second,
+			Media:  MediaPacketized,
+			Seed:   6,
+		})
+	res := runToCompletion(t, sched, gen)
+	if res.Established == 0 {
+		t.Fatal("no calls established")
+	}
+	if res.MOS.N() != res.Established {
+		t.Errorf("MOS scored %d of %d calls", res.MOS.N(), res.Established)
+	}
+	if res.MOS.Mean() < 4.2 {
+		t.Errorf("clean-path MOS = %v", res.MOS.Mean())
+	}
+	// 30s call at 50pps ≈ 1500 packets per direction per call.
+	wantMin := uint64(res.Established) * 1400
+	if res.RTPSent < wantMin {
+		t.Errorf("RTP sent = %d, want >= %d", res.RTPSent, wantMin)
+	}
+	for _, rec := range res.Records {
+		if !rec.Established {
+			continue
+		}
+		if rec.CallerMedia.Sent == 0 || rec.CalleeMedia.Sent == 0 {
+			t.Errorf("call %d missing media reports: caller=%d callee=%d",
+				rec.ID, rec.CallerMedia.Sent, rec.CalleeMedia.Sent)
+		}
+		if rec.MOS < 4.0 {
+			t.Errorf("call %d MOS = %v", rec.ID, rec.MOS)
+		}
+	}
+	if c := server.CountersSnapshot(); c.RelayedPackets == 0 {
+		t.Error("PBX relayed nothing in packetized mode")
+	}
+}
+
+func TestSetupTimeRecorded(t *testing.T) {
+	sched, _, gen := testbed(t, pbx.Config{}, Config{
+		Rate:   0.5,
+		Window: 20 * time.Second,
+		Hold:   5 * time.Second,
+		Seed:   7,
+	})
+	res := runToCompletion(t, sched, gen)
+	if res.SetupTime.N() == 0 {
+		t.Fatal("no setup times recorded")
+	}
+	// 4 link traversals (INVITE in/out, 200 in/out) at 1 ms ≈ 4-8 ms.
+	if res.SetupTime.Mean() < 2 || res.SetupTime.Mean() > 20 {
+		t.Errorf("mean setup = %v ms", res.SetupTime.Mean())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Results {
+		sched, _, gen := testbed(t, pbx.Config{MaxChannels: 20}, Config{
+			Rate:   1,
+			Window: 60 * time.Second,
+			Hold:   30 * time.Second,
+			Seed:   42,
+		})
+		return runToCompletion(t, sched, gen)
+	}
+	a, b := run(), run()
+	if a.Attempts != b.Attempts || a.Blocked != b.Blocked || a.Established != b.Established {
+		t.Errorf("replay diverged: %+v vs %+v", a.Attempts, b.Attempts)
+	}
+}
+
+func TestAbandonmentWithPatience(t *testing.T) {
+	// Callee rings 15 s; callers give up at 5 s: every call abandons.
+	sched, server, gen := testbed(t, pbx.Config{}, Config{
+		Rate:        0.5,
+		Window:      20 * time.Second,
+		Hold:        10 * time.Second,
+		Patience:    5 * time.Second,
+		AnswerDelay: 15 * time.Second,
+		Seed:        8,
+	})
+	res := runToCompletion(t, sched, gen)
+	if res.Attempts == 0 {
+		t.Fatal("no attempts")
+	}
+	if res.Abandoned != res.Attempts {
+		t.Errorf("abandoned %d of %d with patience << ring time", res.Abandoned, res.Attempts)
+	}
+	if res.Established != 0 || res.Blocked != 0 || res.Failed != 0 {
+		t.Errorf("misclassified: %+v", res)
+	}
+	c := server.CountersSnapshot()
+	if int(c.Canceled) != res.Abandoned {
+		t.Errorf("server canceled %d vs generator %d", c.Canceled, res.Abandoned)
+	}
+	if server.ActiveChannels() != 0 {
+		t.Errorf("channels leaked: %d", server.ActiveChannels())
+	}
+}
+
+func TestPatienceLongerThanRingIsHarmless(t *testing.T) {
+	sched, _, gen := testbed(t, pbx.Config{}, Config{
+		Rate:        0.5,
+		Window:      20 * time.Second,
+		Hold:        10 * time.Second,
+		Patience:    10 * time.Second,
+		AnswerDelay: 2 * time.Second,
+		Seed:        9,
+	})
+	res := runToCompletion(t, sched, gen)
+	if res.Abandoned != 0 {
+		t.Errorf("abandoned = %d with patience > ring time", res.Abandoned)
+	}
+	if res.Established != res.Attempts {
+		t.Errorf("established %d of %d", res.Established, res.Attempts)
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Samples
+// below Lo land in an underflow bucket, samples at or above Hi in an
+// overflow bucket, so no observation is silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	counts    []uint64
+	under     uint64
+	over      uint64
+	total     uint64
+	sum       float64
+	bucketLen float64
+}
+
+// NewHistogram creates a histogram with n equal buckets spanning [lo, hi).
+// It panics if n <= 0 or hi <= lo, which indicates a programming error
+// in the experiment setup rather than a runtime condition.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{
+		Lo:        lo,
+		Hi:        hi,
+		counts:    make([]uint64, n),
+		bucketLen: (hi - lo) / float64(n),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / h.bucketLen)
+		if i >= len(h.counts) { // guard against float rounding at the edge
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() uint64 { return h.under }
+
+// Overflow returns the count of samples at or above Hi.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// Quantile returns an estimate of the q-quantile (0<=q<=1) assuming
+// uniform density inside buckets. Out-of-range mass is attributed to
+// the boundary values.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	acc := float64(h.under)
+	if acc >= target {
+		return h.Lo
+	}
+	for i, c := range h.counts {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.Lo + (float64(i)+frac)*h.bucketLen
+		}
+		acc = next
+	}
+	return h.Hi
+}
+
+// String renders a compact ASCII sketch, useful in experiment logs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := uint64(1)
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	fmt.Fprintf(&b, "histogram [%g,%g) n=%d mean=%.3g\n", h.Lo, h.Hi, h.total, h.Mean())
+	for i, c := range h.counts {
+		bar := int(40 * c / maxCount)
+		fmt.Fprintf(&b, "  %8.3g %8d %s\n", h.Lo+float64(i)*h.bucketLen, c, strings.Repeat("#", bar))
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "  underflow=%d overflow=%d\n", h.under, h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+// Package stats provides the random-variate generation and descriptive
+// statistics used throughout the capacity evaluation: seeded RNG streams,
+// exponential/Poisson sampling for call arrivals and hold times, running
+// summaries, percentiles, confidence intervals and histograms.
+//
+// Everything here is deterministic given a seed, which is what makes the
+// discrete-event experiments reproducible, and nothing here allocates on
+// the sampling fast path.
+package stats
+
+import "math"
+
+// RNG is a small, fast, seedable pseudo-random generator
+// (xoshiro256**, Blackman & Vigna). It is deliberately not
+// math/rand so that experiment streams are stable across Go releases
+// and so that independent streams can be split deterministically.
+//
+// RNG is not safe for concurrent use; give each goroutine its own
+// stream via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64, which
+// guarantees a well-mixed nonzero state for any seed including zero.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives a new, statistically independent stream from r.
+// The parent stream advances, so successive Splits yield distinct children.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Float64 returns a uniform sample in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
+
+// Exp returns an exponential variate with the given mean.
+// A zero or negative mean returns 0.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return -mean * math.Log(1-u)
+}
+
+// Poisson returns a Poisson variate with the given mean using
+// Knuth's method for small means and the PTRS transformed-rejection
+// method of Hörmann for large means.
+func (r *RNG) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		return r.poissonPTRS(mean)
+	}
+}
+
+func (r *RNG) poissonPTRS(mu float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mu)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mu + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(mu)-mu-lg {
+			return int(k)
+		}
+	}
+}
+
+// Norm returns a normal variate with the given mean and standard
+// deviation using the polar (Marsaglia) method.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

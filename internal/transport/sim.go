@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// SimClock adapts a netsim.Scheduler to the Clock interface.
+type SimClock struct {
+	Sched *netsim.Scheduler
+}
+
+// Now returns the scheduler's virtual time.
+func (c SimClock) Now() time.Duration { return c.Sched.Now() }
+
+// AfterFunc schedules fn on the simulation event loop.
+func (c SimClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return c.Sched.After(d, func(time.Duration) { fn() })
+}
+
+// SimTransport binds a host:port on a simulated network.
+type SimTransport struct {
+	net   *netsim.Network
+	addr  netsim.Addr
+	recv  Receiver
+	local string
+}
+
+// NewSim binds addr ("host:port") on n. It panics on a malformed
+// address, which is a programming error in experiment setup.
+func NewSim(n *netsim.Network, addr string) *SimTransport {
+	na, err := parseAddr(addr)
+	if err != nil {
+		panic(err)
+	}
+	t := &SimTransport{net: n, addr: na, local: addr}
+	n.Bind(na, netsim.HandlerFunc(func(now time.Duration, pkt *netsim.Packet) {
+		if t.recv != nil {
+			t.recv(pkt.Src.String(), pkt.Payload)
+		}
+	}))
+	return t
+}
+
+// Send queues a datagram on the simulated network.
+func (t *SimTransport) Send(dst string, data []byte) {
+	da, err := parseAddr(dst)
+	if err != nil {
+		return // invalid destination: datagram semantics, drop
+	}
+	t.net.Send(t.addr, da, data)
+}
+
+// LocalAddr returns the bound address.
+func (t *SimTransport) LocalAddr() string { return t.local }
+
+// SetReceiver installs the inbound handler.
+func (t *SimTransport) SetReceiver(r Receiver) { t.recv = r }
+
+// Close unbinds the port.
+func (t *SimTransport) Close() error {
+	t.net.Unbind(t.addr)
+	return nil
+}
+
+func parseAddr(s string) (netsim.Addr, error) {
+	host, portStr, ok := strings.Cut(s, ":")
+	if !ok || host == "" {
+		return netsim.Addr{}, fmt.Errorf("transport: malformed address %q", s)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 || port > 65535 {
+		return netsim.Addr{}, fmt.Errorf("transport: malformed port in %q", s)
+	}
+	return netsim.Addr{Host: host, Port: port}, nil
+}

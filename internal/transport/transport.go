@@ -1,0 +1,45 @@
+// Package transport abstracts datagram I/O and time so the SIP stack,
+// the PBX and the load generator run unchanged over two substrates:
+//
+//   - the deterministic discrete-event network of internal/netsim
+//     (virtual time, used by all experiments), and
+//   - real UDP sockets with wall-clock time (used by cmd/pbxd,
+//     cmd/sipload and the realudp example).
+//
+// Addresses are plain "host:port" strings in both worlds.
+package transport
+
+import "time"
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it had not yet fired.
+	Stop() bool
+}
+
+// Clock schedules callbacks, in virtual or real time.
+type Clock interface {
+	// Now returns the time elapsed since the clock's origin.
+	Now() time.Duration
+	// AfterFunc runs fn after d. fn runs on the clock's dispatch
+	// context: the simulation event loop for virtual clocks, a
+	// dedicated goroutine for the real clock.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Receiver consumes inbound datagrams. src is the sender's address.
+type Receiver func(src string, data []byte)
+
+// Transport sends and receives datagrams.
+type Transport interface {
+	// Send transmits data to dst ("host:port"). Datagram transports
+	// are lossy by nature; Send does not report delivery.
+	Send(dst string, data []byte)
+	// LocalAddr returns this endpoint's own address.
+	LocalAddr() string
+	// SetReceiver installs the inbound handler. Must be called before
+	// any packet arrives; a nil receiver drops packets.
+	SetReceiver(r Receiver)
+	// Close releases the port.
+	Close() error
+}

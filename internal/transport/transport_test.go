@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+func TestSimClock(t *testing.T) {
+	sched := netsim.NewScheduler()
+	clock := SimClock{Sched: sched}
+	if clock.Now() != 0 {
+		t.Errorf("initial now = %v", clock.Now())
+	}
+	fired := time.Duration(-1)
+	clock.AfterFunc(7*time.Millisecond, func() { fired = clock.Now() })
+	sched.Run(time.Second)
+	if fired != 7*time.Millisecond {
+		t.Errorf("fired at %v", fired)
+	}
+}
+
+func TestSimClockTimerStop(t *testing.T) {
+	sched := netsim.NewScheduler()
+	clock := SimClock{Sched: sched}
+	fired := false
+	tm := clock.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false")
+	}
+	sched.Run(time.Second)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestSimTransportRoundTrip(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	a := NewSim(net, "hostA:5060")
+	b := NewSim(net, "hostB:5060")
+	var gotSrc string
+	var gotData []byte
+	b.SetReceiver(func(src string, data []byte) { gotSrc, gotData = src, data })
+	a.Send("hostB:5060", []byte("hello"))
+	sched.Run(time.Second)
+	if gotSrc != "hostA:5060" || string(gotData) != "hello" {
+		t.Errorf("got %q from %q", gotData, gotSrc)
+	}
+	if a.LocalAddr() != "hostA:5060" {
+		t.Errorf("local addr %q", a.LocalAddr())
+	}
+}
+
+func TestSimTransportInvalidDestinationDropped(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	a := NewSim(net, "hostA:5060")
+	a.Send("not-an-address", []byte("x")) // must not panic
+	a.Send("host:-1", []byte("x"))
+	sched.Run(time.Second)
+}
+
+func TestSimTransportBadBindPanics(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("bad bind address did not panic")
+		}
+	}()
+	NewSim(net, "no-port")
+}
+
+func TestSimTransportClose(t *testing.T) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	a := NewSim(net, "hostA:5060")
+	b := NewSim(net, "hostB:5060")
+	got := 0
+	b.SetReceiver(func(string, []byte) { got++ })
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.Send("hostB:5060", []byte("x"))
+	sched.Run(time.Second)
+	if got != 0 {
+		t.Errorf("closed transport received %d", got)
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	clock := NewRealClock()
+	a := clock.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := clock.Now()
+	if b <= a {
+		t.Errorf("clock not advancing: %v then %v", a, b)
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	clock := NewRealClock()
+	done := make(chan struct{})
+	clock.AfterFunc(5*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestRealClockTimerStop(t *testing.T) {
+	clock := NewRealClock()
+	fired := make(chan struct{}, 1)
+	tm := clock.AfterFunc(30*time.Millisecond, func() { fired <- struct{}{} })
+	if !tm.Stop() {
+		t.Error("Stop returned false")
+	}
+	select {
+	case <-fired:
+		t.Error("stopped timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestUDPTransportRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	got := make(chan string, 1)
+	b.SetReceiver(func(src string, data []byte) { got <- string(data) })
+	a.Send(b.LocalAddr(), []byte("ping"))
+	select {
+	case msg := <-got:
+		if msg != "ping" {
+			t.Errorf("got %q", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("datagram never arrived")
+	}
+}
+
+func TestUDPTransportReceiverCopiesData(t *testing.T) {
+	a, _ := ListenUDP("127.0.0.1:0")
+	defer a.Close()
+	b, _ := ListenUDP("127.0.0.1:0")
+	defer b.Close()
+	buffers := make(chan []byte, 2)
+	b.SetReceiver(func(src string, data []byte) { buffers <- data })
+	a.Send(b.LocalAddr(), []byte("first"))
+	first := <-buffers
+	a.Send(b.LocalAddr(), []byte("secnd"))
+	<-buffers
+	// The first buffer must be unchanged by the second receive.
+	if string(first) != "first" {
+		t.Errorf("receiver buffer aliased: %q", first)
+	}
+}
+
+func TestUDPTransportCloseStopsReads(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sending after close must not panic (datagram semantics).
+	a.Send("127.0.0.1:9", []byte("x"))
+}
+
+func TestUDPTransportBadAddr(t *testing.T) {
+	if _, err := ListenUDP("definitely not an address"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	a, _ := ListenUDP("127.0.0.1:0")
+	defer a.Close()
+	a.Send("bad destination", []byte("x")) // dropped silently
+}

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// RealClock implements Clock over the wall clock. Durations are
+// measured from the clock's creation so Now is comparable with
+// simulated clocks.
+type RealClock struct {
+	origin time.Time
+}
+
+// NewRealClock returns a wall clock with origin now.
+func NewRealClock() *RealClock { return &RealClock{origin: time.Now()} }
+
+// Now returns time elapsed since the clock's creation.
+func (c *RealClock) Now() time.Duration { return time.Since(c.origin) }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// AfterFunc delegates to time.AfterFunc.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+// UDPTransport implements Transport over a real UDP socket. A single
+// reader goroutine delivers inbound datagrams to the receiver.
+type UDPTransport struct {
+	conn *net.UDPConn
+	mu   sync.RWMutex
+	recv Receiver
+	done chan struct{}
+}
+
+// MaxDatagram is the read buffer size; SIP messages and G.711 RTP
+// frames are far below it.
+const MaxDatagram = 8192
+
+// ListenUDP binds a UDP socket on addr (e.g. "127.0.0.1:5060";
+// ":0" picks an ephemeral port) and starts the read loop.
+func ListenUDP(addr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	t := &UDPTransport{conn: conn, done: make(chan struct{})}
+	go t.readLoop()
+	return t, nil
+}
+
+func (t *UDPTransport) readLoop() {
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				// Transient error on a datagram socket; keep reading.
+				continue
+			}
+		}
+		t.mu.RLock()
+		r := t.recv
+		t.mu.RUnlock()
+		if r != nil {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			r(src.String(), data)
+		}
+	}
+}
+
+// Send transmits a datagram; resolution or write errors are dropped,
+// matching UDP semantics.
+func (t *UDPTransport) Send(dst string, data []byte) {
+	ua, err := net.ResolveUDPAddr("udp", dst)
+	if err != nil {
+		return
+	}
+	_, _ = t.conn.WriteToUDP(data, ua)
+}
+
+// LocalAddr returns the bound socket address.
+func (t *UDPTransport) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// SetReceiver installs the inbound handler.
+func (t *UDPTransport) SetReceiver(r Receiver) {
+	t.mu.Lock()
+	t.recv = r
+	t.mu.Unlock()
+}
+
+// Close stops the read loop and releases the socket.
+func (t *UDPTransport) Close() error {
+	close(t.done)
+	return t.conn.Close()
+}
