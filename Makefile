@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race chaos-smoke fuzz-smoke verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass of the cheap end-to-end chaos scenario (seeded, virtual
+# clock): every subsystem touched in about a second of wall time.
+chaos-smoke:
+	$(GO) test -run 'TestSmokeScenario' -count=1 ./internal/chaos/
+
+# Short coverage-guided fuzz of the SIP parser; regression seeds live
+# in internal/sip/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz=FuzzSIPParse -fuzztime=10s ./internal/sip/
+
+# The pre-merge gate: build, vet, full tests, race tests, chaos smoke.
+verify: build vet test race chaos-smoke
+	@echo "verify: all gates passed"

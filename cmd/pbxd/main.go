@@ -30,6 +30,7 @@ func main() {
 		relay    = flag.Bool("relay", true, "relay RTP through the server")
 		rtpBase  = flag.Int("rtp-base", 10000, "first RTP relay port")
 		quiet    = flag.Bool("quiet", false, "suppress periodic stats")
+		occ      = flag.Float64("occupancy", 0, "shed load at this fraction of capacity with 503+Retry-After (0 = hard cap)")
 	)
 	flag.Parse()
 
@@ -50,14 +51,22 @@ func main() {
 	factory := func(port int) (transport.Transport, error) {
 		return transport.ListenUDP(fmt.Sprintf("%s:%d", host, port))
 	}
-	server := pbx.New(ep, dir, factory, pbx.Config{
+	cfg := pbx.Config{
 		MaxChannels: *capacity,
 		RelayRTP:    *relay,
 		RTPPortBase: *rtpBase,
 		Seed:        uint64(time.Now().UnixNano()),
-	})
-	fmt.Printf("pbxd: listening on %s, capacity %d, %d users, relay=%v\n",
-		tr.LocalAddr(), *capacity, dir.Users(), *relay)
+	}
+	if *occ > 0 {
+		if *occ > 1 {
+			fmt.Fprintln(os.Stderr, "pbxd: -occupancy must be in (0,1]")
+			os.Exit(1)
+		}
+		cfg.Admission = pbx.OccupancyPolicy{Max: *capacity, Target: *occ}
+	}
+	server := pbx.New(ep, dir, factory, cfg)
+	fmt.Printf("pbxd: listening on %s, capacity %d, %d users, relay=%v, admission=%s\n",
+		tr.LocalAddr(), *capacity, dir.Users(), *relay, server.AdmissionPolicyName())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

@@ -28,8 +28,10 @@ func main() {
 		callee = flag.String("callee-addr", "127.0.0.1:0", "callee UDP bind address")
 		rate   = flag.Float64("rate", 1, "call arrival rate (calls/second)")
 		window = flag.Duration("window", 30*time.Second, "call placement window")
-		hold   = flag.Duration("hold", 10*time.Second, "call hold time")
-		target = flag.String("target", "uas", "extension to dial")
+		hold      = flag.Duration("hold", 10*time.Second, "call hold time")
+		target    = flag.String("target", "uas", "extension to dial")
+		retries   = flag.Int("retries", 0, "max re-attempts after a 503/486 rejection")
+		retryBase = flag.Duration("retry-base", 500*time.Millisecond, "base for exponential retry backoff")
 	)
 	flag.Parse()
 
@@ -70,29 +72,42 @@ func main() {
 		established int
 		blocked     int
 		failed      int
+		retried     int
 		wg          sync.WaitGroup
 	)
-	deadline := time.Now().Add(*window)
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	for time.Now().Before(deadline) {
-		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
-		time.Sleep(gap)
-		if !time.Now().Before(deadline) {
-			break
-		}
-		mu.Lock()
-		attempts++
-		mu.Unlock()
-		wg.Add(1)
+
+	// place dials once; on a capacity rejection (503/486) with retry
+	// budget left it backs off — honouring the server's Retry-After
+	// hint when it exceeds the exponential delay — and tries again.
+	var place func(try int)
+	place = func(try int) {
 		uac.InviteWithHandlers(*target, nil, func(c *sip.Call) {
 			mu.Lock()
 			established++
 			mu.Unlock()
 			time.AfterFunc(*hold, func() { uac.Hangup(c) })
 		}, func(c *sip.Call) {
+			capacity := false
+			if c.Cause() == sip.EndRejected {
+				capacity = c.RejectStatus() == sip.StatusServiceUnavailable ||
+					c.RejectStatus() == sip.StatusBusyHere
+			}
+			if capacity && try < *retries {
+				delay := *retryBase << uint(try)
+				if ra := time.Duration(c.RetryAfter()) * time.Second; ra > delay {
+					delay = ra
+				}
+				mu.Lock()
+				retried++
+				mu.Unlock()
+				delay += time.Duration(rng.Float64() * float64(*retryBase))
+				time.AfterFunc(delay, func() { place(try + 1) })
+				return
+			}
 			if c.Cause() == sip.EndRejected {
 				mu.Lock()
-				if c.RejectStatus() == sip.StatusServiceUnavailable || c.RejectStatus() == sip.StatusBusyHere {
+				if capacity {
 					blocked++
 				} else {
 					failed++
@@ -106,14 +121,28 @@ func main() {
 			wg.Done()
 		})
 	}
+
+	deadline := time.Now().Add(*window)
+	for time.Now().Before(deadline) {
+		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+		time.Sleep(gap)
+		if !time.Now().Before(deadline) {
+			break
+		}
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		wg.Add(1)
+		place(0)
+	}
 	wg.Wait()
 
 	pb := 0.0
 	if attempts > 0 {
 		pb = float64(blocked) / float64(attempts)
 	}
-	fmt.Printf("sipload: attempts=%d established=%d blocked=%d failed=%d Pb=%.2f%%\n",
-		attempts, established, blocked, failed, pb*100)
+	fmt.Printf("sipload: attempts=%d established=%d blocked=%d failed=%d retries=%d Pb=%.2f%%\n",
+		attempts, established, blocked, failed, retried, pb*100)
 	if math.IsNaN(pb) {
 		os.Exit(1)
 	}

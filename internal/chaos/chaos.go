@@ -1,0 +1,271 @@
+// Package chaos is a deterministic fault-injection harness for the
+// PBX: it composes netsim link impairments (loss, jitter, rate limits,
+// duplication, reordering) and control-plane faults (network
+// partitions) into named scenarios, drives full SIPp→PBX→SIPp call
+// flows through them on the virtual clock, and checks the invariants
+// that must survive any fault — no leaked channels, balanced CDRs,
+// conserved call accounting.
+//
+// Everything runs on the discrete-event scheduler with seeded RNGs:
+// a scenario is a pure function of its seed, so every run is
+// bit-reproducible and every failure is replayable. This is the
+// harness the overload-control layer (pbx.AdmissionPolicy +
+// client-side Retry-After backoff) is proven with.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/pbx"
+	"repro/internal/sip"
+	"repro/internal/sipp"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Host names of the fixed three-node topology (Fig. 1 of the paper:
+// client bank, PBX, server bank).
+const (
+	ClientHost = "sippc"
+	PBXHost    = "pbx"
+	ServerHost = "sipps"
+)
+
+// Partition blackholes the PBX signalling port for a window of virtual
+// time: packets addressed to it fall on the floor (counted as
+// no-route), exactly what a switch failure between the testbed hosts
+// looks like. Media relay ports stay bound — it is a signalling-plane
+// partition.
+type Partition struct {
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Fault bundles the injected impairments of one scenario.
+type Fault struct {
+	// ClientLink impairs both directions between the caller bank and
+	// the PBX; ServerLink likewise for PBX↔callee bank. A zero profile
+	// leaves the default clean 1 ms link in place.
+	ClientLink netsim.LinkProfile
+	ServerLink netsim.LinkProfile
+	// Partitions blackhole the PBX signalling port.
+	Partitions []Partition
+}
+
+// Scenario is one named chaos experiment.
+type Scenario struct {
+	Name string
+	Desc string
+	// Seed makes the run reproducible; it feeds the network, PBX and
+	// generator RNGs (with distinct salts).
+	Seed uint64
+	// Fault is what breaks.
+	Fault Fault
+	// PBX configures the server under test (admission policy, CPU
+	// model, channel pool).
+	PBX pbx.Config
+	// Load is the offered traffic.
+	Load sipp.Config
+}
+
+// Result is everything a run observed.
+type Result struct {
+	Scenario string
+	// Load is the generator's per-call view.
+	Load sipp.Results
+	// Counters/CDRs are the server's view.
+	Counters pbx.Counters
+	CDRs     []pbx.CDR
+	// Signaling holds the server endpoint's wire counters
+	// (retransmissions, timeouts, parse errors).
+	Signaling sip.Stats
+	// Timeline is the per-second wire activity; Capture the Table-I
+	// style totals.
+	Timeline *monitor.Timeline
+	Capture  *monitor.Capture
+	// Links maps "src->dst" to that direction's link counters.
+	Links map[string]netsim.LinkStats
+	// NoRoute counts packets that hit an unbound port (partitions).
+	NoRoute uint64
+	// Leak detectors, read after the post-run drain.
+	ActiveChannels     int
+	ActiveTransactions int
+	// CPU band (lo, mean, hi) over the busy plateau.
+	CPULo, CPUMean, CPUHi float64
+}
+
+// drainTail is how long the harness keeps the clock running after the
+// last call ends: past the 32 s transaction timeout and the 5 s
+// completed-transaction linger, so any leaked transaction is a real
+// leak and not a timer still draining.
+const drainTail = 40 * time.Second
+
+// Run executes one scenario to completion and returns the observation.
+func Run(sc Scenario) (*Result, error) {
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(sc.Seed^0xc4a05))
+	net.SetDefaultProfile(netsim.LinkProfile{Delay: time.Millisecond})
+	if sc.Fault.ClientLink != (netsim.LinkProfile{}) {
+		net.SetDuplexLink(ClientHost, PBXHost, sc.Fault.ClientLink)
+	}
+	if sc.Fault.ServerLink != (netsim.LinkProfile{}) {
+		net.SetDuplexLink(PBXHost, ServerHost, sc.Fault.ServerLink)
+	}
+
+	capture := monitor.NewCapture()
+	timeline := monitor.NewTimeline()
+	net.AddTap(capture.Tap())
+	net.AddTap(timeline.Tap())
+
+	clock := transport.SimClock{Sched: sched}
+	dir := directory.New()
+	dir.AddUser(directory.User{Username: "uac", Password: "pw-uac"})
+	target := sc.Load.Target
+	if target == "" {
+		target = "uas"
+	}
+	dir.AddUser(directory.User{Username: target, Password: "pw-" + target})
+
+	pbxCfg := sc.PBX
+	if pbxCfg.Seed == 0 {
+		pbxCfg.Seed = sc.Seed ^ 0x9b
+	}
+	if sc.Load.Media == sipp.MediaPacketized {
+		pbxCfg.RelayRTP = true
+	}
+	factory := func(port int) (transport.Transport, error) {
+		return transport.NewSim(net, fmt.Sprintf("%s:%d", PBXHost, port)), nil
+	}
+	pbxAddr := PBXHost + ":5060"
+	server := pbx.New(sip.NewEndpoint(transport.NewSim(net, pbxAddr), clock), dir, factory, pbxCfg)
+
+	loadCfg := sc.Load
+	if loadCfg.Seed == 0 {
+		loadCfg.Seed = sc.Seed ^ 0x51
+	}
+	gen := sipp.New(net, ClientHost, ServerHost, pbxAddr, loadCfg)
+
+	// Partitions: save the signalling binding, drop it for the window,
+	// restore it afterwards. Times are absolute virtual time.
+	sigAddr := netsim.Addr{Host: PBXHost, Port: 5060}
+	for _, p := range sc.Fault.Partitions {
+		p := p
+		sched.At(p.Start, func(time.Duration) {
+			saved := net.Handler(sigAddr)
+			if saved == nil {
+				return
+			}
+			net.Unbind(sigAddr)
+			sched.At(p.Start+p.Duration, func(time.Duration) {
+				net.Bind(sigAddr, saved)
+			})
+		})
+	}
+
+	var out sipp.Results
+	done := false
+	gen.Start(func(r sipp.Results) { out = r; done = true })
+	for i := 0; i < 200 && !done; i++ {
+		if _, err := sched.Run(sched.Now() + 10*time.Minute); err != nil {
+			return nil, err
+		}
+	}
+	if !done {
+		return nil, fmt.Errorf("chaos: scenario %q did not finish", sc.Name)
+	}
+	// Let retransmission timers, lingering transactions and in-flight
+	// packets drain so the leak checks below measure leaks, not timing.
+	if _, err := sched.Run(sched.Now() + drainTail); err != nil {
+		return nil, err
+	}
+	server.Close()
+
+	lo, mean, hi := server.CPUBand()
+	res := &Result{
+		Scenario:           sc.Name,
+		Load:               out,
+		Counters:           server.CountersSnapshot(),
+		CDRs:               server.CDRs(),
+		Signaling:          server.SignalingStats(),
+		Timeline:           timeline,
+		Capture:            capture,
+		NoRoute:            net.NoRoute(),
+		ActiveChannels:     server.ActiveChannels(),
+		ActiveTransactions: server.ActiveTransactions(),
+		CPULo:              lo,
+		CPUMean:            mean,
+		CPUHi:              hi,
+		Links:              map[string]netsim.LinkStats{},
+	}
+	for _, pair := range [][2]string{
+		{ClientHost, PBXHost}, {PBXHost, ClientHost},
+		{PBXHost, ServerHost}, {ServerHost, PBXHost},
+	} {
+		res.Links[pair[0]+"->"+pair[1]] = net.LinkStats(pair[0], pair[1])
+	}
+	return res, nil
+}
+
+// Goodput counts the calls that actually delivered service: established
+// and, when minMOS > 0, scored at or above that floor — the
+// quality-weighted goodput of the overload-control literature (a call
+// carried on a saturated host with unusable audio is not goodput).
+func (r *Result) Goodput(minMOS float64) int {
+	n := 0
+	for _, rec := range r.Load.Records {
+		if !rec.Established {
+			continue
+		}
+		if minMOS > 0 && rec.MOS < minMOS {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// CheckInvariants returns the violated invariants (empty = healthy).
+// These must hold for every scenario, however hostile:
+//
+//   - no channel leak: every admitted call released its channel;
+//   - no transaction leak after the drain tail;
+//   - CDRs balance the counters: completed CDRs == Completed,
+//     established CDRs == Established;
+//   - generator accounting conserves calls:
+//     Attempts == Established + Blocked + Abandoned + Failed.
+func (r *Result) CheckInvariants() []string {
+	var bad []string
+	if r.ActiveChannels != 0 {
+		bad = append(bad, fmt.Sprintf("channel leak: %d channels still held", r.ActiveChannels))
+	}
+	if r.ActiveTransactions != 0 {
+		bad = append(bad, fmt.Sprintf("transaction leak: %d transactions alive after drain", r.ActiveTransactions))
+	}
+	completed, established := 0, 0
+	for _, c := range r.CDRs {
+		if c.Completed {
+			completed++
+		}
+		if c.Established {
+			established++
+		}
+	}
+	if uint64(completed) != r.Counters.Completed {
+		bad = append(bad, fmt.Sprintf("CDR imbalance: %d completed CDRs vs Completed=%d",
+			completed, r.Counters.Completed))
+	}
+	if uint64(established) != r.Counters.Established {
+		bad = append(bad, fmt.Sprintf("CDR imbalance: %d established CDRs vs Established=%d",
+			established, r.Counters.Established))
+	}
+	l := r.Load
+	if l.Attempts != l.Established+l.Blocked+l.Abandoned+l.Failed {
+		bad = append(bad, fmt.Sprintf("call accounting: %d attempts != %d+%d+%d+%d",
+			l.Attempts, l.Established, l.Blocked, l.Abandoned, l.Failed))
+	}
+	return bad
+}

@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/netsim"
+	"repro/internal/pbx"
+	"repro/internal/sipp"
+)
+
+// Overload scenario calibration. The pool is scaled down from the
+// paper's 165 channels to keep event counts test-sized; the *shape*
+// is what matters: a CPU knee just above the controller's shed point
+// and well below the hard cap's operating point, so running at the
+// cap drops RTP (bad MOS) while shedding early does not.
+const (
+	// OverloadChannels is the channel pool (the "measured capacity").
+	OverloadChannels = 20
+	// OverloadHold is the per-call hold time.
+	OverloadHold = 15 * time.Second
+	// OverloadRate is 1.5× the capacity's critical rate: the pool
+	// sustains Channels/Hold ≈ 1.33 calls/s, so 2/s is a sustained
+	// 1.5× overload.
+	OverloadRate = 2.0
+	// OverloadWindow is the placement window.
+	OverloadWindow = 90 * time.Second
+	// GoodMOS is the quality floor for goodput: ITU-T "satisfied user"
+	// territory. Clean links (≈4% end-to-end loss) score ≈3.9–4.0;
+	// a saturated relay (≈12% loss) scores ≈3.1.
+	GoodMOS = 3.8
+)
+
+// overloadCPU is the chaos CPU model: a sharper per-call slope than
+// the Table-I calibration so the knee sits between the controller's
+// shed point (≈14 calls → ≈51%) and the hard cap (20 calls → ≈68%),
+// with enough post-knee drop probability to wreck MOS at the cap.
+func overloadCPU() cpu.Model {
+	return cpu.Model{
+		BasePercent:        5,
+		PerCallPercent:     3.0,
+		PerAttemptPercent:  1.0,
+		PerErrorPercent:    1.0,
+		OverloadKnee:       55,
+		MaxDropProbability: 0.30,
+	}
+}
+
+// lossy2pc is the acceptance-criteria link: 2% loss each way with a
+// realistic 1 ms delay.
+func lossy2pc() netsim.LinkProfile {
+	return netsim.LinkProfile{Delay: time.Millisecond, Loss: 0.02}
+}
+
+// overloadLoad is the shared 1.5×-capacity offered load.
+func overloadLoad() sipp.Config {
+	return sipp.Config{
+		Rate:     OverloadRate,
+		Window:   OverloadWindow,
+		Hold:     OverloadHold,
+		Arrivals: sipp.ArrivalPoisson,
+		Media:    sipp.MediaPacketized,
+	}
+}
+
+// OverloadBaseline runs 1.5× capacity with 2% loss against the
+// classical hard channel cap: every call up to the 20th is admitted
+// onto an increasingly saturated host.
+func OverloadBaseline(seed uint64) Scenario {
+	return Scenario{
+		Name: "overload-baseline",
+		Desc: "1.5x capacity, 2% loss, hard channel cap (no controller)",
+		Seed: seed,
+		Fault: Fault{
+			ClientLink: lossy2pc(),
+			ServerLink: lossy2pc(),
+		},
+		PBX: pbx.Config{
+			MaxChannels: OverloadChannels,
+			CPU:         overloadCPU(),
+			Admission:   pbx.ChannelCapPolicy{Max: OverloadChannels},
+		},
+		Load: overloadLoad(),
+	}
+}
+
+// OverloadControlled is the same offered load and faults with the
+// occupancy controller shedding at 70% of the pool (503 + Retry-After)
+// and clients honouring the hint with exponential backoff.
+func OverloadControlled(seed uint64) Scenario {
+	load := overloadLoad()
+	load.RetryMax = 2
+	load.RetryBase = 500 * time.Millisecond
+	return Scenario{
+		Name: "overload-controlled",
+		Desc: "1.5x capacity, 2% loss, occupancy controller + client backoff",
+		Seed: seed,
+		Fault: Fault{
+			ClientLink: lossy2pc(),
+			ServerLink: lossy2pc(),
+		},
+		PBX: pbx.Config{
+			MaxChannels: OverloadChannels,
+			CPU:         overloadCPU(),
+			Admission: pbx.OccupancyPolicy{
+				Max: OverloadChannels, Target: 0.7,
+				RetryAfterMin: 1, RetryAfterMax: 8,
+			},
+		},
+		Load: load,
+	}
+}
+
+// DirtyLink exercises every datagram impairment at once — loss,
+// jitter, duplication, reordering, and a rate-limited bottleneck —
+// under moderate load. Calls must still complete and the books must
+// still balance.
+func DirtyLink(seed uint64) Scenario {
+	dirty := netsim.LinkProfile{
+		Delay:        2 * time.Millisecond,
+		Jitter:       5 * time.Millisecond,
+		Loss:         0.02,
+		DupProb:      0.05,
+		ReorderProb:  0.05,
+		ReorderDelay: 10 * time.Millisecond,
+		RateBps:      10e6, // the paper's 10 Mb/s switch tier
+	}
+	return Scenario{
+		Name:  "dirty-link",
+		Desc:  "2% loss + 5ms jitter + 5% dup + 5% reorder + 10 Mb/s bottleneck",
+		Seed:  seed,
+		Fault: Fault{ClientLink: dirty, ServerLink: dirty},
+		PBX: pbx.Config{
+			MaxChannels: 10,
+			Admission:   pbx.ChannelCapPolicy{Max: 10},
+		},
+		Load: sipp.Config{
+			Rate:     1,
+			Window:   30 * time.Second,
+			Hold:     5 * time.Second,
+			Arrivals: sipp.ArrivalPoisson,
+			Media:    sipp.MediaPacketized,
+		},
+	}
+}
+
+// SignalingPartition blackholes the PBX signalling port mid-window for
+// 5 s — well inside the 32 s transaction timeout, so retransmission
+// timers must carry every in-flight setup and teardown across the
+// outage.
+func SignalingPartition(seed uint64) Scenario {
+	return Scenario{
+		Name: "signaling-partition",
+		Desc: "5s signalling blackout at t=20s; retransmissions must heal",
+		Seed: seed,
+		Fault: Fault{
+			Partitions: []Partition{{Start: 20 * time.Second, Duration: 5 * time.Second}},
+		},
+		PBX: pbx.Config{
+			MaxChannels: 50,
+			Admission:   pbx.ChannelCapPolicy{Max: 50},
+		},
+		Load: sipp.Config{
+			Rate:     1,
+			Window:   45 * time.Second,
+			Hold:     5 * time.Second,
+			Arrivals: sipp.ArrivalUniform,
+			Media:    sipp.MediaNone,
+		},
+	}
+}
+
+// ErlangOperatingPoint replays the paper's A=200 operating point
+// (λ = A/h with h = 120 s against the measured 165-channel capacity),
+// signalling-only so the long window stays cheap. Measured blocking
+// must track Erlang-B B(200,165) ≈ 19.4%.
+func ErlangOperatingPoint(seed uint64) Scenario {
+	return Scenario{
+		Name: "erlang-operating-point",
+		Desc: "A=200 vs N=165, signalling only; blocking tracks Erlang-B",
+		Seed: seed,
+		PBX: pbx.Config{
+			MaxChannels: pbx.DefaultCapacity,
+		},
+		Load: sipp.Config{
+			Rate:     200.0 / 120.0,
+			Window:   600 * time.Second,
+			Warmup:   240 * time.Second,
+			Hold:     120 * time.Second,
+			Arrivals: sipp.ArrivalPoisson,
+			HoldDist: sipp.HoldExponential,
+			Media:    sipp.MediaNone,
+		},
+	}
+}
+
+// Smoke is the cheap end-to-end sanity scenario `make verify` runs:
+// light load, mild loss, the occupancy controller on, packetized
+// media — every subsystem touched in a few hundred virtual seconds.
+func Smoke(seed uint64) Scenario {
+	load := sipp.Config{
+		Rate:      1,
+		Window:    20 * time.Second,
+		Hold:      5 * time.Second,
+		Arrivals:  sipp.ArrivalPoisson,
+		Media:     sipp.MediaPacketized,
+		RetryMax:  1,
+		RetryBase: 250 * time.Millisecond,
+	}
+	return Scenario{
+		Name:  "smoke",
+		Desc:  "light load, 1% loss, occupancy controller; fast sanity pass",
+		Seed:  seed,
+		Fault: Fault{ClientLink: netsim.LinkProfile{Delay: time.Millisecond, Loss: 0.01}},
+		PBX: pbx.Config{
+			MaxChannels: 10,
+			Admission:   pbx.OccupancyPolicy{Max: 10, Target: 0.8},
+		},
+		Load: load,
+	}
+}
+
+// Catalog lists every named scenario for documentation and tooling.
+func Catalog(seed uint64) []Scenario {
+	return []Scenario{
+		Smoke(seed),
+		OverloadBaseline(seed),
+		OverloadControlled(seed),
+		DirtyLink(seed),
+		SignalingPartition(seed),
+		ErlangOperatingPoint(seed),
+	}
+}

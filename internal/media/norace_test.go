@@ -1,0 +1,5 @@
+//go:build !race
+
+package media
+
+const raceEnabled = false

@@ -42,6 +42,13 @@ func TestUDPSessionPair(t *testing.T) {
 		if r.Sent < 95 || r.Sent > 105 {
 			t.Errorf("%s sent %d packets, want ~100", name, r.Sent)
 		}
+		// Quality floors only hold when the pacing goroutines run on
+		// time; under race instrumentation on a loaded host they miss
+		// jitter-buffer deadlines, so only the packet counts (absolute
+		// pacing) are asserted there.
+		if raceEnabled {
+			continue
+		}
 		if r.EffectiveLoss > 0.10 {
 			t.Errorf("%s effective loss %.3f on loopback", name, r.EffectiveLoss)
 		}

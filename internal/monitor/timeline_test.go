@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sip"
+)
+
+// wire builds a message on its own transaction branch so distinct
+// calls don't collide in the timeline's duplicate detector.
+func wire(branch, kind string) []byte {
+	from := sip.NameAddr{URI: sip.NewURI("a", "h", 5060), Tag: "t1"}
+	to := sip.NameAddr{URI: sip.NewURI("b", "h", 5060)}
+	if code := map[string]int{"100": 100, "180": 180, "200": 200, "404": 404, "503": 503}[kind]; code != 0 {
+		req := sip.NewRequest(sip.INVITE, to.URI, from, to, "c-"+branch, 1)
+		req.Via = []sip.Via{{SentBy: "h:5060", Branch: sip.BranchPrefix + branch}}
+		return req.Response(code).Marshal()
+	}
+	req := sip.NewRequest(sip.Method(kind), to.URI, from, to, "c-"+branch, 1)
+	req.Via = []sip.Via{{SentBy: "h:5060", Branch: sip.BranchPrefix + branch}}
+	return req.Marshal()
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	tl := NewTimeline()
+	// Second 0: one call setup.
+	tl.Observe(0, wire("b1", "INVITE"))
+	tl.Observe(100*time.Millisecond, wire("b1", "200"))
+	// Second 1: a rejection and a hangup.
+	tl.Observe(1100*time.Millisecond, wire("b2", "INVITE"))
+	tl.Observe(1200*time.Millisecond, wire("b2", "503"))
+	tl.Observe(1500*time.Millisecond, wire("b3", "BYE"))
+	// Second 3 (skipping 2): RTP.
+	tl.Observe(3*time.Second, rtpWire(1))
+	tl.Observe(3*time.Second+20*time.Millisecond, rtpWire(2))
+
+	b := tl.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(b))
+	}
+	if b[0].Invites != 1 || b[0].Answers != 1 {
+		t.Errorf("second 0 = %+v", b[0])
+	}
+	if b[1].Invites != 1 || b[1].Errors != 1 || b[1].Byes != 1 {
+		t.Errorf("second 1 = %+v", b[1])
+	}
+	if b[2] != (Second{}) {
+		t.Errorf("second 2 = %+v, want empty", b[2])
+	}
+	if b[3].RTP != 2 {
+		t.Errorf("second 3 = %+v", b[3])
+	}
+	tot := tl.Totals()
+	if tot.Invites != 2 || tot.Answers != 1 || tot.Errors != 1 || tot.Byes != 1 || tot.RTP != 2 {
+		t.Errorf("totals = %+v", tot)
+	}
+}
+
+func TestTimelineCountsRetransmissions(t *testing.T) {
+	tl := NewTimeline()
+	// The same INVITE three times (two retransmissions), the same 503
+	// twice (one retransmission).
+	tl.Observe(0, wire("b1", "INVITE"))
+	tl.Observe(500*time.Millisecond, wire("b1", "INVITE"))
+	tl.Observe(1500*time.Millisecond, wire("b1", "INVITE"))
+	tl.Observe(1600*time.Millisecond, wire("b1", "503"))
+	tl.Observe(2100*time.Millisecond, wire("b1", "503"))
+
+	tot := tl.Totals()
+	if tot.Invites != 1 {
+		t.Errorf("invites = %d, want 1 (duplicates excluded)", tot.Invites)
+	}
+	if tot.Errors != 1 {
+		t.Errorf("errors = %d, want 1", tot.Errors)
+	}
+	if tot.Retrans != 3 {
+		t.Errorf("retrans = %d, want 3", tot.Retrans)
+	}
+	b := tl.Buckets()
+	if b[0].Retrans != 1 || b[1].Retrans != 1 || b[2].Retrans != 1 {
+		t.Errorf("retrans buckets = %+v %+v %+v", b[0], b[1], b[2])
+	}
+	// Distinct finals on the same transaction are not duplicates.
+	tl.Observe(2200*time.Millisecond, wire("b1", "200"))
+	if tl.Totals().Retrans != 3 {
+		t.Errorf("a different status counted as a retransmission")
+	}
+}

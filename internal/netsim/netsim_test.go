@@ -341,6 +341,145 @@ func TestUnbind(t *testing.T) {
 	}
 }
 
+func TestNetworkDuplication(t *testing.T) {
+	s, n := newTestNet()
+	n.SetLink("a", "b", LinkProfile{DupProb: 0.5})
+	dst := Addr{"b", 9}
+	recv := 0
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { recv++ }))
+	const total = 10000
+	for i := 0; i < total; i++ {
+		n.Send(Addr{"a", 1}, dst, []byte("p"))
+	}
+	s.Run(time.Minute)
+	ls := n.LinkStats("a", "b")
+	if ls.Duplicated == 0 {
+		t.Fatal("no duplicates on a 50% duplicating link")
+	}
+	rate := float64(ls.Duplicated) / total
+	if rate < 0.46 || rate > 0.54 {
+		t.Errorf("duplication rate %.3f, want ~0.5", rate)
+	}
+	if uint64(recv) != total+ls.Duplicated {
+		t.Errorf("received %d, want %d originals + %d copies", recv, total, ls.Duplicated)
+	}
+	if ls.Delivered != uint64(recv) {
+		t.Errorf("Delivered=%d but handler saw %d", ls.Delivered, recv)
+	}
+}
+
+func TestNetworkDuplicateTrailsOriginal(t *testing.T) {
+	s, n := newTestNet()
+	n.SetLink("a", "b", LinkProfile{
+		Delay: 5 * time.Millisecond, DupProb: 1.0, DupDelay: 2 * time.Millisecond,
+	})
+	dst := Addr{"b", 9}
+	var arrivals []time.Duration
+	n.Bind(dst, HandlerFunc(func(now time.Duration, _ *Packet) { arrivals = append(arrivals, now) }))
+	n.Send(Addr{"a", 1}, dst, []byte("x"))
+	s.Run(time.Second)
+	want := []time.Duration{5 * time.Millisecond, 7 * time.Millisecond}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Errorf("arrivals = %v, want %v", arrivals, want)
+	}
+}
+
+func TestNetworkReordering(t *testing.T) {
+	s, n := newTestNet()
+	// Every second packet (statistically) is held back 10ms; with
+	// packets sent 1ms apart, a held packet is overtaken by ~9
+	// successors.
+	n.SetLink("a", "b", LinkProfile{
+		Delay: time.Millisecond, ReorderProb: 0.5, ReorderDelay: 10 * time.Millisecond,
+	})
+	dst := Addr{"b", 9}
+	var order []int
+	n.Bind(dst, HandlerFunc(func(_ time.Duration, p *Packet) {
+		order = append(order, int(p.Payload[0])<<8|int(p.Payload[1]))
+	}))
+	const total = 1000
+	for i := 0; i < total; i++ {
+		seq := []byte{byte(i >> 8), byte(i)}
+		s.At(time.Duration(i)*time.Millisecond, func(time.Duration) {
+			n.Send(Addr{"a", 1}, dst, seq)
+		})
+	}
+	s.Run(time.Minute)
+	if len(order) != total {
+		t.Fatalf("received %d of %d (reordering must not lose packets)", len(order), total)
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("no out-of-order deliveries on a 50% reordering link")
+	}
+	ls := n.LinkStats("a", "b")
+	if ls.Reordered == 0 {
+		t.Error("Reordered counter stayed zero")
+	}
+	rate := float64(ls.Reordered) / total
+	if rate < 0.4 || rate > 0.6 {
+		t.Errorf("reorder rate %.3f, want ~0.5", rate)
+	}
+}
+
+func TestNetworkDupAndReorderDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		s := NewScheduler()
+		n := NewNetwork(s, stats.NewRNG(7))
+		n.SetLink("a", "b", LinkProfile{
+			Delay: 2 * time.Millisecond, Jitter: time.Millisecond,
+			Loss: 0.05, DupProb: 0.1, ReorderProb: 0.1,
+		})
+		dst := Addr{"b", 9}
+		var arrivals []time.Duration
+		n.Bind(dst, HandlerFunc(func(now time.Duration, _ *Packet) { arrivals = append(arrivals, now) }))
+		for i := 0; i < 2000; i++ {
+			n.Send(Addr{"a", 1}, dst, []byte("x"))
+		}
+		s.Run(time.Minute)
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHandlerAccessorSurvivesPartition(t *testing.T) {
+	s, n := newTestNet()
+	dst := Addr{"b", 9}
+	recv := 0
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { recv++ }))
+	saved := n.Handler(dst)
+	if saved == nil {
+		t.Fatal("Handler returned nil for a bound address")
+	}
+	n.Unbind(dst)
+	if n.Handler(dst) != nil {
+		t.Fatal("Handler returned non-nil after Unbind")
+	}
+	// Bindings resolve at delivery time, so the partition must cover
+	// the packet's arrival, not just its send.
+	n.Send(Addr{"a", 1}, dst, []byte("lost"))
+	s.Run(100 * time.Millisecond)
+	n.Bind(dst, saved)
+	n.Send(Addr{"a", 1}, dst, []byte("heals"))
+	s.Run(time.Second)
+	if recv != 1 || n.NoRoute() != 1 {
+		t.Errorf("recv=%d noRoute=%d, want 1/1", recv, n.NoRoute())
+	}
+}
+
 func TestDeterministicReplay(t *testing.T) {
 	run := func() []time.Duration {
 		s := NewScheduler()

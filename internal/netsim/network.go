@@ -50,6 +50,16 @@ type LinkProfile struct {
 	// QueueLimit bounds the serialization backlog (in packets) when
 	// RateBps > 0; excess packets are tail-dropped. Zero means 512.
 	QueueLimit int
+	// DupProb duplicates a delivered packet with this probability: the
+	// copy arrives DupDelay after the original (default 1ms). UDP
+	// duplication is what SIP retransmission absorbers must tolerate.
+	DupProb  float64
+	DupDelay time.Duration
+	// ReorderProb delays a packet by an extra ReorderDelay (default
+	// 4ms) with this probability, letting packets sent after it
+	// overtake it — classic multi-path reordering.
+	ReorderProb  float64
+	ReorderDelay time.Duration
 }
 
 type link struct {
@@ -58,12 +68,14 @@ type link struct {
 	busyUntil time.Duration
 	queued    int
 	// counters
-	sent, dropped, delivered uint64
+	sent, dropped, delivered, duplicated, reordered uint64
 }
 
-// LinkStats reports per-link counters.
+// LinkStats reports per-link counters. Delivered counts duplicate
+// copies too, so Delivered may exceed Sent - Dropped on a duplicating
+// link.
 type LinkStats struct {
-	Sent, Dropped, Delivered uint64
+	Sent, Dropped, Delivered, Duplicated, Reordered uint64
 }
 
 // Tap observes every packet accepted onto the network, before loss is
@@ -118,6 +130,11 @@ func (n *Network) Bind(addr Addr, h Handler) { n.bindings[addr] = h }
 
 // Unbind removes a binding; packets to it are then dropped and counted.
 func (n *Network) Unbind(addr Addr) { delete(n.bindings, addr) }
+
+// Handler returns the handler bound at addr, or nil when unbound —
+// lets fault injectors save a binding across an Unbind/Bind partition
+// window without owning the endpoint.
+func (n *Network) Handler(addr Addr) Handler { return n.bindings[addr] }
 
 // AddTap registers an observer for all sent packets.
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
@@ -177,18 +194,47 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 			delay = 0
 		}
 	}
+	// Reordering: hold this packet back long enough for packets sent
+	// after it to overtake it. The RNG draw happens only when the
+	// profile asks for it, so profiles without reordering keep their
+	// exact random stream (deterministic replay compatibility).
+	if p.ReorderProb > 0 && n.rng.Float64() < p.ReorderProb {
+		l.reordered++
+		extra := p.ReorderDelay
+		if extra <= 0 {
+			extra = 4 * time.Millisecond
+		}
+		delay += extra
+	}
 	n.sched.At(depart+delay, func(at time.Duration) {
 		if p.RateBps > 0 && l.queued > 0 {
 			l.queued--
 		}
-		h, ok := n.bindings[pkt.Dst]
-		if !ok {
-			n.noRoute++
-			return
-		}
-		l.delivered++
-		h.HandlePacket(at, pkt)
+		n.deliver(l, pkt, at)
 	})
+	// Duplication: an extra copy trails the original; it does not hold
+	// a queue slot (the switch already forwarded the original).
+	if p.DupProb > 0 && n.rng.Float64() < p.DupProb {
+		l.duplicated++
+		dupDelay := p.DupDelay
+		if dupDelay <= 0 {
+			dupDelay = time.Millisecond
+		}
+		n.sched.At(depart+delay+dupDelay, func(at time.Duration) {
+			n.deliver(l, pkt, at)
+		})
+	}
+}
+
+// deliver hands a packet to its destination binding, counting strays.
+func (n *Network) deliver(l *link, pkt *Packet, at time.Duration) {
+	h, ok := n.bindings[pkt.Dst]
+	if !ok {
+		n.noRoute++
+		return
+	}
+	l.delivered++
+	h.HandlePacket(at, pkt)
 }
 
 func (n *Network) linkFor(src, dst string) *link {
@@ -204,7 +250,10 @@ func (n *Network) linkFor(src, dst string) *link {
 // LinkStats returns counters for the src→dst link, creating it if absent.
 func (n *Network) LinkStats(srcHost, dstHost string) LinkStats {
 	l := n.linkFor(srcHost, dstHost)
-	return LinkStats{Sent: l.sent, Dropped: l.dropped, Delivered: l.delivered}
+	return LinkStats{
+		Sent: l.sent, Dropped: l.dropped, Delivered: l.delivered,
+		Duplicated: l.duplicated, Reordered: l.reordered,
+	}
 }
 
 // NoRoute returns the count of packets addressed to unbound ports.

@@ -216,22 +216,26 @@ func (s *Server) cancelBLeg(br *bridge) {
 
 // admitCall runs admission control — where blocked calls (Table I)
 // happen — charging one channel on success. On rejection it answers
-// the INVITE with 503 and reports false.
+// the INVITE with 503 (plus the policy's Retry-After backoff hint)
+// and reports false.
 func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message) bool {
 	s.mu.Lock()
-	admitted := true
-	if s.cfg.CPUAdmission {
-		projected := s.cfg.CPU.Utilization(s.channels+1, float64(s.attemptsWindow), float64(s.errorsWindow))
-		admitted = projected <= s.cfg.CPUThreshold
-	} else if s.cfg.MaxChannels > 0 {
-		admitted = s.channels < s.cfg.MaxChannels
+	st := AdmissionState{
+		Channels:     s.channels,
+		MaxChannels:  s.cfg.MaxChannels,
+		Utilization:  s.meter.Current(),
+		ProjectedCPU: s.cfg.CPU.Utilization(s.channels+1, float64(s.attemptsWindow), float64(s.errorsWindow)),
+		AttemptsRate: s.attemptsEWMA,
+		ErrorsRate:   s.errorsEWMA,
 	}
-	if !admitted {
+	dec := s.admission.Admit(st)
+	if !dec.Admit {
 		s.counters.Blocked++
 		s.errorsWindow++
 		s.mu.Unlock()
 		resp := req.Response(sip.StatusServiceUnavailable)
 		resp.To.Tag = s.ep.NewTag()
+		resp.RetryAfter = dec.RetryAfter
 		tx.Respond(resp)
 		return false
 	}

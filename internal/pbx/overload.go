@@ -1,0 +1,150 @@
+package pbx
+
+// Overload control: pluggable admission policies deciding, per INVITE,
+// whether the PBX takes the call or sheds it with 503 + Retry-After.
+// The SIP overload-control literature (Hong et al., "A Comparative
+// Study of SIP Overload Control Algorithms") shows that a server that
+// only rejects at its hard capacity limit collapses under sustained
+// overload: every rejected INVITE still costs CPU, retransmissions
+// amplify the offered load, and the calls that are admitted run on a
+// saturated host with degraded media. Shedding *early* — below the
+// capacity knee — and telling clients how long to back off keeps the
+// host in the flat part of its load curve and preserves goodput.
+
+// AdmissionState is the load snapshot a policy decides on. All fields
+// are read under the server lock at INVITE arrival.
+type AdmissionState struct {
+	// Channels is the number of calls currently holding a channel.
+	Channels int
+	// MaxChannels is the configured pool size (0 = unlimited).
+	MaxChannels int
+	// Utilization is the last sampled CPU meter reading (percent).
+	Utilization float64
+	// ProjectedCPU is the modelled utilization with one more call
+	// admitted, using the raw per-second attempt/error windows (the
+	// projection the legacy CPUAdmission mode used).
+	ProjectedCPU float64
+	// AttemptsRate and ErrorsRate are the smoothed per-second INVITE
+	// arrival and error rates (EWMA over the meter's 1 s samples).
+	AttemptsRate float64
+	ErrorsRate   float64
+}
+
+// AdmissionDecision is a policy's verdict on one INVITE.
+type AdmissionDecision struct {
+	// Admit accepts the call, charging one channel.
+	Admit bool
+	// RetryAfter, when rejecting, is the Retry-After hint in seconds
+	// carried on the 503. Zero omits the header.
+	RetryAfter int
+}
+
+// AdmissionPolicy decides call admission. Implementations must be
+// pure functions of the state (no locking, no clock access): they run
+// under the server lock on the INVITE hot path.
+type AdmissionPolicy interface {
+	Name() string
+	Admit(st AdmissionState) AdmissionDecision
+}
+
+// ChannelCapPolicy is the classical Asterisk behaviour and the paper's
+// operating model: admit until the channel pool is exhausted, then
+// 503. Max <= 0 admits unconditionally.
+type ChannelCapPolicy struct {
+	Max int
+}
+
+// Name implements AdmissionPolicy.
+func (p ChannelCapPolicy) Name() string { return "channel-cap" }
+
+// Admit implements AdmissionPolicy.
+func (p ChannelCapPolicy) Admit(st AdmissionState) AdmissionDecision {
+	if p.Max > 0 && st.Channels >= p.Max {
+		return AdmissionDecision{}
+	}
+	return AdmissionDecision{Admit: true}
+}
+
+// CPUThresholdPolicy reproduces the legacy CPUAdmission mode: reject
+// when the modelled utilization with one more call would exceed
+// Threshold.
+type CPUThresholdPolicy struct {
+	Threshold float64
+}
+
+// Name implements AdmissionPolicy.
+func (p CPUThresholdPolicy) Name() string { return "cpu-threshold" }
+
+// Admit implements AdmissionPolicy.
+func (p CPUThresholdPolicy) Admit(st AdmissionState) AdmissionDecision {
+	if st.ProjectedCPU > p.Threshold {
+		return AdmissionDecision{}
+	}
+	return AdmissionDecision{Admit: true}
+}
+
+// OccupancyPolicy is the overload controller: it sheds load at
+// Target·Max channels — before the pool (and with it the CPU knee) is
+// reached — and grades its Retry-After hint by how hard the server is
+// being hit, so clients spread their retries instead of hammering a
+// saturated host in lockstep.
+type OccupancyPolicy struct {
+	// Max is the channel pool size the occupancy is measured against.
+	Max int
+	// Target is the occupancy fraction at which shedding starts
+	// (0 < Target <= 1). The default 0.8 keeps the host below the CPU
+	// knee of the default model.
+	Target float64
+	// RetryAfterMin/Max bound the Retry-After hint in seconds.
+	// Defaults 1 and 8.
+	RetryAfterMin int
+	RetryAfterMax int
+}
+
+// Name implements AdmissionPolicy.
+func (p OccupancyPolicy) Name() string { return "occupancy" }
+
+// Admit implements AdmissionPolicy.
+func (p OccupancyPolicy) Admit(st AdmissionState) AdmissionDecision {
+	max := p.Max
+	if max <= 0 {
+		max = st.MaxChannels
+	}
+	target := p.Target
+	if target <= 0 || target > 1 {
+		target = 0.8
+	}
+	limit := int(float64(max) * target)
+	if limit < 1 {
+		limit = 1
+	}
+	if max <= 0 || st.Channels < limit {
+		return AdmissionDecision{Admit: true}
+	}
+	return AdmissionDecision{RetryAfter: p.retryAfter(st)}
+}
+
+// retryAfter maps rejection pressure — the fraction of recent work
+// that was errors (mostly rejected INVITEs) — into the configured
+// Retry-After band. A lightly loaded shed returns the minimum; a
+// server rejecting most of its arrivals returns the maximum.
+func (p OccupancyPolicy) retryAfter(st AdmissionState) int {
+	min, max := p.RetryAfterMin, p.RetryAfterMax
+	if min <= 0 {
+		min = 1
+	}
+	if max < min {
+		max = 8
+		if max < min {
+			max = min
+		}
+	}
+	severity := 0.0
+	if total := st.AttemptsRate + st.ErrorsRate; total > 0 {
+		severity = st.ErrorsRate / total
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	return min + int(severity*float64(max-min)+0.5)
+}

@@ -53,6 +53,11 @@ type Config struct {
 	CPUThreshold float64
 	// CPU is the host load model; the zero value selects DefaultModel.
 	CPU cpu.Model
+	// Admission selects the overload-control policy explicitly. When
+	// nil, the legacy fields above choose one: CPUAdmission maps to
+	// CPUThresholdPolicy, otherwise MaxChannels maps to
+	// ChannelCapPolicy.
+	Admission AdmissionPolicy
 	// RelayRTP enables per-packet media relay through dedicated relay
 	// ports (packetized mode). When false the PBX only handles
 	// signalling and the flow-level media model supplies call quality.
@@ -121,6 +126,7 @@ type Server struct {
 	vmNotified map[string]bool
 	vmSessions map[string]*vmSession
 	channels   int
+	admission  AdmissionPolicy
 	nextPort   int
 	freePorts  []int
 	counters   Counters
@@ -172,6 +178,14 @@ func New(ep *sip.Endpoint, dir *directory.Directory, factory TransportFactory, c
 		nextPort:   cfg.RTPPortBase,
 		meter:      cpu.NewMeter(cfg.CPU),
 		rng:        stats.NewRNG(cfg.Seed ^ 0xa57e7a57),
+	}
+	s.admission = cfg.Admission
+	if s.admission == nil {
+		if cfg.CPUAdmission {
+			s.admission = CPUThresholdPolicy{Threshold: cfg.CPUThreshold}
+		} else {
+			s.admission = ChannelCapPolicy{Max: cfg.MaxChannels}
+		}
 	}
 	ep.Handle(s.handleRequest)
 	s.scheduleSample()
@@ -276,6 +290,17 @@ func (s *Server) ActiveChannels() int {
 	defer s.mu.Unlock()
 	return s.channels
 }
+
+// AdmissionPolicyName names the active overload-control policy.
+func (s *Server) AdmissionPolicyName() string { return s.admission.Name() }
+
+// SignalingStats returns the SIP endpoint's wire counters, including
+// the transaction layer's retransmission and timeout totals.
+func (s *Server) SignalingStats() sip.Stats { return s.ep.StatsSnapshot() }
+
+// ActiveTransactions returns the number of live SIP transactions —
+// a leak detector for chaos-test invariants.
+func (s *Server) ActiveTransactions() int { return s.ep.ActiveTransactions() }
 
 // allocRelayPortLocked reserves one relay port number.
 func (s *Server) allocRelayPortLocked() int {

@@ -94,3 +94,57 @@ func TestEndpointSurvivesGarbageFlood(t *testing.T) {
 		t.Fatalf("endpoint wedged after garbage flood: %+v", got)
 	}
 }
+
+// FuzzSIPParse is the native fuzz target (run a smoke pass with
+// `go test -run=^$ -fuzz=FuzzSIPParse -fuzztime=10s ./internal/sip/`).
+// The seed corpus covers the historically dangerous shapes: malformed
+// Retry-After values, folded (continuation-line) headers, and
+// truncated INVITEs.
+func FuzzSIPParse(f *testing.F) {
+	base := buildInvite().Marshal()
+	f.Add(base)
+	resp := buildInvite().Response(StatusServiceUnavailable)
+	resp.RetryAfter = 30
+	f.Add(resp.Marshal())
+	// Truncated INVITEs: mid-header, mid-start-line, mid-body.
+	f.Add(base[:len(base)/2])
+	f.Add(base[:9])
+	f.Add(base[:len(base)-10])
+	// Malformed Retry-After variants.
+	frame := func(retryAfter string) []byte {
+		return []byte("SIP/2.0 503 Service Unavailable\r\n" +
+			"Via: SIP/2.0/UDP h:5060;branch=z9hG4bK1\r\n" +
+			"From: <sip:a@h>;tag=1\r\nTo: <sip:b@h>\r\n" +
+			"Call-ID: c1\r\nCSeq: 1 INVITE\r\n" +
+			"Retry-After: " + retryAfter + "\r\n\r\n")
+	}
+	for _, v := range []string{"-1", "1e9", "2147483648", " 5 ;duration", "(now)", "5 5 5", "\x00"} {
+		f.Add(frame(v))
+	}
+	// Folded headers (RFC 3261 permits them; this parser rejects them,
+	// but must do so without panicking).
+	f.Add([]byte("INVITE sip:b@h SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP h:5060\r\n ;branch=z9hG4bK1\r\n" +
+		"From: <sip:a@h>\r\n\t;tag=1\r\n" +
+		"To: <sip:b@h>\r\nCall-ID: c1\r\nCSeq: 1 INVITE\r\n\r\n"))
+	// CRLF pathologies.
+	f.Add([]byte("INVITE sip:b@h SIP/2.0\r\n\r\n\r\n"))
+	f.Add([]byte("SIP/2.0 \r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if m.RetryAfter < 0 {
+			t.Fatalf("parser admitted negative Retry-After %d", m.RetryAfter)
+		}
+		// A successfully parsed message must re-marshal without panic,
+		// and the result must parse again (marshal is a fixed point of
+		// the accepted language).
+		wire := m.Marshal()
+		if _, err := Parse(wire); err != nil {
+			t.Fatalf("re-parse of marshalled message failed: %v\n%q", err, wire)
+		}
+	})
+}

@@ -133,6 +133,11 @@ type Message struct {
 	MaxForwards int
 	Expires     int // -1 when absent
 	ContentType string
+	// RetryAfter is the Retry-After value in seconds on 503 (and other
+	// rejection) responses — the overload-control feedback channel of
+	// RFC 3261 21.5.4. Zero means the header is absent: a zero-second
+	// hint carries no information, so it is never emitted.
+	RetryAfter int
 	// WWWAuthenticate and Authorization carry digest auth material.
 	WWWAuthenticate string
 	Authorization   string
@@ -253,6 +258,9 @@ func (m *Message) Append(dst []byte) []byte {
 	}
 	if m.Expires >= 0 {
 		fmt.Fprintf(&b, "Expires: %d\r\n", m.Expires)
+	}
+	if m.RetryAfter > 0 {
+		fmt.Fprintf(&b, "Retry-After: %d\r\n", m.RetryAfter)
 	}
 	if m.WWWAuthenticate != "" {
 		fmt.Fprintf(&b, "WWW-Authenticate: %s\r\n", m.WWWAuthenticate)

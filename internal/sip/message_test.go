@@ -221,7 +221,7 @@ func TestParseErrorsMessage(t *testing.T) {
 }
 
 func TestContentLengthTruncatesBody(t *testing.T) {
-	wire := "INVITE sip:h SIP/2.0\r\nCall-ID: x\r\nCSeq: 1 INVITE\r\nContent-Length: 4\r\n\r\nbodyEXTRA"
+	wire := "INVITE sip:h SIP/2.0\r\nFrom: <sip:a@h>;tag=1\r\nTo: <sip:b@h>\r\nCall-ID: x\r\nCSeq: 1 INVITE\r\nContent-Length: 4\r\n\r\nbodyEXTRA"
 	m, err := Parse([]byte(wire))
 	if err != nil {
 		t.Fatal(err)
@@ -315,6 +315,57 @@ func BenchmarkMessageParse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse(wire); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestRetryAfterRoundTrip(t *testing.T) {
+	req := buildInvite()
+	resp := req.Response(StatusServiceUnavailable)
+	resp.RetryAfter = 7
+	back, err := Parse(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RetryAfter != 7 {
+		t.Errorf("RetryAfter = %d, want 7", back.RetryAfter)
+	}
+	// Zero means absent: the header must not appear on the wire.
+	resp.RetryAfter = 0
+	if bytes.Contains(resp.Marshal(), []byte("Retry-After")) {
+		t.Error("Retry-After emitted for zero value")
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	frame := func(value string) []byte {
+		return []byte("SIP/2.0 503 Service Unavailable\r\n" +
+			"Via: SIP/2.0/UDP h:5060;branch=z9hG4bK1\r\n" +
+			"From: <sip:a@h>;tag=1\r\nTo: <sip:b@h>\r\n" +
+			"Call-ID: c1\r\nCSeq: 1 INVITE\r\n" +
+			"Retry-After: " + value + "\r\n" +
+			"Content-Length: 0\r\n\r\n")
+	}
+	valid := map[string]int{
+		"30":                         30,
+		"0":                          0,
+		"120 (maintenance)":          120,
+		"5;duration=3600":            5,
+		"18000;duration=3600 (down)": 18000,
+	}
+	for value, want := range valid {
+		m, err := Parse(frame(value))
+		if err != nil {
+			t.Errorf("Retry-After %q rejected: %v", value, err)
+			continue
+		}
+		if m.RetryAfter != want {
+			t.Errorf("Retry-After %q = %d, want %d", value, m.RetryAfter, want)
+		}
+	}
+	for _, value := range []string{"-1", "abc", "", "2x", "99999999999999999999"} {
+		if _, err := Parse(frame(value)); err == nil {
+			t.Errorf("malformed Retry-After %q accepted", value)
 		}
 	}
 }

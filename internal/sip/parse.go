@@ -117,6 +117,18 @@ func Parse(data []byte) (*Message, error) {
 			m.Expires = n
 		case "content-type", "c":
 			m.ContentType = value
+		case "retry-after":
+			// RFC 3261 20.33: delta-seconds, optionally followed by a
+			// comment and a ;duration parameter; only the delta is kept.
+			delta := value
+			if i := strings.IndexAny(delta, " ;("); i >= 0 {
+				delta = delta[:i]
+			}
+			n, err := strconv.Atoi(delta)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: Retry-After %q", ErrBadHeader, value)
+			}
+			m.RetryAfter = n
 		case "content-length", "l":
 			n, err := strconv.Atoi(value)
 			if err != nil || n < 0 {
@@ -144,12 +156,20 @@ func Parse(data []byte) (*Message, error) {
 		m.Body = append([]byte(nil), body...)
 	}
 
-	// Minimal mandatory-header validation (RFC 3261 8.1.1).
+	// Minimal mandatory-header validation (RFC 3261 8.1.1). From/To
+	// must carry a URI: without them the message cannot be answered,
+	// and a zero NameAddr would marshal as the unparsable "<sip:>".
 	if m.CallID == "" {
 		return nil, fmt.Errorf("%w: missing Call-ID", ErrBadHeader)
 	}
 	if m.CSeq.Method == "" {
 		return nil, fmt.Errorf("%w: missing CSeq", ErrBadHeader)
+	}
+	if m.From.URI.Host == "" {
+		return nil, fmt.Errorf("%w: missing From", ErrBadHeader)
+	}
+	if m.To.URI.Host == "" {
+		return nil, fmt.Errorf("%w: missing To", ErrBadHeader)
 	}
 	return m, nil
 }
@@ -166,7 +186,7 @@ func parseStartLine(m *Message, line string) error {
 		return nil
 	}
 	parts := strings.Split(line, " ")
-	if len(parts) != 3 || parts[2] != "SIP/2.0" {
+	if len(parts) != 3 || parts[0] == "" || parts[2] != "SIP/2.0" {
 		return fmt.Errorf("%w: %q", ErrBadStartLine, line)
 	}
 	uri, err := ParseURI(parts[1])

@@ -88,9 +88,10 @@ type Call struct {
 	remote    string // transport address for in-dialog requests
 	incoming  bool
 
-	state  CallState
-	cause  EndCause
-	status int // final SIP status for rejected calls
+	state      CallState
+	cause      EndCause
+	status     int // final SIP status for rejected calls
+	retryAfter int // Retry-After seconds from the rejecting response
 
 	localSDP  *sdp.Session
 	remoteSDP *sdp.Session
@@ -125,6 +126,11 @@ func (c *Call) Cause() EndCause { return c.cause }
 // RejectStatus returns the SIP status code that rejected the call
 // (valid when Cause() == EndRejected).
 func (c *Call) RejectStatus() int { return c.status }
+
+// RetryAfter returns the Retry-After value (seconds) from the response
+// that rejected the call, or zero if the server gave no hint. Overload
+// controllers use it to tell clients how long to back off.
+func (c *Call) RetryAfter() int { return c.retryAfter }
 
 // Incoming reports whether this leg was received rather than placed.
 func (c *Call) Incoming() bool { return c.incoming }
@@ -516,6 +522,7 @@ func (p *Phone) handleInviteResponse(c *Call, invite *Message, resp *Message) {
 		case resp.StatusCode == StatusRequestTimeout:
 			cause = EndTimeout
 		}
+		c.retryAfter = resp.RetryAfter
 		p.endCall(c, cause, resp.StatusCode)
 	}
 }

@@ -115,6 +115,11 @@ func ParseURI(s string) (URI, error) {
 	if u.Host == "" {
 		return u, fmt.Errorf("%w: empty host in %q", ErrBadURI, s)
 	}
+	// RFC 3261 hostnames never contain angle brackets, quotes or
+	// whitespace; accepting them here breaks <sip:...> re-marshalling.
+	if strings.ContainsAny(u.User, "<>\" \t") || strings.ContainsAny(u.Host, "<>\" \t") {
+		return u, fmt.Errorf("%w: illegal character in %q", ErrBadURI, s)
+	}
 	return u, nil
 }
 

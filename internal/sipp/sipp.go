@@ -88,6 +88,15 @@ type Config struct {
 	HoldDist HoldDistribution
 	// Media selects the voice-path model.
 	Media MediaMode
+	// RetryMax is how many times a capacity-rejected call (503/486) is
+	// re-attempted before being recorded as blocked. Zero (the paper's
+	// SIPp behaviour) never retries.
+	RetryMax int
+	// RetryBase is the base backoff before the first retry, doubled
+	// each further retry (default 500ms). When the server's 503 carries
+	// Retry-After, the larger of the two wins — the client-side half of
+	// the overload-control loop.
+	RetryBase time.Duration
 	// Target is the callee extension all calls dial.
 	Target string
 	// ScoreCodec is the E-model profile for per-call MOS
@@ -106,6 +115,7 @@ type CallRecord struct {
 	Abandoned   bool // caller gave up ringing (CANCEL)
 	Failed      bool // any other non-establishment
 	Status      int  // final SIP status for non-established calls
+	Retries     int  // re-attempts after capacity rejections
 	SetupTime   time.Duration
 	Duration    time.Duration
 	// MOS is the caller-side score for packetized media; 0 otherwise.
@@ -126,6 +136,8 @@ type Results struct {
 	Blocked     int
 	Abandoned   int
 	Failed      int
+	// Retries totals backoff re-attempts across counted calls.
+	Retries int
 	// BlockingProbability = Blocked / Attempts.
 	BlockingProbability float64
 	// MOS summarizes completed scored calls only — the paper notes
@@ -304,7 +316,16 @@ func (g *Generator) placeCall() {
 	if g.cfg.HoldDist == HoldExponential {
 		hold = time.Duration(g.rng.Exp(float64(g.cfg.Hold)))
 	}
+	g.attempt(rec, 0, hold)
+}
 
+// attempt places one INVITE for the logical call rec. A capacity
+// rejection (503/486) is retried up to RetryMax times with exponential
+// backoff, stretched to the server's Retry-After when that is longer —
+// so an overloaded PBX can push its rejected load into the future
+// instead of having it hammer back immediately.
+func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration) {
+	rec.Retries = try
 	call := g.caller.Invite(g.cfg.Target)
 	if g.cfg.Patience > 0 {
 		g.clock.AfterFunc(g.cfg.Patience, func() {
@@ -333,11 +354,26 @@ func (g *Generator) placeCall() {
 			rec.Duration = c.Duration()
 		} else {
 			rec.Status = c.RejectStatus()
+			capacity := c.Cause() == sip.EndRejected &&
+				(rec.Status == sip.StatusServiceUnavailable || rec.Status == sip.StatusBusyHere)
+			if capacity && try < g.cfg.RetryMax {
+				base := g.cfg.RetryBase
+				if base <= 0 {
+					base = 500 * time.Millisecond
+				}
+				delay := base << uint(try)
+				if ra := time.Duration(c.RetryAfter()) * time.Second; ra > delay {
+					delay = ra
+				}
+				// Deterministic jitter desynchronizes the retry wave.
+				delay += time.Duration(g.rng.Float64() * float64(base))
+				g.clock.AfterFunc(delay, func() { g.attempt(rec, try+1, hold) })
+				return
+			}
 			switch {
 			case c.Cause() == sip.EndCanceled:
 				rec.Abandoned = true
-			case c.Cause() == sip.EndRejected &&
-				(rec.Status == sip.StatusServiceUnavailable || rec.Status == sip.StatusBusyHere):
+			case capacity:
 				rec.Blocked = true
 			default:
 				rec.Failed = true
@@ -362,6 +398,7 @@ func (g *Generator) record(rec CallRecord) {
 		return
 	}
 	g.results.Attempts++
+	g.results.Retries += rec.Retries
 	switch {
 	case rec.Established:
 		g.results.Established++

@@ -298,3 +298,92 @@ func TestPatienceLongerThanRingIsHarmless(t *testing.T) {
 		t.Errorf("established %d of %d", res.Established, res.Attempts)
 	}
 }
+
+func TestRetryAfterBackoffRecoversBlockedCalls(t *testing.T) {
+	// A tiny pool (2 channels) under short calls: without retries many
+	// calls block; with backoff retries most find a free channel on a
+	// later attempt.
+	base := Config{
+		Rate:     1,
+		Window:   60 * time.Second,
+		Hold:     3 * time.Second,
+		Arrivals: ArrivalUniform,
+		Seed:     5,
+	}
+	pbxCfg := pbx.Config{
+		Admission: pbx.OccupancyPolicy{Max: 2, Target: 1.0},
+	}
+
+	sched, _, gen := testbed(t, pbxCfg, base)
+	baseline := runToCompletion(t, sched, gen)
+	if baseline.Blocked == 0 {
+		t.Fatalf("baseline saw no blocking (established=%d), test needs an overloaded pool",
+			baseline.Established)
+	}
+	if baseline.Retries != 0 {
+		t.Errorf("baseline retried %d times with RetryMax=0", baseline.Retries)
+	}
+
+	withRetry := base
+	withRetry.RetryMax = 3
+	withRetry.RetryBase = 250 * time.Millisecond
+	sched2, _, gen2 := testbed(t, pbxCfg, withRetry)
+	retried := runToCompletion(t, sched2, gen2)
+	if retried.Retries == 0 {
+		t.Fatal("no retries recorded despite blocking and RetryMax=3")
+	}
+	if retried.Established <= baseline.Established {
+		t.Errorf("retries did not improve establishment: %d vs baseline %d",
+			retried.Established, baseline.Established)
+	}
+	if retried.Blocked >= baseline.Blocked {
+		t.Errorf("blocked with retries = %d, want < baseline %d",
+			retried.Blocked, baseline.Blocked)
+	}
+	// Accounting: every logical call ends in exactly one bucket.
+	total := retried.Established + retried.Blocked + retried.Abandoned + retried.Failed
+	if total != retried.Attempts {
+		t.Errorf("accounting: %d+%d+%d+%d != attempts %d", retried.Established,
+			retried.Blocked, retried.Abandoned, retried.Failed, retried.Attempts)
+	}
+	perCall := 0
+	for _, r := range retried.Records {
+		perCall += r.Retries
+	}
+	if perCall < retried.Retries {
+		t.Errorf("per-record retries %d < aggregate %d", perCall, retried.Retries)
+	}
+}
+
+func TestRetryHonorsServerRetryAfterHint(t *testing.T) {
+	// With the occupancy controller shedding at a full pool, the 503
+	// carries Retry-After >= 1s; with RetryBase far below that, the gap
+	// between an attempt and its retry must stretch to the hint.
+	cfg := Config{
+		Rate:      2,
+		Window:    30 * time.Second,
+		Hold:      10 * time.Second,
+		Arrivals:  ArrivalUniform,
+		RetryMax:  1,
+		RetryBase: 10 * time.Millisecond,
+		Seed:      9,
+	}
+	sched, server, gen := testbed(t, pbx.Config{
+		Admission: pbx.OccupancyPolicy{Max: 3, Target: 1.0, RetryAfterMin: 2, RetryAfterMax: 2},
+	}, cfg)
+	res := runToCompletion(t, sched, gen)
+	if res.Retries == 0 {
+		t.Fatal("scenario produced no retries")
+	}
+	// The server's Blocked counter counts every rejected INVITE
+	// (attempts + retries); the generator's Blocked counts logical
+	// calls. Their difference is the retry traffic.
+	srv := server.CountersSnapshot()
+	if srv.Blocked == 0 {
+		t.Fatal("server blocked nothing")
+	}
+	if int(srv.Blocked) <= res.Blocked {
+		t.Errorf("server blocked %d, generator %d: retries should add rejected INVITEs",
+			srv.Blocked, res.Blocked)
+	}
+}
