@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet race chaos-smoke fuzz-smoke verify
+# Benchmark harness knobs: repetitions per benchmark and the dated
+# snapshot the results land in (see `make bench` / `make bench-check`).
+BENCH_COUNT ?= 3
+BENCH_DATE  ?= $(shell date +%Y%m%d)
+BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
+
+.PHONY: build test vet race chaos-smoke fuzz-smoke verify bench bench-check
 
 build:
 	$(GO) build ./...
@@ -27,3 +33,34 @@ fuzz-smoke:
 # The pre-merge gate: build, vet, full tests, race tests, chaos smoke.
 verify: build vet test race chaos-smoke
 	@echo "verify: all gates passed"
+
+# Benchmark snapshot: full-experiment benches (one experiment per
+# iteration) plus the per-packet micro-benches, parsed into a dated
+# JSON file for benchdiff. Compare two snapshots with `make
+# bench-check`; a >10% drop in events/sec or rise in allocs/op fails.
+bench:
+	@rm -f .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkExperimentSignalling|BenchmarkExperimentPacketized|BenchmarkTableIFlow' \
+		-benchmem -benchtime 1x -count $(BENCH_COUNT) . | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerCycle|BenchmarkSchedulerMixedHorizon|BenchmarkNetworkSend$$' \
+		-benchtime 10000x -count $(BENCH_COUNT) ./internal/netsim/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkRelayForward' \
+		-benchtime 10000x -count $(BENCH_COUNT) ./internal/pbx/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSessionFrameExchange' \
+		-benchtime 10000x -count $(BENCH_COUNT) ./internal/media/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkMessageRoundTrip' \
+		-benchtime 10000x -count $(BENCH_COUNT) ./internal/sip/ | tee -a .bench.out
+	$(GO) run ./cmd/benchdiff -parse -o $(BENCH_JSON) .bench.out
+	@rm -f .bench.out
+	@echo "bench: wrote $(BENCH_JSON)"
+
+# Compare the two most recent snapshots (or BENCH_OLD/BENCH_NEW when
+# given). Exits non-zero on a >10% events/sec or allocs/op regression.
+bench-check:
+	@files="$(BENCH_OLD) $(BENCH_NEW)"; \
+	if [ -z "$(BENCH_OLD)" ]; then \
+		files=$$(ls BENCH_*.json 2>/dev/null | sort | tail -2); \
+	fi; \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "bench-check: need two BENCH_*.json snapshots, have: $$files"; exit 0; fi; \
+	$(GO) run ./cmd/benchdiff $$1 $$2

@@ -1,0 +1,283 @@
+// Command benchdiff is the benchmark-regression harness:
+//
+//	go test -bench ... | benchdiff -parse -o BENCH_20260806.json
+//	benchdiff BENCH_20260701.json BENCH_20260806.json
+//
+// Parse mode converts `go test -bench` text output into a stable JSON
+// snapshot (mean ns/op, allocs/op, B/op and custom metrics per
+// benchmark, plus a derived events/sec wherever a benchmark reports
+// events/run). Compare mode diffs two snapshots and exits non-zero if
+// any shared benchmark regressed by more than the threshold (default
+// 10%) in events/sec (throughput down) or allocs/op (allocations up) —
+// the two engine metrics the capacity experiments are most sensitive
+// to. Everything else is reported informationally.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is the aggregated result of one benchmark across -count runs.
+type Bench struct {
+	Runs       int                `json:"runs"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one dated benchmark run of the repository.
+type Snapshot struct {
+	Generated  string           `json:"generated"`
+	GoVersion  string           `json:"go"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		parse     = flag.Bool("parse", false, "parse `go test -bench` output (stdin or file arg) into JSON")
+		out       = flag.String("o", "", "output file for -parse (default stdout)")
+		threshold = flag.Float64("threshold", 0.10, "relative regression threshold")
+	)
+	flag.Parse()
+
+	if *parse {
+		if err := runParse(flag.Args(), *out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] old.json new.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff -parse [-o out.json] [bench-output.txt]")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if compare(os.Stdout, old, cur, *threshold) {
+		os.Exit(1)
+	}
+}
+
+func runParse(args []string, outPath string) error {
+	in := io.Reader(os.Stdin)
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// accum sums repeated runs of one benchmark for averaging.
+type accum struct {
+	runs    int
+	sums    map[string]float64 // unit -> summed value
+	counts  map[string]int
+	hasAl   bool
+	ordered []string
+}
+
+func parseBench(r io.Reader) (*Snapshot, error) {
+	accums := map[string]*accum{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so snapshots from different
+		// machines stay comparable.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		a := accums[name]
+		if a == nil {
+			a = &accum{sums: map[string]float64{}, counts: map[string]int{}}
+			accums[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if _, seen := a.sums[unit]; !seen {
+				a.ordered = append(a.ordered, unit)
+			}
+			a.sums[unit] += val
+			a.counts[unit]++
+			if unit == "allocs/op" {
+				a.hasAl = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	snap := &Snapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Benchmarks: map[string]Bench{},
+	}
+	for _, name := range order {
+		a := accums[name]
+		b := Bench{Runs: a.runs}
+		for _, unit := range a.ordered {
+			mean := a.sums[unit] / float64(a.counts[unit])
+			switch unit {
+			case "ns/op":
+				b.NsPerOp = mean
+			case "B/op":
+				b.BytesPerOp = mean
+			case "allocs/op":
+				v := mean
+				b.AllocsOp = &v
+			case "MB/s":
+				// derived from ns/op; skip to keep snapshots small
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = mean
+			}
+		}
+		// Derived throughput: events simulated per wall-clock second.
+		if ev, ok := b.Metrics["events/run"]; ok && b.NsPerOp > 0 {
+			b.Metrics["events/sec"] = ev * 1e9 / b.NsPerOp
+		}
+		snap.Benchmarks[name] = b
+	}
+	return snap, nil
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// compare prints a diff of the two snapshots and reports whether any
+// guarded metric regressed beyond threshold.
+func compare(w io.Writer, old, cur *Snapshot, threshold float64) (regressed bool) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchdiff: %s -> %s (threshold %.0f%%)\n",
+		old.Generated, cur.Generated, threshold*100)
+	for _, name := range names {
+		nb := cur.Benchmarks[name]
+		ob, ok := old.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s new benchmark\n", name)
+			continue
+		}
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			fmt.Fprintf(w, "  %-40s ns/op      %14.1f -> %14.1f  (%+.1f%%)\n",
+				name, ob.NsPerOp, nb.NsPerOp, pct(ob.NsPerOp, nb.NsPerOp))
+		}
+		// Guarded: events/sec must not drop more than threshold.
+		oev, oHas := ob.Metrics["events/sec"]
+		nev, nHas := nb.Metrics["events/sec"]
+		if oHas && nHas && oev > 0 {
+			bad := nev < oev*(1-threshold)
+			mark := ""
+			if bad {
+				mark = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(w, "  %-40s events/sec %14.0f -> %14.0f  (%+.1f%%)%s\n",
+				name, oev, nev, pct(oev, nev), mark)
+		}
+		// Guarded: allocs/op must not rise more than threshold (with a
+		// half-alloc slack so 0->0.4 rounding noise cannot fail a run).
+		if ob.AllocsOp != nil && nb.AllocsOp != nil {
+			oa, na := *ob.AllocsOp, *nb.AllocsOp
+			bad := na > oa*(1+threshold)+0.5
+			mark := ""
+			if bad {
+				mark = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(w, "  %-40s allocs/op  %14.1f -> %14.1f%s\n", name, oa, na, mark)
+		}
+	}
+	for name := range old.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "  %-40s missing from new snapshot\n", name)
+		}
+	}
+	if regressed {
+		fmt.Fprintln(w, "benchdiff: FAIL")
+	} else {
+		fmt.Fprintln(w, "benchdiff: ok")
+	}
+	return regressed
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return math.NaN()
+	}
+	return (new - old) / old * 100
+}

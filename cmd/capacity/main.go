@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -38,10 +39,39 @@ func main() {
 		capacity  = flag.Int("capacity", 165, "PBX channel capacity")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment workers")
 		seed      = flag.Uint64("seed", 20150525, "base RNG seed")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras) {
 		*all = true
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capacity: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "capacity: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "capacity: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "capacity: memprofile: %v\n", err)
+			}
+		}()
 	}
 	out := os.Stdout
 	start := time.Now()

@@ -192,7 +192,9 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 		// Exponential hold times can exceed the 10·h allowance;
 		// extend until the generator completes.
 		for i := 0; i < 64 && !finished; i++ {
-			sched.Run(sched.Now() + horizon)
+			if _, err := sched.Run(sched.Now() + horizon); err != nil {
+				panic(fmt.Sprintf("core: scheduler: %v", err))
+			}
 		}
 		if !finished {
 			panic("core: experiment did not converge")

@@ -1,0 +1,42 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// BenchmarkSessionFrameExchange measures one 20 ms frame interval of a
+// bidirectional call: each session transmits one RTP frame and receives
+// the peer's through jitter-buffer and RFC 3550 accounting. This is the
+// per-call steady-state cost of the packetized media model.
+func BenchmarkSessionFrameExchange(b *testing.B) {
+	b.ReportAllocs()
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	net.SetDefaultProfile(netsim.LinkProfile{Delay: time.Millisecond})
+	clock := transport.SimClock{Sched: sched}
+
+	a := NewSession(transport.NewSim(net, "a:4000"), clock,
+		SessionConfig{Remote: "b:4000", SSRC: 0xA})
+	z := NewSession(transport.NewSim(net, "b:4000"), clock,
+		SessionConfig{Remote: "a:4000", SSRC: 0xB})
+	a.Start()
+	z.Start()
+	frame := 20 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(sched.Now() + frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	a.Stop()
+	z.Stop()
+	if a.SentPackets() < uint64(b.N) || z.SentPackets() < uint64(b.N) {
+		b.Fatalf("sent %d/%d frames, want >= %d", a.SentPackets(), z.SentPackets(), b.N)
+	}
+}

@@ -55,9 +55,17 @@ type Session struct {
 	sent    uint64
 	nextAt  time.Duration
 	running bool
-	timer   transport.Timer
+	timer   transport.RearmTimer
 	tone    *g711.ToneGenerator
 	frame   []byte
+
+	// Scratch state reused every frame (guarded by mu): the outbound
+	// packet header, its wire form, and the inbound parse target. The
+	// transport contract permits reusing the send buffer because Send
+	// either copies (netsim) or writes synchronously (UDP).
+	outPkt rtp.Packet
+	inPkt  rtp.Packet
+	wire   []byte
 
 	recv *rtp.Receiver
 	jb   *JitterBuffer
@@ -68,7 +76,7 @@ type Session struct {
 	dtmfSeen   bool
 	dtmfSeenTS uint32
 
-	rtcpTimer    transport.Timer
+	rtcpTimer    transport.RearmTimer
 	rtcpSent     uint64
 	rtcpReceived uint64
 	bytesSent    uint64
@@ -105,8 +113,19 @@ func NewSession(tr transport.Transport, clock transport.Clock, cfg SessionConfig
 	// can measure one-way transit (see rtp.Stats.MinTransit).
 	s.tsBase = uint32(clock.Now() * rtp.ClockRate / time.Second)
 	s.ts = s.tsBase
+	s.timer = transport.NewRearmTimer(clock, s.onFrameTimer)
 	tr.SetReceiver(s.handleInbound)
 	return s
+}
+
+// onFrameTimer is the fixed pacing callback; keeping it a method means
+// re-arming the frame timer never allocates a closure.
+func (s *Session) onFrameTimer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		s.sendFrameLocked()
+	}
 }
 
 // Start begins transmitting until Stop.
@@ -130,9 +149,7 @@ func (s *Session) Stop() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running = false
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	if s.rtcpTimer != nil {
 		s.rtcpTimer.Stop()
 	}
@@ -147,11 +164,12 @@ func (s *Session) Close() error {
 func (s *Session) sendFrameLocked() {
 	var payload []byte
 	if s.tone != nil {
-		payload = s.tone.NextFrameMulaw(make([]byte, len(s.frame)), s.cfg.FrameMs)
+		s.frame = s.tone.NextFrameMulaw(s.frame, s.cfg.FrameMs)
+		payload = s.frame
 	} else {
 		payload = staticFrame
 	}
-	pkt := rtp.Packet{
+	s.outPkt = rtp.Packet{
 		PayloadType: s.cfg.PayloadType,
 		Marker:      s.sent == 0,
 		Sequence:    s.seq,
@@ -159,8 +177,9 @@ func (s *Session) sendFrameLocked() {
 		SSRC:        s.cfg.SSRC,
 		Payload:     payload,
 	}
-	s.tr.Send(s.cfg.Remote, pkt.Marshal(make([]byte, 0, rtp.HeaderLen+len(payload))))
-	s.bytesSent += uint64(pkt.Size())
+	s.wire = s.outPkt.Marshal(s.wire[:0])
+	s.tr.Send(s.cfg.Remote, s.wire)
+	s.bytesSent += uint64(s.outPkt.Size())
 	s.seq++
 	s.ts += uint32(g711.SamplesPerFrame(s.cfg.FrameMs))
 	s.sent++
@@ -174,26 +193,25 @@ func (s *Session) sendFrameLocked() {
 	if delay < 0 {
 		delay = 0
 	}
-	s.timer = s.clock.AfterFunc(delay, func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.running {
-			s.sendFrameLocked()
-		}
-	})
+	s.timer.Schedule(delay)
 }
 
 // armRTCPLocked schedules the next periodic report.
 func (s *Session) armRTCPLocked() {
-	s.rtcpTimer = s.clock.AfterFunc(s.cfg.RTCPInterval, func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if !s.running {
-			return
-		}
-		s.sendRTCPLocked()
-		s.armRTCPLocked()
-	})
+	if s.rtcpTimer == nil {
+		s.rtcpTimer = transport.NewRearmTimer(s.clock, s.onRTCPTimer)
+	}
+	s.rtcpTimer.Schedule(s.cfg.RTCPInterval)
+}
+
+func (s *Session) onRTCPTimer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return
+	}
+	s.sendRTCPLocked()
+	s.rtcpTimer.Schedule(s.cfg.RTCPInterval)
 }
 
 // sendRTCPLocked emits a sender report with a reception block for the
@@ -220,14 +238,15 @@ func (s *Session) handleInbound(src string, data []byte) {
 		s.handleRTCP(now, data)
 		return
 	}
-	pkt, err := rtp.Parse(data)
-	if err != nil {
-		s.mu.Lock()
+	s.mu.Lock()
+	// Decode into the session's scratch packet: the consumers below
+	// (receiver stats, jitter buffer, DTMF decode) read values only.
+	if err := s.inPkt.Unmarshal(data); err != nil {
 		s.bad++
 		s.mu.Unlock()
 		return
 	}
-	s.mu.Lock()
+	pkt := &s.inPkt
 	if pkt.PayloadType == DTMFPayloadType {
 		s.handleDTMFLocked(pkt)
 		s.mu.Unlock()

@@ -9,6 +9,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,11 +35,19 @@ type Capture struct {
 
 	firstAt, lastAt time.Duration
 	sawAny          bool
+
+	// statusStrs interns status-code row labels and scratch holds the
+	// per-packet RTP decode, so observing a packet does not allocate.
+	statusStrs map[int]string
+	scratch    rtp.Packet
 }
 
 // NewCapture returns an empty capture.
 func NewCapture() *Capture {
-	return &Capture{sipByKind: make(map[string]uint64)}
+	return &Capture{
+		sipByKind:  make(map[string]uint64),
+		statusStrs: make(map[int]string),
+	}
 }
 
 // Tap returns the netsim.Tap to register with Network.AddTap.
@@ -67,7 +76,7 @@ func (c *Capture) Observe(now time.Duration, data []byte) {
 		if msg.IsRequest() {
 			key = string(msg.Method)
 		} else {
-			key = fmt.Sprintf("%d", msg.StatusCode)
+			key = c.statusKey(msg.StatusCode)
 			if msg.StatusCode >= 400 {
 				c.errorMsgs++
 			}
@@ -75,12 +84,22 @@ func (c *Capture) Observe(now time.Duration, data []byte) {
 		c.sipByKind[key]++
 		return
 	}
-	if pkt, err := rtp.Parse(data); err == nil {
+	if err := c.scratch.Unmarshal(data); err == nil {
 		c.rtpPackets++
-		c.rtpBytes += uint64(pkt.Size())
+		c.rtpBytes += uint64(c.scratch.Size())
 		return
 	}
 	c.unparsable++
+}
+
+// statusKey interns the decimal row label for a status code.
+func (c *Capture) statusKey(code int) string {
+	if s, ok := c.statusStrs[code]; ok {
+		return s
+	}
+	s := strconv.Itoa(code)
+	c.statusStrs[code] = s
+	return s
 }
 
 // SIPCount returns the count for one row label ("INVITE", "180", …).

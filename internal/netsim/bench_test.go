@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// BenchmarkSchedulerCycle measures one schedule/fire plus one
+// schedule/stop cycle — the scheduler's contribution to every simulated
+// packet (each hop is one scheduled delivery, and SIP transactions arm
+// and cancel retransmission timers constantly).
+func BenchmarkSchedulerCycle(b *testing.B) {
+	b.ReportAllocs()
+	s := NewScheduler()
+	fired := 0
+	ev := func(time.Duration) { fired++ }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Millisecond, ev)
+		tm := s.After(time.Hour, ev) // far-future timer, cancelled like a SIP timer
+		tm.Stop()
+		if _, err := s.Run(s.Now() + time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d, want %d", fired, b.N)
+	}
+}
+
+// BenchmarkSchedulerMixedHorizon schedules a near event (RTP cadence),
+// a mid event (SIP T1) and a far event (hold timer) per op, firing only
+// the near one — the realistic mix that exercises wheel and overflow.
+func BenchmarkSchedulerMixedHorizon(b *testing.B) {
+	b.ReportAllocs()
+	s := NewScheduler()
+	fired := 0
+	ev := func(time.Duration) { fired++ }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(20*time.Millisecond, ev)
+		t1 := s.After(500*time.Millisecond, ev)
+		t2 := s.After(120*time.Second, ev)
+		if _, err := s.Run(s.Now() + 20*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		t1.Stop()
+		t2.Stop()
+	}
+}
+
+// BenchmarkNetworkSend measures the full per-packet network path: Send
+// through a link profile, scheduled delivery, handler dispatch.
+func BenchmarkNetworkSend(b *testing.B) {
+	b.ReportAllocs()
+	s := NewScheduler()
+	n := NewNetwork(s, stats.NewRNG(1))
+	n.SetDefaultProfile(LinkProfile{Delay: time.Millisecond})
+	src := Addr{Host: "a", Port: 1}
+	dst := Addr{Host: "b", Port: 2}
+	var got int
+	n.Bind(dst, HandlerFunc(func(time.Duration, *Packet) { got++ }))
+	payload := make([]byte, 172) // 12-byte RTP header + 160-byte G.711 frame
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(src, dst, payload)
+		if _, err := s.Run(s.Now() + 2*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d, want %d", got, b.N)
+	}
+}

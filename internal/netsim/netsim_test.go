@@ -90,7 +90,7 @@ func TestTimerStop(t *testing.T) {
 
 func TestTimerStopAfterFire(t *testing.T) {
 	s := NewScheduler()
-	var tm *Timer
+	var tm Timer
 	tm = s.After(time.Millisecond, func(time.Duration) {})
 	s.Run(time.Second)
 	if tm.Stop() {
@@ -103,7 +103,7 @@ func TestTimerStopFromEvent(t *testing.T) {
 	// must not fire.
 	s := NewScheduler()
 	fired := false
-	var victim *Timer
+	var victim Timer
 	s.At(time.Millisecond, func(time.Duration) { victim.Stop() })
 	victim = s.At(time.Millisecond, func(time.Duration) { fired = true })
 	s.Run(time.Second)
@@ -175,7 +175,7 @@ func TestNetworkDelivery(t *testing.T) {
 	var got []byte
 	var at time.Duration
 	n.Bind(b, HandlerFunc(func(now time.Duration, p *Packet) {
-		got = p.Payload
+		got = append(got[:0], p.Payload...) // payload is only valid during the handler
 		at = now
 		if p.Src != a || p.Dst != b {
 			t.Errorf("addressing: %v -> %v", p.Src, p.Dst)

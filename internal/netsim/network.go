@@ -17,13 +17,44 @@ type Addr struct {
 
 func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
 
-// Packet is a datagram in flight on the simulated network.
+// Packet is a datagram in flight on the simulated network. Packets are
+// pooled: both the Packet and its Payload are only valid for the
+// duration of the HandlePacket (or Tap) call that receives them.
+// Handlers that need the bytes later must copy them.
 type Packet struct {
 	Src, Dst Addr
 	Payload  []byte
 	// SentAt is stamped by the network when the packet enters a link,
 	// so receivers can compute one-way delay in virtual time.
 	SentAt time.Duration
+
+	// Pooled delivery state. Packet implements Runner so a delivery
+	// schedules without allocating a closure.
+	n      *Network
+	l      *link
+	rated  bool // holds a serialization queue slot to release
+	srcStr string
+	buf    []byte // backing array for Payload, reused across lives
+}
+
+// SrcString returns "host:port" for the packet source without
+// allocating: source addresses are interned per network.
+func (p *Packet) SrcString() string {
+	if p.srcStr == "" {
+		return p.Src.String()
+	}
+	return p.srcStr
+}
+
+// RunEvent delivers the packet; it is the scheduler callback for every
+// in-flight datagram.
+func (p *Packet) RunEvent(now time.Duration) {
+	if p.rated && p.l.queued > 0 {
+		p.l.queued--
+	}
+	n := p.n
+	n.deliver(p.l, p, now)
+	n.release(p)
 }
 
 // Handler receives packets delivered to a bound port.
@@ -95,6 +126,12 @@ type Network struct {
 	taps     []Tap
 	// counters
 	noRoute uint64
+
+	// pktFree recycles delivered packets; addrStrs interns the
+	// "host:port" form of source addresses so the transport layer's
+	// receive path never formats strings per packet.
+	pktFree  []*Packet
+	addrStrs map[Addr]string
 }
 
 // NewNetwork creates a network on the given scheduler, with rng
@@ -105,7 +142,36 @@ func NewNetwork(s *Scheduler, rng *stats.RNG) *Network {
 		rng:      rng,
 		links:    make(map[[2]string]*link),
 		bindings: make(map[Addr]Handler),
+		addrStrs: make(map[Addr]string),
 	}
+}
+
+// newPacket takes a packet from the free list or allocates one.
+func (n *Network) newPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// release returns a packet to the free list, keeping its payload
+// buffer for the next life.
+func (n *Network) release(p *Packet) {
+	p.Payload = nil
+	p.n, p.l = nil, nil
+	n.pktFree = append(n.pktFree, p)
+}
+
+func (n *Network) addrString(a Addr) string {
+	if s, ok := n.addrStrs[a]; ok {
+		return s
+	}
+	s := a.String()
+	n.addrStrs[a] = s
+	return s
 }
 
 // SetDefaultProfile sets the profile used for host pairs without an
@@ -139,18 +205,28 @@ func (n *Network) Handler(addr Addr) Handler { return n.bindings[addr] }
 // AddTap registers an observer for all sent packets.
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 
-// Send queues a datagram for delivery. The payload is not copied; the
-// caller must not reuse it. Loss, jitter and rate limiting are applied
-// per the link profile between the source and destination hosts.
+// Send queues a datagram for delivery. The payload is copied into a
+// pooled buffer, so the caller may reuse its slice as soon as Send
+// returns; conversely, receivers only own the delivered Payload for
+// the duration of their HandlePacket call. Loss, jitter and rate
+// limiting are applied per the link profile between the source and
+// destination hosts.
 func (n *Network) Send(src, dst Addr, payload []byte) {
-	pkt := &Packet{Src: src, Dst: dst, Payload: payload, SentAt: n.sched.Now()}
+	now := n.sched.Now()
+	pkt := n.newPacket()
+	pkt.Src, pkt.Dst = src, dst
+	pkt.buf = append(pkt.buf[:0], payload...)
+	pkt.Payload = pkt.buf
+	pkt.SentAt = now
+	pkt.n = n
+	pkt.srcStr = n.addrString(src)
 	for _, t := range n.taps {
-		t(n.sched.Now(), pkt)
+		t(now, pkt)
 	}
 	l := n.linkFor(src.Host, dst.Host)
+	pkt.l = l
 	l.sent++
 	p := l.profile
-	now := n.sched.Now()
 
 	// Serialization under a rate limit.
 	depart := now
@@ -161,6 +237,7 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 		}
 		if l.busyUntil > now && l.queued >= limit {
 			l.dropped++
+			n.release(pkt)
 			return
 		}
 		bits := float64(len(payload)+28) * 8 // UDP+IP header overhead
@@ -177,13 +254,16 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 		l.dropped++
 		if p.RateBps > 0 && depart > now {
 			// Still consumed wire time before being lost downstream;
-			// queue accounting below handles the slot release.
+			// queue accounting below handles the slot release. Lost
+			// packets on rate-limited links are rare enough that the
+			// closure here is not worth pooling.
 			n.sched.At(depart, func(time.Duration) {
 				if l.queued > 0 {
 					l.queued--
 				}
 			})
 		}
+		n.release(pkt)
 		return
 	}
 
@@ -206,12 +286,8 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 		}
 		delay += extra
 	}
-	n.sched.At(depart+delay, func(at time.Duration) {
-		if p.RateBps > 0 && l.queued > 0 {
-			l.queued--
-		}
-		n.deliver(l, pkt, at)
-	})
+	pkt.rated = p.RateBps > 0
+	n.sched.AtRunner(depart+delay, pkt)
 	// Duplication: an extra copy trails the original; it does not hold
 	// a queue slot (the switch already forwarded the original).
 	if p.DupProb > 0 && n.rng.Float64() < p.DupProb {
@@ -220,9 +296,15 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 		if dupDelay <= 0 {
 			dupDelay = time.Millisecond
 		}
-		n.sched.At(depart+delay+dupDelay, func(at time.Duration) {
-			n.deliver(l, pkt, at)
-		})
+		dup := n.newPacket()
+		dup.Src, dup.Dst = src, dst
+		dup.buf = append(dup.buf[:0], payload...)
+		dup.Payload = dup.buf
+		dup.SentAt = now
+		dup.n, dup.l = n, l
+		dup.srcStr = pkt.srcStr
+		dup.rated = false
+		n.sched.AtRunner(depart+delay+dupDelay, dup)
 	}
 }
 

@@ -11,66 +11,90 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
+	"math/bits"
+	"slices"
 	"time"
 )
 
 // Event is a callback scheduled to run at a virtual time.
 type Event func(now time.Duration)
 
+// Runner is the allocation-free alternative to Event: a pre-built
+// object whose RunEvent method fires at the scheduled time. Converting
+// a pointer to this interface does not allocate, so per-packet work
+// (network deliveries, reusable timers) schedules without a closure.
+type Runner interface {
+	RunEvent(now time.Duration)
+}
+
+// The wheel covers ticks of 2^tickShift nanoseconds (≈1.05 ms) across
+// wheelSize slots (≈2.15 s of virtual time). Near events — RTP frame
+// cadence, link delays, SIP T1 — land in the wheel in O(1); events
+// beyond the horizon (call holds, transaction timeouts) go to a binary
+// heap and migrate into the wheel as the cursor approaches them.
+const (
+	tickShift = 20
+	wheelBits = 11
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+func tickOf(at time.Duration) int64 { return int64(at) >> tickShift }
+
+// schedItem is a pooled event record. gen guards Timer handles against
+// recycled items: a Timer captured before recycling can no longer stop
+// the item's next life.
 type schedItem struct {
-	at    time.Duration
-	seq   uint64 // FIFO tiebreak for equal timestamps
-	fn    Event
-	index int // heap index, -1 once popped or cancelled
+	at      time.Duration
+	seq     uint64
+	gen     uint64
+	fn      Event
+	r       Runner
+	heapIdx int // index in the overflow heap, -1 when in a wheel slot
 }
 
-type eventHeap []*schedItem
+func (it *schedItem) cancelled() bool { return it.fn == nil && it.r == nil }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*schedItem)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
+// slot is one wheel bucket. Items [0:idx) have been consumed; the
+// pending tail [idx:] is sorted by (at, seq) lazily, just before the
+// cursor consumes it.
+type slot struct {
+	items  []*schedItem
+	idx    int
+	sorted bool
 }
 
 // Timer is a handle to a scheduled event that can be stopped before it
-// fires, in the manner of time.Timer.
+// fires, in the manner of time.Timer. The zero value is a no-op.
 type Timer struct {
-	item *schedItem
 	s    *Scheduler
+	item *schedItem
+	gen  uint64
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
 // fired (and therefore was actually cancelled). Stopping an already
 // fired or already stopped timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.item == nil || t.item.index < 0 {
+func (t Timer) Stop() bool {
+	it := t.item
+	if it == nil || it.gen != t.gen || it.cancelled() {
 		return false
 	}
-	heap.Remove(&t.s.heap, t.item.index)
-	t.item.fn = nil
+	s := t.s
+	if it.heapIdx >= 0 {
+		// Far-future timers are removed from the overflow heap and
+		// recycled eagerly: cancelled SIP transaction timers are the
+		// common case and must not accumulate.
+		s.overflowRemove(it.heapIdx)
+		s.pendingTotal--
+		s.recycle(it)
+		return true
+	}
+	// Wheel items are cancelled lazily; the cursor reaps them within
+	// one wheel horizon of virtual time.
+	it.fn, it.r = nil, nil
+	s.cancelledWheel++
 	return true
 }
 
@@ -78,17 +102,24 @@ func (t *Timer) Stop() bool {
 // use NewScheduler.
 type Scheduler struct {
 	now     time.Duration
-	heap    eventHeap
 	seq     uint64
 	fired   uint64
 	running bool
+
+	cursorTick     int64
+	slots          [wheelSize]slot
+	occ            [wheelSize / 64]uint64
+	wheelCount     int // items resident in wheel slots (incl. cancelled)
+	cancelledWheel int
+	pendingTotal   int // wheel + overflow items (incl. cancelled wheel items)
+
+	overflow []*schedItem // binary heap by (at, seq)
+	free     []*schedItem
 }
 
 // NewScheduler returns a scheduler with virtual time at zero.
 func NewScheduler() *Scheduler {
-	s := &Scheduler{}
-	heap.Init(&s.heap)
-	return s
+	return &Scheduler{}
 }
 
 // Now returns the current virtual time.
@@ -98,27 +129,249 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // throughput denominator in benchmarks.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events currently scheduled.
-func (s *Scheduler) Pending() int { return s.heap.Len() }
+// Pending returns the number of events currently scheduled and not
+// cancelled.
+func (s *Scheduler) Pending() int { return s.pendingTotal - s.cancelledWheel }
+
+// alloc takes an item from the free list or makes a new one.
+func (s *Scheduler) alloc() *schedItem {
+	if n := len(s.free); n > 0 {
+		it := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return it
+	}
+	return &schedItem{}
+}
+
+// recycle returns a consumed item to the free list, invalidating any
+// outstanding Timer handles to it.
+func (s *Scheduler) recycle(it *schedItem) {
+	it.gen++
+	it.fn, it.r = nil, nil
+	it.heapIdx = -1
+	s.free = append(s.free, it)
+}
+
+// schedule inserts an event at absolute time at (already clamped).
+func (s *Scheduler) schedule(at time.Duration, fn Event, r Runner) *schedItem {
+	it := s.alloc()
+	it.at = at
+	it.seq = s.seq
+	it.fn = fn
+	it.r = r
+	it.heapIdx = -1
+	s.seq++
+	s.pendingTotal++
+
+	t := tickOf(at)
+	if t < s.cursorTick {
+		t = s.cursorTick
+	}
+	if t-s.cursorTick >= wheelSize && s.wheelCount == 0 {
+		// The wheel is empty, so the cursor can jump forward to keep
+		// short relative delays inside the wheel after long idle gaps.
+		if nowTick := tickOf(s.now); nowTick > s.cursorTick {
+			s.cursorTick = nowTick
+		}
+	}
+	if t-s.cursorTick < wheelSize {
+		sl := &s.slots[t&wheelMask]
+		sl.items = append(sl.items, it)
+		sl.sorted = len(sl.items)-sl.idx <= 1
+		s.occ[(t&wheelMask)>>6] |= 1 << uint(t&63)
+		s.wheelCount++
+	} else {
+		s.overflowPush(it)
+	}
+	return it
+}
 
 // At schedules fn at absolute virtual time at. Scheduling in the past
 // (before Now) clamps to Now, preserving causal order.
-func (s *Scheduler) At(at time.Duration, fn Event) *Timer {
+func (s *Scheduler) At(at time.Duration, fn Event) Timer {
 	if at < s.now {
 		at = s.now
 	}
-	it := &schedItem{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.heap, it)
-	return &Timer{item: it, s: s}
+	it := s.schedule(at, fn, nil)
+	return Timer{s: s, item: it, gen: it.gen}
 }
 
 // After schedules fn after delay d from the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn Event) *Timer {
+func (s *Scheduler) After(d time.Duration, fn Event) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AtRunner schedules r at absolute virtual time at without allocating a
+// closure or a cancellation handle — the zero-cost path for per-packet
+// deliveries.
+func (s *Scheduler) AtRunner(at time.Duration, r Runner) {
+	if at < s.now {
+		at = s.now
+	}
+	s.schedule(at, nil, r)
+}
+
+// AfterRunner schedules r after delay d, see AtRunner.
+func (s *Scheduler) AfterRunner(d time.Duration, r Runner) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, nil, r)
+}
+
+// AtTimer is AtRunner with a cancellation handle, for reusable timers.
+func (s *Scheduler) AtTimer(at time.Duration, r Runner) Timer {
+	if at < s.now {
+		at = s.now
+	}
+	it := s.schedule(at, nil, r)
+	return Timer{s: s, item: it, gen: it.gen}
+}
+
+// sortPending orders the unconsumed tail of a slot by (at, seq). Items
+// are appended in seq order, so the sort is near-sorted and cheap; it
+// is what preserves the documented determinism contract inside a tick.
+func sortPending(sl *slot) {
+	slices.SortFunc(sl.items[sl.idx:], func(a, b *schedItem) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	sl.sorted = true
+}
+
+// nextOccupied returns the first occupied slot tick strictly after
+// cursorTick within the wheel horizon, scanning the occupancy bitmap.
+func (s *Scheduler) nextOccupied() (int64, bool) {
+	if s.wheelCount == 0 {
+		return 0, false
+	}
+	// Scan wheelSize slots starting just after the cursor, walking the
+	// bitmap a word at a time.
+	start := (s.cursorTick + 1) & wheelMask
+	for scanned := int64(0); scanned < wheelSize; {
+		word := s.occ[start>>6]
+		// Mask off bits below the start position within this word.
+		word &= ^uint64(0) << uint(start&63)
+		if word != 0 {
+			bit := int64(bits.TrailingZeros64(word))
+			slotIdx := (start &^ 63) + bit
+			delta := (slotIdx - ((s.cursorTick + 1) & wheelMask)) & wheelMask
+			return s.cursorTick + 1 + delta, true
+		}
+		advance := 64 - (start & 63)
+		scanned += advance
+		start = (start + advance) & wheelMask
+	}
+	return 0, false
+}
+
+// advanceCursor moves the cursor to the tick of the next pending event,
+// migrating overflow events that have come within the wheel horizon.
+// It reports whether any event is pending.
+func (s *Scheduler) advanceCursor() bool {
+	next, ok := s.nextOccupied()
+	if len(s.overflow) > 0 {
+		oTick := tickOf(s.overflow[0].at)
+		if !ok || oTick <= next {
+			if !ok && oTick >= s.cursorTick+wheelSize {
+				// Wheel empty and the heap head is beyond the horizon:
+				// jump the cursor so the head's tick is in the window.
+				s.cursorTick = oTick
+			}
+			limit := s.cursorTick + wheelSize
+			for len(s.overflow) > 0 {
+				t := tickOf(s.overflow[0].at)
+				if t >= limit || (ok && t > next) {
+					break
+				}
+				it := s.overflowPop()
+				sl := &s.slots[t&wheelMask]
+				sl.items = append(sl.items, it)
+				sl.sorted = len(sl.items)-sl.idx <= 1
+				s.occ[(t&wheelMask)>>6] |= 1 << uint(t&63)
+				s.wheelCount++
+				if !ok || t < next {
+					next, ok = t, true
+				}
+			}
+		}
+	}
+	if !ok {
+		return false
+	}
+	s.cursorTick = next
+	return true
+}
+
+// peek returns the next pending item without consuming it, advancing
+// the cursor and reaping cancelled items along the way. Returns nil
+// when nothing is pending.
+func (s *Scheduler) peek() *schedItem {
+	for {
+		sl := &s.slots[s.cursorTick&wheelMask]
+		for sl.idx < len(sl.items) {
+			if !sl.sorted {
+				sortPending(sl)
+			}
+			it := sl.items[sl.idx]
+			if it.cancelled() {
+				sl.items[sl.idx] = nil
+				sl.idx++
+				s.wheelCount--
+				s.cancelledWheel--
+				s.pendingTotal--
+				s.recycle(it)
+				continue
+			}
+			return it
+		}
+		if sl.idx > 0 {
+			// Slot fully consumed: reset for its next revolution.
+			sl.items = sl.items[:0]
+			sl.idx = 0
+			sl.sorted = false
+			s.occ[(s.cursorTick&wheelMask)>>6] &^= 1 << uint(s.cursorTick&63)
+		}
+		if !s.advanceCursor() {
+			return nil
+		}
+	}
+}
+
+// pop consumes the item peek returned (always the head of the cursor
+// slot's pending tail).
+func (s *Scheduler) pop() {
+	sl := &s.slots[s.cursorTick&wheelMask]
+	sl.items[sl.idx] = nil
+	sl.idx++
+	s.wheelCount--
+	s.pendingTotal--
+}
+
+// fire executes one item and recycles it. The item is recycled before
+// the callback runs so the callback's own scheduling can reuse it.
+func (s *Scheduler) fire(it *schedItem) {
+	fn, r := it.fn, it.r
+	s.now = it.at
+	s.fired++
+	s.recycle(it)
+	if r != nil {
+		r.RunEvent(s.now)
+	} else {
+		fn(s.now)
+	}
 }
 
 // ErrReentrantRun reports that Run was called from inside an event.
@@ -134,19 +387,13 @@ func (s *Scheduler) Run(until time.Duration) (uint64, error) {
 	s.running = true
 	defer func() { s.running = false }()
 	start := s.fired
-	for s.heap.Len() > 0 {
-		it := s.heap[0]
-		if it.at > until {
+	for {
+		it := s.peek()
+		if it == nil || it.at > until {
 			break
 		}
-		heap.Pop(&s.heap)
-		s.now = it.at
-		if it.fn != nil {
-			fn := it.fn
-			it.fn = nil
-			s.fired++
-			fn(s.now)
-		}
+		s.pop()
+		s.fire(it)
 	}
 	// Advance the clock to the horizon so repeated Runs are monotone.
 	if s.now < until {
@@ -162,16 +409,86 @@ func (s *Scheduler) Drain(maxEvents uint64) (uint64, bool) {
 	var n uint64
 	s.running = true
 	defer func() { s.running = false }()
-	for s.heap.Len() > 0 && n < maxEvents {
-		it := heap.Pop(&s.heap).(*schedItem)
-		s.now = it.at
-		if it.fn != nil {
-			fn := it.fn
-			it.fn = nil
-			s.fired++
-			n++
-			fn(s.now)
+	for n < maxEvents {
+		it := s.peek()
+		if it == nil {
+			break
 		}
+		s.pop()
+		n++
+		s.fire(it)
 	}
-	return n, s.heap.Len() > 0
+	return n, s.Pending() > 0
+}
+
+// Overflow heap: a plain binary min-heap by (at, seq) with index
+// tracking so Stop can remove cancelled far-future timers eagerly.
+
+func overflowLess(a, b *schedItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) overflowPush(it *schedItem) {
+	it.heapIdx = len(s.overflow)
+	s.overflow = append(s.overflow, it)
+	s.overflowUp(it.heapIdx)
+}
+
+func (s *Scheduler) overflowPop() *schedItem {
+	it := s.overflow[0]
+	s.overflowRemove(0)
+	return it
+}
+
+func (s *Scheduler) overflowRemove(i int) {
+	n := len(s.overflow) - 1
+	it := s.overflow[i]
+	if i != n {
+		s.overflow[i] = s.overflow[n]
+		s.overflow[i].heapIdx = i
+	}
+	s.overflow[n] = nil
+	s.overflow = s.overflow[:n]
+	if i < n {
+		s.overflowDown(i)
+		s.overflowUp(i)
+	}
+	it.heapIdx = -1
+}
+
+func (s *Scheduler) overflowUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !overflowLess(s.overflow[i], s.overflow[parent]) {
+			break
+		}
+		s.overflow[i], s.overflow[parent] = s.overflow[parent], s.overflow[i]
+		s.overflow[i].heapIdx = i
+		s.overflow[parent].heapIdx = parent
+		i = parent
+	}
+}
+
+func (s *Scheduler) overflowDown(i int) {
+	n := len(s.overflow)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && overflowLess(s.overflow[l], s.overflow[smallest]) {
+			smallest = l
+		}
+		if r < n && overflowLess(s.overflow[r], s.overflow[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.overflow[i], s.overflow[smallest] = s.overflow[smallest], s.overflow[i]
+		s.overflow[i].heapIdx = i
+		s.overflow[smallest].heapIdx = smallest
+		i = smallest
+	}
 }

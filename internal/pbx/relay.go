@@ -36,6 +36,11 @@ type relay struct {
 	forwarded uint64
 	dropped   uint64
 	closed    bool
+
+	// scratch is the per-packet parse target, guarded by mu; the
+	// observers read values only, so nothing aliases it after forward
+	// returns.
+	scratch rtp.Packet
 }
 
 // newRelay opens the two relay ports for a call whose caller offered
@@ -121,8 +126,8 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport,
 	// Observe audio only: dynamic payload types (>= 96, e.g. RFC 4733
 	// telephone-events) are control-ish payloads whose timestamps do
 	// not track the audio clock and would poison loss/transit stats.
-	if pkt, err := rtp.Parse(data); err == nil && pkt.PayloadType < 96 {
-		obs.Observe(now, pkt)
+	if err := r.scratch.Unmarshal(data); err == nil && r.scratch.PayloadType < 96 {
+		obs.Observe(now, &r.scratch)
 	}
 	// Overload packet errors: the paper's A=240 row.
 	if r.overloadDrop() {

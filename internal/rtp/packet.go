@@ -59,27 +59,38 @@ func (p *Packet) Marshal(dst []byte) []byte {
 // Size returns the marshalled size of p in bytes.
 func (p *Packet) Size() int { return HeaderLen + len(p.Payload) }
 
+// Unmarshal decodes an RTP packet from wire form into p, the
+// allocation-free counterpart of Parse for hot paths that keep a
+// scratch Packet. The decoded Payload aliases data; p is only valid
+// while data is.
+func (p *Packet) Unmarshal(data []byte) error {
+	if len(data) < HeaderLen {
+		return ErrTooShort
+	}
+	if data[0]>>6 != Version {
+		return ErrBadVersion
+	}
+	if data[0]&0x3F != 0 { // padding, extension or CSRC count bits set
+		return ErrUnsupported
+	}
+	p.Marker = data[1]&0x80 != 0
+	p.PayloadType = data[1] & 0x7F
+	p.Sequence = binary.BigEndian.Uint16(data[2:])
+	p.Timestamp = binary.BigEndian.Uint32(data[4:])
+	p.SSRC = binary.BigEndian.Uint32(data[8:])
+	p.Payload = data[HeaderLen:]
+	return nil
+}
+
 // Parse decodes an RTP packet from wire form. The returned packet's
 // Payload aliases data; the caller must not reuse the buffer while the
 // packet is live.
 func Parse(data []byte) (*Packet, error) {
-	if len(data) < HeaderLen {
-		return nil, ErrTooShort
+	p := &Packet{}
+	if err := p.Unmarshal(data); err != nil {
+		return nil, err
 	}
-	if data[0]>>6 != Version {
-		return nil, ErrBadVersion
-	}
-	if data[0]&0x3F != 0 { // padding, extension or CSRC count bits set
-		return nil, ErrUnsupported
-	}
-	return &Packet{
-		Marker:      data[1]&0x80 != 0,
-		PayloadType: data[1] & 0x7F,
-		Sequence:    binary.BigEndian.Uint16(data[2:]),
-		Timestamp:   binary.BigEndian.Uint32(data[4:]),
-		SSRC:        binary.BigEndian.Uint32(data[8:]),
-		Payload:     data[HeaderLen:],
-	}, nil
+	return p, nil
 }
 
 func (p *Packet) String() string {

@@ -1,0 +1,33 @@
+package sip
+
+import (
+	"testing"
+)
+
+// benchInvite is a representative INVITE as the generator emits it.
+var benchInvite = func() []byte {
+	req := NewRequest(INVITE, NewURI("uas", "pbx", 5060),
+		NameAddr{URI: NewURI("uac", "sippc", 5060), Tag: "t17-sippc:5060"},
+		NameAddr{URI: NewURI("uas", "pbx", 5060)},
+		"c42@sippc:5060", 1)
+	req.Via = []Via{{Transport: "UDP", SentBy: "sippc:5060", Branch: BranchPrefix + "-sippc:5060-42"}}
+	req.Contact = &NameAddr{URI: NewURI("uac", "sippc", 20000)}
+	req.ContentType = "application/sdp"
+	req.Body = []byte("v=0\r\no=uac 1 1 IN IP4 sippc\r\ns=-\r\nc=IN IP4 sippc\r\nt=0 0\r\nm=audio 20000 RTP/AVP 0\r\n")
+	return req.Marshal()
+}()
+
+// BenchmarkMessageRoundTrip is the endpoint hot path: parse a wire
+// message and marshal a message out again.
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		msg, err := Parse(benchInvite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = msg.Append(buf[:0])
+	}
+	_ = buf
+}

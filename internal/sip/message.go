@@ -87,17 +87,24 @@ type Via struct {
 // BranchPrefix is the RFC 3261 magic cookie every branch must carry.
 const BranchPrefix = "z9hG4bK"
 
-func (v Via) String() string {
-	t := v.Transport
-	if t == "" {
-		t = "UDP"
+// AppendTo appends the wire form of the Via value to dst.
+func (v Via) AppendTo(dst []byte) []byte {
+	dst = append(dst, "SIP/2.0/"...)
+	if v.Transport == "" {
+		dst = append(dst, "UDP"...)
+	} else {
+		dst = append(dst, v.Transport...)
 	}
-	s := fmt.Sprintf("SIP/2.0/%s %s", t, v.SentBy)
+	dst = append(dst, ' ')
+	dst = append(dst, v.SentBy...)
 	if v.Branch != "" {
-		s += ";branch=" + v.Branch
+		dst = append(dst, ";branch="...)
+		dst = append(dst, v.Branch...)
 	}
-	return s
+	return dst
 }
+
+func (v Via) String() string { return string(v.AppendTo(nil)) }
 
 // CSeq pairs the command sequence number with its method.
 type CSeq struct {
@@ -235,50 +242,85 @@ func (req *Message) Response(status int) *Message {
 	}
 }
 
-// Append renders the message in wire form, appended to dst.
+// appendHeader appends "Name: value\r\n".
+func appendHeader(dst []byte, name, value string) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, ": "...)
+	dst = append(dst, value...)
+	return append(dst, "\r\n"...)
+}
+
+// appendIntHeader appends "Name: n\r\n".
+func appendIntHeader(dst []byte, name string, n int) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, ": "...)
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, "\r\n"...)
+}
+
+// Append renders the message in wire form, appended to dst. It builds
+// the message with plain appends (no fmt, no intermediate builder), so
+// marshalling into a reused buffer does not allocate.
 func (m *Message) Append(dst []byte) []byte {
-	var b strings.Builder
 	if m.IsRequest() {
-		fmt.Fprintf(&b, "%s %s SIP/2.0\r\n", m.Method, m.RequestURI.String())
+		dst = append(dst, string(m.Method)...)
+		dst = append(dst, ' ')
+		dst = m.RequestURI.AppendTo(dst)
+		dst = append(dst, " SIP/2.0\r\n"...)
 	} else {
-		fmt.Fprintf(&b, "SIP/2.0 %d %s\r\n", m.StatusCode, m.Reason())
+		dst = append(dst, "SIP/2.0 "...)
+		dst = strconv.AppendInt(dst, int64(m.StatusCode), 10)
+		dst = append(dst, ' ')
+		dst = append(dst, m.Reason()...)
+		dst = append(dst, "\r\n"...)
 	}
-	for _, v := range m.Via {
-		fmt.Fprintf(&b, "Via: %s\r\n", v.String())
+	for i := range m.Via {
+		dst = append(dst, "Via: "...)
+		dst = m.Via[i].AppendTo(dst)
+		dst = append(dst, "\r\n"...)
 	}
 	if m.MaxForwards > 0 {
-		fmt.Fprintf(&b, "Max-Forwards: %d\r\n", m.MaxForwards)
+		dst = appendIntHeader(dst, "Max-Forwards", m.MaxForwards)
 	}
-	fmt.Fprintf(&b, "From: %s\r\n", m.From.String())
-	fmt.Fprintf(&b, "To: %s\r\n", m.To.String())
-	fmt.Fprintf(&b, "Call-ID: %s\r\n", m.CallID)
-	fmt.Fprintf(&b, "CSeq: %s\r\n", m.CSeq.String())
+	dst = append(dst, "From: "...)
+	dst = m.From.AppendTo(dst)
+	dst = append(dst, "\r\nTo: "...)
+	dst = m.To.AppendTo(dst)
+	dst = append(dst, "\r\n"...)
+	dst = appendHeader(dst, "Call-ID", m.CallID)
+	dst = append(dst, "CSeq: "...)
+	dst = strconv.AppendUint(dst, uint64(m.CSeq.Seq), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, string(m.CSeq.Method)...)
+	dst = append(dst, "\r\n"...)
 	if m.Contact != nil {
-		fmt.Fprintf(&b, "Contact: %s\r\n", m.Contact.String())
+		dst = append(dst, "Contact: "...)
+		dst = m.Contact.AppendTo(dst)
+		dst = append(dst, "\r\n"...)
 	}
 	if m.Expires >= 0 {
-		fmt.Fprintf(&b, "Expires: %d\r\n", m.Expires)
+		dst = appendIntHeader(dst, "Expires", m.Expires)
 	}
 	if m.RetryAfter > 0 {
-		fmt.Fprintf(&b, "Retry-After: %d\r\n", m.RetryAfter)
+		dst = appendIntHeader(dst, "Retry-After", m.RetryAfter)
 	}
 	if m.WWWAuthenticate != "" {
-		fmt.Fprintf(&b, "WWW-Authenticate: %s\r\n", m.WWWAuthenticate)
+		dst = appendHeader(dst, "WWW-Authenticate", m.WWWAuthenticate)
 	}
 	if m.Authorization != "" {
-		fmt.Fprintf(&b, "Authorization: %s\r\n", m.Authorization)
+		dst = appendHeader(dst, "Authorization", m.Authorization)
 	}
 	if m.UserAgent != "" {
-		fmt.Fprintf(&b, "User-Agent: %s\r\n", m.UserAgent)
+		dst = appendHeader(dst, "User-Agent", m.UserAgent)
 	}
 	for _, h := range m.Other {
-		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
+		dst = appendHeader(dst, h.Name, h.Value)
 	}
 	if m.ContentType != "" && len(m.Body) > 0 {
-		fmt.Fprintf(&b, "Content-Type: %s\r\n", m.ContentType)
+		dst = appendHeader(dst, "Content-Type", m.ContentType)
 	}
-	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(m.Body))
-	dst = append(dst, b.String()...)
+	dst = appendIntHeader(dst, "Content-Length", len(m.Body))
+	dst = append(dst, "\r\n"...)
 	return append(dst, m.Body...)
 }
 
@@ -317,12 +359,14 @@ func parseVia(s string) (Via, error) {
 		return v, fmt.Errorf("sip: malformed Via %q", s)
 	}
 	v.Transport = transport
-	parts := strings.Split(rest, ";")
-	v.SentBy = strings.TrimSpace(parts[0])
+	sentBy, params, _ := strings.Cut(rest, ";")
+	v.SentBy = strings.TrimSpace(sentBy)
 	if v.SentBy == "" {
 		return v, fmt.Errorf("sip: malformed Via %q", s)
 	}
-	for _, p := range parts[1:] {
+	for params != "" {
+		var p string
+		p, params, _ = strings.Cut(params, ";")
 		k, val, _ := strings.Cut(strings.TrimSpace(p), "=")
 		if strings.EqualFold(k, "branch") {
 			v.Branch = val

@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -17,50 +18,52 @@ var (
 
 // LooksLikeSIP reports whether data plausibly starts a SIP message —
 // used by taps to separate SIP from RTP on a shared capture, the way a
-// protocol analyzer classifies packets.
+// protocol analyzer classifies packets. It runs on every captured
+// packet, so it works on the raw bytes without allocating.
 func LooksLikeSIP(data []byte) bool {
 	if len(data) < 12 {
 		return false
 	}
-	if strings.HasPrefix(string(data[:8]), "SIP/2.0 ") {
+	if string(data[:8]) == "SIP/2.0 " {
 		return true
 	}
 	// Request: "METHOD sip:... SIP/2.0"
-	head := string(data[:min(len(data), 64)])
-	sp := strings.IndexByte(head, ' ')
+	sp := bytes.IndexByte(data[:min(len(data), 64)], ' ')
 	if sp <= 0 {
 		return false
 	}
-	for _, m := range []Method{INVITE, ACK, BYE, CANCEL, REGISTER, OPTIONS, MESSAGE} {
-		if head[:sp] == string(m) {
-			return true
-		}
+	switch string(data[:sp]) {
+	case "INVITE", "ACK", "BYE", "CANCEL", "REGISTER", "OPTIONS", "MESSAGE":
+		return true
 	}
 	return false
 }
 
-// Parse decodes a SIP message from wire form. The body is copied, so
-// the caller may reuse data.
+// Parse decodes a SIP message from wire form. Everything is copied
+// (the message's string fields slice one private copy of data), so the
+// caller may reuse data as soon as Parse returns.
 func Parse(data []byte) (*Message, error) {
+	// The single copy that decouples the message from the caller's
+	// buffer; every header field below is a substring of it, so the
+	// rest of the parse allocates only the Message and its slices.
 	text := string(data)
 	headerEnd := strings.Index(text, "\r\n\r\n")
 	if headerEnd < 0 {
 		return nil, fmt.Errorf("%w: missing header terminator", ErrNotSIP)
 	}
 	head := text[:headerEnd]
-	body := data[headerEnd+4:]
+	body := text[headerEnd+4:]
 
-	lines := strings.Split(head, "\r\n")
-	if len(lines) == 0 {
-		return nil, ErrNotSIP
-	}
 	m := &Message{Expires: -1}
-	if err := parseStartLine(m, lines[0]); err != nil {
+	startLine, rest, _ := strings.Cut(head, "\r\n")
+	if err := parseStartLine(m, startLine); err != nil {
 		return nil, err
 	}
 
 	contentLength := -1
-	for _, line := range lines[1:] {
+	for rest != "" {
+		var line string
+		line, rest, _ = strings.Cut(rest, "\r\n")
 		if line == "" {
 			continue
 		}
@@ -70,54 +73,54 @@ func Parse(data []byte) (*Message, error) {
 		}
 		name = strings.TrimSpace(name)
 		value = strings.TrimSpace(value)
-		switch strings.ToLower(name) {
-		case "via", "v":
+		switch {
+		case headerIs(name, "via", "v"):
 			v, err := parseVia(value)
 			if err != nil {
 				return nil, err
 			}
 			m.Via = append(m.Via, v)
-		case "from", "f":
+		case headerIs(name, "from", "f"):
 			na, err := ParseNameAddr(value)
 			if err != nil {
 				return nil, fmt.Errorf("%w: From: %v", ErrBadHeader, err)
 			}
 			m.From = na
-		case "to", "t":
+		case headerIs(name, "to", "t"):
 			na, err := ParseNameAddr(value)
 			if err != nil {
 				return nil, fmt.Errorf("%w: To: %v", ErrBadHeader, err)
 			}
 			m.To = na
-		case "call-id", "i":
+		case headerIs(name, "call-id", "i"):
 			m.CallID = value
-		case "cseq":
+		case headerIs(name, "cseq"):
 			cs, err := parseCSeq(value)
 			if err != nil {
 				return nil, err
 			}
 			m.CSeq = cs
-		case "contact", "m":
+		case headerIs(name, "contact", "m"):
 			na, err := ParseNameAddr(value)
 			if err != nil {
 				return nil, fmt.Errorf("%w: Contact: %v", ErrBadHeader, err)
 			}
 			m.Contact = &na
-		case "max-forwards":
+		case headerIs(name, "max-forwards"):
 			n, err := strconv.Atoi(value)
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("%w: Max-Forwards %q", ErrBadHeader, value)
 			}
 			m.MaxForwards = n
-		case "expires":
+		case headerIs(name, "expires"):
 			n, err := strconv.Atoi(value)
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("%w: Expires %q", ErrBadHeader, value)
 			}
 			m.Expires = n
-		case "content-type", "c":
+		case headerIs(name, "content-type", "c"):
 			m.ContentType = value
-		case "retry-after":
+		case headerIs(name, "retry-after"):
 			// RFC 3261 20.33: delta-seconds, optionally followed by a
 			// comment and a ;duration parameter; only the delta is kept.
 			delta := value
@@ -129,17 +132,17 @@ func Parse(data []byte) (*Message, error) {
 				return nil, fmt.Errorf("%w: Retry-After %q", ErrBadHeader, value)
 			}
 			m.RetryAfter = n
-		case "content-length", "l":
+		case headerIs(name, "content-length", "l"):
 			n, err := strconv.Atoi(value)
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("%w: Content-Length %q", ErrBadHeader, value)
 			}
 			contentLength = n
-		case "www-authenticate":
+		case headerIs(name, "www-authenticate"):
 			m.WWWAuthenticate = value
-		case "authorization":
+		case headerIs(name, "authorization"):
 			m.Authorization = value
-		case "user-agent", "server":
+		case headerIs(name, "user-agent", "server"):
 			m.UserAgent = value
 		default:
 			m.Other = append(m.Other, Header{Name: name, Value: value})
@@ -153,7 +156,7 @@ func Parse(data []byte) (*Message, error) {
 		body = body[:contentLength]
 	}
 	if len(body) > 0 {
-		m.Body = append([]byte(nil), body...)
+		m.Body = []byte(body)
 	}
 
 	// Minimal mandatory-header validation (RFC 3261 8.1.1). From/To
@@ -174,6 +177,17 @@ func Parse(data []byte) (*Message, error) {
 	return m, nil
 }
 
+// headerIs reports whether name matches one of the given canonical or
+// compact header forms, ASCII case-insensitively.
+func headerIs(name string, forms ...string) bool {
+	for _, f := range forms {
+		if strings.EqualFold(name, f) {
+			return true
+		}
+	}
+	return false
+}
+
 func parseStartLine(m *Message, line string) error {
 	if rest, ok := strings.CutPrefix(line, "SIP/2.0 "); ok {
 		codeStr, reason, _ := strings.Cut(rest, " ")
@@ -185,15 +199,16 @@ func parseStartLine(m *Message, line string) error {
 		m.ReasonStr = reason
 		return nil
 	}
-	parts := strings.Split(line, " ")
-	if len(parts) != 3 || parts[0] == "" || parts[2] != "SIP/2.0" {
+	method, rest, ok := strings.Cut(line, " ")
+	uriStr, proto, ok2 := strings.Cut(rest, " ")
+	if !ok || !ok2 || method == "" || proto != "SIP/2.0" {
 		return fmt.Errorf("%w: %q", ErrBadStartLine, line)
 	}
-	uri, err := ParseURI(parts[1])
+	uri, err := ParseURI(uriStr)
 	if err != nil {
 		return err
 	}
-	m.Method = Method(parts[0])
+	m.Method = Method(method)
 	m.RequestURI = uri
 	return nil
 }

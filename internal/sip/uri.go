@@ -48,28 +48,31 @@ func (u URI) HostPort() string {
 	return fmt.Sprintf("%s:%d", u.Host, p)
 }
 
-// String renders the URI in wire form.
-func (u URI) String() string {
-	var b strings.Builder
-	b.WriteString("sip:")
+// AppendTo appends the wire form of the URI to dst.
+func (u URI) AppendTo(dst []byte) []byte {
+	dst = append(dst, "sip:"...)
 	if u.User != "" {
-		b.WriteString(u.User)
-		b.WriteByte('@')
+		dst = append(dst, u.User...)
+		dst = append(dst, '@')
 	}
-	b.WriteString(u.Host)
+	dst = append(dst, u.Host...)
 	if u.Port != 0 {
-		fmt.Fprintf(&b, ":%d", u.Port)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(u.Port), 10)
 	}
 	for k, v := range u.Params {
-		b.WriteByte(';')
-		b.WriteString(k)
+		dst = append(dst, ';')
+		dst = append(dst, k...)
 		if v != "" {
-			b.WriteByte('=')
-			b.WriteString(v)
+			dst = append(dst, '=')
+			dst = append(dst, v...)
 		}
 	}
-	return b.String()
+	return dst
 }
+
+// String renders the URI in wire form.
+func (u URI) String() string { return string(u.AppendTo(nil)) }
 
 // ErrBadURI reports an unparsable SIP URI.
 var ErrBadURI = errors.New("sip: malformed URI")
@@ -131,19 +134,26 @@ type NameAddr struct {
 	Tag     string
 }
 
-// String renders the name-addr in wire form, always using the
-// bracketed <> form so URI parameters cannot leak into header params.
-func (n NameAddr) String() string {
-	var b strings.Builder
+// AppendTo appends the wire form of the name-addr to dst, always using
+// the bracketed <> form so URI parameters cannot leak into header
+// params.
+func (n NameAddr) AppendTo(dst []byte) []byte {
 	if n.Display != "" {
-		fmt.Fprintf(&b, "%q ", n.Display)
+		dst = strconv.AppendQuote(dst, n.Display)
+		dst = append(dst, ' ')
 	}
-	fmt.Fprintf(&b, "<%s>", n.URI.String())
+	dst = append(dst, '<')
+	dst = n.URI.AppendTo(dst)
+	dst = append(dst, '>')
 	if n.Tag != "" {
-		fmt.Fprintf(&b, ";tag=%s", n.Tag)
+		dst = append(dst, ";tag="...)
+		dst = append(dst, n.Tag...)
 	}
-	return b.String()
+	return dst
 }
+
+// String renders the name-addr in wire form.
+func (n NameAddr) String() string { return string(n.AppendTo(nil)) }
 
 // ParseNameAddr parses a From/To/Contact value.
 func ParseNameAddr(s string) (NameAddr, error) {
@@ -181,7 +191,9 @@ func ParseNameAddr(s string) (NameAddr, error) {
 		}
 		n.URI = uri
 	}
-	for _, p := range strings.Split(params, ";") {
+	for params != "" {
+		var p string
+		p, params, _ = strings.Cut(params, ";")
 		k, v, _ := strings.Cut(strings.TrimSpace(p), "=")
 		if strings.EqualFold(k, "tag") {
 			n.Tag = v

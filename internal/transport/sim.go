@@ -22,6 +22,35 @@ func (c SimClock) AfterFunc(d time.Duration, fn func()) Timer {
 	return c.Sched.After(d, func(time.Duration) { fn() })
 }
 
+// simRearm is a reusable timer on the simulation scheduler. It
+// implements netsim.Runner, so re-arming schedules no closure: the
+// whole steady-state cost is one pooled scheduler item.
+type simRearm struct {
+	sched *netsim.Scheduler
+	fn    func()
+	tm    netsim.Timer
+}
+
+// RunEvent implements netsim.Runner.
+func (t *simRearm) RunEvent(time.Duration) { t.fn() }
+
+// Schedule arms the timer to fire after d, replacing a pending firing.
+func (t *simRearm) Schedule(d time.Duration) {
+	t.tm.Stop()
+	if d < 0 {
+		d = 0
+	}
+	t.tm = t.sched.AtTimer(t.sched.Now()+d, t)
+}
+
+// Stop cancels a pending firing.
+func (t *simRearm) Stop() bool { return t.tm.Stop() }
+
+// NewRearmTimer implements TimerFactory.
+func (c SimClock) NewRearmTimer(fn func()) RearmTimer {
+	return &simRearm{sched: c.Sched, fn: fn}
+}
+
 // SimTransport binds a host:port on a simulated network.
 type SimTransport struct {
 	net   *netsim.Network
@@ -40,7 +69,7 @@ func NewSim(n *netsim.Network, addr string) *SimTransport {
 	t := &SimTransport{net: n, addr: na, local: addr}
 	n.Bind(na, netsim.HandlerFunc(func(now time.Duration, pkt *netsim.Packet) {
 		if t.recv != nil {
-			t.recv(pkt.Src.String(), pkt.Payload)
+			t.recv(pkt.SrcString(), pkt.Payload)
 		}
 	}))
 	return t

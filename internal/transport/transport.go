@@ -27,6 +27,54 @@ type Clock interface {
 	AfterFunc(d time.Duration, fn func()) Timer
 }
 
+// RearmTimer is a reusable timer for periodic work: it is created once
+// with a fixed callback and re-armed for each firing, so steady-state
+// pacing (RTP frame cadence, RTCP intervals) costs no allocation per
+// period.
+type RearmTimer interface {
+	// Schedule arms the timer to fire the callback after d, replacing
+	// any pending firing.
+	Schedule(d time.Duration)
+	// Stop cancels a pending firing, reporting whether one was pending.
+	Stop() bool
+}
+
+// TimerFactory is an optional Clock extension providing reusable
+// timers. Callers fall back to Clock.AfterFunc when the clock does not
+// implement it.
+type TimerFactory interface {
+	NewRearmTimer(fn func()) RearmTimer
+}
+
+// NewRearmTimer returns a reusable timer on c, falling back to a
+// AfterFunc-based adapter when c does not implement TimerFactory.
+func NewRearmTimer(c Clock, fn func()) RearmTimer {
+	if f, ok := c.(TimerFactory); ok {
+		return f.NewRearmTimer(fn)
+	}
+	return &afterFuncRearm{c: c, fn: fn}
+}
+
+type afterFuncRearm struct {
+	c  Clock
+	fn func()
+	tm Timer
+}
+
+func (t *afterFuncRearm) Schedule(d time.Duration) {
+	if t.tm != nil {
+		t.tm.Stop()
+	}
+	t.tm = t.c.AfterFunc(d, t.fn)
+}
+
+func (t *afterFuncRearm) Stop() bool {
+	if t.tm == nil {
+		return false
+	}
+	return t.tm.Stop()
+}
+
 // Receiver consumes inbound datagrams. src is the sender's address.
 type Receiver func(src string, data []byte)
 

@@ -28,6 +28,19 @@ func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
 	return realTimer{t: time.AfterFunc(d, fn)}
 }
 
+// realRearm reuses one time.Timer across firings via Reset.
+type realRearm struct{ t *time.Timer }
+
+func (rt *realRearm) Schedule(d time.Duration) { rt.t.Reset(d) }
+func (rt *realRearm) Stop() bool               { return rt.t.Stop() }
+
+// NewRearmTimer implements TimerFactory.
+func (c *RealClock) NewRearmTimer(fn func()) RearmTimer {
+	t := time.AfterFunc(time.Hour, fn)
+	t.Stop()
+	return &realRearm{t: t}
+}
+
 // UDPTransport implements Transport over a real UDP socket. A single
 // reader goroutine delivers inbound datagrams to the receiver.
 type UDPTransport struct {
