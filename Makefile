@@ -6,7 +6,7 @@ BENCH_COUNT ?= 3
 BENCH_DATE  ?= $(shell date +%Y%m%d)
 BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build test vet race chaos-smoke fuzz-smoke verify bench bench-check
+.PHONY: build test vet race chaos-smoke fuzz-smoke telemetry-smoke verify bench bench-check
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,17 @@ chaos-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzSIPParse -fuzztime=10s ./internal/sip/
 
-# The pre-merge gate: build, vet, full tests, race tests, chaos smoke.
-verify: build vet test race chaos-smoke
+# One instrumented overload run dumped to JSON and validated on
+# re-read: proves the metrics registry, tracer and sampler stay wired
+# end-to-end (cmd/capacity exits non-zero if a required family is
+# missing or the series is empty).
+telemetry-smoke:
+	$(GO) run ./cmd/capacity -telemetry-out .telemetry-smoke.json
+	@rm -f .telemetry-smoke.json
+
+# The pre-merge gate: build, vet, full tests, race tests, chaos smoke,
+# telemetry smoke.
+verify: build vet test race chaos-smoke telemetry-smoke
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per
@@ -50,6 +59,8 @@ bench:
 		-benchtime 10000x -count $(BENCH_COUNT) ./internal/media/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMessageRoundTrip' \
 		-benchtime 10000x -count $(BENCH_COUNT) ./internal/sip/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' \
+		-benchtime 10000x -count $(BENCH_COUNT) ./internal/telemetry/ | tee -a .bench.out
 	$(GO) run ./cmd/benchdiff -parse -o $(BENCH_JSON) .bench.out
 	@rm -f .bench.out
 	@echo "bench: wrote $(BENCH_JSON)"

@@ -41,9 +41,10 @@ func main() {
 		seed      = flag.Uint64("seed", 20150525, "base RNG seed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telOut    = flag.String("telemetry-out", "", "run one instrumented A=200 E experiment and write its telemetry JSON dump here")
 	)
 	flag.Parse()
-	if !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras) {
+	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras) {
 		*all = true
 	}
 	if *cpuProf != "" {
@@ -76,6 +77,12 @@ func main() {
 	out := os.Stdout
 	start := time.Now()
 
+	if *telOut != "" {
+		if err := runTelemetryDump(out, *telOut, *capacity, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "capacity: telemetry-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *all || *fig3 {
 		bench.WriteFig3(out, bench.Fig3(260))
 		fmt.Fprintln(out)

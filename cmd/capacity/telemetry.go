@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/erlang"
+	"repro/internal/monitor"
+	"repro/internal/telemetry"
+)
+
+// telemetryDump is the on-disk shape of -telemetry-out: one fully
+// instrumented experiment's end-of-run metrics snapshot plus its
+// per-second sampler series, with enough run metadata to reproduce it.
+type telemetryDump struct {
+	Workload erlang.Erlangs     `json:"workload_erlangs"`
+	Capacity int                `json:"capacity"`
+	Seed     uint64             `json:"seed"`
+	Snapshot telemetry.Snapshot `json:"snapshot"`
+	Series   []monitor.Sample   `json:"series"`
+}
+
+// requiredFamilies is the contract a telemetry dump must satisfy:
+// every layer of the stack — PBX call handling, admission, tracing,
+// SIP wire, media relay, scheduler — must have reported in.
+var requiredFamilies = []string{
+	"pbx_invites_total",
+	"pbx_admission_total",
+	"pbx_active_channels",
+	"pbx_calls_total",
+	"pbx_call_setup_seconds",
+	"sip_messages_total",
+	"sip_retransmissions_total",
+	"rtp_relay_packets_total",
+	"sched_events_total",
+}
+
+// runTelemetryDump executes one instrumented overload run (A=200 E on
+// the configured capacity, the paper's Table I saturation column),
+// writes the JSON dump, then re-reads and validates it — the smoke
+// path `make verify` exercises.
+func runTelemetryDump(out io.Writer, path string, capacity int, seed uint64) error {
+	const workload = 200
+	res := core.Run(core.ExperimentConfig{Workload: workload, Capacity: capacity, Seed: seed})
+	dump := telemetryDump{
+		Workload: workload,
+		Capacity: capacity,
+		Seed:     seed,
+		Snapshot: res.Telemetry,
+		Series:   res.Series,
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	// Validate the artifact as a consumer would: parse the bytes from
+	// disk, not the structs still in memory.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var back telemetryDump
+	if err := json.Unmarshal(raw, &back); err != nil {
+		return fmt.Errorf("re-read: %w", err)
+	}
+	if err := telemetry.ValidateSnapshot(back.Snapshot, requiredFamilies...); err != nil {
+		return err
+	}
+	if len(back.Series) == 0 {
+		return fmt.Errorf("telemetry dump has an empty per-second series")
+	}
+	setupN := uint64(0)
+	for _, s := range back.Series {
+		setupN += s.SetupN
+	}
+	if setupN == 0 {
+		return fmt.Errorf("series recorded no call setups at A=%d E", workload)
+	}
+	fmt.Fprintf(out, "telemetry: wrote %s (%d families, %d samples, %d setups, blocking %.3f, setup p50 %.1f ms)\n",
+		path, len(back.Snapshot.Families), len(back.Series), setupN,
+		back.Snapshot.Scalar("pbx_blocked_total")/back.Snapshot.Scalar("pbx_invites_total"),
+		1000*back.Snapshot.Quantile("pbx_call_setup_seconds", 0.5))
+	return nil
+}

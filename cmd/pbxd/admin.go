@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/telemetry"
+)
+
+// startAdmin serves the observability plane over HTTP:
+//
+//	/metrics      Prometheus text exposition of the telemetry registry
+//	/healthz      liveness probe (200 "ok")
+//	/debug/vars   the registry's JSON snapshot (expvar-style)
+//	/debug/pprof  the standard Go profiling handlers
+//
+// The mux is private — none of this is registered on
+// http.DefaultServeMux, so importing net/http/pprof side-effects
+// elsewhere cannot widen the surface. Returns the bound address
+// (useful with ":0").
+func startAdmin(addr string, reg *telemetry.Registry, healthy func() bool) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		out, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

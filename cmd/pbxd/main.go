@@ -19,6 +19,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/pbx"
 	"repro/internal/sip"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		rtpBase  = flag.Int("rtp-base", 10000, "first RTP relay port")
 		quiet    = flag.Bool("quiet", false, "suppress periodic stats")
 		occ      = flag.Float64("occupancy", 0, "shed load at this fraction of capacity with 503+Retry-After (0 = hard cap)")
+		admin    = flag.String("admin", "127.0.0.1:9690", "admin HTTP address serving /metrics, /healthz, /debug/vars and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,8 @@ func main() {
 	}
 	clock := transport.NewRealClock()
 	ep := sip.NewEndpoint(tr, clock)
+	reg := telemetry.NewRegistry()
+	ep.UseTelemetry(reg)
 
 	dir := directory.New()
 	dir.Provision("u", 0, *users)
@@ -56,6 +60,7 @@ func main() {
 		RelayRTP:    *relay,
 		RTPPortBase: *rtpBase,
 		Seed:        uint64(time.Now().UnixNano()),
+		Telemetry:   reg,
 	}
 	if *occ > 0 {
 		if *occ > 1 {
@@ -67,6 +72,15 @@ func main() {
 	server := pbx.New(ep, dir, factory, cfg)
 	fmt.Printf("pbxd: listening on %s, capacity %d, %d users, relay=%v, admission=%s\n",
 		tr.LocalAddr(), *capacity, dir.Users(), *relay, server.AdmissionPolicyName())
+
+	if *admin != "" {
+		bound, err := startAdmin(*admin, reg, func() bool { return true })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbxd: admin:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pbxd: admin HTTP on http://%s (/metrics /healthz /debug/vars /debug/pprof)\n", bound)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/sip"
 	"repro/internal/sipp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -94,8 +95,15 @@ type Result struct {
 	// Leak detectors, read after the post-run drain.
 	ActiveChannels     int
 	ActiveTransactions int
+	// ActiveSpans counts call trace spans still open after the drain —
+	// a span leak means some INVITE path never reached traceEnd.
+	ActiveSpans int
 	// CPU band (lo, mean, hi) over the busy plateau.
 	CPULo, CPUMean, CPUHi float64
+	// Telemetry is the end-of-run metrics snapshot; Series the
+	// per-second sampler rows over the loaded interval.
+	Telemetry telemetry.Snapshot
+	Series    []monitor.Sample
 }
 
 // drainTail is how long the harness keeps the clock running after the
@@ -122,6 +130,11 @@ func Run(sc Scenario) (*Result, error) {
 	net.AddTap(timeline.Tap())
 
 	clock := transport.SimClock{Sched: sched}
+
+	// Observation plane, same shape as a core experiment: one shared
+	// registry, scheduler pull-metrics, and a per-second sampler.
+	reg := telemetry.NewRegistry()
+	monitor.RegisterScheduler(reg, sched)
 	dir := directory.New()
 	dir.AddUser(directory.User{Username: "uac", Password: "pw-uac"})
 	target := sc.Load.Target
@@ -137,16 +150,20 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Load.Media == sipp.MediaPacketized {
 		pbxCfg.RelayRTP = true
 	}
+	pbxCfg.Telemetry = reg
 	factory := func(port int) (transport.Transport, error) {
 		return transport.NewSim(net, fmt.Sprintf("%s:%d", PBXHost, port)), nil
 	}
 	pbxAddr := PBXHost + ":5060"
-	server := pbx.New(sip.NewEndpoint(transport.NewSim(net, pbxAddr), clock), dir, factory, pbxCfg)
+	pbxEP := sip.NewEndpoint(transport.NewSim(net, pbxAddr), clock)
+	pbxEP.UseTelemetry(reg)
+	server := pbx.New(pbxEP, dir, factory, pbxCfg)
 
 	loadCfg := sc.Load
 	if loadCfg.Seed == 0 {
 		loadCfg.Seed = sc.Seed ^ 0x51
 	}
+	loadCfg.Telemetry = reg
 	gen := sipp.New(net, ClientHost, ServerHost, pbxAddr, loadCfg)
 
 	// Partitions: save the signalling binding, drop it for the window,
@@ -166,9 +183,12 @@ func Run(sc Scenario) (*Result, error) {
 		})
 	}
 
+	sampler := monitor.NewSampler(reg, clock)
+	sampler.Start()
+
 	var out sipp.Results
 	done := false
-	gen.Start(func(r sipp.Results) { out = r; done = true })
+	gen.Start(func(r sipp.Results) { out = r; done = true; sampler.Stop() })
 	for i := 0; i < 200 && !done; i++ {
 		if _, err := sched.Run(sched.Now() + 10*time.Minute); err != nil {
 			return nil, err
@@ -196,9 +216,12 @@ func Run(sc Scenario) (*Result, error) {
 		NoRoute:            net.NoRoute(),
 		ActiveChannels:     server.ActiveChannels(),
 		ActiveTransactions: server.ActiveTransactions(),
+		ActiveSpans:        server.ActiveSpans(),
 		CPULo:              lo,
 		CPUMean:            mean,
 		CPUHi:              hi,
+		Telemetry:          reg.Snapshot(),
+		Series:             sampler.Samples(),
 		Links:              map[string]netsim.LinkStats{},
 	}
 	for _, pair := range [][2]string{
@@ -233,6 +256,7 @@ func (r *Result) Goodput(minMOS float64) int {
 //
 //   - no channel leak: every admitted call released its channel;
 //   - no transaction leak after the drain tail;
+//   - no span leak: every traced INVITE reached a terminal outcome;
 //   - CDRs balance the counters: completed CDRs == Completed,
 //     established CDRs == Established;
 //   - generator accounting conserves calls:
@@ -244,6 +268,9 @@ func (r *Result) CheckInvariants() []string {
 	}
 	if r.ActiveTransactions != 0 {
 		bad = append(bad, fmt.Sprintf("transaction leak: %d transactions alive after drain", r.ActiveTransactions))
+	}
+	if r.ActiveSpans != 0 {
+		bad = append(bad, fmt.Sprintf("span leak: %d call trace spans still open after drain", r.ActiveSpans))
 	}
 	completed, established := 0, 0
 	for _, c := range r.CDRs {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/sip"
 	"repro/internal/sipp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -106,6 +107,12 @@ type ExperimentResult struct {
 	// Events and Elapsed record simulation effort.
 	Events  uint64
 	Elapsed time.Duration
+	// Telemetry is the end-of-run registry snapshot: every metric
+	// family the run registered (PBX, SIP, relay, media, scheduler).
+	Telemetry telemetry.Snapshot
+	// Series is the per-second sampler series (offered load, active
+	// calls, blocking, goodput, setup-latency quantiles).
+	Series []monitor.Sample
 }
 
 // BlockingProbability returns the measured Pb.
@@ -134,6 +141,11 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 	})
 	clock := transport.SimClock{Sched: sched}
 
+	// Observation plane: one registry shared by every subsystem, plus
+	// the scheduler's pull-style families.
+	reg := telemetry.NewRegistry()
+	monitor.RegisterScheduler(reg, sched)
+
 	// Measurement tap: the mirrored switch port of the testbed.
 	capture := monitor.NewCapture()
 	net.AddTap(capture.Tap())
@@ -148,8 +160,10 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 	factory := func(port int) (transport.Transport, error) {
 		return transport.NewSim(net, fmt.Sprintf("pbx:%d", port)), nil
 	}
+	pbxEP := sip.NewEndpoint(transport.NewSim(net, "pbx:5060"), clock)
+	pbxEP.UseTelemetry(reg)
 	server := pbx.New(
-		sip.NewEndpoint(transport.NewSim(net, "pbx:5060"), clock),
+		pbxEP,
 		dir, factory,
 		pbx.Config{
 			MaxChannels:  cfg.Capacity,
@@ -157,26 +171,34 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 			CPUThreshold: cfg.CPUThreshold,
 			RelayRTP:     cfg.Media == sipp.MediaPacketized,
 			Seed:         cfg.Seed ^ 0x9bd1,
+			Telemetry:    reg,
 		})
 
 	// The SIPp pair (Fig. 4: generator client and server machines).
 	gen := sipp.New(net, "sippc", "sipps", "pbx:5060", sipp.Config{
-		Rate:     cfg.ArrivalRate(),
-		Window:   cfg.Window,
-		Warmup:   cfg.Warmup,
-		Hold:     cfg.Hold,
-		Arrivals: cfg.Arrivals,
-		HoldDist: cfg.HoldDist,
-		Media:    cfg.Media,
-		Target:   "uas",
-		Seed:     cfg.Seed ^ 0x51bb01,
+		Rate:      cfg.ArrivalRate(),
+		Window:    cfg.Window,
+		Warmup:    cfg.Warmup,
+		Hold:      cfg.Hold,
+		Arrivals:  cfg.Arrivals,
+		HoldDist:  cfg.HoldDist,
+		Media:     cfg.Media,
+		Target:    "uas",
+		Seed:      cfg.Seed ^ 0x51bb01,
+		Telemetry: reg,
 	})
+
+	// Per-second time series, stopped with the traffic so the drain
+	// tail does not pad the series.
+	sampler := monitor.NewSampler(reg, clock)
+	sampler.Start()
 
 	var results sipp.Results
 	finished := false
 	gen.Start(func(r sipp.Results) {
 		results = r
 		finished = true
+		sampler.Stop()
 		// Freeze the CPU meter at end of traffic so the reported band
 		// spans the loaded interval, not the idle drain tail.
 		server.Close()
@@ -212,6 +234,8 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 	}
 	res.CPULo, res.CPUMean, res.CPUHi = server.CPUBand()
 	res.MOS = collectMOS(cfg, server, results)
+	res.Telemetry = reg.Snapshot()
+	res.Series = sampler.Samples()
 	return res
 }
 

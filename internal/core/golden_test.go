@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/sipp"
@@ -39,9 +42,9 @@ func TestGoldenDeterminism(t *testing.T) {
 				return ExperimentConfig{Workload: 200, Capacity: 165, Seed: seed}
 			},
 			rows: []goldenRow{
-				{1, "events=5583 captureTotal=3557 blocking=0.16613418530351437 mosN=261 mosSum=1136.1811313065698"},
-				{42, "events=5405 captureTotal=3433 blocking=0.17704918032786884 mosN=251 mosSum=1092.6492871952071"},
-				{160, "events=5870 captureTotal=3739 blocking=0.19287833827893175 mosN=272 mosSum=1182.4768512120031"},
+				{1, "events=5882 captureTotal=3557 blocking=0.16613418530351437 mosN=261 mosSum=1136.1811313065698"},
+				{42, "events=5704 captureTotal=3433 blocking=0.17704918032786884 mosN=251 mosSum=1092.6492871952071"},
+				{160, "events=6169 captureTotal=3739 blocking=0.19287833827893175 mosN=272 mosSum=1182.4768512120031"},
 			},
 		},
 		{
@@ -50,9 +53,9 @@ func TestGoldenDeterminism(t *testing.T) {
 				return ExperimentConfig{Workload: 12, Capacity: 165, Media: sipp.MediaNone, Seed: seed}
 			},
 			rows: []goldenRow{
-				{1, "events=616 captureTotal=216 blocking=0 mosN=16 mosSum=70.058432778993662"},
-				{42, "events=635 captureTotal=229 blocking=0 mosN=17 mosSum=74.437084827680764"},
-				{160, "events=839 captureTotal=372 blocking=0 mosN=28 mosSum=122.60225736323891"},
+				{1, "events=915 captureTotal=216 blocking=0 mosN=16 mosSum=70.058432778993662"},
+				{42, "events=934 captureTotal=229 blocking=0 mosN=17 mosSum=74.437084827680764"},
+				{160, "events=1133 captureTotal=372 blocking=0 mosN=28 mosSum=122.60225736323891"},
 			},
 		},
 		{
@@ -61,9 +64,9 @@ func TestGoldenDeterminism(t *testing.T) {
 				return ExperimentConfig{Workload: 12, Capacity: 165, Media: sipp.MediaPacketized, Seed: seed}
 			},
 			rows: []goldenRow{
-				{1, "events=576648 captureTotal=216 blocking=0 mosN=16 mosSum=70.057201531372186"},
-				{42, "events=612669 captureTotal=229 blocking=0 mosN=17 mosSum=74.435892108248225"},
-				{160, "events=1008895 captureTotal=372 blocking=0 mosN=28 mosSum=122.600232871578"},
+				{1, "events=576947 captureTotal=216 blocking=0 mosN=16 mosSum=70.057201531372186"},
+				{42, "events=612968 captureTotal=229 blocking=0 mosN=17 mosSum=74.435892108248225"},
+				{160, "events=1009189 captureTotal=372 blocking=0 mosN=28 mosSum=122.600232871578"},
 			},
 		},
 	}
@@ -78,6 +81,45 @@ func TestGoldenDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenTelemetrySnapshot pins the end-of-run telemetry snapshot
+// for one config/seed byte-for-byte: metric family names, label sets,
+// bucket layouts and every deterministic value. A diff here means the
+// observation plane changed shape — rename, bucket edit, new family —
+// which downstream scrapers and the JSON dump consumers must hear
+// about. Regenerate with UPDATE_GOLDEN=1 go test ./internal/core/.
+func TestGoldenTelemetrySnapshot(t *testing.T) {
+	cfg := ExperimentConfig{Workload: 12, Capacity: 165, Media: sipp.MediaNone, Seed: 1}
+	first, err := Run(cfg).Telemetry.MarshalIndent()
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	second, err := Run(cfg).Telemetry.MarshalIndent()
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("telemetry snapshot differs between identical runs")
+	}
+	golden := filepath.Join("testdata", "telemetry_flow12_seed1.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("telemetry snapshot drifted from %s (%d vs %d bytes); "+
+			"regenerate with UPDATE_GOLDEN=1 if the change is intended",
+			golden, len(first), len(want))
 	}
 }
 

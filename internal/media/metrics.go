@@ -1,0 +1,21 @@
+package media
+
+import "repro/internal/telemetry"
+
+// Metrics is the media plane's shared counter bundle: one instance per
+// experiment, shared by every session, so per-frame recording is a
+// single atomic increment with no label formatting.
+type Metrics struct {
+	FramesSent     *telemetry.Counter
+	FramesReceived *telemetry.Counter
+	BadDatagrams   *telemetry.Counter
+}
+
+// NewMetrics registers the media metric families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		FramesSent:     reg.Counter("media_frames_sent_total", "RTP audio frames transmitted by endpoints"),
+		FramesReceived: reg.Counter("media_frames_received_total", "RTP audio frames received by endpoints"),
+		BadDatagrams:   reg.Counter("media_bad_datagrams_total", "undecodable inbound media datagrams"),
+	}
+}

@@ -32,6 +32,9 @@ type SessionConfig struct {
 	// this session a round-trip-time estimate. Zero disables RTCP;
 	// the RFC 3550 default is 5 s.
 	RTCPInterval time.Duration
+	// Metrics, when non-nil, receives per-frame telemetry counts. The
+	// bundle is shared by all sessions of an experiment.
+	Metrics *Metrics
 }
 
 // staticFrame is the shared 20 ms payload for non-synthesized sessions.
@@ -179,6 +182,9 @@ func (s *Session) sendFrameLocked() {
 	}
 	s.wire = s.outPkt.Marshal(s.wire[:0])
 	s.tr.Send(s.cfg.Remote, s.wire)
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.FramesSent.Inc()
+	}
 	s.bytesSent += uint64(s.outPkt.Size())
 	s.seq++
 	s.ts += uint32(g711.SamplesPerFrame(s.cfg.FrameMs))
@@ -244,6 +250,9 @@ func (s *Session) handleInbound(src string, data []byte) {
 	if err := s.inPkt.Unmarshal(data); err != nil {
 		s.bad++
 		s.mu.Unlock()
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.BadDatagrams.Inc()
+		}
 		return
 	}
 	pkt := &s.inPkt
@@ -255,6 +264,9 @@ func (s *Session) handleInbound(src string, data []byte) {
 	s.recv.Observe(now, pkt)
 	s.jb.Arrive(now, pkt)
 	s.mu.Unlock()
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.FramesReceived.Inc()
+	}
 }
 
 func (s *Session) handleRTCP(now time.Duration, data []byte) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rtp"
 	"repro/internal/sip"
+	"repro/internal/transport"
 )
 
 // Second is one 1-second bucket of wire activity — the per-second
@@ -42,11 +43,29 @@ func (s *Second) add(o Second) {
 type Timeline struct {
 	buckets []Second
 	seen    map[string]struct{}
+	clock   transport.Clock // optional; stamps ObserveNow
 }
 
 // NewTimeline returns an empty timeline.
 func NewTimeline() *Timeline {
 	return &Timeline{seen: make(map[string]struct{})}
+}
+
+// NewTimelineWithClock returns a timeline stamping ObserveNow calls
+// from clock. Both SimClock and RealClock express Now as a
+// time.Duration since their origin, so a timeline fed by a real-UDP
+// tap and one fed by the simulator produce directly comparable series
+// — the same clock source the telemetry Sampler uses.
+func NewTimelineWithClock(clock transport.Clock) *Timeline {
+	t := NewTimeline()
+	t.clock = clock
+	return t
+}
+
+// ObserveNow classifies one datagram stamped at the attached clock's
+// current time. It requires NewTimelineWithClock.
+func (t *Timeline) ObserveNow(data []byte) {
+	t.Observe(t.clock.Now(), data)
 }
 
 // Tap returns the netsim.Tap to register with Network.AddTap.

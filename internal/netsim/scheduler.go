@@ -88,6 +88,7 @@ func (t Timer) Stop() bool {
 		// common case and must not accumulate.
 		s.overflowRemove(it.heapIdx)
 		s.pendingTotal--
+		s.cancelled++
 		s.recycle(it)
 		return true
 	}
@@ -95,16 +96,18 @@ func (t Timer) Stop() bool {
 	// one wheel horizon of virtual time.
 	it.fn, it.r = nil, nil
 	s.cancelledWheel++
+	s.cancelled++
 	return true
 }
 
 // Scheduler is a virtual-time event loop. The zero value is not usable;
 // use NewScheduler.
 type Scheduler struct {
-	now     time.Duration
-	seq     uint64
-	fired   uint64
-	running bool
+	now       time.Duration
+	seq       uint64
+	fired     uint64
+	cancelled uint64
+	running   bool
 
 	cursorTick     int64
 	slots          [wheelSize]slot
@@ -132,6 +135,34 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // Pending returns the number of events currently scheduled and not
 // cancelled.
 func (s *Scheduler) Pending() int { return s.pendingTotal - s.cancelledWheel }
+
+// SchedStats is a point-in-time view of the scheduler's internals,
+// feeding the telemetry plane's pull-style sched_* metrics.
+type SchedStats struct {
+	Now           time.Duration // virtual time
+	Fired         uint64        // events executed
+	Scheduled     uint64        // events ever scheduled (seq counter)
+	Cancelled     uint64        // timers stopped before firing
+	Pending       int           // live (non-cancelled) scheduled events
+	WheelItems    int           // items resident in wheel slots, incl. cancelled
+	OverflowDepth int           // far-future items in the overflow heap
+}
+
+// Stats returns the scheduler's current counters. It must be called
+// from the scheduler goroutine (like every other method); the telemetry
+// registry evaluates its pull-style funcs at snapshot time, which the
+// experiment drivers do between or after event processing.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Now:           s.now,
+		Fired:         s.fired,
+		Scheduled:     s.seq,
+		Cancelled:     s.cancelled,
+		Pending:       s.Pending(),
+		WheelItems:    s.wheelCount,
+		OverflowDepth: len(s.overflow),
+	}
+}
 
 // alloc takes an item from the free list or makes a new one.
 func (s *Scheduler) alloc() *schedItem {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sdp"
 	"repro/internal/sip"
+	"repro/internal/telemetry"
 )
 
 // bridge is one B2BUA call: the caller-facing leg (A, where the PBX is
@@ -34,6 +35,7 @@ type bridge struct {
 	relay *relay
 
 	state         bridgeState
+	canceled      bool
 	establishedAt time.Duration
 	startedAt     time.Duration
 	callee        string
@@ -59,6 +61,10 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 	s.counters.Attempts++
 	s.attemptsWindow++
 	s.mu.Unlock()
+	if s.tm != nil {
+		s.tm.invites.Inc()
+	}
+	s.traceBegin(req.CallID)
 
 	// Authentication (optional; see Config.AuthInvites).
 	if s.cfg.AuthInvites {
@@ -152,6 +158,7 @@ func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calle
 		s.mu.Lock()
 		s.counters.Canceled++
 		s.mu.Unlock()
+		br.canceled = true
 		s.removeBridge(br, false)
 	})
 
@@ -233,6 +240,11 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message) bool {
 		s.counters.Blocked++
 		s.errorsWindow++
 		s.mu.Unlock()
+		if s.tm != nil {
+			s.tm.admitNo.Inc()
+			s.tm.blocked.Inc()
+		}
+		s.traceEnd(req.CallID, telemetry.OutcomeBlocked)
 		resp := req.Response(sip.StatusServiceUnavailable)
 		resp.To.Tag = s.ep.NewTag()
 		resp.RetryAfter = dec.RetryAfter
@@ -243,7 +255,12 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message) bool {
 	if s.channels > s.counters.PeakChannels {
 		s.counters.PeakChannels = s.channels
 	}
+	s.updateChannelGaugesLocked()
 	s.mu.Unlock()
+	if s.tm != nil {
+		s.tm.admitOK.Inc()
+	}
+	s.traceMark(req.CallID, telemetry.StageAdmitted)
 	return true
 }
 
@@ -252,6 +269,9 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message) bool {
 func (s *Server) authorizeInvite(tx *sip.ServerTx, req *sip.Message) bool {
 	creds, have := sip.ParseDigestCredentials(req.Authorization)
 	if !have {
+		// The caller will retry this attempt with credentials and the
+		// same Call-ID; Begin then restarts its span.
+		s.traceEnd(req.CallID, telemetry.OutcomeRejected)
 		resp := req.Response(sip.StatusUnauthorized)
 		resp.To.Tag = s.ep.NewTag()
 		resp.WWWAuthenticate = sip.DigestChallenge{Realm: s.cfg.Realm, Nonce: s.newNonce()}.Header()
@@ -262,6 +282,7 @@ func (s *Server) authorizeInvite(tx *sip.ServerTx, req *sip.Message) bool {
 	ch := sip.DigestChallenge{Realm: creds.Realm, Nonce: creds.Nonce}
 	if err != nil || creds.Realm != s.cfg.Realm || !ch.Verify(creds, acct.Password, sip.INVITE) {
 		s.countError()
+		s.traceEnd(req.CallID, telemetry.OutcomeRejected)
 		resp := req.Response(sip.StatusTemporarilyDenied)
 		resp.To.Tag = s.ep.NewTag()
 		tx.Respond(resp)
@@ -279,6 +300,18 @@ func (s *Server) rejectInvite(tx *sip.ServerTx, req *sip.Message, status int, bl
 	}
 	s.errorsWindow++
 	s.mu.Unlock()
+	if s.tm != nil {
+		if blocked {
+			s.tm.blocked.Inc()
+		} else {
+			s.tm.rejected.Inc()
+		}
+	}
+	if blocked {
+		s.traceEnd(req.CallID, telemetry.OutcomeBlocked)
+	} else {
+		s.traceEnd(req.CallID, telemetry.OutcomeRejected)
+	}
 	resp := req.Response(status)
 	resp.To.Tag = s.ep.NewTag()
 	tx.Respond(resp)
@@ -289,6 +322,7 @@ func (s *Server) releaseChannel() {
 	if s.channels > 0 {
 		s.channels--
 	}
+	s.updateChannelGaugesLocked()
 	s.mu.Unlock()
 }
 
@@ -309,6 +343,7 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 		fwd.ReasonStr = resp.ReasonStr
 		fwd.To.Tag = br.aLocalTag
 		br.aTx.Respond(fwd)
+		s.traceMark(br.aCallID, telemetry.StageRinging)
 	case resp.StatusCode == sip.StatusOK:
 		br.bRemoteTag = resp.To.Tag
 		if resp.Contact != nil {
@@ -343,6 +378,7 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 			fwd.Body = resp.Body
 		}
 		br.aTx.Respond(fwd)
+		s.traceMark(br.aCallID, telemetry.StageAnswered)
 		// Established is confirmed by the caller's ACK (handleAck).
 	default:
 		// Relay the rejection and release resources.
@@ -354,6 +390,9 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 		s.counters.Rejected++
 		s.errorsWindow++
 		s.mu.Unlock()
+		if s.tm != nil {
+			s.tm.rejected.Inc()
+		}
 		s.removeBridge(br, false)
 	}
 }
@@ -375,6 +414,10 @@ func (s *Server) handleAck(req *sip.Message) {
 	s.mu.Lock()
 	s.counters.Established++
 	s.mu.Unlock()
+	if s.tm != nil {
+		s.tm.established.Inc()
+	}
+	s.traceMark(br.aCallID, telemetry.StageAcked)
 }
 
 // handleBye tears down the bridge from whichever leg hung up first.
@@ -390,6 +433,7 @@ func (s *Server) handleBye(tx *sip.ServerTx, req *sip.Message) {
 		return
 	}
 	fromA := req.CallID == br.aCallID
+	s.traceMark(br.aCallID, telemetry.StageBye)
 	s.forwardBye(br, fromA)
 	s.removeBridge(br, true)
 }
@@ -458,8 +502,21 @@ func (s *Server) removeBridge(br *bridge, completed bool) {
 	if completed && wasEstablished {
 		s.counters.Completed++
 	}
-	s.cdrs = append(s.cdrs, s.buildCDR(br, completed && wasEstablished))
+	cdr := s.buildCDR(br, completed && wasEstablished)
+	s.cdrs = append(s.cdrs, cdr)
+	s.recordCDRMetricsLocked(cdr)
+	s.updateChannelGaugesLocked()
 	s.mu.Unlock()
+	outcome := telemetry.OutcomeRejected
+	switch {
+	case completed && wasEstablished:
+		outcome = telemetry.OutcomeCompleted
+	case br.canceled:
+		outcome = telemetry.OutcomeCanceled
+	case wasEstablished:
+		outcome = telemetry.OutcomeFailed
+	}
+	s.traceEnd(br.aCallID, outcome)
 }
 
 func hostOf(addr string) string {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mos"
 	"repro/internal/sip"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -86,6 +87,10 @@ type Config struct {
 	ScoreCodec mos.Codec
 	// Seed drives the server's randomness (overload drops, nonces).
 	Seed uint64
+	// Telemetry, when non-nil, registers the PBX metric families and
+	// the per-call tracer on the given registry. Nil disables
+	// instrumentation entirely (record sites reduce to one nil check).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultCapacity is the concurrent-call capacity the paper measured
@@ -143,6 +148,8 @@ type Server struct {
 	errorsEWMA     float64
 	sampler        transport.Timer
 	closed         bool
+
+	tm *pbxMetrics // nil when Config.Telemetry is nil
 }
 
 // New creates a PBX on ep, serving users from dir, opening RTP relay
@@ -186,6 +193,9 @@ func New(ep *sip.Endpoint, dir *directory.Directory, factory TransportFactory, c
 		} else {
 			s.admission = ChannelCapPolicy{Max: cfg.MaxChannels}
 		}
+	}
+	if cfg.Telemetry != nil {
+		s.tm = newPBXMetrics(cfg.Telemetry, s.admission.Name())
 	}
 	ep.Handle(s.handleRequest)
 	s.scheduleSample()

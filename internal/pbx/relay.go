@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/rtp"
 	"repro/internal/sdp"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -36,6 +37,11 @@ type relay struct {
 	forwarded uint64
 	dropped   uint64
 	closed    bool
+
+	// aCallID keys the call's trace span; rtpMarked gates the one-shot
+	// first-RTP stage mark so the per-packet cost stays a bool check.
+	aCallID   string
+	rtpMarked bool
 
 	// scratch is the per-packet parse target, guarded by mu; the
 	// observers read values only, so nothing aliases it after forward
@@ -72,12 +78,17 @@ func (s *Server) newRelay(br *bridge, offer *sdp.Session) (*relay, error) {
 		return nil, err
 	}
 
+	var callID string
+	if br != nil { // relay-only benches exercise the path without a bridge
+		callID = br.aCallID
+	}
 	r := &relay{
 		s:          s,
 		aPort:      aPort,
 		bPort:      bPort,
 		aTr:        aTr,
 		bTr:        bTr,
+		aCallID:    callID,
 		callerAddr: fmt.Sprintf("%s:%d", offer.Host, offer.Port),
 		fromCaller: rtp.NewReceiver(),
 		fromCallee: rtp.NewReceiver(),
@@ -133,10 +144,22 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport,
 	if r.overloadDrop() {
 		r.dropped++
 		r.mu.Unlock()
+		if tm := r.s.tm; tm != nil {
+			tm.relayDrops.Inc()
+		}
 		return
 	}
 	r.forwarded++
+	first := !r.rtpMarked
+	r.rtpMarked = true
 	r.mu.Unlock()
+	if tm := r.s.tm; tm != nil {
+		tm.relayPkts.Inc()
+		tm.relayBytes.Add(uint64(len(data)))
+		if first {
+			r.s.traceMark(r.aCallID, telemetry.StageFirstRTP)
+		}
+	}
 	out.Send(dst, data)
 }
 

@@ -1,0 +1,146 @@
+package pbx
+
+import (
+	"repro/internal/rtp"
+	"repro/internal/telemetry"
+)
+
+// pbxMetrics holds the server's pre-resolved telemetry handles plus
+// the per-call tracer. All handles are registered once in New; record
+// sites are nil-guarded so a PBX without a registry pays only a
+// pointer check.
+type pbxMetrics struct {
+	invites     *telemetry.Counter
+	blocked     *telemetry.Counter
+	rejected    *telemetry.Counter
+	established *telemetry.Counter
+	admitOK     *telemetry.Counter // admission verdicts for the active policy
+	admitNo     *telemetry.Counter
+	active      *telemetry.Gauge
+	peak        *telemetry.Gauge
+
+	cdrAnswered *telemetry.Counter
+	cdrFailed   *telemetry.Counter
+	cdrNoAnswer *telemetry.Counter
+	jitter      *telemetry.Histogram
+	loss        *telemetry.Histogram
+	mosScore    *telemetry.Histogram
+
+	relayPkts  *telemetry.Counter
+	relayBytes *telemetry.Counter
+	relayDrops *telemetry.Counter
+
+	tracer *telemetry.Tracer
+}
+
+func newPBXMetrics(reg *telemetry.Registry, policy string) *pbxMetrics {
+	tm := &pbxMetrics{
+		invites:     reg.Counter("pbx_invites_total", "new-call INVITEs received"),
+		blocked:     reg.Counter("pbx_blocked_total", "calls shed by admission control (503)"),
+		rejected:    reg.Counter("pbx_rejected_total", "calls rejected for non-capacity reasons"),
+		established: reg.Counter("pbx_calls_established_total", "calls that reached ACK confirmation"),
+		admitOK: reg.Counter("pbx_admission_total", "admission decisions by policy and verdict",
+			telemetry.L("policy", policy), telemetry.L("verdict", "admit")),
+		admitNo: reg.Counter("pbx_admission_total", "admission decisions by policy and verdict",
+			telemetry.L("policy", policy), telemetry.L("verdict", "reject")),
+		active: reg.Gauge("pbx_active_channels", "calls currently holding a channel"),
+		peak:   reg.Gauge("pbx_peak_channels", "high-water mark of concurrent calls"),
+
+		cdrAnswered: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+			telemetry.L("disposition", "answered")),
+		cdrFailed: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+			telemetry.L("disposition", "failed")),
+		cdrNoAnswer: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+			telemetry.L("disposition", "no-answer")),
+		jitter: reg.Histogram("pbx_call_jitter_seconds", "per-direction RFC 3550 jitter at CDR close",
+			telemetry.ExponentialBuckets(0.0005, 2, 12)), // 0.5ms .. ~1s
+		loss: reg.Histogram("pbx_call_loss_ratio", "per-direction RTP loss ratio at CDR close",
+			[]float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}),
+		mosScore: reg.Histogram("pbx_call_mos", "E-model MOS of scored calls",
+			telemetry.LinearBuckets(1.5, 0.25, 12)), // 1.5 .. 4.25
+
+		relayPkts:  reg.Counter("rtp_relay_packets_total", "RTP packets forwarded by call relays"),
+		relayBytes: reg.Counter("rtp_relay_bytes_total", "RTP payload bytes forwarded by call relays"),
+		relayDrops: reg.Counter("rtp_relay_dropped_total", "RTP packets dropped by the overload model"),
+
+		tracer: telemetry.NewTracer(reg, 0),
+	}
+	return tm
+}
+
+// traceBegin/-Mark/-End are nil-safe tracer shims stamped with the
+// endpoint clock, so sim and real-UDP runs share one time base.
+func (s *Server) traceBegin(callID string) {
+	if s.tm != nil {
+		s.tm.tracer.Begin(callID, s.ep.Clock().Now())
+	}
+}
+
+func (s *Server) traceMark(callID string, stage telemetry.Stage) {
+	if s.tm != nil {
+		s.tm.tracer.Mark(callID, stage, s.ep.Clock().Now())
+	}
+}
+
+func (s *Server) traceEnd(callID string, outcome telemetry.Outcome) {
+	if s.tm != nil {
+		s.tm.tracer.End(callID, outcome, s.ep.Clock().Now())
+	}
+}
+
+// updateChannelGaugesLocked mirrors the channel pool into the gauges.
+// Callers hold s.mu.
+func (s *Server) updateChannelGaugesLocked() {
+	if s.tm != nil {
+		s.tm.active.SetInt(s.channels)
+		s.tm.peak.SetInt(s.counters.PeakChannels)
+	}
+}
+
+// recordCDRMetricsLocked feeds one closing CDR into the quality
+// histograms and disposition counters. Callers hold s.mu.
+func (s *Server) recordCDRMetricsLocked(cdr CDR) {
+	if s.tm == nil {
+		return
+	}
+	switch cdr.Disposition() {
+	case "ANSWERED":
+		s.tm.cdrAnswered.Inc()
+	case "FAILED":
+		s.tm.cdrFailed.Inc()
+	default:
+		s.tm.cdrNoAnswer.Inc()
+	}
+	observe := func(st rtp.Stats) {
+		if st.Received == 0 {
+			return
+		}
+		s.tm.jitter.Observe(st.Jitter.Seconds())
+		s.tm.loss.Observe(st.LossRatio)
+	}
+	observe(cdr.FromCaller)
+	observe(cdr.FromCallee)
+	if cdr.MOS > 0 {
+		s.tm.mosScore.Observe(cdr.MOS)
+	}
+}
+
+// ActiveSpans returns the number of open call trace spans — a leak
+// detector for chaos invariants: after a drained run every traced
+// INVITE must have reached a terminal outcome. Zero when telemetry is
+// disabled.
+func (s *Server) ActiveSpans() int {
+	if s.tm == nil {
+		return 0
+	}
+	return s.tm.tracer.Active()
+}
+
+// TraceEvents returns the tracer's flight-recorder ring (oldest
+// first), nil when telemetry is disabled.
+func (s *Server) TraceEvents() []telemetry.SpanEvent {
+	if s.tm == nil {
+		return nil
+	}
+	return s.tm.tracer.Events()
+}

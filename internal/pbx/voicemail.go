@@ -6,6 +6,7 @@ import (
 	"repro/internal/rtp"
 	"repro/internal/sdp"
 	"repro/internal/sip"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -87,6 +88,7 @@ func (s *Server) answerVoicemail(tx *sip.ServerTx, req *sip.Message, src, callee
 	ringing := req.Response(sip.StatusRinging)
 	ringing.To.Tag = localTag
 	tx.Respond(ringing)
+	s.traceMark(req.CallID, telemetry.StageRinging)
 
 	answer, err := offer.Answer("voicemail", s.host, port, []int{0, 8})
 	if err != nil {
@@ -105,6 +107,7 @@ func (s *Server) answerVoicemail(tx *sip.ServerTx, req *sip.Message, src, callee
 	ok.ContentType = sdp.ContentType
 	ok.Body = answer.Marshal()
 	tx.Respond(ok)
+	s.traceMark(req.CallID, telemetry.StageAnswered)
 
 	// Abandoned deposits (no ACK / no BYE) are reaped at the cap.
 	cap := s.cfg.VoicemailMaxDuration
@@ -123,11 +126,18 @@ const TransactionGrace = 40 * time.Second
 func (s *Server) ackVoicemail(callID string) bool {
 	s.mu.Lock()
 	vm, ok := s.vmSessions[callID]
-	if ok && vm.answered == 0 {
+	established := ok && vm.answered == 0
+	if established {
 		vm.answered = s.ep.Clock().Now()
 		s.counters.Established++
 	}
 	s.mu.Unlock()
+	if established {
+		if s.tm != nil {
+			s.tm.established.Inc()
+		}
+		s.traceMark(callID, telemetry.StageAcked)
+	}
 	return ok
 }
 
@@ -138,6 +148,7 @@ func (s *Server) byeVoicemail(callID string) bool {
 	_, ok := s.vmSessions[callID]
 	s.mu.Unlock()
 	if ok {
+		s.traceMark(callID, telemetry.StageBye)
 		s.finishVoicemail(callID, true)
 	}
 	return ok
@@ -178,7 +189,14 @@ func (s *Server) finishVoicemail(callID string, completed bool) {
 	if vm.port != 0 && vm.tr != nil {
 		s.freeRelayPortLocked(vm.port)
 	}
+	s.updateChannelGaugesLocked()
+	answered := vm.answered > 0
 	s.mu.Unlock()
+	outcome := telemetry.OutcomeFailed
+	if completed && answered {
+		outcome = telemetry.OutcomeCompleted
+	}
+	s.traceEnd(callID, outcome)
 	vm.close()
 }
 

@@ -37,6 +37,7 @@ type Endpoint struct {
 
 	idCounter uint64
 	stats     Stats
+	tm        *epMetrics // nil until UseTelemetry
 }
 
 // NewEndpoint creates an endpoint on the given transport and clock and
@@ -131,6 +132,9 @@ func (ep *Endpoint) SendACK(dst string, ack *Message) {
 // sendWireLocked transmits and counts an outbound message.
 func (ep *Endpoint) sendWireLocked(dst string, wire []byte, m *Message) {
 	ep.stats.Sent[statKey(m)]++
+	if ep.tm != nil {
+		ep.tm.sent[kindOf(m)].Inc()
+	}
 	ep.tr.Send(dst, wire)
 }
 
@@ -148,12 +152,18 @@ func (ep *Endpoint) handleData(src string, data []byte) {
 	if err != nil {
 		ep.mu.Lock()
 		ep.stats.ParseErrors++
+		if ep.tm != nil {
+			ep.tm.parseErr.Inc()
+		}
 		ep.mu.Unlock()
 		return
 	}
 
 	ep.mu.Lock()
 	ep.stats.Received[statKey(msg)]++
+	if ep.tm != nil {
+		ep.tm.recv[kindOf(msg)].Inc()
+	}
 	var after func()
 	switch {
 	case msg.IsResponse():
@@ -161,6 +171,9 @@ func (ep *Endpoint) handleData(src string, data []byte) {
 			after = tx.handleResponseLocked(msg)
 		} else {
 			ep.stats.StrayResponses++
+			if ep.tm != nil {
+				ep.tm.stray.Inc()
+			}
 		}
 	case msg.Method == ACK:
 		if tx, ok := ep.serverTxs[msg.MatchingInviteKey()]; ok && tx.isInvite {
@@ -212,6 +225,9 @@ func (ep *Endpoint) handleData(src string, data []byte) {
 			// Request retransmission: replay the last response.
 			if tx.lastWire != nil {
 				ep.stats.Retransmissions++
+				if ep.tm != nil {
+					ep.tm.retrans.Inc()
+				}
 				ep.tr.Send(tx.src, tx.lastWire)
 			}
 		} else {

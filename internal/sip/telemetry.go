@@ -1,0 +1,91 @@
+package sip
+
+import "repro/internal/telemetry"
+
+// msgKind buckets SIP messages for the sip_messages_total{dir,kind}
+// family. Using a fixed enum (not the raw method/status string) keeps
+// the record path allocation-free: the hot path indexes an array of
+// pre-registered counter handles instead of formatting a label value.
+type msgKind int
+
+const (
+	kindInvite msgKind = iota
+	kindAck
+	kindBye
+	kindCancel
+	kindRegister
+	kindMessage
+	kindOptions
+	kindOtherReq
+	kind1xx
+	kind2xx
+	kind3xx
+	kind4xx
+	kind5xx
+	kind6xx
+	numMsgKinds
+)
+
+var msgKindNames = [numMsgKinds]string{
+	"INVITE", "ACK", "BYE", "CANCEL", "REGISTER", "MESSAGE", "OPTIONS",
+	"other", "1xx", "2xx", "3xx", "4xx", "5xx", "6xx",
+}
+
+// kindOf classifies without allocating.
+func kindOf(m *Message) msgKind {
+	if m.IsRequest() {
+		switch m.Method {
+		case INVITE:
+			return kindInvite
+		case ACK:
+			return kindAck
+		case BYE:
+			return kindBye
+		case CANCEL:
+			return kindCancel
+		case REGISTER:
+			return kindRegister
+		case MESSAGE:
+			return kindMessage
+		case OPTIONS:
+			return kindOptions
+		}
+		return kindOtherReq
+	}
+	switch c := m.StatusCode / 100; c {
+	case 1, 2, 3, 4, 5, 6:
+		return kind1xx + msgKind(c-1)
+	}
+	return kindOtherReq
+}
+
+// epMetrics holds the endpoint's pre-resolved telemetry handles.
+type epMetrics struct {
+	sent     [numMsgKinds]*telemetry.Counter
+	recv     [numMsgKinds]*telemetry.Counter
+	retrans  *telemetry.Counter
+	timeouts *telemetry.Counter
+	parseErr *telemetry.Counter
+	stray    *telemetry.Counter
+}
+
+// UseTelemetry registers the endpoint's SIP-layer metric families on
+// reg and mirrors the existing Stats counters into them from then on.
+// Call it once, before traffic starts.
+func (ep *Endpoint) UseTelemetry(reg *telemetry.Registry) {
+	tm := &epMetrics{
+		retrans:  reg.Counter("sip_retransmissions_total", "messages retransmitted or replayed by the transaction layer"),
+		timeouts: reg.Counter("sip_timeouts_total", "client transactions that timed out (synthesized 408)"),
+		parseErr: reg.Counter("sip_parse_errors_total", "inbound datagrams that failed to parse"),
+		stray:    reg.Counter("sip_stray_responses_total", "responses matching no client transaction"),
+	}
+	for k := msgKind(0); k < numMsgKinds; k++ {
+		tm.sent[k] = reg.Counter("sip_messages_total", "SIP messages by direction and kind",
+			telemetry.L("dir", "sent"), telemetry.L("kind", msgKindNames[k]))
+		tm.recv[k] = reg.Counter("sip_messages_total", "SIP messages by direction and kind",
+			telemetry.L("dir", "recv"), telemetry.L("kind", msgKindNames[k]))
+	}
+	ep.mu.Lock()
+	ep.tm = tm
+	ep.mu.Unlock()
+}

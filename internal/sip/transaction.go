@@ -123,6 +123,9 @@ func (tx *ServerTx) armRetransmitLocked() {
 			return
 		}
 		tx.ep.stats.Retransmissions++
+		if tx.ep.tm != nil {
+			tx.ep.tm.retrans.Inc()
+		}
 		tx.ep.tr.Send(tx.src, tx.lastWire)
 		tx.interval *= 2
 		if tx.interval > T2 {
@@ -181,6 +184,9 @@ func (ep *Endpoint) startClientTxLocked(dst string, req *Message, onResponse fun
 		}
 		tx.terminateLocked()
 		ep.stats.Timeouts++
+		if ep.tm != nil {
+			ep.tm.timeouts.Inc()
+		}
 		cb := tx.onResponse
 		ep.mu.Unlock()
 		if cb != nil {
@@ -203,6 +209,9 @@ func (tx *ClientTx) armRetransmitLocked() {
 			return
 		}
 		tx.ep.stats.Retransmissions++
+		if tx.ep.tm != nil {
+			tx.ep.tm.retrans.Inc()
+		}
 		tx.ep.tr.Send(tx.dst, tx.wire)
 		tx.interval *= 2
 		if !tx.isInvite && tx.interval > T2 {

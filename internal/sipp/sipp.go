@@ -18,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sip"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -104,6 +105,9 @@ type Config struct {
 	ScoreCodec mos.Codec
 	// Seed drives arrivals and hold sampling.
 	Seed uint64
+	// Telemetry, when non-nil, registers shared media-plane counters
+	// (frames sent/received) that every session of this generator feeds.
+	Telemetry *telemetry.Registry
 }
 
 // CallRecord is the per-call outcome row.
@@ -165,6 +169,8 @@ type Generator struct {
 
 	callerHost, calleeHost string
 
+	media *media.Metrics // nil without Config.Telemetry
+
 	placed      int
 	active      int
 	results     Results
@@ -192,6 +198,9 @@ func New(net *netsim.Network, callerHost, calleeHost, proxy string, cfg Config) 
 		rng:        stats.NewRNG(cfg.Seed ^ 0x51bb),
 		callerHost: callerHost,
 		calleeHost: calleeHost,
+	}
+	if cfg.Telemetry != nil {
+		g.media = media.NewMetrics(cfg.Telemetry)
 	}
 	g.caller = sip.NewPhone(
 		sip.NewEndpoint(transport.NewSim(net, callerHost+":5060"), clock),
@@ -262,6 +271,7 @@ func (g *Generator) newSession(host string, c *sip.Call) *media.Session {
 		Remote:      fmt.Sprintf("%s:%d", mi.RemoteHost, mi.RemotePort),
 		PayloadType: uint8(mi.PayloadType),
 		SSRC:        uint32(mi.LocalPort)<<8 | 1,
+		Metrics:     g.media,
 	})
 }
 

@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of a registry, ordered
+// deterministically (families by name, metrics by label signature) so
+// that marshalling the same simulation state twice yields identical
+// bytes — the property the golden snapshot test pins.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    Kind             `json:"kind"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one labeled instrument's state. Value is set for
+// counters and gauges; Count/Sum/Buckets for histograms.
+type MetricSnapshot struct {
+	Labels  []Label  `json:"labels,omitempty"`
+	Value   *float64 `json:"value,omitempty"`
+	Count   *uint64  `json:"count,omitempty"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket; LE is the upper bound
+// (+Inf is rendered as the JSON string "+Inf" via its omission: the
+// final bucket's Count always equals the metric Count).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"` // cumulative
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := Snapshot{Families: make([]FamilySnapshot, 0, len(names))}
+	for _, name := range names {
+		f := r.families[name]
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		ms := append([]*metric(nil), f.metrics...)
+		sort.Slice(ms, func(i, j int) bool { return ms[i].sig < ms[j].sig })
+		for _, m := range ms {
+			var out MetricSnapshot
+			out.Labels = m.labels
+			if m.h != nil {
+				count := m.h.Count()
+				sum := m.h.Sum()
+				out.Count = &count
+				out.Sum = &sum
+				cum := uint64(0)
+				for i, b := range m.h.bounds {
+					cum += m.h.counts[i].Load()
+					out.Buckets = append(out.Buckets, Bucket{LE: b, Count: cum})
+				}
+			} else {
+				v := m.value()
+				out.Value = &v
+			}
+			fs.Metrics = append(fs.Metrics, out)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// MarshalIndent renders the snapshot with stable two-space indentation.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	type alias Snapshot
+	return json.MarshalIndent(alias(s), "", "  ")
+}
+
+// Family returns the named family snapshot, or nil.
+func (s Snapshot) Family(name string) *FamilySnapshot {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Scalar sums the named counter/gauge family over all label sets.
+func (s Snapshot) Scalar(name string) float64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	total := 0.0
+	for _, m := range f.Metrics {
+		if m.Value != nil {
+			total += *m.Value
+		}
+	}
+	return total
+}
+
+// Quantile estimates the q-quantile of the named unlabeled histogram
+// family, 0 when absent or empty.
+func (s Snapshot) Quantile(name string, q float64) float64 {
+	f := s.Family(name)
+	if f == nil || f.Kind != KindHistogram || len(f.Metrics) == 0 {
+		return 0
+	}
+	m := f.Metrics[0]
+	bounds := make([]float64, len(m.Buckets))
+	counts := make([]uint64, len(m.Buckets)+1)
+	prev := uint64(0)
+	for i, b := range m.Buckets {
+		bounds[i] = b.LE
+		counts[i] = b.Count - prev
+		prev = b.Count
+	}
+	if m.Count != nil {
+		counts[len(m.Buckets)] = *m.Count - prev
+	}
+	return QuantileFromCounts(bounds, counts, q)
+}
+
+// ValidateSnapshot checks structural health and that every family in
+// required is present — the cmd/capacity -telemetry-out smoke gate.
+func ValidateSnapshot(s Snapshot, required ...string) error {
+	if len(s.Families) == 0 {
+		return fmt.Errorf("telemetry: snapshot has no metric families")
+	}
+	seen := make(map[string]Kind, len(s.Families))
+	for _, f := range s.Families {
+		if f.Name == "" {
+			return fmt.Errorf("telemetry: family with empty name")
+		}
+		if f.Kind != KindCounter && f.Kind != KindGauge && f.Kind != KindHistogram {
+			return fmt.Errorf("telemetry: family %s has unknown kind %q", f.Name, f.Kind)
+		}
+		if _, dup := seen[f.Name]; dup {
+			return fmt.Errorf("telemetry: duplicate family %s", f.Name)
+		}
+		seen[f.Name] = f.Kind
+		for _, m := range f.Metrics {
+			if f.Kind == KindHistogram {
+				if m.Count == nil || m.Sum == nil || len(m.Buckets) == 0 {
+					return fmt.Errorf("telemetry: histogram %s missing count/sum/buckets", f.Name)
+				}
+				prev := uint64(0)
+				for _, b := range m.Buckets {
+					if b.Count < prev {
+						return fmt.Errorf("telemetry: histogram %s buckets not cumulative", f.Name)
+					}
+					prev = b.Count
+				}
+			} else if m.Value == nil {
+				return fmt.Errorf("telemetry: %s %s missing value", f.Kind, f.Name)
+			}
+		}
+	}
+	for _, name := range required {
+		if _, ok := seen[name]; !ok {
+			return fmt.Errorf("telemetry: required family %s missing", name)
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, m := range f.Metrics {
+			if f.Kind == KindHistogram {
+				if err := writePromHistogram(w, f.Name, m); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, promLabels(m.Labels, "", ""), formatFloat(*m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, m MetricSnapshot) error {
+	for _, b := range m.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, promLabels(m.Labels, "le", formatFloat(b.LE)), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, promLabels(m.Labels, "le", "+Inf"), *m.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, promLabels(m.Labels, "", ""), formatFloat(*m.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(m.Labels, "", ""), *m.Count)
+	return err
+}
+
+// promLabels renders a label set, optionally with one extra pair (the
+// histogram "le" bound) appended.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	out := "{"
+	for i, l := range labels {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			out += ","
+		}
+		out += extraKey + `="` + escapeLabel(extraVal) + `"`
+	}
+	return out + "}"
+}
+
+func escapeLabel(v string) string {
+	// Label values here are internal identifiers (policy names, SIP
+	// methods); escape the three characters the format reserves anyway.
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
