@@ -6,7 +6,7 @@ BENCH_COUNT ?= 3
 BENCH_DATE  ?= $(shell date +%Y%m%d)
 BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build test vet race chaos-smoke fuzz-smoke telemetry-smoke verify bench bench-check
+.PHONY: build test vet race chaos-smoke chaos-crash-smoke fuzz-smoke telemetry-smoke verify bench bench-check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ race:
 chaos-smoke:
 	$(GO) test -run 'TestSmokeScenario' -count=1 ./internal/chaos/
 
+# The server-failure drill under the race detector: crash one of
+# three backends at peak, verify probe markdown, failover, restart
+# re-admission and crash-consistent CDR recovery.
+chaos-crash-smoke:
+	$(GO) test -race -run 'TestCrashFailoverScenario' -count=1 ./internal/chaos/
+
 # Short coverage-guided fuzz of the SIP parser; regression seeds live
 # in internal/sip/testdata/fuzz/.
 fuzz-smoke:
@@ -39,8 +45,8 @@ telemetry-smoke:
 	@rm -f .telemetry-smoke.json
 
 # The pre-merge gate: build, vet, full tests, race tests, chaos smoke,
-# telemetry smoke.
-verify: build vet test race chaos-smoke telemetry-smoke
+# crash smoke, telemetry smoke.
+verify: build vet test race chaos-smoke chaos-crash-smoke telemetry-smoke
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per

@@ -9,10 +9,11 @@ import (
 	"repro/internal/telemetry"
 )
 
-// startAdmin serves the observability plane over HTTP:
+// startAdmin serves the observability and control plane over HTTP:
 //
 //	/metrics      Prometheus text exposition of the telemetry registry
-//	/healthz      liveness probe (200 "ok")
+//	/healthz      readiness probe (200 "ok", 503 while draining)
+//	/drain        POST: begin graceful drain (503 new calls, finish old)
 //	/debug/vars   the registry's JSON snapshot (expvar-style)
 //	/debug/pprof  the standard Go profiling handlers
 //
@@ -20,8 +21,21 @@ import (
 // http.DefaultServeMux, so importing net/http/pprof side-effects
 // elsewhere cannot widen the surface. Returns the bound address
 // (useful with ":0").
-func startAdmin(addr string, reg *telemetry.Registry, healthy func() bool) (string, error) {
+func startAdmin(addr string, reg *telemetry.Registry, healthy func() bool, drain func()) (string, error) {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if drain == nil {
+			http.Error(w, "drain not supported", http.StatusNotImplemented)
+			return
+		}
+		drain()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "draining")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)

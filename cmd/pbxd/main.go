@@ -74,12 +74,17 @@ func main() {
 		tr.LocalAddr(), *capacity, dir.Users(), *relay, server.AdmissionPolicyName())
 
 	if *admin != "" {
-		bound, err := startAdmin(*admin, reg, func() bool { return true })
+		// /healthz doubles as the load-balancer readiness signal: it
+		// flips to 503 the moment a drain starts, before the last call
+		// ends, so orchestrators stop routing while calls finish.
+		bound, err := startAdmin(*admin, reg,
+			func() bool { return !server.Draining() },
+			func() { server.Drain() })
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pbxd: admin:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("pbxd: admin HTTP on http://%s (/metrics /healthz /debug/vars /debug/pprof)\n", bound)
+		fmt.Printf("pbxd: admin HTTP on http://%s (/metrics /healthz /drain /debug/vars /debug/pprof)\n", bound)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -12,12 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 	"sync"
 	"time"
 
 	"repro/internal/sip"
+	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
@@ -31,7 +31,8 @@ func main() {
 		hold      = flag.Duration("hold", 10*time.Second, "call hold time")
 		target    = flag.String("target", "uas", "extension to dial")
 		retries   = flag.Int("retries", 0, "max re-attempts after a 503/486 rejection")
-		retryBase = flag.Duration("retry-base", 500*time.Millisecond, "base for exponential retry backoff")
+		retryBase = flag.Duration("retry-base", 500*time.Millisecond, "base for full-jitter retry backoff")
+		seed      = flag.Uint64("seed", 0, "RNG seed for arrivals and backoff jitter (0 = from wall clock)")
 	)
 	flag.Parse()
 
@@ -75,11 +76,17 @@ func main() {
 		retried     int
 		wg          sync.WaitGroup
 	)
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	if *seed == 0 {
+		*seed = uint64(time.Now().UnixNano())
+	}
+	rng := stats.NewRNG(*seed)
 
 	// place dials once; on a capacity rejection (503/486) with retry
-	// budget left it backs off — honouring the server's Retry-After
-	// hint when it exceeds the exponential delay — and tries again.
+	// budget left it backs off with AWS-style full jitter — the
+	// server's Retry-After floor plus U(0, base·2^try) — and tries
+	// again. Full jitter desynchronizes the retry herd: deterministic
+	// exponential delays make every rejected caller return in the same
+	// tick and re-collide.
 	var place func(try int)
 	place = func(try int) {
 		uac.InviteWithHandlers(*target, nil, func(c *sip.Call) {
@@ -94,14 +101,12 @@ func main() {
 					c.RejectStatus() == sip.StatusBusyHere
 			}
 			if capacity && try < *retries {
-				delay := *retryBase << uint(try)
-				if ra := time.Duration(c.RetryAfter()) * time.Second; ra > delay {
-					delay = ra
-				}
 				mu.Lock()
 				retried++
 				mu.Unlock()
-				delay += time.Duration(rng.Float64() * float64(*retryBase))
+				window := *retryBase << uint(try)
+				delay := time.Duration(c.RetryAfter()) * time.Second
+				delay += time.Duration(rng.Float64() * float64(window))
 				time.AfterFunc(delay, func() { place(try + 1) })
 				return
 			}
@@ -124,7 +129,7 @@ func main() {
 
 	deadline := time.Now().Add(*window)
 	for time.Now().Before(deadline) {
-		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+		gap := time.Duration(rng.Exp(1 / *rate) * float64(time.Second))
 		time.Sleep(gap)
 		if !time.Now().Before(deadline) {
 			break

@@ -17,17 +17,32 @@
 // the cluster experiment (BenchmarkClusterScaling) measures: random/
 // round-robin splitting partitions the Erlang-B economies of scale
 // away, while least-busy placement recovers near-pooled blocking.
+//
+// The balancer also owns backend liveness: periodic SIP OPTIONS
+// health probes mark a backend down after FailThreshold consecutive
+// probe failures (no answer within ProbeTimeout, or a non-200 such as
+// a draining server's 503) and up again on the first success, with a
+// slow-start ramp so a restarted server is not instantly handed a
+// full share of the offered load. CrashBackend/RestartBackend model
+// whole-process failure: the crash drops the backend's socket, timers
+// and in-flight calls on the floor (detection is the probes' job —
+// nothing is marked down administratively), and the restart re-binds
+// the port, recovers the CDR journal's interrupted records as LOST,
+// and re-enters rotation through the probe + slow-start path.
 package cluster
 
 import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"repro/internal/directory"
 	"repro/internal/netsim"
 	"repro/internal/pbx"
 	"repro/internal/sip"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -58,19 +73,94 @@ func (p Policy) String() string {
 type Counters struct {
 	Redirects         uint64
 	RegistersProxied  uint64
-	UnroutableInvites uint64
+	UnroutableInvites uint64 // INVITEs 503'd with no live backend
+	Failovers         uint64 // redirects placed while ≥1 backend was down
+	Repins            uint64 // REGISTERs re-pinned off a down backend
+	ProbeFailures     uint64
+	BackendDowns      uint64 // down transitions
+	BackendUps        uint64 // up transitions (after a down)
+}
+
+// HealthConfig tunes the balancer's OPTIONS liveness probing.
+type HealthConfig struct {
+	// Disabled turns probing off; every backend is then considered
+	// permanently up, the pre-failover behaviour.
+	Disabled bool
+	// ProbeInterval is the per-backend probe period (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe's wait for a response (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that marks a
+	// backend down (default 3).
+	FailThreshold int
+	// SlowStart is the re-admission ramp after a backend returns: its
+	// placement weight climbs linearly from 0.1 to 1 over this window
+	// (default 10s; the zero of time.Duration selects the default, use
+	// Disabled for no probing).
+	SlowStart time.Duration
+}
+
+// Event is one entry in the cluster's failure/recovery timeline.
+// Kinds: "crash", "restart", "drain" (administrative ops) and "down",
+// "up" (probe-observed transitions). The sequence is deterministic for
+// a fixed scenario and seed — golden tests pin it.
+type Event struct {
+	At      time.Duration
+	Backend int
+	Kind    string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s@%s#%d", e.Kind, e.At, e.Backend)
+}
+
+// node is one backend slot: the live server plus its liveness state
+// and the durable pieces (journal, crashed incarnations) that survive
+// restarts.
+type node struct {
+	idx  int
+	host string
+	addr string
+
+	srv     *pbx.Server
+	past    []*pbx.Server // crashed incarnations, kept for accounting
+	journal *pbx.CDRJournal
+
+	up          bool
+	crashed     bool
+	consecFails int
+	slowUntil   time.Duration // full placement weight at/after this tick
+
+	probeTimer    transport.Timer
+	probeDeadline transport.Timer
+	probeTx       *sip.ClientTx
+
+	openAtCrash int // journal entries open at the last crash
+	recovered   []pbx.CDR
+	crashes     int
+	restarts    int
 }
 
 // Cluster is a balancer plus its PBX backends on a simulated network.
 type Cluster struct {
-	ep       *sip.Endpoint
-	policy   Policy
-	dir      *directory.Directory
-	backends []*pbx.Server
+	ep     *sip.Endpoint
+	policy Policy
+	dir    *directory.Directory
+	net    *netsim.Network
+	clock  transport.Clock
+	cfg    Config
+	health HealthConfig
 
 	mu       sync.Mutex
+	nodes    []*node
+	backends []*pbx.Server // nodes[i].srv, kept for Backends()
 	next     int
 	counters Counters
+	events   []Event
+	rng      *stats.RNG
+	closed   bool
+
+	tm *clusterMetrics
 }
 
 // Config shapes a cluster.
@@ -82,6 +172,16 @@ type Config struct {
 	PerServer pbx.Config
 	// Policy selects placement (default RoundRobin).
 	Policy Policy
+	// Health tunes liveness probing (see HealthConfig).
+	Health HealthConfig
+	// Journal gives each backend a crash-consistent CDR journal that
+	// survives CrashBackend/RestartBackend cycles.
+	Journal bool
+	// Seed drives the balancer's randomness (slow-start admission).
+	Seed uint64
+	// Telemetry, when non-nil, registers the balancer's metric
+	// families (backend up/down gauges, failover counters) on reg.
+	Telemetry *telemetry.Registry
 }
 
 // New builds a cluster on net: backends at pbx1..pbxk:5060, balancer
@@ -94,24 +194,68 @@ func New(net *netsim.Network, clock transport.Clock, cfg Config) *Cluster {
 	if cfg.PerServer.MaxChannels == 0 {
 		cfg.PerServer.MaxChannels = pbx.DefaultCapacity
 	}
+	h := cfg.Health
+	if h.ProbeInterval <= 0 {
+		h.ProbeInterval = 2 * time.Second
+	}
+	if h.ProbeTimeout <= 0 {
+		h.ProbeTimeout = time.Second
+	}
+	if h.FailThreshold <= 0 {
+		h.FailThreshold = 3
+	}
+	if h.SlowStart <= 0 {
+		h.SlowStart = 10 * time.Second
+	}
 	dir := directory.New()
 	c := &Cluster{
 		policy: cfg.Policy,
 		dir:    dir,
+		net:    net,
+		clock:  clock,
+		cfg:    cfg,
+		health: h,
+		rng:    stats.NewRNG(cfg.Seed ^ 0xc1a57e12),
+	}
+	if cfg.Telemetry != nil {
+		c.tm = newClusterMetrics(cfg.Telemetry, cfg.Servers)
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		host := fmt.Sprintf("pbx%d", i+1)
-		sCfg := cfg.PerServer
-		sCfg.Seed = cfg.PerServer.Seed + uint64(i)*7919
-		factory := func(port int) (transport.Transport, error) {
-			return transport.NewSim(net, fmt.Sprintf("%s:%d", host, port)), nil
+		n := &node{idx: i, host: host, addr: host + ":5060", up: true}
+		if cfg.Journal {
+			n.journal = pbx.NewCDRJournal()
 		}
-		ep := sip.NewEndpoint(transport.NewSim(net, host+":5060"), clock)
-		c.backends = append(c.backends, pbx.New(ep, dir, factory, sCfg))
+		n.srv = c.buildServer(n)
+		c.nodes = append(c.nodes, n)
+		c.backends = append(c.backends, n.srv)
+		if c.tm != nil {
+			c.tm.backendUp[i].Set(1)
+		}
 	}
 	c.ep = sip.NewEndpoint(transport.NewSim(net, "balancer:5060"), clock)
 	c.ep.Handle(c.handleRequest)
+	if !h.Disabled {
+		for _, n := range c.nodes {
+			c.scheduleProbe(n)
+		}
+	}
 	return c
+}
+
+// buildServer instantiates (or re-instantiates) node n's PBX. The sim
+// transport's bind-replaces semantics make re-binding pbxN:5060 after
+// a crash the same call as the first bind.
+func (c *Cluster) buildServer(n *node) *pbx.Server {
+	host := n.host
+	sCfg := c.cfg.PerServer
+	sCfg.Seed = c.cfg.PerServer.Seed + uint64(n.idx)*7919
+	sCfg.Journal = n.journal
+	factory := func(port int) (transport.Transport, error) {
+		return transport.NewSim(c.net, fmt.Sprintf("%s:%d", host, port)), nil
+	}
+	ep := sip.NewEndpoint(transport.NewSim(c.net, n.addr), c.clock)
+	return pbx.New(ep, c.dir, factory, sCfg)
 }
 
 // Addr returns the balancer's signalling address, the proxy phones use.
@@ -120,8 +264,79 @@ func (c *Cluster) Addr() string { return c.ep.Addr() }
 // Directory returns the shared user store.
 func (c *Cluster) Directory() *directory.Directory { return c.dir }
 
-// Backends returns the PBX servers.
-func (c *Cluster) Backends() []*pbx.Server { return c.backends }
+// Backends returns the PBX servers (current incarnations).
+func (c *Cluster) Backends() []*pbx.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*pbx.Server(nil), c.backends...)
+}
+
+// Incarnations returns every server instance backend i has had, oldest
+// first, the live one last — so chaos invariants can sweep counters,
+// spans and transactions across a crash/restart cycle.
+func (c *Cluster) Incarnations(i int) []*pbx.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[i]
+	return append(append([]*pbx.Server(nil), n.past...), n.srv)
+}
+
+// Journal returns backend i's CDR journal (nil unless Config.Journal).
+func (c *Cluster) Journal(i int) *pbx.CDRJournal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i].journal
+}
+
+// Recovered returns the LOST CDRs restarts of backend i recovered.
+func (c *Cluster) Recovered(i int) []pbx.CDR {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]pbx.CDR(nil), c.nodes[i].recovered...)
+}
+
+// OpenAtCrash returns the journal entries that were open (in-flight
+// calls) at backend i's most recent crash.
+func (c *Cluster) OpenAtCrash(i int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i].openAtCrash
+}
+
+// Crashed reports whether backend i is currently crashed (no live
+// process bound to its address).
+func (c *Cluster) Crashed(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i].crashed
+}
+
+// BackendUp reports backend i's probe-observed liveness.
+func (c *Cluster) BackendUp(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i].up
+}
+
+// UpCount returns the number of backends currently marked up.
+func (c *Cluster) UpCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, nd := range c.nodes {
+		if nd.up {
+			n++
+		}
+	}
+	return n
+}
+
+// Events returns the failure/recovery timeline so far.
+func (c *Cluster) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
 
 // CountersSnapshot returns balancer totals.
 func (c *Cluster) CountersSnapshot() Counters {
@@ -130,59 +345,330 @@ func (c *Cluster) CountersSnapshot() Counters {
 	return c.counters
 }
 
-// TotalCounters sums the backends' PBX counters.
+// TotalCounters sums the backends' PBX counters across every
+// incarnation (a crashed instance's counters model what an external
+// observer collected before the crash).
 func (c *Cluster) TotalCounters() pbx.Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var total pbx.Counters
-	for _, b := range c.backends {
-		s := b.CountersSnapshot()
-		total.Attempts += s.Attempts
-		total.Established += s.Established
-		total.Blocked += s.Blocked
-		total.Rejected += s.Rejected
-		total.Completed += s.Completed
-		total.Canceled += s.Canceled
-		total.Failed += s.Failed
-		total.RelayedPackets += s.RelayedPackets
-		total.DroppedPackets += s.DroppedPackets
-		total.PeakChannels += s.PeakChannels
+	for _, n := range c.nodes {
+		for _, srv := range append(append([]*pbx.Server(nil), n.past...), n.srv) {
+			s := srv.CountersSnapshot()
+			total.Attempts += s.Attempts
+			total.Established += s.Established
+			total.Blocked += s.Blocked
+			total.Rejected += s.Rejected
+			total.Completed += s.Completed
+			total.Canceled += s.Canceled
+			total.Failed += s.Failed
+			total.RelayedPackets += s.RelayedPackets
+			total.DroppedPackets += s.DroppedPackets
+			total.PeakChannels += s.PeakChannels
+			total.DrainRejected += s.DrainRejected
+		}
 	}
 	return total
 }
 
-// Close stops the backends' samplers.
-func (c *Cluster) Close() {
-	for _, b := range c.backends {
-		b.Close()
+// StopProbes halts the health-probe plane: pending probe timers are
+// cancelled and in-flight probe transactions terminated. Harnesses
+// call this before their post-run drain so the steady probe traffic
+// (and its lingering server transactions on the backends) does not
+// read as a leak.
+func (c *Cluster) StopProbes() {
+	c.mu.Lock()
+	c.closed = true
+	var probes []*sip.ClientTx
+	for _, n := range c.nodes {
+		if n.probeTimer != nil {
+			n.probeTimer.Stop()
+		}
+		if n.probeDeadline != nil {
+			n.probeDeadline.Stop()
+		}
+		if n.probeTx != nil {
+			probes = append(probes, n.probeTx)
+			n.probeTx = nil
+		}
+	}
+	c.mu.Unlock()
+	for _, tx := range probes {
+		tx.Terminate()
 	}
 }
 
-// pick chooses a backend per the policy.
-func (c *Cluster) pick() *pbx.Server {
+// Close stops probing and the backends' samplers.
+func (c *Cluster) Close() {
+	c.StopProbes()
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	nodes := append([]*node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.srv.Close()
+		for _, p := range n.past {
+			p.Close()
+		}
+	}
+}
+
+// CrashBackend kills backend i's process: its socket, timers, relay
+// ports and in-flight transactions vanish at the current tick. The
+// balancer is NOT told — marking the backend down is the health
+// probes' job, which is exactly the detection latency the failover
+// experiment measures.
+func (c *Cluster) CrashBackend(i int) {
+	c.mu.Lock()
+	n := c.nodes[i]
+	if n.crashed {
+		c.mu.Unlock()
+		return
+	}
+	n.crashed = true
+	n.crashes++
+	srv := n.srv
+	c.eventLocked(i, "crash")
+	c.mu.Unlock()
+	srv.Crash()
+	if n.journal != nil {
+		open := n.journal.Open()
+		c.mu.Lock()
+		n.openAtCrash = open
+		c.mu.Unlock()
+	}
+}
+
+// RestartBackend brings a crashed backend i back: a fresh endpoint
+// re-binds the same address, the CDR journal's interrupted records
+// are recovered as LOST, and the probe + slow-start path re-admits
+// the server to placement. It returns the recovered records.
+func (c *Cluster) RestartBackend(i int) []pbx.CDR {
+	c.mu.Lock()
+	n := c.nodes[i]
+	if !n.crashed {
+		c.mu.Unlock()
+		return nil
+	}
+	old := n.srv
+	c.mu.Unlock()
+
+	srv := c.buildServer(n)
+	var recovered []pbx.CDR
+	if n.journal != nil {
+		recovered = n.journal.Recover(c.clock.Now())
+		srv.RecordRecovered(recovered)
+	}
+
+	c.mu.Lock()
+	n.past = append(n.past, old)
+	n.srv = srv
+	c.backends[i] = srv
+	n.crashed = false
+	n.restarts++
+	n.recovered = append(n.recovered, recovered...)
+	c.eventLocked(i, "restart")
+	c.mu.Unlock()
+	return recovered
+}
+
+// DrainBackend puts backend i in administrative drain: it 503s new
+// INVITEs (and health probes, so the balancer takes it out of
+// placement within the fail threshold) while established calls finish.
+func (c *Cluster) DrainBackend(i int) {
+	c.mu.Lock()
+	n := c.nodes[i]
+	srv := n.srv
+	c.eventLocked(i, "drain")
+	c.mu.Unlock()
+	srv.Drain()
+}
+
+// eventLocked appends to the timeline. Callers hold c.mu.
+func (c *Cluster) eventLocked(backend int, kind string) {
+	c.events = append(c.events, Event{At: c.clock.Now(), Backend: backend, Kind: kind})
+}
+
+// scheduleProbe arms backend n's next health probe.
+func (c *Cluster) scheduleProbe(n *node) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	n.probeTimer = c.clock.AfterFunc(c.health.ProbeInterval, func() { c.probe(n) })
+	c.mu.Unlock()
+}
+
+// probe sends one OPTIONS to backend n and races the response against
+// the probe deadline. A crashed backend answers with silence; rather
+// than wait out SIP's 64·T1 Timer F, the deadline terminates the
+// transaction and scores the probe failed.
+func (c *Cluster) probe(n *node) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	dst := n.addr
+	c.mu.Unlock()
+
+	uri := sip.NewURI("probe", n.host, sip.DefaultPort)
+	req := sip.NewRequest(sip.OPTIONS, uri,
+		sip.NameAddr{URI: sip.NewURI("balancer", "balancer", sip.DefaultPort), Tag: c.ep.NewTag()},
+		sip.NameAddr{URI: uri},
+		c.ep.NewCallID(), 1)
+
+	settled := false // guarded by c.mu; first of {response, deadline} wins
+	var tx *sip.ClientTx
+	tx = c.ep.SendRequest(dst, req, func(resp *sip.Message) {
+		if resp.StatusCode < 200 {
+			return
+		}
+		c.mu.Lock()
+		if settled || c.closed {
+			c.mu.Unlock()
+			return
+		}
+		settled = true
+		if n.probeDeadline != nil {
+			n.probeDeadline.Stop()
+		}
+		c.mu.Unlock()
+		c.probeResult(n, resp.StatusCode == sip.StatusOK)
+	})
+	deadline := c.clock.AfterFunc(c.health.ProbeTimeout, func() {
+		c.mu.Lock()
+		if settled || c.closed {
+			c.mu.Unlock()
+			return
+		}
+		settled = true
+		c.mu.Unlock()
+		tx.Terminate()
+		c.probeResult(n, false)
+	})
+	c.mu.Lock()
+	n.probeTx = tx
+	n.probeDeadline = deadline
+	c.mu.Unlock()
+}
+
+// probeResult applies one probe verdict to the node's liveness state
+// machine and arms the next probe.
+func (c *Cluster) probeResult(n *node, ok bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	now := c.clock.Now()
+	if ok {
+		n.consecFails = 0
+		if !n.up {
+			n.up = true
+			n.slowUntil = now + c.health.SlowStart
+			c.counters.BackendUps++
+			c.eventLocked(n.idx, "up")
+			if c.tm != nil {
+				c.tm.backendUp[n.idx].Set(1)
+				c.tm.ups.Inc()
+			}
+		}
+	} else {
+		c.counters.ProbeFailures++
+		n.consecFails++
+		if c.tm != nil {
+			c.tm.probeFailures.Inc()
+		}
+		if n.up && n.consecFails >= c.health.FailThreshold {
+			n.up = false
+			c.counters.BackendDowns++
+			c.eventLocked(n.idx, "down")
+			if c.tm != nil {
+				c.tm.backendUp[n.idx].Set(0)
+				c.tm.downs.Inc()
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.scheduleProbe(n)
+}
+
+// weightLocked is a node's slow-start placement weight in (0,1].
+// Callers hold c.mu.
+func (c *Cluster) weightLocked(n *node, now time.Duration) float64 {
+	if n.slowUntil == 0 || now >= n.slowUntil {
+		return 1
+	}
+	w := 1 - float64(n.slowUntil-now)/float64(c.health.SlowStart)
+	if w < 0.1 {
+		w = 0.1
+	}
+	return w
+}
+
+// pickLocked chooses a live backend per the policy, nil when none is
+// up. Slow-start: least-busy divides a recovering backend's load by
+// its weight; round-robin skips it probabilistically. Callers hold
+// c.mu.
+func (c *Cluster) pickLocked() *node {
+	now := c.clock.Now()
+	var live []*node
+	for _, n := range c.nodes {
+		if n.up {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
 	switch c.policy {
 	case LeastBusy:
-		best := c.backends[0]
-		bestLoad := best.ActiveChannels()
-		for _, b := range c.backends[1:] {
-			if load := b.ActiveChannels(); load < bestLoad {
-				best, bestLoad = b, load
+		best := live[0]
+		bestLoad := float64(best.srv.ActiveChannels()) / c.weightLocked(best, now)
+		for _, n := range live[1:] {
+			if load := float64(n.srv.ActiveChannels()) / c.weightLocked(n, now); load < bestLoad {
+				best, bestLoad = n, load
 			}
 		}
 		return best
 	default:
-		b := c.backends[c.next%len(c.backends)]
-		c.next++
-		return b
+		for tries := 0; tries < len(live); tries++ {
+			n := live[c.next%len(live)]
+			c.next++
+			if w := c.weightLocked(n, now); w >= 1 || c.rng.Float64() < w {
+				return n
+			}
+		}
+		return live[c.next%len(live)]
 	}
 }
 
 // backendFor pins a user to a backend for REGISTER proxying, so a
-// digest challenge and its answer reach the same nonce issuer.
-func (c *Cluster) backendFor(user string) *pbx.Server {
+// digest challenge and its answer reach the same nonce issuer. When
+// the pinned backend is down the pin walks forward to the next live
+// one (counted as a re-pin); with every backend down it falls back to
+// the original pin and lets the proxied transaction time out.
+func (c *Cluster) backendFor(user string) *node {
 	h := fnv.New32a()
 	h.Write([]byte(user))
-	return c.backends[int(h.Sum32())%len(c.backends)]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := len(c.nodes)
+	start := int(h.Sum32()) % k
+	for i := 0; i < k; i++ {
+		n := c.nodes[(start+i)%k]
+		if n.up {
+			if i > 0 {
+				c.counters.Repins++
+				if c.tm != nil {
+					c.tm.repins.Inc()
+				}
+			}
+			return n
+		}
+	}
+	return c.nodes[start]
 }
 
 func (c *Cluster) handleRequest(tx *sip.ServerTx, req *sip.Message, src string) {
@@ -219,7 +705,7 @@ func (c *Cluster) proxyRegister(tx *sip.ServerTx, req *sip.Message) {
 	fwd.Contact = req.Contact
 	fwd.Expires = req.Expires
 	fwd.Authorization = req.Authorization
-	c.ep.SendRequest(backend.Addr(), fwd, func(resp *sip.Message) {
+	c.ep.SendRequest(backend.addr, fwd, func(resp *sip.Message) {
 		back := req.Response(resp.StatusCode)
 		back.ReasonStr = resp.ReasonStr
 		back.WWWAuthenticate = resp.WWWAuthenticate
@@ -230,23 +716,45 @@ func (c *Cluster) proxyRegister(tx *sip.ServerTx, req *sip.Message) {
 }
 
 // redirectInvite answers an INVITE with 302 pointing at the chosen
-// backend.
+// backend, or 503 when no backend is live.
 func (c *Cluster) redirectInvite(tx *sip.ServerTx, req *sip.Message) {
-	if len(c.backends) == 0 {
-		c.mu.Lock()
+	c.mu.Lock()
+	n := c.pickLocked()
+	if n == nil {
 		c.counters.UnroutableInvites++
 		c.mu.Unlock()
-		tx.Respond(req.Response(sip.StatusServiceUnavailable))
+		resp := req.Response(sip.StatusServiceUnavailable)
+		resp.To.Tag = c.ep.NewTag()
+		resp.RetryAfter = int(c.health.ProbeInterval / time.Second)
+		if resp.RetryAfter < 1 {
+			resp.RetryAfter = 1
+		}
+		tx.Respond(resp)
 		return
 	}
-	backend := c.pick()
-	c.mu.Lock()
 	c.counters.Redirects++
+	anyDown := false
+	for _, nd := range c.nodes {
+		if !nd.up {
+			anyDown = true
+			break
+		}
+	}
+	if anyDown {
+		c.counters.Failovers++
+		if c.tm != nil {
+			c.tm.failovers.Inc()
+		}
+	}
+	if c.tm != nil {
+		c.tm.redirects.Inc()
+	}
+	addr := n.addr
 	c.mu.Unlock()
 
 	resp := req.Response(sip.StatusMovedTemporarily)
 	resp.To.Tag = c.ep.NewTag()
-	host, port := splitAddr(backend.Addr())
+	host, port := splitAddr(addr)
 	contact := sip.NameAddr{URI: sip.NewURI(req.RequestURI.User, host, port)}
 	resp.Contact = &contact
 	tx.Respond(resp)

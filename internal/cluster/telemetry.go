@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// clusterMetrics holds the balancer's pre-resolved telemetry handles.
+// All registered once in New; record sites are nil-guarded.
+type clusterMetrics struct {
+	backendUp []*telemetry.Gauge // cluster_backend_up{backend="pbxN"}
+
+	redirects     *telemetry.Counter
+	failovers     *telemetry.Counter
+	repins        *telemetry.Counter
+	probeFailures *telemetry.Counter
+	downs         *telemetry.Counter
+	ups           *telemetry.Counter
+}
+
+func newClusterMetrics(reg *telemetry.Registry, servers int) *clusterMetrics {
+	tm := &clusterMetrics{
+		redirects: reg.Counter("cluster_redirects_total", "INVITEs answered with 302 toward a backend"),
+		failovers: reg.Counter("cluster_failovers_total",
+			"redirects placed while at least one backend was marked down"),
+		repins: reg.Counter("cluster_repins_total",
+			"REGISTERs re-pinned from a down backend to a live one"),
+		probeFailures: reg.Counter("cluster_probe_failures_total", "health probes that timed out or got non-200"),
+		downs:         reg.Counter("cluster_backend_transitions_total", "backend liveness transitions", telemetry.L("to", "down")),
+		ups:           reg.Counter("cluster_backend_transitions_total", "backend liveness transitions", telemetry.L("to", "up")),
+	}
+	for i := 0; i < servers; i++ {
+		tm.backendUp = append(tm.backendUp, reg.Gauge("cluster_backend_up",
+			"1 while the backend is in placement rotation",
+			telemetry.L("backend", fmt.Sprintf("pbx%d", i+1))))
+	}
+	return tm
+}

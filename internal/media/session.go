@@ -359,3 +359,9 @@ func (s *Session) SentPackets() uint64 {
 	defer s.mu.Unlock()
 	return s.sent
 }
+
+// ReceivedPackets returns the number of RTP packets received — cheap
+// enough for watchdogs to poll, unlike a full Report.
+func (s *Session) ReceivedPackets() uint64 {
+	return s.recv.Snapshot().Received
+}

@@ -60,11 +60,32 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 	}
 	s.counters.Attempts++
 	s.attemptsWindow++
+	draining := s.draining
 	s.mu.Unlock()
 	if s.tm != nil {
 		s.tm.invites.Inc()
 	}
 	s.traceBegin(req.CallID)
+
+	// Administrative drain: shed new work, keep established calls.
+	if draining {
+		s.mu.Lock()
+		s.counters.Blocked++
+		s.counters.DrainRejected++
+		s.errorsWindow++
+		ra := s.drainRetryAfterLocked()
+		s.mu.Unlock()
+		if s.tm != nil {
+			s.tm.blocked.Inc()
+			s.tm.drainRejects.Inc()
+		}
+		s.traceEnd(req.CallID, telemetry.OutcomeBlocked)
+		resp := req.Response(sip.StatusServiceUnavailable)
+		resp.To.Tag = s.ep.NewTag()
+		resp.RetryAfter = ra
+		tx.Respond(resp)
+		return
+	}
 
 	// Authentication (optional; see Config.AuthInvites).
 	if s.cfg.AuthInvites {
@@ -203,6 +224,9 @@ func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calle
 	s.bridges[br.aCallID] = br
 	s.bridges[br.bCallID] = br
 	s.mu.Unlock()
+	if j := s.cfg.Journal; j != nil {
+		j.Begin(br.aCallID, br.caller, br.callee, br.startedAt)
+	}
 
 	br.bTx = s.ep.SendRequest(calleeContact, bInvite, func(resp *sip.Message) {
 		s.handleBLegResponse(br, resp)
@@ -324,6 +348,7 @@ func (s *Server) releaseChannel() {
 	}
 	s.updateChannelGaugesLocked()
 	s.mu.Unlock()
+	s.maybeFinishDrain()
 }
 
 // handleBLegResponse relays callee responses to the caller.
@@ -414,6 +439,9 @@ func (s *Server) handleAck(req *sip.Message) {
 	s.mu.Lock()
 	s.counters.Established++
 	s.mu.Unlock()
+	if j := s.cfg.Journal; j != nil {
+		j.Answer(br.aCallID, br.establishedAt)
+	}
 	if s.tm != nil {
 		s.tm.established.Inc()
 	}
@@ -507,6 +535,10 @@ func (s *Server) removeBridge(br *bridge, completed bool) {
 	s.recordCDRMetricsLocked(cdr)
 	s.updateChannelGaugesLocked()
 	s.mu.Unlock()
+	if j := s.cfg.Journal; j != nil {
+		j.End(br.aCallID, cdr, s.ep.Clock().Now())
+	}
+	s.maybeFinishDrain()
 	outcome := telemetry.OutcomeRejected
 	switch {
 	case completed && wasEstablished:

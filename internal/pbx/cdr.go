@@ -31,6 +31,10 @@ type CDR struct {
 	// MOS is the E-model score of the worse direction; zero when the
 	// call carried no scored media.
 	MOS float64
+	// Lost marks a record closed by journal recovery after a server
+	// crash rather than by normal teardown: Duration then runs to the
+	// crash tick, not to a BYE.
+	Lost bool
 }
 
 // buildCDR snapshots a bridge at teardown. Callers hold s.mu.
@@ -96,8 +100,11 @@ func (s *Server) CDRs() []CDR {
 }
 
 // Disposition returns the Asterisk-style CDR disposition string.
+// LOST is this model's extension for journal-recovered records.
 func (c CDR) Disposition() string {
 	switch {
+	case c.Lost:
+		return "LOST"
 	case c.Completed:
 		return "ANSWERED"
 	case c.Established:

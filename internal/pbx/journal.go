@@ -1,0 +1,266 @@
+package pbx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CDRJournal is the crash-consistent write-ahead log for call detail
+// records. Asterisk's Master.csv is written once, at hangup — so a
+// server that dies mid-call silently truncates its billing record. The
+// journal closes that hole with a classic WAL discipline: every call
+// appends a begin record at setup, an answer record at establishment,
+// and an end record (the durable CDR) at teardown. After a crash,
+// Recover scans for begins without a matching end and closes each as a
+// CDR with Lost set and the crash tick as its end time — every
+// interrupted call is accounted for exactly once, never double-counted
+// and never dropped.
+//
+// The journal deliberately lives OUTSIDE the Server (Config.Journal):
+// it models the durable disk that survives the process, so the same
+// journal handle is threaded through a crash/restart cycle while
+// Server instances come and go. In the simulation the "disk" is this
+// in-memory structure; WriteTo/ReadJournal give the on-disk text
+// format an existence proof and a round-trip test.
+//
+// Record format (one line per append, space-separated):
+//
+//	B <ts_ns> <call-id> <caller> <callee>          call admitted
+//	A <ts_ns> <call-id>                            call answered (ACK)
+//	E <ts_ns> <call-id> <disposition> <dur_ns>     call ended normally
+//	L <ts_ns> <call-id> <disposition> <dur_ns>     closed by recovery
+//
+// RTP statistics and MOS are not journaled — they are derived data
+// carried by the committed CDR (and Master.csv); the WAL holds only
+// what recovery needs.
+type CDRJournal struct {
+	mu        sync.Mutex
+	open      map[string]*journalEntry
+	order     []string // begin order, so recovery is deterministic
+	committed []CDR
+	lines     []string
+
+	begins, answers, ends uint64
+	lost                  uint64
+	doubleEnds            uint64
+}
+
+// journalEntry is one in-flight call's WAL state.
+type journalEntry struct {
+	caller, callee string
+	startedAt      time.Duration
+	answeredAt     time.Duration // 0 = never answered
+}
+
+// JournalStats snapshots the journal's record totals.
+type JournalStats struct {
+	Begins, Answers, Ends uint64
+	Lost                  uint64 // entries closed by Recover
+	DoubleEnds            uint64 // end records with no open begin (must stay 0)
+	Open                  int    // begins not yet ended
+}
+
+// NewCDRJournal returns an empty journal.
+func NewCDRJournal() *CDRJournal {
+	return &CDRJournal{open: make(map[string]*journalEntry)}
+}
+
+// Begin journals a call's admission.
+func (j *CDRJournal) Begin(callID, caller, callee string, at time.Duration) {
+	j.mu.Lock()
+	if _, dup := j.open[callID]; !dup {
+		j.open[callID] = &journalEntry{caller: caller, callee: callee, startedAt: at}
+		j.order = append(j.order, callID)
+	}
+	j.begins++
+	j.lines = append(j.lines, fmt.Sprintf("B %d %s %s %s", at.Nanoseconds(), callID, caller, callee))
+	j.mu.Unlock()
+}
+
+// Answer journals a call's establishment (the caller's ACK).
+func (j *CDRJournal) Answer(callID string, at time.Duration) {
+	j.mu.Lock()
+	if e, ok := j.open[callID]; ok && e.answeredAt == 0 {
+		e.answeredAt = at
+		j.answers++
+		j.lines = append(j.lines, fmt.Sprintf("A %d %s", at.Nanoseconds(), callID))
+	}
+	j.mu.Unlock()
+}
+
+// End commits a call's CDR, closing its open entry. An End with no
+// matching Begin (possible only through misuse) is counted in
+// DoubleEnds and otherwise ignored, so a record can never be billed
+// twice.
+func (j *CDRJournal) End(callID string, cdr CDR, at time.Duration) {
+	j.mu.Lock()
+	if _, ok := j.open[callID]; !ok {
+		j.doubleEnds++
+		j.mu.Unlock()
+		return
+	}
+	delete(j.open, callID)
+	j.ends++
+	j.committed = append(j.committed, cdr)
+	j.lines = append(j.lines, fmt.Sprintf("E %d %s %s %d",
+		at.Nanoseconds(), callID, dispositionToken(cdr), cdr.Duration.Nanoseconds()))
+	j.mu.Unlock()
+}
+
+// Recover closes every open entry as a LOST CDR stamped with the
+// crash tick: answered calls get their partial duration, unanswered
+// ones a zero-duration NO ANSWER-style record with Lost set. It
+// returns the recovered records in begin order; they are also appended
+// to Committed. Running Recover on a clean journal is a no-op.
+func (j *CDRJournal) Recover(crashAt time.Duration) []CDR {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var recovered []CDR
+	for _, callID := range j.order {
+		e, ok := j.open[callID]
+		if !ok {
+			continue
+		}
+		delete(j.open, callID)
+		cdr := CDR{
+			Caller:      e.caller,
+			Callee:      e.callee,
+			StartedAt:   e.startedAt,
+			Established: e.answeredAt > 0,
+			Lost:        true,
+		}
+		if e.answeredAt > 0 {
+			cdr.Duration = crashAt - e.answeredAt
+		}
+		j.ends++
+		j.lost++
+		j.committed = append(j.committed, cdr)
+		j.lines = append(j.lines, fmt.Sprintf("L %d %s %s %d",
+			crashAt.Nanoseconds(), callID, dispositionToken(cdr), cdr.Duration.Nanoseconds()))
+		recovered = append(recovered, cdr)
+	}
+	j.order = j.order[:0]
+	return recovered
+}
+
+// Committed returns a copy of every durable CDR: normal ends plus the
+// LOST records Recover closed.
+func (j *CDRJournal) Committed() []CDR {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]CDR(nil), j.committed...)
+}
+
+// Open returns the number of begins without a matching end — the
+// in-flight calls a crash right now would interrupt.
+func (j *CDRJournal) Open() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.open)
+}
+
+// Stats snapshots the journal's record totals.
+func (j *CDRJournal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Begins: j.begins, Answers: j.answers, Ends: j.ends,
+		Lost: j.lost, DoubleEnds: j.doubleEnds, Open: len(j.open),
+	}
+}
+
+// dispositionToken is the WAL-safe (space-free) disposition.
+func dispositionToken(c CDR) string {
+	return strings.ReplaceAll(c.Disposition(), " ", "-")
+}
+
+// WriteTo emits the journal in its on-disk text format.
+func (j *CDRJournal) WriteTo(w io.Writer) (int64, error) {
+	j.mu.Lock()
+	lines := append([]string(nil), j.lines...)
+	j.mu.Unlock()
+	var n int64
+	for _, ln := range lines {
+		m, err := fmt.Fprintln(w, ln)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadJournal replays a WAL stream into a fresh journal, rebuilding
+// the open/committed state exactly as the writer left it — the
+// restart-side half of crash recovery. Decoded committed CDRs carry
+// the journaled fields only (identity, times, disposition); RTP
+// detail lives in the CSV export, not the WAL.
+func ReadJournal(r io.Reader) (*CDRJournal, error) {
+	j := NewCDRJournal()
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			return nil, fmt.Errorf("pbx: malformed journal line %q", line)
+		}
+		ns, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pbx: bad timestamp in %q: %v", line, err)
+		}
+		at := time.Duration(ns)
+		callID := f[2]
+		switch f[0] {
+		case "B":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("pbx: malformed begin %q", line)
+			}
+			j.Begin(callID, f[3], f[4], at)
+		case "A":
+			j.Answer(callID, at)
+		case "E", "L":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("pbx: malformed end %q", line)
+			}
+			dur, err := strconv.ParseInt(f[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pbx: bad duration in %q: %v", line, err)
+			}
+			j.mu.Lock()
+			e, ok := j.open[callID]
+			if !ok {
+				j.doubleEnds++
+				j.mu.Unlock()
+				continue
+			}
+			delete(j.open, callID)
+			cdr := CDR{
+				Caller:      e.caller,
+				Callee:      e.callee,
+				StartedAt:   e.startedAt,
+				Established: e.answeredAt > 0,
+				Duration:    time.Duration(dur),
+				Completed:   f[3] == "ANSWERED",
+				Lost:        f[0] == "L",
+			}
+			j.ends++
+			if f[0] == "L" {
+				j.lost++
+			}
+			j.committed = append(j.committed, cdr)
+			j.lines = append(j.lines, line)
+			j.mu.Unlock()
+		default:
+			return nil, fmt.Errorf("pbx: unknown journal record %q", line)
+		}
+	}
+	return j, sc.Err()
+}

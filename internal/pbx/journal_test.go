@@ -1,0 +1,143 @@
+package pbx
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalNormalLifecycleBalances(t *testing.T) {
+	j := NewCDRJournal()
+	j.Begin("c1", "u0", "u1", 1*time.Second)
+	j.Answer("c1", 2*time.Second)
+	j.End("c1", CDR{Caller: "u0", Callee: "u1", Established: true, Completed: true,
+		Duration: 8 * time.Second}, 10*time.Second)
+
+	st := j.Stats()
+	if st.Begins != 1 || st.Answers != 1 || st.Ends != 1 || st.Open != 0 ||
+		st.Lost != 0 || st.DoubleEnds != 0 {
+		t.Fatalf("unbalanced stats after clean lifecycle: %+v", st)
+	}
+	if got := j.Committed(); len(got) != 1 || got[0].Disposition() != "ANSWERED" {
+		t.Fatalf("committed = %+v, want one ANSWERED record", got)
+	}
+	// Recover on a clean journal is a no-op.
+	if rec := j.Recover(11 * time.Second); len(rec) != 0 {
+		t.Fatalf("recover on clean journal returned %d records", len(rec))
+	}
+}
+
+func TestJournalRecoverClosesOpenEntriesAsLost(t *testing.T) {
+	j := NewCDRJournal()
+	// One answered call, one still ringing, one already ended.
+	j.Begin("answered", "u0", "u1", 1*time.Second)
+	j.Answer("answered", 2*time.Second)
+	j.Begin("ringing", "u2", "u3", 3*time.Second)
+	j.Begin("done", "u4", "u5", 4*time.Second)
+	j.Answer("done", 5*time.Second)
+	j.End("done", CDR{Established: true, Completed: true, Duration: time.Second}, 6*time.Second)
+
+	rec := j.Recover(9 * time.Second)
+	if len(rec) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(rec))
+	}
+	// Begin order is preserved: the answered call first.
+	if rec[0].Caller != "u0" || !rec[0].Established || !rec[0].Lost {
+		t.Errorf("first recovered = %+v, want u0's established LOST record", rec[0])
+	}
+	if rec[0].Duration != 7*time.Second {
+		t.Errorf("answered-at-crash duration = %v, want crash-answer = 7s", rec[0].Duration)
+	}
+	if rec[0].Disposition() != "LOST" {
+		t.Errorf("disposition = %q, want LOST", rec[0].Disposition())
+	}
+	if rec[1].Caller != "u2" || rec[1].Established || rec[1].Duration != 0 {
+		t.Errorf("second recovered = %+v, want u2's unanswered zero-duration record", rec[1])
+	}
+
+	st := j.Stats()
+	if st.Open != 0 || st.Lost != 2 || st.Begins != st.Ends {
+		t.Fatalf("post-recovery stats unbalanced: %+v", st)
+	}
+	if len(j.Committed()) != 3 {
+		t.Fatalf("committed %d records, want 3 (1 normal + 2 recovered)", len(j.Committed()))
+	}
+}
+
+func TestJournalDoubleEndNeverBillsTwice(t *testing.T) {
+	j := NewCDRJournal()
+	j.Begin("c1", "u0", "u1", time.Second)
+	j.End("c1", CDR{}, 2*time.Second)
+	j.End("c1", CDR{}, 3*time.Second) // replayed/duplicate end
+	j.End("ghost", CDR{}, 4*time.Second)
+
+	st := j.Stats()
+	if st.Ends != 1 || st.DoubleEnds != 2 {
+		t.Fatalf("ends=%d doubleEnds=%d, want 1/2", st.Ends, st.DoubleEnds)
+	}
+	if len(j.Committed()) != 1 {
+		t.Fatalf("committed %d records, want 1", len(j.Committed()))
+	}
+}
+
+// TestJournalWALRoundTrip proves the on-disk text format: a journal
+// with committed, recovered and still-open records serializes and
+// replays into identical accounting — the restart-side half of crash
+// recovery.
+func TestJournalWALRoundTrip(t *testing.T) {
+	j := NewCDRJournal()
+	j.Begin("c1", "u0", "u1", 1*time.Second)
+	j.Answer("c1", 2*time.Second)
+	j.End("c1", CDR{Caller: "u0", Callee: "u1", StartedAt: 1 * time.Second,
+		Established: true, Completed: true, Duration: 5 * time.Second}, 7*time.Second)
+	j.Begin("c2", "u2", "u3", 3*time.Second)
+	j.Answer("c2", 4*time.Second)
+	j.Recover(8 * time.Second) // closes c2 as LOST
+	j.Begin("c3", "u4", "u5", 9*time.Second) // in flight at serialization
+
+	var buf strings.Builder
+	if _, err := j.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReadJournal(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := j.Stats(), replayed.Stats()
+	if want != got {
+		t.Fatalf("replayed stats %+v != original %+v", got, want)
+	}
+	if got.Open != 1 {
+		t.Fatalf("replayed open = %d, want 1 (c3 still in flight)", got.Open)
+	}
+	wc, gc := j.Committed(), replayed.Committed()
+	if len(wc) != len(gc) {
+		t.Fatalf("replayed %d committed records, want %d", len(gc), len(wc))
+	}
+	for i := range wc {
+		if wc[i].Caller != gc[i].Caller || wc[i].Established != gc[i].Established ||
+			wc[i].Completed != gc[i].Completed || wc[i].Lost != gc[i].Lost ||
+			wc[i].Duration != gc[i].Duration {
+			t.Errorf("committed[%d]: replayed %+v != original %+v", i, gc[i], wc[i])
+		}
+	}
+	// The replayed journal can itself recover the in-flight call.
+	rec := replayed.Recover(12 * time.Second)
+	if len(rec) != 1 || rec[0].Caller != "u4" || !rec[0].Lost {
+		t.Fatalf("replayed journal recovery = %+v, want u4's LOST record", rec)
+	}
+}
+
+func TestJournalRejectsMalformedWAL(t *testing.T) {
+	for _, bad := range []string{
+		"B 100",            // too few fields
+		"X 100 c1",         // unknown record
+		"B abc c1 u0 u1",   // bad timestamp
+		"E 100 c1 ANSWERED nope", // bad duration
+	} {
+		if _, err := ReadJournal(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ReadJournal accepted malformed line %q", bad)
+		}
+	}
+}

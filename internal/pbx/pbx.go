@@ -85,6 +85,15 @@ type Config struct {
 	// Default is mos.G711PLC, matching VoIPmonitor's concealment-aware
 	// G.711 scoring.
 	ScoreCodec mos.Codec
+	// Journal, when non-nil, write-ahead logs every call's lifecycle
+	// (begin at admission, answer at ACK, end at teardown) so records
+	// interrupted by a crash can be recovered. The journal models the
+	// durable disk: it is owned by the caller and survives Server
+	// instances across a crash/restart cycle.
+	Journal *CDRJournal
+	// DrainRetryAfter is the Retry-After hint (seconds) on the 503s a
+	// draining server sends to new INVITEs; 0 selects 10.
+	DrainRetryAfter int
 	// Seed drives the server's randomness (overload drops, nonces).
 	Seed uint64
 	// Telemetry, when non-nil, registers the PBX metric families and
@@ -114,6 +123,7 @@ type Counters struct {
 	MessagesStored    uint64 // MESSAGEs held for offline users
 	VoicemailDeposits uint64 // completed voicemail recordings
 	TrunkCalls        uint64 // calls routed to a trunk gateway
+	DrainRejected     uint64 // INVITEs 503'd while draining (subset of Blocked)
 }
 
 // Server is the PBX.
@@ -148,6 +158,10 @@ type Server struct {
 	errorsEWMA     float64
 	sampler        transport.Timer
 	closed         bool
+	crashed        bool
+	draining       bool
+	drainStart     time.Duration
+	drainDone      bool
 
 	tm *pbxMetrics // nil when Config.Telemetry is nil
 }
@@ -216,6 +230,112 @@ func (s *Server) Close() {
 		s.sampler.Stop()
 	}
 	s.mu.Unlock()
+}
+
+// Drain puts the server in administrative drain: new INVITEs are
+// rejected with 503 + Retry-After while established calls (and their
+// RTP) run to completion — the zero-downtime half of a rolling
+// restart. When the last channel releases (or immediately, if idle)
+// the drain-duration histogram records how long the drain took.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.drainStart = s.ep.Clock().Now()
+	if s.tm != nil {
+		s.tm.draining.Set(1)
+	}
+	s.mu.Unlock()
+	s.maybeFinishDrain()
+}
+
+// Draining reports whether the server is in administrative drain.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drained reports whether a drain has started AND every channel has
+// released.
+func (s *Server) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainDone
+}
+
+// maybeFinishDrain records the drain-duration sample once the last
+// channel releases. Called (unlocked) from every channel-release path.
+func (s *Server) maybeFinishDrain() {
+	s.mu.Lock()
+	if !s.draining || s.drainDone || s.channels > 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.drainDone = true
+	d := s.ep.Clock().Now() - s.drainStart
+	s.mu.Unlock()
+	if s.tm != nil {
+		s.tm.drainDur.Observe(d.Seconds())
+	}
+}
+
+// drainRetryAfterLocked is the Retry-After hint for drain 503s.
+func (s *Server) drainRetryAfterLocked() int {
+	if s.cfg.DrainRetryAfter > 0 {
+		return s.cfg.DrainRetryAfter
+	}
+	return 10
+}
+
+// Crash simulates the process dying mid-flight: in-flight bridges and
+// voicemail deposits are dropped without CDRs or farewell signalling,
+// relay ports go dark, every trace span ends as "lost", and the SIP
+// endpoint's transactions and socket are torn down. Counters and the
+// journal survive — they model what an external observer (and the
+// durable disk) keeps; recovery of the journal's open entries happens
+// when a replacement server calls Journal.Recover.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = true
+	s.closed = true
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	seen := make(map[*bridge]bool, len(s.bridges))
+	var bridges []*bridge
+	for _, br := range s.bridges {
+		if !seen[br] {
+			seen[br] = true
+			bridges = append(bridges, br)
+		}
+	}
+	s.bridges = make(map[string]*bridge)
+	vms := s.vmSessions
+	s.vmSessions = make(map[string]*vmSession)
+	s.channels = 0
+	s.updateChannelGaugesLocked()
+	s.mu.Unlock()
+
+	for _, br := range bridges {
+		br.state = bridgeTerminated
+		if br.relay != nil {
+			br.relay.close()
+		}
+		s.traceEnd(br.aCallID, telemetry.OutcomeLost)
+	}
+	for callID, vm := range vms {
+		vm.close()
+		s.traceEnd(callID, telemetry.OutcomeLost)
+	}
+	s.ep.Crash()
 }
 
 // cpuSample is one meter reading with the load context needed to
@@ -350,6 +470,19 @@ func (s *Server) handleRequest(tx *sip.ServerTx, req *sip.Message, src string) {
 	case sip.MESSAGE:
 		s.handleMessage(tx, req)
 	case sip.OPTIONS:
+		// OPTIONS doubles as the liveness probe: a draining server
+		// answers 503 so balancers take it out of rotation while its
+		// established calls finish.
+		s.mu.Lock()
+		draining := s.draining
+		ra := s.drainRetryAfterLocked()
+		s.mu.Unlock()
+		if draining {
+			resp := req.Response(sip.StatusServiceUnavailable)
+			resp.RetryAfter = ra
+			tx.Respond(resp)
+			return
+		}
 		tx.Respond(req.Response(sip.StatusOK))
 	default:
 		s.countError()

@@ -30,6 +30,11 @@ type pbxMetrics struct {
 	relayBytes *telemetry.Counter
 	relayDrops *telemetry.Counter
 
+	draining     *telemetry.Gauge
+	drainDur     *telemetry.Histogram
+	drainRejects *telemetry.Counter
+	cdrLost      *telemetry.Counter
+
 	tracer *telemetry.Tracer
 }
 
@@ -62,6 +67,13 @@ func newPBXMetrics(reg *telemetry.Registry, policy string) *pbxMetrics {
 		relayPkts:  reg.Counter("rtp_relay_packets_total", "RTP packets forwarded by call relays"),
 		relayBytes: reg.Counter("rtp_relay_bytes_total", "RTP payload bytes forwarded by call relays"),
 		relayDrops: reg.Counter("rtp_relay_dropped_total", "RTP packets dropped by the overload model"),
+
+		draining: reg.Gauge("pbx_draining", "1 while the server is in administrative drain"),
+		drainDur: reg.Histogram("pbx_drain_duration_seconds",
+			"drain start to last channel released", telemetry.SetupBuckets),
+		drainRejects: reg.Counter("pbx_drain_rejected_total", "INVITEs 503'd while draining"),
+		cdrLost: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+			telemetry.L("disposition", "lost")),
 
 		tracer: telemetry.NewTracer(reg, 0),
 	}
@@ -108,6 +120,8 @@ func (s *Server) recordCDRMetricsLocked(cdr CDR) {
 		s.tm.cdrAnswered.Inc()
 	case "FAILED":
 		s.tm.cdrFailed.Inc()
+	case "LOST":
+		s.tm.cdrLost.Inc()
 	default:
 		s.tm.cdrNoAnswer.Inc()
 	}
@@ -122,6 +136,19 @@ func (s *Server) recordCDRMetricsLocked(cdr CDR) {
 	observe(cdr.FromCallee)
 	if cdr.MOS > 0 {
 		s.tm.mosScore.Observe(cdr.MOS)
+	}
+}
+
+// RecordRecovered feeds journal-recovered CDRs into the disposition
+// counters, so an external scraper sees crash losses the same way it
+// sees normal teardowns. Called on the restarted incarnation after
+// journal recovery; the registry dedups families by name+labels, so
+// the counters continue the crashed incarnation's series.
+func (s *Server) RecordRecovered(cdrs []CDR) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range cdrs {
+		s.recordCDRMetricsLocked(c)
 	}
 }
 

@@ -198,6 +198,7 @@ func (s *Server) finishVoicemail(callID string, completed bool) {
 	}
 	s.traceEnd(callID, outcome)
 	vm.close()
+	s.maybeFinishDrain()
 }
 
 func (vm *vmSession) close() {

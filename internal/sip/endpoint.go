@@ -75,6 +75,34 @@ func (ep *Endpoint) Clock() transport.Clock { return ep.clock }
 // Close releases the transport.
 func (ep *Endpoint) Close() error { return ep.tr.Close() }
 
+// Crash simulates abrupt process death: every client and server
+// transaction is dropped on the floor — no farewell responses, no
+// timeout callbacks, no timer firings — and the transport is closed so
+// the port goes dark. Peers observe exactly what a real crashed UDP
+// server produces: silence, then their own Timer B/F expiry.
+func (ep *Endpoint) Crash() {
+	ep.mu.Lock()
+	for _, tx := range ep.clientTxs {
+		tx.terminated = true
+		if tx.retransmit != nil {
+			tx.retransmit.Stop()
+		}
+		if tx.timeout != nil {
+			tx.timeout.Stop()
+		}
+		if tx.linger != nil {
+			tx.linger.Stop()
+		}
+	}
+	for _, tx := range ep.serverTxs {
+		tx.stopTimersLocked()
+	}
+	ep.clientTxs = make(map[string]*ClientTx)
+	ep.serverTxs = make(map[string]*ServerTx)
+	ep.mu.Unlock()
+	ep.tr.Close()
+}
+
 // NewBranch returns a fresh RFC 3261 branch token.
 func (ep *Endpoint) NewBranch() string {
 	ep.mu.Lock()

@@ -221,6 +221,19 @@ func (tx *ClientTx) armRetransmitLocked() {
 	})
 }
 
+// Terminate abandons the transaction: timers stop, the transaction is
+// removed from the endpoint, and no further callbacks fire. It exists
+// for user agents that enforce deadlines shorter than Timer B — e.g. a
+// balancer's health probe giving up on an OPTIONS long before the 32 s
+// transaction timeout.
+func (tx *ClientTx) Terminate() {
+	tx.ep.mu.Lock()
+	if !tx.terminated {
+		tx.terminateLocked()
+	}
+	tx.ep.mu.Unlock()
+}
+
 func (tx *ClientTx) terminateLocked() {
 	tx.terminated = true
 	if tx.retransmit != nil {

@@ -93,11 +93,25 @@ type Config struct {
 	// re-attempted before being recorded as blocked. Zero (the paper's
 	// SIPp behaviour) never retries.
 	RetryMax int
-	// RetryBase is the base backoff before the first retry, doubled
-	// each further retry (default 500ms). When the server's 503 carries
-	// Retry-After, the larger of the two wins — the client-side half of
-	// the overload-control loop.
+	// RetryBase sizes the backoff before a retry: the k-th retry waits
+	// the server's Retry-After (when its 503 carried one) plus a full-
+	// jitter draw U(0, RetryBase·2^k) from the generator's seeded RNG
+	// (default 500ms). Full jitter desynchronizes the retry wave a 503
+	// burst would otherwise send back in lockstep, while Retry-After
+	// stays the server-commanded minimum — the client-side half of the
+	// overload-control loop.
 	RetryBase time.Duration
+	// RetryTimeouts extends retrying to transaction timeouts (408): a
+	// call blackholed by a crashed server is re-attempted through the
+	// proxy, which is how a caller fails over to a live backend behind
+	// a redirect balancer.
+	RetryTimeouts bool
+	// MediaTimeout, when positive, arms a callee-side RTP inactivity
+	// watchdog in packetized mode: an established callee leg whose
+	// inbound media stalls for MediaTimeout hangs up. Without it a
+	// crashed relay leaves the callee transmitting to a dead port
+	// forever, since the B2BUA's BYE died with the server.
+	MediaTimeout time.Duration
 	// Target is the callee extension all calls dial.
 	Target string
 	// ScoreCodec is the E-model profile for per-call MOS
@@ -251,6 +265,9 @@ func (g *Generator) wireCalleeMedia() {
 		c.OnEstablished = func(c *sip.Call) {
 			sess = g.newSession(g.calleeHost, c)
 			sess.Start()
+			if g.cfg.MediaTimeout > 0 {
+				g.watchCalleeMedia(c, sess)
+			}
 		}
 		c.OnEnded = func(c *sip.Call) {
 			if sess != nil {
@@ -262,6 +279,28 @@ func (g *Generator) wireCalleeMedia() {
 			}
 		}
 	}
+}
+
+// watchCalleeMedia polls an established callee leg's inbound packet
+// count every MediaTimeout; a poll that sees no progress hangs up.
+// This is the generator-side guard against a crashed relay: the BYE
+// that would normally end the leg died with the B2BUA.
+func (g *Generator) watchCalleeMedia(c *sip.Call, sess *media.Session) {
+	var last uint64
+	var poll func()
+	poll = func() {
+		if c.State() == sip.CallTerminated {
+			return
+		}
+		got := sess.ReceivedPackets()
+		if got == last {
+			g.callee.Hangup(c)
+			return
+		}
+		last = got
+		g.clock.AfterFunc(g.cfg.MediaTimeout, poll)
+	}
+	g.clock.AfterFunc(g.cfg.MediaTimeout, poll)
 }
 
 func (g *Generator) newSession(host string, c *sip.Call) *media.Session {
@@ -366,17 +405,19 @@ func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration) {
 			rec.Status = c.RejectStatus()
 			capacity := c.Cause() == sip.EndRejected &&
 				(rec.Status == sip.StatusServiceUnavailable || rec.Status == sip.StatusBusyHere)
-			if capacity && try < g.cfg.RetryMax {
+			timedOut := g.cfg.RetryTimeouts && c.Cause() == sip.EndTimeout
+			if (capacity || timedOut) && try < g.cfg.RetryMax {
 				base := g.cfg.RetryBase
 				if base <= 0 {
 					base = 500 * time.Millisecond
 				}
-				delay := base << uint(try)
-				if ra := time.Duration(c.RetryAfter()) * time.Second; ra > delay {
-					delay = ra
-				}
-				// Deterministic jitter desynchronizes the retry wave.
-				delay += time.Duration(g.rng.Float64() * float64(base))
+				// Full jitter (seeded, so runs stay deterministic): wait
+				// the server's Retry-After minimum plus U(0, base·2^try).
+				// Uniform spreading breaks the lockstep retry wave a
+				// deterministic backoff sends after a burst of 503s.
+				window := base << uint(try)
+				delay := time.Duration(c.RetryAfter()) * time.Second
+				delay += time.Duration(g.rng.Float64() * float64(window))
 				g.clock.AfterFunc(delay, func() { g.attempt(rec, try+1, hold) })
 				return
 			}

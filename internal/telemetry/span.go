@@ -43,11 +43,12 @@ const (
 	OutcomeRejected                 // rejected for any other reason
 	OutcomeCanceled                 // abandoned by the caller
 	OutcomeFailed                   // established but ended abnormally
+	OutcomeLost                     // interrupted by a server crash
 	numOutcomes
 )
 
 var outcomeNames = [numOutcomes]string{
-	"completed", "blocked", "rejected", "canceled", "failed",
+	"completed", "blocked", "rejected", "canceled", "failed", "lost",
 }
 
 // String names the outcome.
