@@ -6,7 +6,10 @@ BENCH_COUNT ?= 3
 BENCH_DATE  ?= $(shell date +%Y%m%d)
 BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build test vet race chaos-smoke chaos-crash-smoke fuzz-smoke telemetry-smoke verify bench bench-check
+# Coverage floor for the codec negotiation plane (see `make cover`).
+COVER_MIN ?= 85
+
+.PHONY: build test vet race chaos-smoke chaos-crash-smoke fuzz-smoke telemetry-smoke cover verify bench bench-check
 
 build:
 	$(GO) build ./...
@@ -31,10 +34,23 @@ chaos-smoke:
 chaos-crash-smoke:
 	$(GO) test -race -run 'TestCrashFailoverScenario' -count=1 ./internal/chaos/
 
-# Short coverage-guided fuzz of the SIP parser; regression seeds live
-# in internal/sip/testdata/fuzz/.
+# Short coverage-guided fuzz of the SIP parser and the SDP
+# offer/answer engine; regression seeds live in
+# internal/sip/testdata/fuzz/ and internal/sdp/testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzSIPParse -fuzztime=10s ./internal/sip/
+	$(GO) test -run '^$$' -fuzz=FuzzSDPParse -fuzztime=5s ./internal/sdp/
+	$(GO) test -run '^$$' -fuzz=FuzzSDPOfferAnswer -fuzztime=5s ./internal/sdp/
+
+# Coverage gate on the codec negotiation plane: the registry and the
+# SDP offer/answer engine guard the golden-determinism contract, so
+# their statement coverage must not decay below COVER_MIN.
+cover:
+	@$(GO) test -coverprofile=.cover.out ./internal/codec/ ./internal/sdp/ > /dev/null
+	@total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { gsub(/%/,"",$$3); print $$3 }'); \
+	rm -f .cover.out; \
+	echo "cover: internal/codec + internal/sdp statements $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }'
 
 # One instrumented overload run dumped to JSON and validated on
 # re-read: proves the metrics registry, tracer and sampler stay wired
@@ -45,8 +61,8 @@ telemetry-smoke:
 	@rm -f .telemetry-smoke.json
 
 # The pre-merge gate: build, vet, full tests, race tests, chaos smoke,
-# crash smoke, telemetry smoke.
-verify: build vet test race chaos-smoke chaos-crash-smoke telemetry-smoke
+# crash smoke, fuzz smoke, telemetry smoke, coverage floor.
+verify: build vet test race chaos-smoke chaos-crash-smoke fuzz-smoke telemetry-smoke cover
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per

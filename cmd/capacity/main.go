@@ -8,6 +8,7 @@
 //	capacity -fig7         # population dimensioning
 //	capacity -sizing       # the Sec. IV worked example
 //	capacity -ablations    # design-choice ablations
+//	capacity -codec-mix    # mixed-codec transcoding capacity
 //
 // -quick switches Table I to the flow-level media model and trims
 // replication counts, for a fast sanity pass.
@@ -34,6 +35,7 @@ func main() {
 		sizing    = flag.Bool("sizing", false, "Sec. IV sizing check")
 		ablations = flag.Bool("ablations", false, "design ablations")
 		extras    = flag.Bool("extras", false, "codec, finite-population and redial studies")
+		codecMix  = flag.Bool("codec-mix", false, "mixed-codec transcoding capacity table")
 		quick     = flag.Bool("quick", false, "fast mode: flow media, fewer reps")
 		steady    = flag.Bool("steady", false, "Figure 6 in steady-state mode (longer windows, warmup)")
 		capacity  = flag.Int("capacity", 165, "PBX channel capacity")
@@ -44,7 +46,7 @@ func main() {
 		telOut    = flag.String("telemetry-out", "", "run one instrumented A=200 E experiment and write its telemetry JSON dump here")
 	)
 	flag.Parse()
-	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras) {
+	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras || *codecMix) {
 		*all = true
 	}
 	if *cpuProf != "" {
@@ -135,6 +137,14 @@ func main() {
 		bench.WriteHoldAblation(out, bench.RunHoldAblation(200, reps, *seed))
 		fmt.Fprintln(out)
 		bench.WriteClusterScaling(out, bench.RunClusterScaling(240, 165, 3, *seed))
+		fmt.Fprintln(out)
+	}
+	if *all || *codecMix {
+		opts := bench.CodecMixOptions{Workers: *workers, Seed: *seed}
+		if *quick {
+			opts.Workload = 120
+		}
+		bench.WriteCodecMix(out, bench.CodecMixTable(opts))
 		fmt.Fprintln(out)
 	}
 	if *all || *extras {

@@ -23,11 +23,11 @@ import (
 
 func main() {
 	var (
-		proxy  = flag.String("proxy", "127.0.0.1:5060", "PBX address")
-		caller = flag.String("caller-addr", "127.0.0.1:0", "caller UDP bind address")
-		callee = flag.String("callee-addr", "127.0.0.1:0", "callee UDP bind address")
-		rate   = flag.Float64("rate", 1, "call arrival rate (calls/second)")
-		window = flag.Duration("window", 30*time.Second, "call placement window")
+		proxy     = flag.String("proxy", "127.0.0.1:5060", "PBX address")
+		caller    = flag.String("caller-addr", "127.0.0.1:0", "caller UDP bind address")
+		callee    = flag.String("callee-addr", "127.0.0.1:0", "callee UDP bind address")
+		rate      = flag.Float64("rate", 1, "call arrival rate (calls/second)")
+		window    = flag.Duration("window", 30*time.Second, "call placement window")
 		hold      = flag.Duration("hold", 10*time.Second, "call hold time")
 		target    = flag.String("target", "uas", "extension to dial")
 		retries   = flag.Int("retries", 0, "max re-attempts after a 503/486 rejection")

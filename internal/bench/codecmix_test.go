@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestCodecMixCapacityCliff runs the mixed-codec study at a reduced
+// scale and asserts its headline shape: the G.711 baseline transcodes
+// nothing, the pure-G.729 mix transcodes every admitted call, and the
+// transcoding surcharge measurably depresses peak concurrency at the
+// same CPU budget (0.5%/call effective cost vs 0.2%/call passthrough).
+func TestCodecMixCapacityCliff(t *testing.T) {
+	rows := CodecMixTable(CodecMixOptions{Workload: 60, CPUThreshold: 20, Seed: 7})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	base, pure := rows[0].Result, rows[3].Result
+	if !rows[0].Baseline {
+		t.Error("first row should be the G.711 baseline")
+	}
+	if base.Server.TranscodedCalls != 0 {
+		t.Errorf("G.711 baseline transcoded %d calls, want 0", base.Server.TranscodedCalls)
+	}
+	if pure.Server.TranscodedCalls == 0 {
+		t.Error("pure G.729 mix transcoded no calls")
+	}
+	if pure.ChannelsUsed >= base.ChannelsUsed*4/5 {
+		t.Errorf("no capacity cliff: G.729 peak %d vs G.711 peak %d",
+			pure.ChannelsUsed, base.ChannelsUsed)
+	}
+	if pure.BlockingProbability() <= base.BlockingProbability() {
+		t.Errorf("G.729 blocking %.3f not above G.711 blocking %.3f",
+			pure.BlockingProbability(), base.BlockingProbability())
+	}
+	for i, row := range rows[:3] {
+		next := rows[i+1]
+		if next.Result.ChannelsUsed > row.Result.ChannelsUsed {
+			t.Errorf("capacity not monotone in G.729 share: %q peak %d > %q peak %d",
+				next.Name, next.Result.ChannelsUsed, row.Name, row.Result.ChannelsUsed)
+		}
+	}
+}

@@ -7,7 +7,7 @@ import (
 
 func TestCodecComparison(t *testing.T) {
 	rows := CodecComparison()
-	if len(rows) != 4 {
+	if len(rows) != 7 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	byName := make(map[string]CodecRow)

@@ -1,0 +1,231 @@
+// Package codec is the registry of speech-codec models the multi-codec
+// call path negotiates over. The paper evaluates capacity with a single
+// codec — "the softphones use the G.711 μ-law codec" — but real
+// deployments negotiate a codec per call (RFC 3264) and pay a
+// transcoding CPU tax whenever the two legs of a bridge disagree.
+// Related work (Comparative Evaluation and Analysis of IAX and RSW)
+// shows codec choice dominates VoIP resource consumption; this package
+// gives each codec the parameters that matter to capacity:
+//
+//   - RTP identity: static/dynamic payload type, rtpmap encoding name;
+//   - packetization: ptime and payload bytes per frame (all presets use
+//     20 ms so transcoding maps packets 1:1 and RTP timestamps, which
+//     run at 8 kHz for every preset including G.722 per RFC 3551 §4.5.2,
+//     carry across unchanged);
+//   - quality: the ITU-T G.113 Appendix I equipment impairment Ie and
+//     packet-loss robustness Bpl feeding the E-model (internal/mos);
+//   - cost: a relative DSP complexity weight from which the pairwise
+//     transcode CPU-cost matrix is derived.
+package codec
+
+import "repro/internal/mos"
+
+// Codec describes one registered codec model.
+type Codec struct {
+	// Name is the human-readable codec name.
+	Name string
+	// PayloadType is the RTP payload type the registry assigns: the
+	// RFC 3551 static assignment where one exists, a fixed dynamic
+	// number (>= 96) otherwise.
+	PayloadType int
+	// RTPName is the rtpmap encoding ("PCMU/8000").
+	RTPName string
+	// PtimeMs is the packetization interval in milliseconds.
+	PtimeMs int
+	// PayloadBytes is the codec payload per RTP packet at PtimeMs.
+	PayloadBytes int
+	// Ie and Bpl are the ITU-T G.113 E-model equipment impairment and
+	// packet-loss robustness factors.
+	Ie, Bpl float64
+	// Weight is the codec's relative DSP complexity (G.711 = 1), the
+	// input to the transcode cost matrix: encoding or decoding a more
+	// complex codec costs proportionally more host CPU.
+	Weight float64
+}
+
+// The registry. Payload types 0/8/3/9/18 are the RFC 3551 static
+// assignments; iLBC has no static type and uses 97 by convention here.
+// E-model parameters follow ITU-T G.113 Appendix I (iLBC figures are
+// the widely used 20 ms-mode values; G.722 uses the G.113 Amendment 1
+// wideband-approximation Ie with a mid-range Bpl).
+var (
+	// G711U is G.711 µ-law, the paper's codec: 64 kbit/s, transparent
+	// (Ie = 0) but fragile under loss without concealment.
+	G711U = Codec{Name: "G.711u", PayloadType: 0, RTPName: "PCMU/8000",
+		PtimeMs: 20, PayloadBytes: 160, Ie: 0, Bpl: 4.3, Weight: 1}
+	// G711A is G.711 A-law — identical model parameters, distinct
+	// payload type.
+	G711A = Codec{Name: "G.711a", PayloadType: 8, RTPName: "PCMA/8000",
+		PtimeMs: 20, PayloadBytes: 160, Ie: 0, Bpl: 4.3, Weight: 1}
+	// GSMFR is GSM 06.10 full-rate: 13 kbit/s, Ie = 20.
+	GSMFR = Codec{Name: "GSM-FR", PayloadType: 3, RTPName: "GSM/8000",
+		PtimeMs: 20, PayloadBytes: 33, Ie: 20, Bpl: 10, Weight: 2.5}
+	// G722 is 64 kbit/s wideband ADPCM; its RTP clock is 8 kHz despite
+	// the 16 kHz sampling (RFC 3551's famous erratum kept for compat).
+	G722 = Codec{Name: "G.722", PayloadType: 9, RTPName: "G722/8000",
+		PtimeMs: 20, PayloadBytes: 160, Ie: 13, Bpl: 14, Weight: 2}
+	// G729 is G.729 Annex A: 8 kbit/s CS-ACELP, the heaviest commonly
+	// deployed transcode target.
+	G729 = Codec{Name: "G.729A", PayloadType: 18, RTPName: "G729/8000",
+		PtimeMs: 20, PayloadBytes: 20, Ie: 11, Bpl: 19, Weight: 5}
+	// ILBC is iLBC in 20 ms mode (15.2 kbit/s, 38-byte frames),
+	// loss-robust by design (high Bpl).
+	ILBC = Codec{Name: "iLBC", PayloadType: 97, RTPName: "iLBC/8000",
+		PtimeMs: 20, PayloadBytes: 38, Ie: 11, Bpl: 32, Weight: 4}
+)
+
+// Registry lists every built-in codec in payload-type order.
+func Registry() []Codec {
+	return []Codec{G711U, GSMFR, G711A, G722, G729, ILBC}
+}
+
+// DefaultPreference is the payload-type preference list the paper's
+// endpoints offer: G.711 µ-law then A-law.
+func DefaultPreference() []int { return []int{G711U.PayloadType, G711A.PayloadType} }
+
+// AllPayloadTypes returns every registered payload type in registry
+// order — the supported-codec list of a transcoding-capable PBX.
+func AllPayloadTypes() []int {
+	reg := Registry()
+	pts := make([]int, len(reg))
+	for i, c := range reg {
+		pts[i] = c.PayloadType
+	}
+	return pts
+}
+
+// ByPayloadType resolves a payload type against the registry.
+func ByPayloadType(pt int) (Codec, bool) {
+	for _, c := range Registry() {
+		if c.PayloadType == pt {
+			return c, true
+		}
+	}
+	return Codec{}, false
+}
+
+// ByName resolves a codec by its Name.
+func ByName(name string) (Codec, bool) {
+	for _, c := range Registry() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Codec{}, false
+}
+
+// BitsPerSecond returns the raw payload bit rate.
+func (c Codec) BitsPerSecond() float64 {
+	if c.PtimeMs == 0 {
+		return 0
+	}
+	return float64(c.PayloadBytes) * 8 * 1000 / float64(c.PtimeMs)
+}
+
+// MOS returns the E-model profile for scoring calls carried by this
+// codec. G.711 maps to the concealment-aware profile (G.711 Appendix I
+// PLC), matching how VoIPmonitor scored the paper's testbed.
+func (c Codec) MOS() mos.Codec {
+	if c.PayloadType == G711U.PayloadType || c.PayloadType == G711A.PayloadType {
+		return mos.G711PLC
+	}
+	return mos.Codec{Name: c.Name, Ie: c.Ie, Bpl: c.Bpl,
+		FrameMs: c.PtimeMs, PayloadBytes: c.PayloadBytes}
+}
+
+// transcodeBasePercent calibrates the cost matrix: one G.711↔G.711
+// family conversion (weight sum 2) costs 0.1% host CPU — half the
+// 0.20% per-call relay cost of the default model — while a
+// G.711↔G.729 tandem (weight sum 6) costs 0.3%, growing the marginal
+// per-call cost 2.5× and reshaping the CPU-bound capacity exactly as
+// the paper's argument predicts.
+const transcodeBasePercent = 0.05
+
+// TranscodeCostPercent returns the modelled host-CPU percentage one
+// active call bridging codecs a and b adds on top of the relay cost:
+// zero for a passthrough bridge (same payload type), otherwise
+// proportional to the summed complexity of decoding one side and
+// encoding the other. The matrix is symmetric.
+func TranscodeCostPercent(a, b Codec) float64 {
+	if a.PayloadType == b.PayloadType {
+		return 0
+	}
+	return transcodeBasePercent * (a.Weight + b.Weight)
+}
+
+// Bridge is the outcome of three-party negotiation for one B2BUA call:
+// the codec selected on each leg and whether the media path can pass
+// packets through untouched.
+type Bridge struct {
+	// APayloadType and BPayloadType are the negotiated payload types on
+	// the caller- and callee-facing legs.
+	APayloadType int
+	BPayloadType int
+	// Transcode is true when the legs disagree and the relay must
+	// convert frames (charging TranscodeCostPercent of the two codecs).
+	Transcode bool
+}
+
+// NegotiateBridge runs the PBX's side of RFC 3264 offer/answer across
+// both legs of a bridge: offer is the caller's payload-type preference
+// list, pbx the PBX's supported list, and answered the payload type the
+// callee's answer selected (after the PBX re-offered toward it). The
+// PBX prefers passthrough — it answers the caller with the callee's
+// codec whenever the caller offered it — and otherwise answers with the
+// caller's first mutually supported codec and transcodes between the
+// legs. ok is false when the caller and PBX share no codec (488).
+func NegotiateBridge(offer, pbx []int, answered int) (br Bridge, ok bool) {
+	first, ok := Negotiate(offer, pbx)
+	if !ok {
+		return Bridge{}, false
+	}
+	br.BPayloadType = answered
+	if contains(offer, answered) && contains(pbx, answered) {
+		br.APayloadType = answered
+		return br, true
+	}
+	br.APayloadType = first
+	br.Transcode = true
+	return br, true
+}
+
+// Negotiate picks the answerer's codec for an offer per RFC 3264: the
+// first payload type in the offerer's preference order that the
+// answerer supports.
+func Negotiate(offer, supported []int) (int, bool) {
+	for _, pt := range offer {
+		if contains(supported, pt) {
+			return pt, true
+		}
+	}
+	return 0, false
+}
+
+// BridgeOffer builds the payload-type list the PBX offers on the B leg:
+// the caller's preference order filtered to mutual support, then the
+// PBX's remaining codecs — so a callee that shares the caller's codec
+// picks it (passthrough), and one that does not can still pick any
+// codec the PBX can transcode to.
+func BridgeOffer(offer, pbx []int) []int {
+	out := make([]int, 0, len(pbx))
+	for _, pt := range offer {
+		if contains(pbx, pt) && !contains(out, pt) {
+			out = append(out, pt)
+		}
+	}
+	for _, pt := range pbx {
+		if !contains(out, pt) {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+func contains(pts []int, pt int) bool {
+	for _, p := range pts {
+		if p == pt {
+			return true
+		}
+	}
+	return false
+}

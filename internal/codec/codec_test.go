@@ -1,0 +1,145 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/mos"
+)
+
+func TestRegistryLookups(t *testing.T) {
+	for _, c := range Registry() {
+		got, ok := ByPayloadType(c.PayloadType)
+		if !ok || got.Name != c.Name {
+			t.Errorf("ByPayloadType(%d) = %v, %v; want %s", c.PayloadType, got.Name, ok, c.Name)
+		}
+		byName, ok := ByName(c.Name)
+		if !ok || byName.PayloadType != c.PayloadType {
+			t.Errorf("ByName(%q) = %v, %v", c.Name, byName, ok)
+		}
+	}
+	if _, ok := ByPayloadType(42); ok {
+		t.Error("ByPayloadType(42) should not resolve")
+	}
+	if _, ok := ByName("OPUS"); ok {
+		t.Error("ByName(OPUS) should not resolve")
+	}
+}
+
+func TestRegistryShape(t *testing.T) {
+	seenPT := map[int]bool{}
+	for _, c := range Registry() {
+		if seenPT[c.PayloadType] {
+			t.Errorf("duplicate payload type %d", c.PayloadType)
+		}
+		seenPT[c.PayloadType] = true
+		if c.PtimeMs != 20 {
+			t.Errorf("%s: ptime %d; all presets must use 20 ms for 1:1 transcode framing", c.Name, c.PtimeMs)
+		}
+		if c.PayloadBytes <= 0 || c.Weight <= 0 || c.Bpl <= 0 {
+			t.Errorf("%s: incomplete model %+v", c.Name, c)
+		}
+		if c.BitsPerSecond() <= 0 {
+			t.Errorf("%s: zero bitrate", c.Name)
+		}
+	}
+	if !seenPT[0] || !seenPT[8] {
+		t.Error("registry must keep the paper's G.711 payload types 0 and 8")
+	}
+}
+
+func TestBitrates(t *testing.T) {
+	cases := []struct {
+		c    Codec
+		kbps float64
+	}{
+		{G711U, 64}, {G711A, 64}, {G722, 64}, {G729, 8}, {ILBC, 15.2}, {GSMFR, 13.2},
+	}
+	for _, tc := range cases {
+		if got := tc.c.BitsPerSecond() / 1000; got != tc.kbps {
+			t.Errorf("%s: %.1f kbit/s, want %.1f", tc.c.Name, got, tc.kbps)
+		}
+	}
+}
+
+func TestTranscodeCostMatrix(t *testing.T) {
+	reg := Registry()
+	for _, a := range reg {
+		for _, b := range reg {
+			cost := TranscodeCostPercent(a, b)
+			if a.PayloadType == b.PayloadType {
+				if cost != 0 {
+					t.Errorf("cost(%s,%s) = %v; passthrough must be free", a.Name, b.Name, cost)
+				}
+				continue
+			}
+			if cost <= 0 {
+				t.Errorf("cost(%s,%s) = %v; transcodes must cost CPU", a.Name, b.Name, cost)
+			}
+			if back := TranscodeCostPercent(b, a); back != cost {
+				t.Errorf("cost matrix asymmetric: (%s,%s)=%v (%s,%s)=%v",
+					a.Name, b.Name, cost, b.Name, a.Name, back)
+			}
+		}
+	}
+	// The heaviest common tandem must cost materially more than the
+	// relay's per-call 0.20% so the capacity curve visibly reshapes.
+	if c := TranscodeCostPercent(G711U, G729); c < 0.20 {
+		t.Errorf("G.711<->G.729 cost %v too small to shift the CPU-bound capacity", c)
+	}
+}
+
+func TestMOSProfiles(t *testing.T) {
+	// G.711 variants keep the paper's concealment-aware scoring profile.
+	for _, c := range []Codec{G711U, G711A} {
+		if got := c.MOS(); got != mos.G711PLC {
+			t.Errorf("%s MOS profile = %+v, want G711PLC", c.Name, got)
+		}
+	}
+	for _, c := range []Codec{GSMFR, G722, G729, ILBC} {
+		p := c.MOS()
+		if p.Ie != c.Ie || p.Bpl != c.Bpl || p.FrameMs != c.PtimeMs {
+			t.Errorf("%s MOS profile mismatch: %+v", c.Name, p)
+		}
+		// Low-rate codecs have a real MOS ceiling below G.711's.
+		if ceiling := mos.MaxForCodec(p); ceiling >= mos.MaxForCodec(mos.G711) {
+			t.Errorf("%s ceiling %.2f not below G.711's", c.Name, ceiling)
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		offer, supported []int
+		want             int
+		ok               bool
+	}{
+		{[]int{0, 8}, []int{0, 8}, 0, true},
+		{[]int{8, 0}, []int{0, 8}, 8, true},
+		{[]int{18, 0}, []int{0, 8}, 0, true},
+		{[]int{18}, []int{0, 8}, 0, false},
+		{[]int{18}, AllPayloadTypes(), 18, true},
+		{nil, []int{0}, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := Negotiate(tc.offer, tc.supported)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Negotiate(%v, %v) = %d, %v; want %d, %v",
+				tc.offer, tc.supported, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestBridgeOffer(t *testing.T) {
+	// Caller preference leads, remaining PBX codecs follow, no dups.
+	got := BridgeOffer([]int{18, 0}, AllPayloadTypes())
+	if got[0] != 18 || got[1] != 0 {
+		t.Errorf("BridgeOffer = %v; caller preference must lead", got)
+	}
+	if len(got) != len(AllPayloadTypes()) {
+		t.Errorf("BridgeOffer = %v; must cover all supported codecs", got)
+	}
+	// The paper's default: G.711-only PBX re-offers exactly {0, 8}.
+	if def := BridgeOffer([]int{0, 8}, []int{0, 8}); len(def) != 2 || def[0] != 0 || def[1] != 8 {
+		t.Errorf("default BridgeOffer = %v, want [0 8]", def)
+	}
+}

@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/sdp"
+)
+
+// TestNegotiationMatrix pins the full three-party negotiation for every
+// (caller preference × callee capability) pair in a representative set,
+// driven through real SDP bodies the way the B2BUA does it: the caller
+// offers its preference list, the PBX re-offers toward the callee with
+// BridgeOffer, the callee answers per RFC 3264, and NegotiateBridge
+// decides each leg's codec and passthrough vs transcode. Expected
+// values are written out by hand, not derived from the implementation.
+func TestNegotiationMatrix(t *testing.T) {
+	pbx := AllPayloadTypes() // [0 3 8 9 18 97]
+
+	offers := map[string][]int{
+		"g711-default": {0, 8},
+		"g729-first":   {18, 0},
+		"g729-only":    {18},
+		"ilbc-gsm":     {97, 3},
+		"g722-only":    {9},
+	}
+	callees := map[string][]int{
+		"g711": {0, 8},
+		"g729": {18},
+		"all":  {0, 3, 8, 9, 18, 97},
+		"gsm":  {3},
+		"alaw": {8},
+	}
+
+	type want struct {
+		aPT, bPT  int
+		transcode bool
+	}
+	matrix := map[string]map[string]want{
+		"g711-default": {
+			"g711": {0, 0, false},
+			"g729": {0, 18, true},
+			"all":  {0, 0, false},
+			"gsm":  {0, 3, true},
+			"alaw": {8, 8, false},
+		},
+		"g729-first": {
+			"g711": {0, 0, false},
+			"g729": {18, 18, false},
+			"all":  {18, 18, false},
+			"gsm":  {18, 3, true},
+			"alaw": {18, 8, true},
+		},
+		"g729-only": {
+			"g711": {18, 0, true},
+			"g729": {18, 18, false},
+			"all":  {18, 18, false},
+			"gsm":  {18, 3, true},
+			"alaw": {18, 8, true},
+		},
+		"ilbc-gsm": {
+			"g711": {97, 0, true},
+			"g729": {97, 18, true},
+			"all":  {97, 97, false},
+			"gsm":  {3, 3, false},
+			"alaw": {97, 8, true},
+		},
+		"g722-only": {
+			"g711": {9, 0, true},
+			"g729": {9, 18, true},
+			"all":  {9, 9, false},
+			"gsm":  {9, 3, true},
+			"alaw": {9, 8, true},
+		},
+	}
+
+	for offerName, offerPTs := range offers {
+		for calleeName, calleePTs := range callees {
+			w := matrix[offerName][calleeName]
+
+			// Caller's INVITE body.
+			offerBody := sdp.NewSessionWith("caller", "10.0.0.1", 4000, offerPTs).Marshal()
+			offer, err := sdp.Parse(offerBody)
+			if err != nil {
+				t.Fatalf("%s×%s: offer parse: %v", offerName, calleeName, err)
+			}
+
+			// PBX re-offer toward the callee, and the callee's answer.
+			bOffer := sdp.NewSessionWith("asterisk", "10.0.0.2", 5000,
+				BridgeOffer(offer.PayloadTypes, pbx))
+			answer, err := bOffer.Answer("callee", "10.0.0.3", 6000, calleePTs)
+			if err != nil {
+				t.Fatalf("%s×%s: callee answer: %v", offerName, calleeName, err)
+			}
+			answered := answer.PayloadTypes[0]
+
+			br, ok := NegotiateBridge(offer.PayloadTypes, pbx, answered)
+			if !ok {
+				t.Fatalf("%s×%s: bridge negotiation failed", offerName, calleeName)
+			}
+			if br.APayloadType != w.aPT || br.BPayloadType != w.bPT || br.Transcode != w.transcode {
+				t.Errorf("%s×%s: got A=%d B=%d transcode=%v; want A=%d B=%d transcode=%v",
+					offerName, calleeName, br.APayloadType, br.BPayloadType, br.Transcode,
+					w.aPT, w.bPT, w.transcode)
+			}
+			// A transcode decision always implies a per-call CPU charge.
+			a, _ := ByPayloadType(br.APayloadType)
+			b, _ := ByPayloadType(br.BPayloadType)
+			if cost := TranscodeCostPercent(a, b); (cost > 0) != br.Transcode {
+				t.Errorf("%s×%s: transcode=%v but cost=%v", offerName, calleeName, br.Transcode, cost)
+			}
+		}
+	}
+}
+
+// TestNegotiationMatrixNoCommonCodec pins the 488 path: a caller whose
+// offer shares nothing with a G.711-only PBX is rejected before any
+// callee is contacted.
+func TestNegotiationMatrixNoCommonCodec(t *testing.T) {
+	g711PBX := []int{0, 8}
+	for _, offer := range [][]int{{18}, {97, 3}, {9, 18, 97, 3}, nil} {
+		if _, ok := NegotiateBridge(offer, g711PBX, 0); ok {
+			t.Errorf("offer %v vs G.711-only PBX: want rejection", offer)
+		}
+	}
+}

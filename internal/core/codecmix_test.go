@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/sipp"
+)
+
+// TestCodecMixG711Identical is the regression contract of the codec
+// plane: a 100% G.711 "mix" against a default (G.711-only) PBX must be
+// bit-identical to the plain configuration — same event count, same
+// wire capture, same MOS sums — because no RNG draw, SDP byte or
+// scoring profile may differ when every call still negotiates G.711
+// passthrough.
+func TestCodecMixG711Identical(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 160} {
+		plain := ExperimentConfig{Workload: 12, Capacity: 165,
+			Media: sipp.MediaPacketized, Seed: seed}
+		mixed := plain
+		mixed.CodecMix = []sipp.CodecShare{
+			{Name: "g711", Payloads: codec.DefaultPreference(), Share: 1},
+		}
+		got, want := goldenSummary(Run(mixed)), goldenSummary(Run(plain))
+		if got != want {
+			t.Errorf("seed %d: G.711 mix diverged from plain run:\n mix   %s\n plain %s",
+				seed, got, want)
+		}
+	}
+}
+
+// TestGoldenCodecMixDeterminism pins three mixed-codec workloads at
+// three seeds each against a golden file, the mixed-codec counterpart
+// of TestGoldenDeterminism. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/core/.
+func TestGoldenCodecMixDeterminism(t *testing.T) {
+	mixes := []struct {
+		name string
+		mix  []sipp.CodecShare
+	}{
+		{"g729-pure", []sipp.CodecShare{
+			{Name: "g729", Payloads: []int{18}, Share: 1},
+		}},
+		{"g711-g729-50-50", []sipp.CodecShare{
+			{Name: "g711", Payloads: []int{0, 8}, Share: 0.5},
+			{Name: "g729", Payloads: []int{18}, Share: 0.5},
+		}},
+		{"wideband-mixed", []sipp.CodecShare{
+			{Name: "g711", Payloads: []int{0, 8}, Share: 0.5},
+			{Name: "g722", Payloads: []int{9}, Share: 0.25},
+			{Name: "ilbc", Payloads: []int{97}, Share: 0.25},
+		}},
+	}
+	var buf bytes.Buffer
+	for _, m := range mixes {
+		for _, seed := range []uint64{1, 42, 160} {
+			res := Run(ExperimentConfig{
+				Workload: 12, Capacity: 165, Media: sipp.MediaPacketized,
+				CodecMix:     m.mix,
+				PBXCodecs:    codec.AllPayloadTypes(),
+				CalleeCodecs: []int{0, 8},
+				Seed:         seed,
+			})
+			fmt.Fprintf(&buf, "%s seed=%d %s transcoded=%d\n",
+				m.name, seed, goldenSummary(res), res.Server.TranscodedCalls)
+		}
+	}
+	golden := filepath.Join("testdata", "codecmix_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("mixed-codec runs drifted from %s:\n got:\n%s\n want:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -61,6 +61,20 @@ type ExperimentConfig struct {
 	LinkDelay  time.Duration
 	LinkJitter time.Duration
 	LinkLoss   float64
+	// CodecMix draws each caller's offered codec preference list from
+	// weighted shares. Empty reproduces the paper's G.711-only
+	// workload bit-for-bit.
+	CodecMix []sipp.CodecShare
+	// PBXCodecs is the PBX's supported payload-type list (empty:
+	// G.711 µ/A only, no transcoding).
+	PBXCodecs []int
+	// CalleeCodecs is the answering bank's supported list (empty:
+	// G.711 µ/A).
+	CalleeCodecs []int
+	// QualityFloorMOS, when positive, layers quality-aware admission
+	// over the configured policy: calls whose predicted E-model MOS
+	// falls below the floor are shed with 503.
+	QualityFloorMOS float64
 	// Seed drives all randomness in the run.
 	Seed uint64
 }
@@ -166,26 +180,30 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 		pbxEP,
 		dir, factory,
 		pbx.Config{
-			MaxChannels:  cfg.Capacity,
-			CPUAdmission: cfg.CPUAdmission,
-			CPUThreshold: cfg.CPUThreshold,
-			RelayRTP:     cfg.Media == sipp.MediaPacketized,
-			Seed:         cfg.Seed ^ 0x9bd1,
-			Telemetry:    reg,
+			MaxChannels:     cfg.Capacity,
+			CPUAdmission:    cfg.CPUAdmission,
+			CPUThreshold:    cfg.CPUThreshold,
+			RelayRTP:        cfg.Media == sipp.MediaPacketized,
+			Codecs:          cfg.PBXCodecs,
+			QualityFloorMOS: cfg.QualityFloorMOS,
+			Seed:            cfg.Seed ^ 0x9bd1,
+			Telemetry:       reg,
 		})
 
 	// The SIPp pair (Fig. 4: generator client and server machines).
 	gen := sipp.New(net, "sippc", "sipps", "pbx:5060", sipp.Config{
-		Rate:      cfg.ArrivalRate(),
-		Window:    cfg.Window,
-		Warmup:    cfg.Warmup,
-		Hold:      cfg.Hold,
-		Arrivals:  cfg.Arrivals,
-		HoldDist:  cfg.HoldDist,
-		Media:     cfg.Media,
-		Target:    "uas",
-		Seed:      cfg.Seed ^ 0x51bb01,
-		Telemetry: reg,
+		Rate:         cfg.ArrivalRate(),
+		Window:       cfg.Window,
+		Warmup:       cfg.Warmup,
+		Hold:         cfg.Hold,
+		Arrivals:     cfg.Arrivals,
+		HoldDist:     cfg.HoldDist,
+		Media:        cfg.Media,
+		CodecMix:     cfg.CodecMix,
+		CalleeCodecs: cfg.CalleeCodecs,
+		Target:       "uas",
+		Seed:         cfg.Seed ^ 0x51bb01,
+		Telemetry:    reg,
 	})
 
 	// Per-second time series, stopped with the traffic so the drain

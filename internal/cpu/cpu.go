@@ -58,10 +58,19 @@ func DefaultModel() Model {
 // second, and error responses per second. The result is clamped to
 // [0, 100].
 func (m Model) Utilization(activeCalls int, attemptsPerSec, errorsPerSec float64) float64 {
+	return m.UtilizationWith(activeCalls, attemptsPerSec, errorsPerSec, 0)
+}
+
+// UtilizationWith is Utilization plus an extra load term in percent —
+// the hook for activity the linear per-call model does not cover, such
+// as the codec-dependent DSP cost of transcoding bridges. The extra
+// term participates in the same [0, 100] clamp.
+func (m Model) UtilizationWith(activeCalls int, attemptsPerSec, errorsPerSec, extraPercent float64) float64 {
 	u := m.BasePercent +
 		m.PerCallPercent*float64(activeCalls) +
 		m.PerAttemptPercent*attemptsPerSec +
-		m.PerErrorPercent*errorsPerSec
+		m.PerErrorPercent*errorsPerSec +
+		extraPercent
 	if u < 0 {
 		return 0
 	}
@@ -100,7 +109,13 @@ func NewMeter(model Model) *Meter { return &Meter{model: model} }
 // Sample records the utilization for the current activity snapshot
 // and returns it.
 func (mt *Meter) Sample(activeCalls int, attemptsPerSec, errorsPerSec float64) float64 {
-	u := mt.model.Utilization(activeCalls, attemptsPerSec, errorsPerSec)
+	return mt.SampleWith(activeCalls, attemptsPerSec, errorsPerSec, 0)
+}
+
+// SampleWith is Sample with an extra load term in percent (see
+// Model.UtilizationWith).
+func (mt *Meter) SampleWith(activeCalls int, attemptsPerSec, errorsPerSec, extraPercent float64) float64 {
+	u := mt.model.UtilizationWith(activeCalls, attemptsPerSec, errorsPerSec, extraPercent)
 	mt.current = u
 	mt.samples.Add(u)
 	return u

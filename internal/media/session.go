@@ -20,6 +20,10 @@ type SessionConfig struct {
 	SSRC uint32
 	// FrameMs is the packetization interval (default 20 ms).
 	FrameMs int
+	// PayloadBytes sizes the non-synthesized frame for codecs other
+	// than G.711 (e.g. 20 for G.729, 38 for iLBC). Zero keeps the
+	// default 160-byte G.711 frame.
+	PayloadBytes int
 	// JitterDepth is the receive playout buffer depth (default 40 ms).
 	JitterDepth time.Duration
 	// SynthesizeTone, when true, generates a real 440 Hz µ-law tone
@@ -111,6 +115,13 @@ func NewSession(tr transport.Transport, clock transport.Clock, cfg SessionConfig
 	if cfg.SynthesizeTone {
 		s.tone = g711.NewToneGenerator(440, 0.5)
 		s.frame = make([]byte, g711.SamplesPerFrame(cfg.FrameMs))
+	} else if cfg.PayloadBytes > 0 && cfg.PayloadBytes != len(staticFrame) {
+		// Non-G.711 codec: one reusable frame of the codec's size (the
+		// content is synthetic either way; capacity cares about bytes).
+		s.frame = make([]byte, cfg.PayloadBytes)
+		for i := range s.frame {
+			s.frame[i] = 0x55
+		}
 	}
 	// Align the RTP timestamp base with the shared clock so receivers
 	// can measure one-way transit (see rtp.Stats.MinTransit).
@@ -166,10 +177,13 @@ func (s *Session) Close() error {
 
 func (s *Session) sendFrameLocked() {
 	var payload []byte
-	if s.tone != nil {
+	switch {
+	case s.tone != nil:
 		s.frame = s.tone.NextFrameMulaw(s.frame, s.cfg.FrameMs)
 		payload = s.frame
-	} else {
+	case s.frame != nil:
+		payload = s.frame
+	default:
 		payload = staticFrame
 	}
 	s.outPkt = rtp.Packet{

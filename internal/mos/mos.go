@@ -40,10 +40,16 @@ var (
 	// points for the codec-choice study.
 	G726 = Codec{Name: "G.726-32", Ie: 7, Bpl: 19, FrameMs: 20, PayloadBytes: 80}
 	G729 = Codec{Name: "G.729A", Ie: 11, Bpl: 19, FrameMs: 20, PayloadBytes: 20}
+	// GSMFR, ILBC and G722 complete the negotiable set of the
+	// multi-codec call path (internal/codec carries their RTP identity;
+	// these are the matching G.113 quality profiles).
+	GSMFR = Codec{Name: "GSM-FR", Ie: 20, Bpl: 10, FrameMs: 20, PayloadBytes: 33}
+	ILBC  = Codec{Name: "iLBC", Ie: 11, Bpl: 32, FrameMs: 20, PayloadBytes: 38}
+	G722  = Codec{Name: "G.722", Ie: 13, Bpl: 14, FrameMs: 20, PayloadBytes: 160}
 )
 
 // Codecs lists the built-in presets in bit-rate order.
-func Codecs() []Codec { return []Codec{G711, G711PLC, G726, G729} }
+func Codecs() []Codec { return []Codec{G711, G711PLC, G722, G726, ILBC, GSMFR, G729} }
 
 // BitsPerSecond returns the codec's raw payload bit rate.
 func (c Codec) BitsPerSecond() float64 {
@@ -142,6 +148,39 @@ func FromR(r float64) float64 {
 
 // Score computes the MOS estimate for the codec and observations.
 func Score(c Codec, m Metrics) float64 { return FromR(RFactor(c, m)) }
+
+// Tandem returns the E-model profile of a transcoded path that passes
+// through codec a on one leg and codec b on the other. Per ITU-T
+// G.113 §8, equipment impairments of cascaded codecs add; loss
+// robustness degrades to the more fragile leg (the first decoder to
+// lose a frame breaks the chain); and the packetization interval is the
+// slower leg's. The resulting profile is never better than either leg
+// alone — transcoding only costs quality.
+func Tandem(a, b Codec) Codec {
+	ie := a.Ie + b.Ie
+	if ie > 95 {
+		ie = 95
+	}
+	bpl := a.Bpl
+	if b.Bpl < bpl {
+		bpl = b.Bpl
+	}
+	frame := a.FrameMs
+	if b.FrameMs > frame {
+		frame = b.FrameMs
+	}
+	payload := a.PayloadBytes
+	if b.PayloadBytes < payload {
+		payload = b.PayloadBytes
+	}
+	return Codec{
+		Name:         a.Name + ">" + b.Name,
+		Ie:           ie,
+		Bpl:          bpl,
+		FrameMs:      frame,
+		PayloadBytes: payload,
+	}
+}
 
 // Grade buckets a MOS into the conventional user-satisfaction labels
 // (ITU-T G.107 Annex B, Table B.1).

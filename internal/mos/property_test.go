@@ -1,0 +1,110 @@
+package mos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The E-model feeds admission control and capacity tables, so its
+// qualitative shape is load-bearing: quality must never improve when
+// the network gets worse, and a transcoded (tandem) path must never
+// score above the worse of its two legs. These properties hold for
+// every registered codec across a randomized sweep of operating points.
+
+func testCodecs() []Codec { return Codecs() }
+
+// TestMOSMonotoneInLoss: for each codec, at any fixed delay, MOS is
+// non-increasing in the loss ratio.
+func TestMOSMonotoneInLoss(t *testing.T) {
+	rng := stats.NewRNG(0x10557)
+	for _, c := range testCodecs() {
+		for trial := 0; trial < 200; trial++ {
+			delay := time.Duration(rng.Float64()*400) * time.Millisecond
+			l1 := rng.Float64()
+			l2 := rng.Float64()
+			if l1 > l2 {
+				l1, l2 = l2, l1
+			}
+			burst := 1 + rng.Float64()*3
+			m1 := Score(c, Metrics{OneWayDelay: delay, LossRatio: l1, BurstRatio: burst})
+			m2 := Score(c, Metrics{OneWayDelay: delay, LossRatio: l2, BurstRatio: burst})
+			if m2 > m1+1e-12 {
+				t.Fatalf("%s: MOS rose with loss: loss %.4f->%.4f MOS %.6f->%.6f (delay %v)",
+					c.Name, l1, l2, m1, m2, delay)
+			}
+		}
+	}
+}
+
+// TestMOSMonotoneInDelay: for each codec, at any fixed loss, MOS is
+// non-increasing in one-way delay.
+func TestMOSMonotoneInDelay(t *testing.T) {
+	rng := stats.NewRNG(0xde1a4)
+	for _, c := range testCodecs() {
+		for trial := 0; trial < 200; trial++ {
+			loss := rng.Float64() * 0.5
+			d1 := time.Duration(rng.Float64()*800) * time.Millisecond
+			d2 := time.Duration(rng.Float64()*800) * time.Millisecond
+			if d1 > d2 {
+				d1, d2 = d2, d1
+			}
+			m1 := Score(c, Metrics{OneWayDelay: d1, LossRatio: loss, BurstRatio: 1})
+			m2 := Score(c, Metrics{OneWayDelay: d2, LossRatio: loss, BurstRatio: 1})
+			if m2 > m1+1e-12 {
+				t.Fatalf("%s: MOS rose with delay: %v->%v MOS %.6f->%.6f (loss %.4f)",
+					c.Name, d1, d2, m1, m2, loss)
+			}
+		}
+	}
+}
+
+// TestTandemNeverBeatsWorseLeg: a transcoded bridge scored with the
+// tandem profile never exceeds the worse of its two legs scored alone,
+// at any operating point.
+func TestTandemNeverBeatsWorseLeg(t *testing.T) {
+	rng := stats.NewRNG(0x7a4de)
+	codecs := testCodecs()
+	for _, a := range codecs {
+		for _, b := range codecs {
+			td := Tandem(a, b)
+			for trial := 0; trial < 100; trial++ {
+				m := Metrics{
+					OneWayDelay: time.Duration(rng.Float64()*300) * time.Millisecond,
+					LossRatio:   rng.Float64() * 0.3,
+					BurstRatio:  1 + rng.Float64()*2,
+				}
+				worse := Score(a, m)
+				if sb := Score(b, m); sb < worse {
+					worse = sb
+				}
+				if got := Score(td, m); got > worse+1e-12 {
+					t.Fatalf("Tandem(%s,%s) MOS %.6f beats worse leg %.6f at %+v",
+						a.Name, b.Name, got, worse, m)
+				}
+			}
+		}
+	}
+}
+
+// TestTandemShape pins the combination rules directly.
+func TestTandemShape(t *testing.T) {
+	td := Tandem(G729, G711)
+	if td.Ie != G729.Ie+G711.Ie {
+		t.Errorf("tandem Ie = %v, want sum %v", td.Ie, G729.Ie+G711.Ie)
+	}
+	if td.Bpl != G711.Bpl { // G.711 is the fragile leg
+		t.Errorf("tandem Bpl = %v, want min %v", td.Bpl, G711.Bpl)
+	}
+	// Symmetric in quality terms.
+	rev := Tandem(G711, G729)
+	if rev.Ie != td.Ie || rev.Bpl != td.Bpl || rev.FrameMs != td.FrameMs {
+		t.Errorf("tandem not symmetric: %+v vs %+v", td, rev)
+	}
+	// Ie saturates at the E-model's 95 ceiling.
+	heavy := Codec{Name: "x", Ie: 60, Bpl: 5, FrameMs: 20, PayloadBytes: 20}
+	if got := Tandem(heavy, heavy).Ie; got != 95 {
+		t.Errorf("tandem Ie ceiling = %v, want 95", got)
+	}
+}

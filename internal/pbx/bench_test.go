@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/directory"
 	"repro/internal/netsim"
 	"repro/internal/rtp"
@@ -63,5 +64,63 @@ func BenchmarkRelayForward(b *testing.B) {
 	fwd, drop := r.stats()
 	if fwd+drop != uint64(b.N) || delivered != int(fwd) {
 		b.Fatalf("forwarded %d dropped %d delivered %d of %d", fwd, drop, delivered, b.N)
+	}
+}
+
+// BenchmarkRelayForwardTranscode is the same per-packet path with the
+// bridge armed for G.711→G.729 payload rewriting — the packet-path
+// cost a transcoding call adds on top of plain forwarding. Must stay
+// 0 allocs/op: the synthetic frames and marshal buffers are
+// preallocated at negotiation.
+func BenchmarkRelayForwardTranscode(b *testing.B) {
+	b.ReportAllocs()
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(1))
+	net.SetDefaultProfile(netsim.LinkProfile{Delay: time.Millisecond})
+	clock := transport.SimClock{Sched: sched}
+	factory := func(port int) (transport.Transport, error) {
+		return transport.NewSim(net, fmt.Sprintf("pbx:%d", port)), nil
+	}
+	s := New(sip.NewEndpoint(transport.NewSim(net, "pbx:5060"), clock),
+		directory.New(), factory, Config{RelayRTP: true})
+
+	r, err := s.newRelay(nil, &sdp.Session{Host: "caller", Port: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.setCalleeMedia("callee", 4002)
+	r.setBridgeCodecs(codec.Bridge{
+		APayloadType: codec.G711U.PayloadType,
+		BPayloadType: codec.G729.PayloadType,
+		Transcode:    true,
+	})
+
+	var delivered int
+	net.Bind(netsim.Addr{Host: "callee", Port: 4002},
+		netsim.HandlerFunc(func(time.Duration, *netsim.Packet) { delivered++ }))
+	net.Bind(netsim.Addr{Host: "caller", Port: 4000},
+		netsim.HandlerFunc(func(time.Duration, *netsim.Packet) { delivered++ }))
+
+	src := netsim.Addr{Host: "caller", Port: 4000}
+	relayIn := netsim.Addr{Host: "pbx", Port: r.aPort}
+	pkt := rtp.Packet{PayloadType: 0, SSRC: 0x1234, Payload: make([]byte, 160)}
+	wire := pkt.Marshal(nil)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.Sequence = uint16(i)
+		pkt.Timestamp = uint32(i * 160)
+		wire = pkt.Marshal(wire[:0])
+		net.Send(src, relayIn, wire)
+		if _, err := sched.Run(sched.Now() + 3*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fwd, drop := r.stats()
+	trans := r.transcodedPkts()
+	if fwd+drop != uint64(b.N) || delivered != int(fwd) || trans != fwd {
+		b.Fatalf("forwarded %d dropped %d transcoded %d delivered %d of %d",
+			fwd, drop, trans, delivered, b.N)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/codec"
+	"repro/internal/mos"
 	"repro/internal/sdp"
 	"repro/internal/sip"
 	"repro/internal/telemetry"
@@ -33,6 +35,12 @@ type bridge struct {
 	bTx        *sip.ClientTx // the outbound INVITE, for CANCEL
 
 	relay *relay
+
+	// Codec negotiation outcome (valid once the B leg answered).
+	aOfferPTs     []int // caller's offered payload types
+	codecBr       codec.Bridge
+	transcodeCost float64   // CPU percent charged while this bridge transcodes
+	scoreProfile  mos.Codec // E-model profile for this call's CDR (zero = config default)
 
 	state         bridgeState
 	canceled      bool
@@ -101,13 +109,23 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 		return
 	}
 
+	// RFC 3264: reject offers sharing no codec with the PBX up front
+	// (488 Not Acceptable Here), before any channel or callee work.
+	if _, ok := codec.Negotiate(offer.PayloadTypes, s.codecs); !ok {
+		s.mu.Lock()
+		s.counters.CodecRejected++
+		s.mu.Unlock()
+		s.rejectInvite(tx, req, sip.StatusNotAcceptableHere, false)
+		return
+	}
+
 	// Resolve the callee: dialplan rules first (trunk routes to the
 	// telephone exchange, explicit rejections), then registered users.
 	callee := req.RequestURI.User
 	if route, matched := s.cfg.Dialplan.Resolve(callee); matched {
 		switch route.Kind {
 		case RouteTrunk:
-			if !s.admitCall(tx, req) {
+			if !s.admitCall(tx, req, offer) {
 				return
 			}
 			s.mu.Lock()
@@ -127,7 +145,7 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 		// Unreachable user: voicemail answers when enabled and the
 		// user is provisioned; otherwise 404.
 		if _, err := s.dir.Lookup(callee); err == nil && s.cfg.Voicemail {
-			if !s.admitCall(tx, req) {
+			if !s.admitCall(tx, req, offer) {
 				return
 			}
 			s.answerVoicemail(tx, req, src, callee, offer)
@@ -137,7 +155,7 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 		return
 	}
 
-	if !s.admitCall(tx, req) {
+	if !s.admitCall(tx, req, offer) {
 		return
 	}
 	s.bridgeTo(tx, req, src, callee, calleeContact, offer)
@@ -158,6 +176,7 @@ func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calle
 		callee:    callee,
 		startedAt: s.ep.Clock().Now(),
 	}
+	br.aOfferPTs = offer.PayloadTypes
 	if req.Contact != nil {
 		br.aRemote = req.Contact.URI.HostPort()
 	}
@@ -206,7 +225,11 @@ func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calle
 
 	var bOffer *sdp.Session
 	if br.relay != nil {
-		bOffer = sdp.NewG711Session("asterisk", s.host, br.relay.bPort)
+		// Re-offer toward the callee: the caller's mutually supported
+		// preferences first so a shared codec wins (passthrough), then
+		// the PBX's remaining codecs as transcode fallbacks.
+		bOffer = sdp.NewSessionWith("asterisk", s.host, br.relay.bPort,
+			codec.BridgeOffer(offer.PayloadTypes, s.codecs))
 	} else {
 		bOffer = offer
 	}
@@ -248,20 +271,32 @@ func (s *Server) cancelBLeg(br *bridge) {
 // admitCall runs admission control — where blocked calls (Table I)
 // happen — charging one channel on success. On rejection it answers
 // the INVITE with 503 (plus the policy's Retry-After backoff hint)
-// and reports false.
-func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message) bool {
+// and reports false. The caller's SDP offer feeds the quality-aware
+// policies; nil is allowed for offer-less admission points.
+func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Session) bool {
 	s.mu.Lock()
+	projected := s.cfg.CPU.UtilizationWith(s.channels+1,
+		float64(s.attemptsWindow), float64(s.errorsWindow), s.transcodeLoad)
 	st := AdmissionState{
-		Channels:     s.channels,
-		MaxChannels:  s.cfg.MaxChannels,
-		Utilization:  s.meter.Current(),
-		ProjectedCPU: s.cfg.CPU.Utilization(s.channels+1, float64(s.attemptsWindow), float64(s.errorsWindow)),
-		AttemptsRate: s.attemptsEWMA,
-		ErrorsRate:   s.errorsEWMA,
+		Channels:      s.channels,
+		MaxChannels:   s.cfg.MaxChannels,
+		Utilization:   s.meter.Current(),
+		ProjectedCPU:  projected,
+		AttemptsRate:  s.attemptsEWMA,
+		ErrorsRate:    s.errorsEWMA,
+		TranscodeLoad: s.transcodeLoad,
+	}
+	if s.wantPredictedMOS {
+		// The E-model evaluation is only paid when a quality-aware
+		// policy will read it — it is pure math, but per-INVITE math.
+		st.PredictedMOS = s.predictMOSLocked(offer, projected)
 	}
 	dec := s.admission.Admit(st)
 	if !dec.Admit {
 		s.counters.Blocked++
+		if qf, ok := s.admission.(QualityFloorPolicy); ok && st.PredictedMOS < qf.Floor {
+			s.counters.QualityRejected++
+		}
 		s.errorsWindow++
 		s.mu.Unlock()
 		if s.tm != nil {
@@ -286,6 +321,33 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message) bool {
 	}
 	s.traceMark(req.CallID, telemetry.StageAdmitted)
 	return true
+}
+
+// predictMOSNominalDelay is the mouth-to-ear delay assumed when
+// predicting a new call's MOS at admission time: one packetization
+// interval, the 40 ms playout buffer, and ~20 ms of network transit.
+const predictMOSNominalDelay = 80 * time.Millisecond
+
+// predictMOSLocked estimates the E-model MOS the offered call would
+// get if admitted now: the offered codec's quality profile under the
+// RTP loss the CPU model would impose at the projected utilization.
+// Transcoding (if the callee forces it) can only lower the real score,
+// so the prediction is optimistic — a floor policy built on it sheds
+// late rather than early. Callers hold s.mu.
+func (s *Server) predictMOSLocked(offer *sdp.Session, projectedCPU float64) float64 {
+	profile := s.cfg.ScoreCodec
+	if offer != nil {
+		if pt, ok := codec.Negotiate(offer.PayloadTypes, s.codecs); ok {
+			if c, known := codec.ByPayloadType(pt); known {
+				profile = c.MOS()
+			}
+		}
+	}
+	return mos.Score(profile, mos.Metrics{
+		OneWayDelay: predictMOSNominalDelay,
+		LossRatio:   s.cfg.CPU.DropProbability(projectedCPU),
+		BurstRatio:  1,
+	})
 }
 
 // authorizeInvite challenges and verifies INVITE credentials.
@@ -380,6 +442,10 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 			return
 		}
 		br.bSDP = answer
+		if !s.negotiateBridgeCodecs(br, answer) {
+			s.terminateBridge(br, true)
+			return
+		}
 		if br.relay != nil {
 			br.relay.setCalleeMedia(answer.Host, answer.Port)
 		}
@@ -398,7 +464,11 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 		fwd.Contact = &contact
 		fwd.ContentType = sdp.ContentType
 		if br.relay != nil {
-			fwd.Body = sdp.NewG711Session("asterisk", s.host, br.relay.aPort).Marshal()
+			// The A-leg answer leads with the negotiated caller codec;
+			// the remaining mutually supported types follow (the form the
+			// seed emitted for the default G.711 pair).
+			fwd.Body = sdp.NewSessionWith("asterisk", s.host, br.relay.aPort,
+				answerPayloadTypes(br.codecBr.APayloadType, br.aOfferPTs, s.codecs)).Marshal()
 		} else {
 			fwd.Body = resp.Body
 		}
@@ -420,6 +490,75 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 		}
 		s.removeBridge(br, false)
 	}
+}
+
+// negotiateBridgeCodecs resolves both legs' codecs once the callee's
+// answer arrived: it decides passthrough vs transcode, configures the
+// relay's payload rewrite, charges the transcode CPU surcharge, picks
+// the CDR scoring profile, and feeds the per-codec telemetry. It
+// reports false when the answer is unusable (no payload type, or one
+// outside the registry).
+func (s *Server) negotiateBridgeCodecs(br *bridge, answer *sdp.Session) bool {
+	if len(answer.PayloadTypes) == 0 {
+		return false
+	}
+	cbr, ok := codec.NegotiateBridge(br.aOfferPTs, s.codecs, answer.PayloadTypes[0])
+	if !ok {
+		return false
+	}
+	a, aKnown := codec.ByPayloadType(cbr.APayloadType)
+	b, bKnown := codec.ByPayloadType(cbr.BPayloadType)
+	if !aKnown || !bKnown {
+		return false
+	}
+	br.codecBr = cbr
+	if cbr.Transcode {
+		br.transcodeCost = codec.TranscodeCostPercent(a, b)
+		br.scoreProfile = mos.Tandem(a.MOS(), b.MOS())
+	} else if cbr.APayloadType != codec.G711U.PayloadType &&
+		cbr.APayloadType != codec.G711A.PayloadType {
+		br.scoreProfile = a.MOS()
+	} // G.711 passthrough keeps the configured default profile.
+	if br.relay != nil {
+		br.relay.setBridgeCodecs(cbr)
+	}
+	s.mu.Lock()
+	if br.transcodeCost > 0 {
+		s.transcodeLoad += br.transcodeCost
+		s.counters.TranscodedCalls++
+	}
+	load := s.transcodeLoad
+	s.mu.Unlock()
+	if s.tm != nil {
+		s.tm.callsByCodec(a.PayloadType).Inc()
+		if cbr.Transcode {
+			if cbr.BPayloadType != cbr.APayloadType {
+				s.tm.callsByCodec(b.PayloadType).Inc()
+			}
+			s.tm.transcoded.Inc()
+			s.tm.transcodeLoad.Set(load)
+		}
+	}
+	return true
+}
+
+// answerPayloadTypes builds the A-leg answer list: the negotiated
+// codec first, then the caller's other mutually supported offers.
+func answerPayloadTypes(aPT int, offer, pbx []int) []int {
+	out := make([]int, 0, len(offer))
+	out = append(out, aPT)
+	for _, pt := range offer {
+		if pt == aPT {
+			continue
+		}
+		for _, sp := range pbx {
+			if pt == sp {
+				out = append(out, pt)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // handleAck confirms the A leg once the caller's 2xx ACK arrives.
@@ -510,10 +649,11 @@ func (s *Server) removeBridge(br *bridge, completed bool) {
 	wasEstablished := br.state == bridgeEstablished
 	br.state = bridgeTerminated
 
-	var relayFwd, relayDrop uint64
+	var relayFwd, relayDrop, relayTrans uint64
 	if br.relay != nil {
 		br.relay.close()
 		relayFwd, relayDrop = br.relay.stats()
+		relayTrans = br.relay.transcodedPkts()
 	}
 	s.mu.Lock()
 	delete(s.bridges, br.aCallID)
@@ -526,7 +666,19 @@ func (s *Server) removeBridge(br *bridge, completed bool) {
 		s.freeRelayPortLocked(br.relay.bPort)
 		s.counters.RelayedPackets += relayFwd
 		s.counters.DroppedPackets += relayDrop
+		s.counters.TranscodedPkts += relayTrans
 	}
+	// Return the transcoding surcharge to the CPU budget.
+	releasedLoad := false
+	if br.transcodeCost > 0 {
+		s.transcodeLoad -= br.transcodeCost
+		if s.transcodeLoad < 0 {
+			s.transcodeLoad = 0
+		}
+		br.transcodeCost = 0
+		releasedLoad = true
+	}
+	load := s.transcodeLoad
 	if completed && wasEstablished {
 		s.counters.Completed++
 	}
@@ -535,6 +687,9 @@ func (s *Server) removeBridge(br *bridge, completed bool) {
 	s.recordCDRMetricsLocked(cdr)
 	s.updateChannelGaugesLocked()
 	s.mu.Unlock()
+	if releasedLoad && s.tm != nil {
+		s.tm.transcodeLoad.Set(load)
+	}
 	if j := s.cfg.Journal; j != nil {
 		j.End(br.aCallID, cdr, s.ep.Clock().Now())
 	}

@@ -52,15 +52,27 @@ func (s *Server) buildCDR(br *bridge, completed bool) CDR {
 	if br.relay != nil {
 		cdr.FromCaller = br.relay.fromCaller.Snapshot()
 		cdr.FromCallee = br.relay.fromCallee.Snapshot()
-		cdr.MOS = s.scoreStreams(cdr.FromCaller, cdr.FromCallee)
+		profile := s.cfg.ScoreCodec
+		if br.scoreProfile.Name != "" {
+			// Non-default negotiation outcome: score with the codec the
+			// call actually carried (the tandem profile for transcodes).
+			profile = br.scoreProfile
+		}
+		cdr.MOS = s.scoreStreamsAs(profile, cdr.FromCaller, cdr.FromCallee)
 	}
 	return cdr
 }
 
-// scoreStreams computes the call MOS as the minimum of the two
-// directions' E-model scores, using the relay's view of loss, jitter
-// and transit.
+// scoreStreams computes the call MOS with the configured default
+// codec profile (voicemail and recovery paths).
 func (s *Server) scoreStreams(a, b rtp.Stats) float64 {
+	return s.scoreStreamsAs(s.cfg.ScoreCodec, a, b)
+}
+
+// scoreStreamsAs computes the call MOS as the minimum of the two
+// directions' E-model scores under the given codec profile, using the
+// relay's view of loss, jitter and transit.
+func (s *Server) scoreStreamsAs(profile mos.Codec, a, b rtp.Stats) float64 {
 	score := func(st rtp.Stats) float64 {
 		if st.Received == 0 {
 			return 0
@@ -73,7 +85,7 @@ func (s *Server) scoreStreams(a, b rtp.Stats) float64 {
 		// second hop (symmetric), a 40 ms playout buffer and one
 		// packetization interval.
 		delay = 2*delay + 40*time.Millisecond + 20*time.Millisecond
-		return mos.Score(s.cfg.ScoreCodec, mos.Metrics{
+		return mos.Score(profile, mos.Metrics{
 			OneWayDelay: delay,
 			LossRatio:   st.LossRatio,
 			BurstRatio:  1,

@@ -92,7 +92,7 @@ func TestJournalWALRoundTrip(t *testing.T) {
 		Established: true, Completed: true, Duration: 5 * time.Second}, 7*time.Second)
 	j.Begin("c2", "u2", "u3", 3*time.Second)
 	j.Answer("c2", 4*time.Second)
-	j.Recover(8 * time.Second) // closes c2 as LOST
+	j.Recover(8 * time.Second)               // closes c2 as LOST
 	j.Begin("c3", "u4", "u5", 9*time.Second) // in flight at serialization
 
 	var buf strings.Builder
@@ -131,9 +131,9 @@ func TestJournalWALRoundTrip(t *testing.T) {
 
 func TestJournalRejectsMalformedWAL(t *testing.T) {
 	for _, bad := range []string{
-		"B 100",            // too few fields
-		"X 100 c1",         // unknown record
-		"B abc c1 u0 u1",   // bad timestamp
+		"B 100",                  // too few fields
+		"X 100 c1",               // unknown record
+		"B abc c1 u0 u1",         // bad timestamp
 		"E 100 c1 ANSWERED nope", // bad duration
 	} {
 		if _, err := ReadJournal(strings.NewReader(bad + "\n")); err == nil {

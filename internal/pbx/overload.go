@@ -1,5 +1,7 @@
 package pbx
 
+import "strings"
+
 // Overload control: pluggable admission policies deciding, per INVITE,
 // whether the PBX takes the call or sheds it with 503 + Retry-After.
 // The SIP overload-control literature (Hong et al., "A Comparative
@@ -28,6 +30,15 @@ type AdmissionState struct {
 	// arrival and error rates (EWMA over the meter's 1 s samples).
 	AttemptsRate float64
 	ErrorsRate   float64
+	// TranscodeLoad is the extra CPU percentage currently charged by
+	// active transcoding bridges (included in ProjectedCPU).
+	TranscodeLoad float64
+	// PredictedMOS is the E-model score this call is predicted to get if
+	// admitted: the offered codec's profile evaluated at a nominal
+	// mouth-to-ear delay and the RTP loss the CPU model would impose at
+	// ProjectedCPU. Quality-aware policies reject calls that would be
+	// admitted onto a host too loaded to carry them well.
+	PredictedMOS float64
 }
 
 // AdmissionDecision is a policy's verdict on one INVITE.
@@ -83,6 +94,34 @@ func (p CPUThresholdPolicy) Admit(st AdmissionState) AdmissionDecision {
 	return AdmissionDecision{Admit: true}
 }
 
+// AllOfPolicy admits a call only when every member policy admits it;
+// the first rejection wins and supplies the Retry-After hint. It
+// composes a hard resource bound with a load-sensitive one — the
+// paper's host has both: a 165-channel plateau and a CPU budget that
+// transcoding calls drain faster than passthrough calls.
+type AllOfPolicy struct {
+	Policies []AdmissionPolicy
+}
+
+// Name implements AdmissionPolicy.
+func (p AllOfPolicy) Name() string {
+	names := make([]string, len(p.Policies))
+	for i, m := range p.Policies {
+		names[i] = m.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Admit implements AdmissionPolicy.
+func (p AllOfPolicy) Admit(st AdmissionState) AdmissionDecision {
+	for _, m := range p.Policies {
+		if d := m.Admit(st); !d.Admit {
+			return d
+		}
+	}
+	return AdmissionDecision{Admit: true}
+}
+
 // OccupancyPolicy is the overload controller: it sheds load at
 // Target·Max channels — before the pool (and with it the CPU knee) is
 // reached — and grades its Retry-After hint by how hard the server is
@@ -122,6 +161,55 @@ func (p OccupancyPolicy) Admit(st AdmissionState) AdmissionDecision {
 		return AdmissionDecision{Admit: true}
 	}
 	return AdmissionDecision{RetryAfter: p.retryAfter(st)}
+}
+
+// QualityFloorPolicy is quality-aware admission: it rejects a call
+// whose predicted E-model MOS falls below Floor — admitting it would
+// both deliver a call the user scores as poor and push loss onto every
+// established call — and otherwise defers to Base (nil Base admits).
+// This is the codec-aware refinement of CPU-threshold admission: a
+// G.729 caller, whose codec has both a lower MOS ceiling and a tandem
+// penalty when transcoded, hits the floor earlier than a G.711 caller
+// at the same host load.
+type QualityFloorPolicy struct {
+	// Floor is the minimum acceptable predicted MOS (e.g. 3.6, the
+	// bottom of the "medium" band of G.107 Annex B).
+	Floor float64
+	// Base, when non-nil, must also admit the call.
+	Base AdmissionPolicy
+	// RetryAfter is the backoff hint on quality rejections (seconds);
+	// zero omits the header.
+	RetryAfter int
+}
+
+// Name implements AdmissionPolicy.
+func (p QualityFloorPolicy) Name() string { return "quality-floor" }
+
+// Admit implements AdmissionPolicy.
+func (p QualityFloorPolicy) Admit(st AdmissionState) AdmissionDecision {
+	if st.PredictedMOS < p.Floor {
+		return AdmissionDecision{RetryAfter: p.RetryAfter}
+	}
+	if p.Base != nil {
+		return p.Base.Admit(st)
+	}
+	return AdmissionDecision{Admit: true}
+}
+
+// policyWantsMOS reports whether the policy chain contains a consumer
+// of AdmissionState.PredictedMOS, walking composite wrappers.
+func policyWantsMOS(p AdmissionPolicy) bool {
+	switch q := p.(type) {
+	case QualityFloorPolicy:
+		return true
+	case AllOfPolicy:
+		for _, m := range q.Policies {
+			if policyWantsMOS(m) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // retryAfter maps rejection pressure — the fraction of recent work

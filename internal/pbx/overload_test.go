@@ -1,0 +1,41 @@
+package pbx
+
+import "testing"
+
+// TestAllOfPolicy checks the composite policy: a call is admitted
+// only when every member admits it, and the first rejection supplies
+// the Retry-After hint.
+func TestAllOfPolicy(t *testing.T) {
+	p := AllOfPolicy{Policies: []AdmissionPolicy{
+		ChannelCapPolicy{Max: 10},
+		CPUThresholdPolicy{Threshold: 50},
+	}}
+	if got, want := p.Name(), "channel-cap+cpu-threshold"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+	cases := []struct {
+		name  string
+		st    AdmissionState
+		admit bool
+	}{
+		{"both clear", AdmissionState{Channels: 5, ProjectedCPU: 30}, true},
+		{"channel bound", AdmissionState{Channels: 10, ProjectedCPU: 30}, false},
+		{"cpu bound", AdmissionState{Channels: 5, ProjectedCPU: 60}, false},
+		{"both bound", AdmissionState{Channels: 10, ProjectedCPU: 60}, false},
+	}
+	for _, tc := range cases {
+		if d := p.Admit(tc.st); d.Admit != tc.admit {
+			t.Errorf("%s: Admit = %v, want %v", tc.name, d.Admit, tc.admit)
+		}
+	}
+	occ := AllOfPolicy{Policies: []AdmissionPolicy{
+		OccupancyPolicy{Max: 10, Target: 0.5, RetryAfterMin: 3, RetryAfterMax: 3},
+		ChannelCapPolicy{Max: 10},
+	}}
+	if d := occ.Admit(AdmissionState{Channels: 6}); d.Admit || d.RetryAfter != 3 {
+		t.Errorf("first rejection should carry its Retry-After: got %+v", d)
+	}
+	if d := (AllOfPolicy{}).Admit(AdmissionState{}); !d.Admit {
+		t.Error("empty composite should admit")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/cpu"
 	"repro/internal/directory"
 	"repro/internal/mos"
@@ -45,10 +46,11 @@ type Config struct {
 	// MaxChannels caps concurrent calls; 0 means unlimited. The
 	// paper's host measured ≈165.
 	MaxChannels int
-	// CPUAdmission, when true, replaces the hard channel cap with
-	// admission control on projected CPU utilization (the ablation of
-	// DESIGN.md): an INVITE is rejected when utilization would exceed
-	// CPUThreshold.
+	// CPUAdmission, when true, adds admission control on projected CPU
+	// utilization (the ablation of DESIGN.md): an INVITE is rejected
+	// when utilization would exceed CPUThreshold. With MaxChannels
+	// zero it replaces the channel cap; with both set the call must
+	// clear both bounds.
 	CPUAdmission bool
 	// CPUThreshold is the admission limit for CPUAdmission mode.
 	CPUThreshold float64
@@ -56,8 +58,9 @@ type Config struct {
 	CPU cpu.Model
 	// Admission selects the overload-control policy explicitly. When
 	// nil, the legacy fields above choose one: CPUAdmission maps to
-	// CPUThresholdPolicy, otherwise MaxChannels maps to
-	// ChannelCapPolicy.
+	// CPUThresholdPolicy (wrapped with ChannelCapPolicy in an
+	// AllOfPolicy when MaxChannels is also set), otherwise MaxChannels
+	// maps to ChannelCapPolicy.
 	Admission AdmissionPolicy
 	// RelayRTP enables per-packet media relay through dedicated relay
 	// ports (packetized mode). When false the PBX only handles
@@ -81,6 +84,16 @@ type Config struct {
 	// importantly trunk rules toward the campus telephone exchange of
 	// Fig. 1. Nil routes by registered user only.
 	Dialplan *Dialplan
+	// Codecs lists the RTP payload types the PBX supports, in its own
+	// preference order. Empty selects the paper's G.711-only pair
+	// {0, 8}; codec.AllPayloadTypes() makes a transcoding-capable PBX
+	// that bridges any two codecs in the registry at a per-call CPU
+	// surcharge.
+	Codecs []int
+	// QualityFloorMOS, when > 0, wraps the admission policy in a
+	// QualityFloorPolicy: INVITEs whose predicted E-model MOS falls
+	// below the floor are shed even when capacity remains.
+	QualityFloorMOS float64
 	// ScoreCodec selects the E-model codec profile for CDR MOS values.
 	// Default is mos.G711PLC, matching VoIPmonitor's concealment-aware
 	// G.711 scoring.
@@ -119,6 +132,11 @@ type Counters struct {
 	DroppedPackets uint64 // RTP packets dropped by overload
 	PeakChannels   int    // high-water mark of concurrent calls
 
+	TranscodedCalls uint64 // answered calls whose legs negotiated different codecs
+	CodecRejected   uint64 // INVITEs 488'd for lacking any supported codec
+	QualityRejected uint64 // INVITEs shed by the quality floor (subset of Blocked)
+	TranscodedPkts  uint64 // RTP packets rewritten between codecs by relays
+
 	MessagesRouted    uint64 // MESSAGEs forwarded to registered users
 	MessagesStored    uint64 // MESSAGEs held for offline users
 	VoicemailDeposits uint64 // completed voicemail recordings
@@ -142,14 +160,19 @@ type Server struct {
 	vmSessions map[string]*vmSession
 	channels   int
 	admission  AdmissionPolicy
-	nextPort   int
-	freePorts  []int
-	counters   Counters
-	cdrs       []CDR
-	meter      *cpu.Meter
-	cpuSamples []cpuSample
-	rng        *stats.RNG
-	nonceSeq   uint64
+	// wantPredictedMOS gates the per-INVITE E-model evaluation: only
+	// quality-aware policy chains read AdmissionState.PredictedMOS.
+	wantPredictedMOS bool
+	codecs           []int   // supported payload types (Config.Codecs or {0,8})
+	transcodeLoad    float64 // CPU percent charged by active transcoding bridges
+	nextPort         int
+	freePorts        []int
+	counters         Counters
+	cdrs             []CDR
+	meter            *cpu.Meter
+	cpuSamples       []cpuSample
+	rng              *stats.RNG
+	nonceSeq         uint64
 
 	// per-second rate tracking for the CPU meter
 	attemptsWindow uint64
@@ -200,14 +223,30 @@ func New(ep *sip.Endpoint, dir *directory.Directory, factory TransportFactory, c
 		meter:      cpu.NewMeter(cfg.CPU),
 		rng:        stats.NewRNG(cfg.Seed ^ 0xa57e7a57),
 	}
+	s.codecs = cfg.Codecs
+	if len(s.codecs) == 0 {
+		s.codecs = codec.DefaultPreference()
+	}
 	s.admission = cfg.Admission
 	if s.admission == nil {
 		if cfg.CPUAdmission {
 			s.admission = CPUThresholdPolicy{Threshold: cfg.CPUThreshold}
+			if cfg.MaxChannels > 0 {
+				// Both bounds configured: the call must clear the hard
+				// channel plateau and the CPU budget.
+				s.admission = AllOfPolicy{Policies: []AdmissionPolicy{
+					ChannelCapPolicy{Max: cfg.MaxChannels},
+					s.admission,
+				}}
+			}
 		} else {
 			s.admission = ChannelCapPolicy{Max: cfg.MaxChannels}
 		}
 	}
+	if cfg.QualityFloorMOS > 0 {
+		s.admission = QualityFloorPolicy{Floor: cfg.QualityFloorMOS, Base: s.admission, RetryAfter: 4}
+	}
+	s.wantPredictedMOS = policyWantsMOS(s.admission)
 	if cfg.Telemetry != nil {
 		s.tm = newPBXMetrics(cfg.Telemetry, s.admission.Name())
 	}
@@ -321,6 +360,7 @@ func (s *Server) Crash() {
 	vms := s.vmSessions
 	s.vmSessions = make(map[string]*vmSession)
 	s.channels = 0
+	s.transcodeLoad = 0
 	s.updateChannelGaugesLocked()
 	s.mu.Unlock()
 
@@ -359,7 +399,7 @@ func (s *Server) scheduleSample() {
 		const alpha = 0.3
 		s.attemptsEWMA = (1-alpha)*s.attemptsEWMA + alpha*float64(s.attemptsWindow)
 		s.errorsEWMA = (1-alpha)*s.errorsEWMA + alpha*float64(s.errorsWindow)
-		u := s.meter.Sample(s.channels, s.attemptsEWMA, s.errorsEWMA)
+		u := s.meter.SampleWith(s.channels, s.attemptsEWMA, s.errorsEWMA, s.transcodeLoad)
 		s.cpuSamples = append(s.cpuSamples, cpuSample{util: u, channels: s.channels})
 		s.attemptsWindow = 0
 		s.errorsWindow = 0
@@ -420,6 +460,17 @@ func (s *Server) ActiveChannels() int {
 	defer s.mu.Unlock()
 	return s.channels
 }
+
+// TranscodeLoad returns the CPU percentage currently charged by active
+// transcoding bridges.
+func (s *Server) TranscodeLoad() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transcodeLoad
+}
+
+// SupportedCodecs returns the PBX's payload-type preference list.
+func (s *Server) SupportedCodecs() []int { return append([]int(nil), s.codecs...) }
 
 // AdmissionPolicyName names the active overload-control policy.
 func (s *Server) AdmissionPolicyName() string { return s.admission.Name() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/rtp"
 	"repro/internal/sdp"
 	"repro/internal/telemetry"
@@ -34,9 +35,25 @@ type relay struct {
 	fromCaller *rtp.Receiver
 	fromCallee *rtp.Receiver
 
-	forwarded uint64
-	dropped   uint64
-	closed    bool
+	forwarded  uint64
+	dropped    uint64
+	transcoded uint64
+	closed     bool
+
+	// Negotiated bridge codecs, set once the B leg answered. aPT/bPT
+	// are the audio payload types on the caller- and callee-facing
+	// legs; when transcode is set the relay rewrites matching audio
+	// packets to the opposite leg's codec. All presets share a 20 ms
+	// ptime and an 8 kHz RTP clock, so sequence numbers, timestamps and
+	// SSRC carry across a rewrite unchanged.
+	transcode bool
+	aPT, bPT  uint8
+	// Synthetic out-leg frames plus reused marshal buffers, sized once
+	// at negotiation so the per-packet rewrite stays alloc-free.
+	toCalleePayload []byte
+	toCallerPayload []byte
+	toCalleeBuf     []byte
+	toCallerBuf     []byte
 
 	// aCallID keys the call's trace span; rtpMarked gates the one-shot
 	// first-RTP stage mark so the per-packet cost stays a bool check.
@@ -104,6 +121,37 @@ func (s *Server) newRelay(br *bridge, offer *sdp.Session) (*relay, error) {
 	return r, nil
 }
 
+// setBridgeCodecs arms the relay with the negotiated bridge outcome.
+// For transcoding bridges it preallocates the per-direction synthetic
+// frames (the model does not run real DSPs; what matters to capacity
+// is the packet size and the CPU charge) and the marshal buffers the
+// rewrite reuses.
+func (r *relay) setBridgeCodecs(br codec.Bridge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aPT = uint8(br.APayloadType)
+	r.bPT = uint8(br.BPayloadType)
+	r.transcode = br.Transcode && br.APayloadType != br.BPayloadType
+	if !r.transcode {
+		return
+	}
+	a, _ := codec.ByPayloadType(br.APayloadType)
+	b, _ := codec.ByPayloadType(br.BPayloadType)
+	r.toCalleePayload = syntheticFrame(b.PayloadBytes)
+	r.toCallerPayload = syntheticFrame(a.PayloadBytes)
+	r.toCalleeBuf = make([]byte, 0, rtp.HeaderLen+b.PayloadBytes)
+	r.toCallerBuf = make([]byte, 0, rtp.HeaderLen+a.PayloadBytes)
+}
+
+// syntheticFrame builds one out-codec frame of the right size.
+func syntheticFrame(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = 0x55
+	}
+	return p
+}
+
 // setCalleeMedia records where the callee listens, once its SDP answer
 // arrives.
 func (r *relay) setCalleeMedia(host string, port int) {
@@ -134,10 +182,18 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport,
 		out.Send(dst, data)
 		return
 	}
+	// The in-leg audio payload type for this direction (zero until the
+	// bridge negotiated, which is before media flows).
+	inPT, outPT := r.aPT, r.bPT
+	if toCaller {
+		inPT, outPT = r.bPT, r.aPT
+	}
 	// Observe audio only: dynamic payload types (>= 96, e.g. RFC 4733
 	// telephone-events) are control-ish payloads whose timestamps do
-	// not track the audio clock and would poison loss/transit stats.
-	if err := r.scratch.Unmarshal(data); err == nil && r.scratch.PayloadType < 96 {
+	// not track the audio clock and would poison loss/transit stats —
+	// unless that dynamic type IS this leg's negotiated codec (iLBC).
+	parsed := r.scratch.Unmarshal(data) == nil
+	if parsed && (r.scratch.PayloadType < 96 || r.scratch.PayloadType == inPT) {
 		obs.Observe(now, &r.scratch)
 	}
 	// Overload packet errors: the paper's A=240 row.
@@ -149,18 +205,41 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport,
 		}
 		return
 	}
+	// Transcoding bridge: rewrite the in-leg audio frame into the out
+	// leg's codec — payload type and frame swapped, sequence/timestamp/
+	// SSRC preserved (every preset runs 20 ms at an 8 kHz RTP clock).
+	// The marshal buffer is reused; netsim/UDP transports copy on send.
+	wire := data
+	transcoded := false
+	if r.transcode && parsed && r.scratch.PayloadType == inPT {
+		r.scratch.PayloadType = outPT
+		if toCaller {
+			r.scratch.Payload = r.toCallerPayload
+			wire = r.scratch.Marshal(r.toCallerBuf[:0])
+			r.toCallerBuf = wire
+		} else {
+			r.scratch.Payload = r.toCalleePayload
+			wire = r.scratch.Marshal(r.toCalleeBuf[:0])
+			r.toCalleeBuf = wire
+		}
+		r.transcoded++
+		transcoded = true
+	}
 	r.forwarded++
 	first := !r.rtpMarked
 	r.rtpMarked = true
 	r.mu.Unlock()
 	if tm := r.s.tm; tm != nil {
 		tm.relayPkts.Inc()
-		tm.relayBytes.Add(uint64(len(data)))
+		tm.relayBytes.Add(uint64(len(wire)))
+		if transcoded {
+			tm.relayTranscoded.Inc()
+		}
 		if first {
 			r.s.traceMark(r.aCallID, telemetry.StageFirstRTP)
 		}
 	}
-	out.Send(dst, data)
+	out.Send(dst, wire)
 }
 
 // overloadDrop samples the CPU model's drop decision under the server
@@ -178,6 +257,13 @@ func (r *relay) stats() (forwarded, dropped uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.forwarded, r.dropped
+}
+
+// transcodedPkts snapshots the rewrite counter.
+func (r *relay) transcodedPkts() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.transcoded
 }
 
 func (r *relay) close() {

@@ -1,6 +1,7 @@
 package pbx
 
 import (
+	"repro/internal/codec"
 	"repro/internal/rtp"
 	"repro/internal/telemetry"
 )
@@ -26,9 +27,17 @@ type pbxMetrics struct {
 	loss        *telemetry.Histogram
 	mosScore    *telemetry.Histogram
 
-	relayPkts  *telemetry.Counter
-	relayBytes *telemetry.Counter
-	relayDrops *telemetry.Counter
+	relayPkts       *telemetry.Counter
+	relayBytes      *telemetry.Counter
+	relayDrops      *telemetry.Counter
+	relayTranscoded *telemetry.Counter
+
+	// Codec plane: answered bridges by negotiated leg codec, active
+	// transcode surcharge, and transcoding-bridge count.
+	byCodec       map[int]*telemetry.Counter
+	otherCodec    *telemetry.Counter
+	transcoded    *telemetry.Counter
+	transcodeLoad *telemetry.Gauge
 
 	draining     *telemetry.Gauge
 	drainDur     *telemetry.Histogram
@@ -64,9 +73,16 @@ func newPBXMetrics(reg *telemetry.Registry, policy string) *pbxMetrics {
 		mosScore: reg.Histogram("pbx_call_mos", "E-model MOS of scored calls",
 			telemetry.LinearBuckets(1.5, 0.25, 12)), // 1.5 .. 4.25
 
-		relayPkts:  reg.Counter("rtp_relay_packets_total", "RTP packets forwarded by call relays"),
-		relayBytes: reg.Counter("rtp_relay_bytes_total", "RTP payload bytes forwarded by call relays"),
-		relayDrops: reg.Counter("rtp_relay_dropped_total", "RTP packets dropped by the overload model"),
+		relayPkts:       reg.Counter("rtp_relay_packets_total", "RTP packets forwarded by call relays"),
+		relayBytes:      reg.Counter("rtp_relay_bytes_total", "RTP payload bytes forwarded by call relays"),
+		relayDrops:      reg.Counter("rtp_relay_dropped_total", "RTP packets dropped by the overload model"),
+		relayTranscoded: reg.Counter("rtp_relay_transcoded_total", "RTP packets payload-converted by transcoding bridges"),
+
+		otherCodec: reg.Counter("pbx_calls_by_codec_total", "answered bridges by negotiated leg codec",
+			telemetry.L("codec", "other")),
+		transcoded: reg.Counter("pbx_transcoded_calls_total", "bridges established with a transcoding media path"),
+		transcodeLoad: reg.Gauge("pbx_transcode_load_percent",
+			"CPU percent currently charged to active transcoding bridges"),
 
 		draining: reg.Gauge("pbx_draining", "1 while the server is in administrative drain"),
 		drainDur: reg.Histogram("pbx_drain_duration_seconds",
@@ -77,7 +93,21 @@ func newPBXMetrics(reg *telemetry.Registry, policy string) *pbxMetrics {
 
 		tracer: telemetry.NewTracer(reg, 0),
 	}
+	tm.byCodec = make(map[int]*telemetry.Counter)
+	for _, c := range codec.Registry() {
+		tm.byCodec[c.PayloadType] = reg.Counter("pbx_calls_by_codec_total",
+			"answered bridges by negotiated leg codec", telemetry.L("codec", c.Name))
+	}
 	return tm
+}
+
+// callsByCodec resolves the per-codec bridge counter, falling back to
+// the "other" series for payload types outside the registry.
+func (tm *pbxMetrics) callsByCodec(pt int) *telemetry.Counter {
+	if c, ok := tm.byCodec[pt]; ok {
+		return c
+	}
+	return tm.otherCodec
 }
 
 // traceBegin/-Mark/-End are nil-safe tracer shims stamped with the

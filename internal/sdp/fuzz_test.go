@@ -1,0 +1,105 @@
+package sdp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSDPParse checks the parser's safety and the marshal fixed point:
+// any input the parser accepts must re-marshal to a form that parses to
+// the same session, and that form must be a fixed point of
+// Marshal∘Parse — the PBX re-emits bodies it parsed, so a drifting
+// round trip would corrupt offers in flight.
+func FuzzSDPParse(f *testing.F) {
+	f.Add([]byte("v=0\r\no=alice 1 1 IN IP4 10.0.0.5\r\ns=call\r\nc=IN IP4 10.0.0.5\r\nt=0 0\r\nm=audio 4000 RTP/AVP 0 8\r\na=rtpmap:0 PCMU/8000\r\na=rtpmap:8 PCMA/8000\r\n"))
+	f.Add(NewSessionWith("bob", "192.168.1.9", 5004, []int{18, 97, 3}).Marshal())
+	f.Add([]byte("v=0\r\no=u 1 1 IN IP4 9.9.9.9\r\nm=audio 4000 RTP/AVP 0\r\n"))
+	f.Add([]byte("v=0\r\nc=IN IP4 1.2.3.4\r\nm=video 6000 RTP/AVP 96\r\nm=audio 4002 RTP/AVP 8 0\r\na=ptime:20\r\n"))
+	f.Add([]byte("v=0\r\nc=IN IP4 1.2.3.4\r\nm=audio 4000 RTP/AVP 97\r\na=rtpmap:97 iLBC/8000\r\na=rtpmap:98 telephone-event/8000\r\n"))
+	f.Add([]byte("m=audio 0 RTP/AVP\r\nc=IN IP4 h\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejection is fine; panics are the bug
+		}
+		for _, pt := range s.PayloadTypes {
+			if pt < 0 || pt > 127 {
+				t.Fatalf("accepted out-of-range payload type %d", pt)
+			}
+		}
+		m1 := s.Marshal()
+		s2, err := Parse(m1)
+		if err != nil {
+			t.Fatalf("own marshal does not re-parse: %v\ninput: %q\nmarshal: %q", err, data, m1)
+		}
+		if s2.Host != s.Host || s2.Port != s.Port || s2.Ptime != s.Ptime {
+			t.Fatalf("round trip drift: %+v -> %+v", s, s2)
+		}
+		if !equalInts(s2.PayloadTypes, s.PayloadTypes) {
+			t.Fatalf("payload types drift: %v -> %v", s.PayloadTypes, s2.PayloadTypes)
+		}
+		m2 := s2.Marshal()
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("Marshal∘Parse not a fixed point:\n%q\n%q", m1, m2)
+		}
+	})
+}
+
+// FuzzSDPOfferAnswer drives RFC 3264 offer/answer with a fuzzed offer:
+// the answer must select a payload type from the intersection of offer
+// and supported, must itself survive the wire, and a second negotiation
+// round over the answer must converge on the same codec.
+func FuzzSDPOfferAnswer(f *testing.F) {
+	f.Add(NewG711Session("alice", "10.0.0.5", 4000).Marshal(), uint8(0))
+	f.Add(NewSessionWith("alice", "10.0.0.5", 4000, []int{18, 0, 8}).Marshal(), uint8(1))
+	f.Add(NewSessionWith("a", "h", 1, []int{97, 3, 9}).Marshal(), uint8(2))
+	f.Add([]byte("v=0\r\nc=IN IP4 h\r\nm=audio 4000 RTP/AVP 5 13 0\r\n"), uint8(3))
+	supportedSets := [][]int{{0, 8}, {18}, {0, 3, 8, 9, 18, 97}, {97, 3}}
+	f.Fuzz(func(t *testing.T, data []byte, pick uint8) {
+		offer, err := Parse(data)
+		if err != nil {
+			return
+		}
+		supported := supportedSets[int(pick)%len(supportedSets)]
+		ans, err := offer.Answer("bob", "10.0.0.9", 4242, supported)
+		if err != nil {
+			// Legitimate only when the sets really are disjoint.
+			for _, pt := range offer.PayloadTypes {
+				if containsPT(supported, pt) {
+					t.Fatalf("Answer failed despite shared codec %d (offer %v, supported %v)",
+						pt, offer.PayloadTypes, supported)
+				}
+			}
+			return
+		}
+		if len(ans.PayloadTypes) != 1 {
+			t.Fatalf("answer must select exactly one codec, got %v", ans.PayloadTypes)
+		}
+		sel := ans.PayloadTypes[0]
+		if !containsPT(offer.PayloadTypes, sel) || !containsPT(supported, sel) {
+			t.Fatalf("answer selected %d outside offer %v ∩ supported %v",
+				sel, offer.PayloadTypes, supported)
+		}
+		wire, err := Parse(ans.Marshal())
+		if err != nil {
+			t.Fatalf("answer does not survive the wire: %v", err)
+		}
+		// Re-answering the answer (either side confirming) is stable.
+		again, err := wire.Answer("alice", "10.0.0.5", 4000, offer.PayloadTypes)
+		if err != nil || again.PayloadTypes[0] != sel {
+			t.Fatalf("renegotiation diverged: %v %v, want %d", again, err, sel)
+		}
+	})
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

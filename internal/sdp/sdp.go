@@ -1,8 +1,11 @@
 // Package sdp implements the minimal RFC 4566 Session Description
 // Protocol subset the call path needs: audio session descriptions
-// carrying a connection address, a media port, and G.711 payload
-// types, exchanged in INVITE/200 bodies for the offer/answer handshake
-// (RFC 3264) that tells each side where to send RTP.
+// carrying a connection address, a media port, and the offered codec
+// payload types, exchanged in INVITE/200 bodies for the offer/answer
+// handshake (RFC 3264) that tells each side where to send RTP and
+// which codec to speak. The payload-type name table mirrors the
+// internal/codec registry, including the dynamic iLBC mapping that
+// rtpmap parsing exists for.
 package sdp
 
 import (
@@ -30,24 +33,56 @@ type Session struct {
 	Port int
 	// PayloadTypes lists offered RTP payload types in preference order.
 	PayloadTypes []int
+	// Rtpmap carries parsed a=rtpmap encoding names for payload types
+	// in PayloadTypes, when the peer supplied any that differ from the
+	// registry defaults (dynamic types must; static types may). Nil for
+	// locally constructed sessions — Marshal falls back to the built-in
+	// table.
+	Rtpmap map[int]string
+	// Ptime is the a=ptime packetization hint in milliseconds; zero
+	// means unspecified (the G.711 default of 20 ms applies).
+	Ptime int
 }
 
-// NewG711Session returns an offer for G.711 µ-law and A-law at
-// host:port, the session the paper's endpoints negotiate.
-func NewG711Session(origin, host string, port int) *Session {
+// NewSessionWith returns an offer/answer session advertising the given
+// payload types in preference order at host:port.
+func NewSessionWith(origin, host string, port int, payloadTypes []int) *Session {
 	return &Session{
 		Origin:       origin,
 		SessionID:    1,
 		Version:      1,
 		Host:         host,
 		Port:         port,
-		PayloadTypes: []int{0, 8},
+		PayloadTypes: payloadTypes,
 	}
 }
 
+// NewG711Session returns an offer for G.711 µ-law and A-law at
+// host:port, the session the paper's endpoints negotiate.
+func NewG711Session(origin, host string, port int) *Session {
+	return NewSessionWith(origin, host, port, []int{0, 8})
+}
+
+// payloadNames maps the registered payload types to their rtpmap
+// encodings (see internal/codec): the RFC 3551 static audio types plus
+// the conventional dynamic iLBC assignment.
 var payloadNames = map[int]string{
-	0: "PCMU/8000",
-	8: "PCMA/8000",
+	0:  "PCMU/8000",
+	3:  "GSM/8000",
+	8:  "PCMA/8000",
+	9:  "G722/8000",
+	18: "G729/8000",
+	97: "iLBC/8000",
+}
+
+// PayloadName returns the rtpmap encoding the session associates with
+// pt: a parsed a=rtpmap entry when present, else the registry default.
+func (s *Session) PayloadName(pt int) (string, bool) {
+	if name, ok := s.Rtpmap[pt]; ok {
+		return name, true
+	}
+	name, ok := payloadNames[pt]
+	return name, ok
 }
 
 // Marshal renders the session in wire form.
@@ -64,9 +99,12 @@ func (s *Session) Marshal() []byte {
 	}
 	b.WriteString("\r\n")
 	for _, pt := range s.PayloadTypes {
-		if name, ok := payloadNames[pt]; ok {
+		if name, ok := s.PayloadName(pt); ok {
 			fmt.Fprintf(&b, "a=rtpmap:%d %s\r\n", pt, name)
 		}
+	}
+	if s.Ptime > 0 {
+		fmt.Fprintf(&b, "a=ptime:%d\r\n", s.Ptime)
 	}
 	return []byte(b.String())
 }
@@ -92,6 +130,7 @@ func Parse(data []byte) (*Session, error) {
 	s := &Session{}
 	haveConn := false
 	haveMedia := false
+	var rtpmap map[int]string
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimRight(line, "\r")
 		if line == "" {
@@ -132,12 +171,29 @@ func Parse(data []byte) (*Session, error) {
 			s.PayloadTypes = s.PayloadTypes[:0]
 			for _, f := range fields[3:] {
 				pt, err := strconv.Atoi(f)
-				if err != nil {
+				// RTP payload types are 7-bit (RFC 3550); anything else
+				// is a malformed media line, not a negotiable codec.
+				if err != nil || pt < 0 || pt > 127 {
 					return nil, fmt.Errorf("%w: %q", ErrMalformed, line)
 				}
 				s.PayloadTypes = append(s.PayloadTypes, pt)
 			}
 			haveMedia = true
+		case 'a':
+			switch {
+			case strings.HasPrefix(value, "rtpmap:"):
+				pt, name, ok := parseRtpmap(value[len("rtpmap:"):])
+				if ok {
+					if rtpmap == nil {
+						rtpmap = make(map[int]string)
+					}
+					rtpmap[pt] = name
+				}
+			case strings.HasPrefix(value, "ptime:"):
+				if n, err := strconv.Atoi(strings.TrimSpace(value[len("ptime:"):])); err == nil && n > 0 {
+					s.Ptime = n
+				}
+			}
 		}
 	}
 	if !haveMedia {
@@ -146,24 +202,69 @@ func Parse(data []byte) (*Session, error) {
 	if !haveConn && s.Host == "" {
 		return nil, ErrNoConnection
 	}
+	// Keep only mappings for payload types the media line actually
+	// offers: rtpmap entries for absent types carry no negotiable
+	// information, and dropping them makes Marshal∘Parse idempotent.
+	for pt, name := range rtpmap {
+		if containsPT(s.PayloadTypes, pt) {
+			if s.Rtpmap == nil {
+				s.Rtpmap = make(map[int]string)
+			}
+			s.Rtpmap[pt] = name
+		}
+	}
 	return s, nil
 }
 
+// parseRtpmap decodes "PT encoding/clock[/channels]". A malformed
+// entry is skipped rather than fatal (robustness rule), and an entry
+// whose name cannot survive a marshal round-trip (embedded whitespace)
+// is rejected.
+func parseRtpmap(v string) (pt int, name string, ok bool) {
+	ptStr, rest, found := strings.Cut(v, " ")
+	if !found {
+		return 0, "", false
+	}
+	pt, err := strconv.Atoi(ptStr)
+	if err != nil || pt < 0 || pt > 127 {
+		return 0, "", false
+	}
+	name = strings.TrimSpace(rest)
+	if name == "" || strings.ContainsAny(name, " \t") {
+		return 0, "", false
+	}
+	return pt, name, true
+}
+
+func containsPT(pts []int, pt int) bool {
+	for _, p := range pts {
+		if p == pt {
+			return true
+		}
+	}
+	return false
+}
+
 // Answer builds the answer to offer per RFC 3264: it selects the first
-// payload type both sides support and binds the answerer's host:port.
-// It returns an error if no codec is shared.
+// payload type in the offerer's preference order that the answerer
+// supports and binds the answerer's host:port. It returns an error if
+// no codec is shared.
 func (offer *Session) Answer(origin, host string, port int, supported []int) (*Session, error) {
 	for _, pt := range offer.PayloadTypes {
 		for _, sp := range supported {
 			if pt == sp {
-				return &Session{
+				a := &Session{
 					Origin:       origin,
 					SessionID:    offer.SessionID,
 					Version:      offer.Version + 1,
 					Host:         host,
 					Port:         port,
 					PayloadTypes: []int{pt},
-				}, nil
+				}
+				if name, ok := offer.Rtpmap[pt]; ok {
+					a.Rtpmap = map[int]string{pt: name}
+				}
+				return a, nil
 			}
 		}
 	}

@@ -1,0 +1,81 @@
+package sip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// codecPhonePair wires two phones directly together with explicit codec
+// preference lists.
+func codecPhonePair(t *testing.T, aliceCodecs, bobCodecs []int) (*netsim.Scheduler, *Phone, *Phone) {
+	t.Helper()
+	sched := netsim.NewScheduler()
+	net := netsim.NewNetwork(sched, stats.NewRNG(5))
+	net.SetDuplexLink("alice", "bob", netsim.LinkProfile{Delay: time.Millisecond})
+	clock := transport.SimClock{Sched: sched}
+	alice := NewPhone(NewEndpoint(transport.NewSim(net, "alice:5060"), clock),
+		PhoneConfig{User: "alice", Proxy: "bob:5060", MediaPort: 4000, Codecs: aliceCodecs})
+	bob := NewPhone(NewEndpoint(transport.NewSim(net, "bob:5060"), clock),
+		PhoneConfig{User: "bob", Proxy: "alice:5060", MediaPort: 4100, Codecs: bobCodecs})
+	return sched, alice, bob
+}
+
+// TestNegotiatedPayloadTypeBothSides: when the caller prefers G.729 but
+// the callee only speaks G.711, both legs must report the negotiated
+// codec (the answer's selection), not the offer's first preference.
+func TestNegotiatedPayloadTypeBothSides(t *testing.T) {
+	sched, alice, bob := codecPhonePair(t, []int{18, 0}, []int{0, 8})
+	var aliceMedia, bobMedia MediaInfo
+	bob.OnIncoming = func(c *Call) {
+		c.OnEstablished = func(c *Call) { bobMedia = c.Media() }
+	}
+	call := alice.Invite("bob")
+	call.OnEstablished = func(c *Call) { aliceMedia = c.Media() }
+	sched.Run(time.Minute)
+
+	if aliceMedia.PayloadType != 0 {
+		t.Errorf("caller negotiated PT = %d, want 0", aliceMedia.PayloadType)
+	}
+	// Before the Media() fix the callee reported the offer's first
+	// preference (18) instead of its own answer (0).
+	if bobMedia.PayloadType != 0 {
+		t.Errorf("callee negotiated PT = %d, want 0", bobMedia.PayloadType)
+	}
+}
+
+// TestInviteCodecsOverridesDefault: per-call preference lists win over
+// the phone config.
+func TestInviteCodecsOverridesDefault(t *testing.T) {
+	sched, alice, _ := codecPhonePair(t, nil, nil)
+	var got MediaInfo
+	call := alice.InviteCodecs("bob", []int{8})
+	call.OnEstablished = func(c *Call) { got = c.Media() }
+	sched.Run(time.Minute)
+	if got.PayloadType != 8 {
+		t.Errorf("negotiated PT = %d, want 8 (per-call offer)", got.PayloadType)
+	}
+}
+
+// TestNoCommonCodecRejectsWith488: a G.729-only caller dialing a
+// G.711-only callee is rejected with 488 Not Acceptable Here.
+func TestNoCommonCodecRejectsWith488(t *testing.T) {
+	sched, alice, bob := codecPhonePair(t, []int{18}, []int{0, 8})
+	var ended bool
+	call := alice.Invite("bob")
+	call.OnEnded = func(*Call) { ended = true }
+	sched.Run(time.Minute)
+
+	if !ended || call.Cause() != EndRejected {
+		t.Fatalf("ended=%v cause=%v, want rejection", ended, call.Cause())
+	}
+	if call.RejectStatus() != StatusNotAcceptableHere {
+		t.Errorf("reject status = %d, want 488", call.RejectStatus())
+	}
+	if alice.ActiveCalls() != 0 || bob.ActiveCalls() != 0 {
+		t.Errorf("calls leaked: %d/%d", alice.ActiveCalls(), bob.ActiveCalls())
+	}
+}

@@ -34,6 +34,7 @@ const (
 	StatusRequestTimeout     = 408
 	StatusBusyHere           = 486
 	StatusRequestTerminated  = 487
+	StatusNotAcceptableHere  = 488
 	StatusTemporarilyDenied  = 403
 	StatusInternalError      = 500
 	StatusServiceUnavailable = 503
@@ -65,6 +66,8 @@ func ReasonPhrase(code int) string {
 		return "Busy Here"
 	case StatusRequestTerminated:
 		return "Request Terminated"
+	case StatusNotAcceptableHere:
+		return "Not Acceptable Here"
 	case StatusInternalError:
 		return "Server Internal Error"
 	case StatusServiceUnavailable:

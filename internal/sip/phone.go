@@ -153,6 +153,10 @@ func (c *Call) Duration() time.Duration {
 }
 
 // Media returns the negotiated RTP addresses. Valid once established.
+// The payload type is read from the answer side of the offer/answer
+// exchange — the remote SDP for outgoing calls, the local SDP for
+// incoming ones (reading the incoming offer's first codec would report
+// the caller's preference, not the negotiated selection).
 func (c *Call) Media() MediaInfo {
 	mi := MediaInfo{PayloadType: 0}
 	if c.localSDP != nil {
@@ -160,9 +164,13 @@ func (c *Call) Media() MediaInfo {
 	}
 	if c.remoteSDP != nil {
 		mi.RemoteHost, mi.RemotePort = c.remoteSDP.Host, c.remoteSDP.Port
-		if len(c.remoteSDP.PayloadTypes) > 0 {
-			mi.PayloadType = c.remoteSDP.PayloadTypes[0]
-		}
+	}
+	answer := c.remoteSDP
+	if c.incoming {
+		answer = c.localSDP
+	}
+	if answer != nil && len(answer.PayloadTypes) > 0 {
+		mi.PayloadType = answer.PayloadTypes[0]
 	}
 	return mi
 }
@@ -188,6 +196,10 @@ type PhoneConfig struct {
 	// granted binding lifetime so the contact never expires — what a
 	// deployed softphone does.
 	RefreshRegistration bool
+	// Codecs is the RTP payload-type preference list this phone offers
+	// in outgoing calls and accepts on incoming ones. Empty means the
+	// paper's G.711 pair {0, 8}.
+	Codecs []int
 }
 
 // Phone is a softphone user agent: it registers with the PBX, places
@@ -396,7 +408,18 @@ func (p *Phone) Registered() bool {
 // UDP, where a response can race the assignments, use
 // InviteWithHandlers instead.
 func (p *Phone) Invite(target string) *Call {
-	return p.InviteWithHandlers(target, nil, nil, nil)
+	return p.invite(target, p.codecs(), nil, nil, nil)
+}
+
+// InviteCodecs places a call offering the given payload-type
+// preference list instead of the phone's configured one — how a
+// mixed-codec workload varies the offer per call. An empty list falls
+// back to the configured default.
+func (p *Phone) InviteCodecs(target string, payloadTypes []int) *Call {
+	if len(payloadTypes) == 0 {
+		payloadTypes = p.codecs()
+	}
+	return p.invite(target, payloadTypes, nil, nil, nil)
 }
 
 // InviteWithHandlers places a call with its callbacks installed before
@@ -404,6 +427,18 @@ func (p *Phone) Invite(target string) *Call {
 // the application sees it — the race-free form for real-socket use.
 // Any handler may be nil.
 func (p *Phone) InviteWithHandlers(target string, onRinging, onEstablished, onEnded func(*Call)) *Call {
+	return p.invite(target, p.codecs(), onRinging, onEstablished, onEnded)
+}
+
+// codecs returns the phone's payload-type preference list.
+func (p *Phone) codecs() []int {
+	if len(p.cfg.Codecs) > 0 {
+		return p.cfg.Codecs
+	}
+	return []int{0, 8}
+}
+
+func (p *Phone) invite(target string, payloadTypes []int, onRinging, onEstablished, onEnded func(*Call)) *Call {
 	proxyHost, _, _ := strings.Cut(p.cfg.Proxy, ":")
 	callID := p.ep.NewCallID()
 	c := &Call{
@@ -415,7 +450,7 @@ func (p *Phone) InviteWithHandlers(target string, onRinging, onEstablished, onEn
 		state:     CallCalling,
 		invitedAt: p.ep.Clock().Now(),
 	}
-	c.localSDP = sdp.NewG711Session(p.cfg.User, p.host(), p.allocMediaPort())
+	c.localSDP = sdp.NewSessionWith(p.cfg.User, p.host(), p.allocMediaPort(), payloadTypes)
 	c.OnRinging = onRinging
 	c.OnEstablished = onEstablished
 	c.OnEnded = onEnded
@@ -658,9 +693,12 @@ func (p *Phone) handleInvite(tx *ServerTx, req *Message, src string) {
 		c.remote = req.Contact.URI.HostPort()
 	}
 	c.remoteSDP = offer
-	answer, err := offer.Answer(p.cfg.User, p.host(), p.allocMediaPort(), []int{0, 8})
+	mediaPort := p.allocMediaPort()
+	answer, err := offer.Answer(p.cfg.User, p.host(), mediaPort, p.codecs())
 	if err != nil {
-		tx.Respond(req.Response(StatusInternalError))
+		// RFC 3261 21.4.26: no codec in common.
+		p.freeMediaPort(mediaPort)
+		tx.Respond(req.Response(StatusNotAcceptableHere))
 		return
 	}
 	c.localSDP = answer

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/media"
 	"repro/internal/mos"
 	"repro/internal/netsim"
@@ -21,6 +22,18 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
+
+// CodecShare is one component of a mixed-codec workload: a fraction of
+// callers offering the given payload-type preference list.
+type CodecShare struct {
+	// Name labels the share in records and reports ("g729").
+	Name string
+	// Payloads is the RTP payload-type preference list these callers
+	// offer (RFC 3264 order).
+	Payloads []int
+	// Share is the relative weight; shares need not sum to 1.
+	Share float64
+}
 
 // ArrivalProcess selects how call placements are spaced.
 type ArrivalProcess int
@@ -117,6 +130,13 @@ type Config struct {
 	// ScoreCodec is the E-model profile for per-call MOS
 	// (default mos.G711PLC, VoIPmonitor-style).
 	ScoreCodec mos.Codec
+	// CodecMix, when non-empty, draws each logical call's offered
+	// codec preference list from these weighted shares (retries keep
+	// the call's draw). Empty offers the phone default (G.711 µ/A).
+	CodecMix []CodecShare
+	// CalleeCodecs is the answering bank's supported payload-type
+	// list. Empty keeps the G.711 default.
+	CalleeCodecs []int
 	// Seed drives arrivals and hold sampling.
 	Seed uint64
 	// Telemetry, when non-nil, registers shared media-plane counters
@@ -126,7 +146,9 @@ type Config struct {
 
 // CallRecord is the per-call outcome row.
 type CallRecord struct {
-	ID          int
+	ID int
+	// Codec is the CodecShare name this call drew ("" without a mix).
+	Codec       string
 	PlacedAt    time.Duration
 	Established bool
 	Blocked     bool // rejected with 486/503 (capacity)
@@ -222,7 +244,7 @@ func New(net *netsim.Network, callerHost, calleeHost, proxy string, cfg Config) 
 	g.callee = sip.NewPhone(
 		sip.NewEndpoint(transport.NewSim(net, calleeHost+":5060"), clock),
 		sip.PhoneConfig{User: cfg.Target, Password: "pw-" + cfg.Target, Proxy: proxy,
-			MediaPort: 30000, AnswerDelay: cfg.AnswerDelay})
+			MediaPort: 30000, AnswerDelay: cfg.AnswerDelay, Codecs: cfg.CalleeCodecs})
 	return g
 }
 
@@ -273,7 +295,7 @@ func (g *Generator) wireCalleeMedia() {
 			if sess != nil {
 				// Keep receiving briefly for in-flight packets, then
 				// close and file the report with the matching record.
-				report := sess.Report(g.cfg.ScoreCodec)
+				report := sess.Report(g.scoreProfile(c))
 				g.attachCalleeReport(c.CallID, report)
 				sess.Close()
 			}
@@ -306,12 +328,53 @@ func (g *Generator) watchCalleeMedia(c *sip.Call, sess *media.Session) {
 func (g *Generator) newSession(host string, c *sip.Call) *media.Session {
 	mi := c.Media()
 	tr := transport.NewSim(g.net, fmt.Sprintf("%s:%d", host, mi.LocalPort))
-	return media.NewSession(tr, g.clock, media.SessionConfig{
+	sc := media.SessionConfig{
 		Remote:      fmt.Sprintf("%s:%d", mi.RemoteHost, mi.RemotePort),
 		PayloadType: uint8(mi.PayloadType),
 		SSRC:        uint32(mi.LocalPort)<<8 | 1,
 		Metrics:     g.media,
-	})
+	}
+	// Size frames for the negotiated codec (a no-op for G.711, whose
+	// 160-byte/20 ms defaults the session already uses).
+	if cd, ok := codec.ByPayloadType(mi.PayloadType); ok {
+		sc.FrameMs = cd.PtimeMs
+		sc.PayloadBytes = cd.PayloadBytes
+	}
+	return media.NewSession(tr, g.clock, sc)
+}
+
+// scoreProfile picks the E-model profile for one leg's report: the
+// configured default for single-codec runs, the negotiated codec's own
+// profile under a mix.
+func (g *Generator) scoreProfile(c *sip.Call) mos.Codec {
+	if len(g.cfg.CodecMix) == 0 {
+		return g.cfg.ScoreCodec
+	}
+	if cd, ok := codec.ByPayloadType(c.Media().PayloadType); ok {
+		return cd.MOS()
+	}
+	return g.cfg.ScoreCodec
+}
+
+// drawCodec picks a share from the mix. Only multi-share mixes draw
+// from the RNG, so single-codec runs keep the default arrival stream.
+func (g *Generator) drawCodec() CodecShare {
+	mix := g.cfg.CodecMix
+	if len(mix) == 1 {
+		return mix[0]
+	}
+	total := 0.0
+	for _, s := range mix {
+		total += s.Share
+	}
+	x := g.rng.Float64() * total
+	for _, s := range mix {
+		x -= s.Share
+		if x < 0 {
+			return s
+		}
+	}
+	return mix[len(mix)-1]
 }
 
 // attachCalleeReport files the callee-side media report on the record
@@ -365,7 +428,13 @@ func (g *Generator) placeCall() {
 	if g.cfg.HoldDist == HoldExponential {
 		hold = time.Duration(g.rng.Exp(float64(g.cfg.Hold)))
 	}
-	g.attempt(rec, 0, hold)
+	var offer []int
+	if len(g.cfg.CodecMix) > 0 {
+		share := g.drawCodec()
+		rec.Codec = share.Name
+		offer = share.Payloads
+	}
+	g.attempt(rec, 0, hold, offer)
 }
 
 // attempt places one INVITE for the logical call rec. A capacity
@@ -373,9 +442,9 @@ func (g *Generator) placeCall() {
 // backoff, stretched to the server's Retry-After when that is longer —
 // so an overloaded PBX can push its rejected load into the future
 // instead of having it hammer back immediately.
-func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration) {
+func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration, offer []int) {
 	rec.Retries = try
-	call := g.caller.Invite(g.cfg.Target)
+	call := g.caller.InviteCodecs(g.cfg.Target, offer)
 	if g.cfg.Patience > 0 {
 		g.clock.AfterFunc(g.cfg.Patience, func() {
 			if call.State() != sip.CallEstablished && call.State() != sip.CallTerminated {
@@ -418,7 +487,7 @@ func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration) {
 				window := base << uint(try)
 				delay := time.Duration(c.RetryAfter()) * time.Second
 				delay += time.Duration(g.rng.Float64() * float64(window))
-				g.clock.AfterFunc(delay, func() { g.attempt(rec, try+1, hold) })
+				g.clock.AfterFunc(delay, func() { g.attempt(rec, try+1, hold, offer) })
 				return
 			}
 			switch {
@@ -431,7 +500,7 @@ func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration) {
 			}
 		}
 		if sess != nil {
-			rec.CallerMedia = sess.Report(g.cfg.ScoreCodec)
+			rec.CallerMedia = sess.Report(g.scoreProfile(c))
 			rec.MOS = rec.CallerMedia.MOS
 			g.results.RTPSent += rec.CallerMedia.Sent
 			g.results.RTPReceived += rec.CallerMedia.Stream.Received
