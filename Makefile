@@ -6,10 +6,11 @@ BENCH_COUNT ?= 3
 BENCH_DATE  ?= $(shell date +%Y%m%d)
 BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 
-# Coverage floor for the codec negotiation plane (see `make cover`).
+# Coverage floor for the codec negotiation plane and the shard
+# scheduler (see `make cover`).
 COVER_MIN ?= 85
 
-.PHONY: build test vet race chaos-smoke chaos-crash-smoke fuzz-smoke telemetry-smoke cover verify bench bench-check
+.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke fuzz-smoke telemetry-smoke cover verify bench bench-check
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,13 @@ chaos-smoke:
 chaos-crash-smoke:
 	$(GO) test -race -run 'TestCrashFailoverScenario' -count=1 ./internal/chaos/
 
+# The sharded engine under the race detector: the cheap chaos scenario
+# on a 4-shard group, its invariants (including packet-pool gets==puts)
+# checked, and its results diffed bit-for-bit against the
+# single-scheduler engine.
+shard-smoke:
+	$(GO) test -race -run 'TestShardedChaosSmoke' -count=1 ./internal/netsim/difftest/
+
 # Short coverage-guided fuzz of the SIP parser and the SDP
 # offer/answer engine; regression seeds live in
 # internal/sip/testdata/fuzz/ and internal/sdp/testdata/fuzz/.
@@ -44,13 +52,24 @@ fuzz-smoke:
 
 # Coverage gate on the codec negotiation plane: the registry and the
 # SDP offer/answer engine guard the golden-determinism contract, so
-# their statement coverage must not decay below COVER_MIN.
+# their statement coverage must not decay below COVER_MIN. The shard
+# scheduler (internal/netsim/shard.go) carries the same floor — it is
+# the one component where an untested branch can silently break
+# determinism, so its statements are measured across both the netsim
+# unit tests and the difftest differential suite.
 cover:
 	@$(GO) test -coverprofile=.cover.out ./internal/codec/ ./internal/sdp/ > /dev/null
 	@total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { gsub(/%/,"",$$3); print $$3 }'); \
 	rm -f .cover.out; \
 	echo "cover: internal/codec + internal/sdp statements $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }'
+	@$(GO) test -coverprofile=.cover-shard.out -coverpkg=./internal/netsim/ \
+		./internal/netsim/ ./internal/netsim/difftest/ > /dev/null
+	@shard=$$(awk '/internal\/netsim\/shard\.go:/ { stmts[$$1]=$$2; if ($$3 > 0) cov[$$1]=1 } \
+		END { for (k in stmts) { t += stmts[k]; if (k in cov) c += stmts[k] } printf "%.1f", 100*c/t }' .cover-shard.out); \
+	rm -f .cover-shard.out; \
+	echo "cover: internal/netsim/shard.go statements $$shard% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$shard" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }'
 
 # One instrumented overload run dumped to JSON and validated on
 # re-read: proves the metrics registry, tracer and sampler stay wired
@@ -61,8 +80,9 @@ telemetry-smoke:
 	@rm -f .telemetry-smoke.json
 
 # The pre-merge gate: build, vet, full tests, race tests, chaos smoke,
-# crash smoke, fuzz smoke, telemetry smoke, coverage floor.
-verify: build vet test race chaos-smoke chaos-crash-smoke fuzz-smoke telemetry-smoke cover
+# crash smoke, sharded-engine smoke, fuzz smoke, telemetry smoke,
+# coverage floors.
+verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke fuzz-smoke telemetry-smoke cover
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per

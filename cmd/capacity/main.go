@@ -9,6 +9,10 @@
 //	capacity -sizing       # the Sec. IV worked example
 //	capacity -ablations    # design-choice ablations
 //	capacity -codec-mix    # mixed-codec transcoding capacity
+//	capacity -shard-scaling # sharded-engine throughput scaling
+//
+// -shards N runs the experiment engine partitioned across N shard
+// goroutines (bit-identical results, faster on multi-core hosts).
 //
 // -quick switches Table I to the flow-level media model and trims
 // replication counts, for a fast sanity pass.
@@ -38,7 +42,9 @@ func main() {
 		codecMix  = flag.Bool("codec-mix", false, "mixed-codec transcoding capacity table")
 		quick     = flag.Bool("quick", false, "fast mode: flow media, fewer reps")
 		steady    = flag.Bool("steady", false, "Figure 6 in steady-state mode (longer windows, warmup)")
+		scaling   = flag.Bool("shard-scaling", false, "engine scaling: events/sec at shards=1,2,4")
 		capacity  = flag.Int("capacity", 165, "PBX channel capacity")
+		shards    = flag.Int("shards", 0, "run experiments on the partitioned engine with N shards (0 = classic engine)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment workers")
 		seed      = flag.Uint64("seed", 20150525, "base RNG seed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -46,7 +52,7 @@ func main() {
 		telOut    = flag.String("telemetry-out", "", "run one instrumented A=200 E experiment and write its telemetry JSON dump here")
 	)
 	flag.Parse()
-	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras || *codecMix) {
+	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras || *codecMix || *scaling) {
 		*all = true
 	}
 	if *cpuProf != "" {
@@ -80,7 +86,7 @@ func main() {
 	start := time.Now()
 
 	if *telOut != "" {
-		if err := runTelemetryDump(out, *telOut, *capacity, *seed); err != nil {
+		if err := runTelemetryDump(out, *telOut, *capacity, *seed, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "capacity: telemetry-out: %v\n", err)
 			os.Exit(1)
 		}
@@ -95,6 +101,7 @@ func main() {
 			FlowMedia: *quick,
 			Workers:   *workers,
 			Seed:      *seed,
+			Shards:    *shards,
 		})
 		bench.WriteTableI(out, cols)
 		fmt.Fprintln(out)
@@ -137,6 +144,18 @@ func main() {
 		bench.WriteHoldAblation(out, bench.RunHoldAblation(200, reps, *seed))
 		fmt.Fprintln(out)
 		bench.WriteClusterScaling(out, bench.RunClusterScaling(240, 165, 3, *seed))
+		fmt.Fprintln(out)
+	}
+	if *all || *scaling {
+		counts := []int{1, 2, 4}
+		if *shards > 1 {
+			counts = []int{1, *shards}
+		}
+		bench.WriteShardScaling(out, bench.ShardScalingTable(bench.ShardScalingOptions{
+			Capacity:    *capacity,
+			ShardCounts: counts,
+			Seed:        *seed,
+		}))
 		fmt.Fprintln(out)
 	}
 	if *all || *codecMix {

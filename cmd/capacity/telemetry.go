@@ -42,9 +42,9 @@ var requiredFamilies = []string{
 // the configured capacity, the paper's Table I saturation column),
 // writes the JSON dump, then re-reads and validates it — the smoke
 // path `make verify` exercises.
-func runTelemetryDump(out io.Writer, path string, capacity int, seed uint64) error {
+func runTelemetryDump(out io.Writer, path string, capacity int, seed uint64, shards int) error {
 	const workload = 200
-	res := core.Run(core.ExperimentConfig{Workload: workload, Capacity: capacity, Seed: seed})
+	res := core.Run(core.ExperimentConfig{Workload: workload, Capacity: capacity, Seed: seed, Shards: shards})
 	dump := telemetryDump{
 		Workload: workload,
 		Capacity: capacity,

@@ -25,6 +25,9 @@ type TableIOptions struct {
 	Workers int
 	// Seed is the base seed.
 	Seed uint64
+	// Shards > 1 runs each experiment on the partitioned engine; the
+	// results are bit-identical to the classic engine either way.
+	Shards int
 }
 
 // TableIColumn is one workload column of Table I.
@@ -48,6 +51,7 @@ func TableI(opts TableIOptions) []TableIColumn {
 		Capacity: opts.Capacity,
 		Media:    sipp.MediaPacketized,
 		Seed:     opts.Seed,
+		Shards:   opts.Shards,
 	}
 	if opts.FlowMedia {
 		base.Media = sipp.MediaNone

@@ -71,6 +71,25 @@ type Scenario struct {
 	PBX pbx.Config
 	// Load is the offered traffic.
 	Load sipp.Config
+	// Shards, when > 1, runs the scenario on the partitioned engine
+	// (generator bank and PBX on separate schedulers); results are
+	// bit-identical to the single-scheduler run. Faulted links whose
+	// jitter reaches their delay leave no guaranteed cross-shard
+	// lookahead, so those scenarios collapse to a single host group.
+	Shards int
+}
+
+// placementGroups returns the host groups a scenario may split across
+// shards. Impaired links with no guaranteed minimum delay (jitter ≥
+// delay) cannot cross a shard boundary, so such topologies keep every
+// host in one group.
+func (sc Scenario) placementGroups() [][]string {
+	zero := netsim.LinkProfile{}
+	if (sc.Fault.ClientLink != zero && sc.Fault.ClientLink.Lookahead() <= 0) ||
+		(sc.Fault.ServerLink != zero && sc.Fault.ServerLink.Lookahead() <= 0) {
+		return [][]string{{ClientHost, PBXHost, ServerHost}}
+	}
+	return [][]string{{ClientHost, ServerHost}, {PBXHost}}
 }
 
 // Result is everything a run observed.
@@ -92,6 +111,10 @@ type Result struct {
 	Links map[string]netsim.LinkStats
 	// NoRoute counts packets that hit an unbound port (partitions).
 	NoRoute uint64
+	// PoolGets/PoolPuts are the packet pool's lifetime counters summed
+	// over shards; a run that completes its drain with gets != puts has
+	// leaked packet buffers across a shard boundary (ownership bug).
+	PoolGets, PoolPuts uint64
 	// Leak detectors, read after the post-run drain.
 	ActiveChannels     int
 	ActiveTransactions int
@@ -114,8 +137,13 @@ const drainTail = 40 * time.Second
 
 // Run executes one scenario to completion and returns the observation.
 func Run(sc Scenario) (*Result, error) {
-	sched := netsim.NewScheduler()
-	net := netsim.NewNetwork(sched, stats.NewRNG(sc.Seed^0xc4a05))
+	k := sc.Shards
+	if k < 1 {
+		k = 1
+	}
+	group := netsim.NewShardGroup(k)
+	hostShard := netsim.AssignShards(sc.Seed, sc.placementGroups(), k)
+	net := netsim.NewShardedNetwork(group, stats.NewRNG(sc.Seed^0xc4a05), hostShard)
 	net.SetDefaultProfile(netsim.LinkProfile{Delay: time.Millisecond})
 	if sc.Fault.ClientLink != (netsim.LinkProfile{}) {
 		net.SetDuplexLink(ClientHost, PBXHost, sc.Fault.ClientLink)
@@ -124,17 +152,25 @@ func Run(sc Scenario) (*Result, error) {
 		net.SetDuplexLink(PBXHost, ServerHost, sc.Fault.ServerLink)
 	}
 
-	capture := monitor.NewCapture()
-	timeline := monitor.NewTimeline()
-	net.AddTap(capture.Tap())
-	net.AddTap(timeline.Tap())
+	// Wire observation: one capture/timeline per shard (each packet is
+	// tapped exactly once, on its sender's shard), merged after the run.
+	captures := make([]*monitor.Capture, k)
+	timelines := make([]*monitor.Timeline, k)
+	for s := 0; s < k; s++ {
+		captures[s] = monitor.NewCapture()
+		timelines[s] = monitor.NewTimeline()
+		net.AddShardTap(s, captures[s].Tap())
+		net.AddShardTap(s, timelines[s].Tap())
+	}
+	capture, timeline := captures[0], timelines[0]
 
-	clock := transport.SimClock{Sched: sched}
+	pbxSched := net.SchedulerFor(PBXHost)
+	clock := transport.SimClock{Sched: pbxSched}
 
 	// Observation plane, same shape as a core experiment: one shared
 	// registry, scheduler pull-metrics, and a per-second sampler.
 	reg := telemetry.NewRegistry()
-	monitor.RegisterScheduler(reg, sched)
+	monitor.RegisterScheduler(reg, group)
 	dir := directory.New()
 	dir.AddUser(directory.User{Username: "uac", Password: "pw-uac"})
 	target := sc.Load.Target
@@ -171,13 +207,13 @@ func Run(sc Scenario) (*Result, error) {
 	sigAddr := netsim.Addr{Host: PBXHost, Port: 5060}
 	for _, p := range sc.Fault.Partitions {
 		p := p
-		sched.At(p.Start, func(time.Duration) {
+		pbxSched.At(p.Start, func(time.Duration) {
 			saved := net.Handler(sigAddr)
 			if saved == nil {
 				return
 			}
 			net.Unbind(sigAddr)
-			sched.At(p.Start+p.Duration, func(time.Duration) {
+			pbxSched.At(p.Start+p.Duration, func(time.Duration) {
 				net.Bind(sigAddr, saved)
 			})
 		})
@@ -186,11 +222,21 @@ func Run(sc Scenario) (*Result, error) {
 	sampler := monitor.NewSampler(reg, clock)
 	sampler.Start()
 
+	genSched := net.SchedulerFor(ClientHost)
+	genShard := net.ShardOf(ClientHost)
 	var out sipp.Results
 	done := false
-	gen.Start(func(r sipp.Results) { out = r; done = true; sampler.Stop() })
+	gen.Start(func(r sipp.Results) {
+		out = r
+		done = true
+		// The sampler lives on the PBX shard; stopping it from the
+		// generator's completion event is staged as a barrier control,
+		// stamped with the decision time (see Sampler.StopAt).
+		doneAt := genSched.Now()
+		group.Control(genShard, func() { sampler.StopAt(doneAt) })
+	})
 	for i := 0; i < 200 && !done; i++ {
-		if _, err := sched.Run(sched.Now() + 10*time.Minute); err != nil {
+		if err := group.Run(group.Now() + 10*time.Minute); err != nil {
 			return nil, err
 		}
 	}
@@ -199,15 +245,24 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	// Let retransmission timers, lingering transactions and in-flight
 	// packets drain so the leak checks below measure leaks, not timing.
-	if _, err := sched.Run(sched.Now() + drainTail); err != nil {
+	if err := group.Run(group.Now() + drainTail); err != nil {
 		return nil, err
 	}
 	server.Close()
+	for _, c := range captures[1:] {
+		capture.Merge(c)
+	}
+	for _, tl := range timelines[1:] {
+		timeline.Merge(tl)
+	}
 
 	lo, mean, hi := server.CPUBand()
+	gets, puts := net.PoolStats()
 	res := &Result{
 		Scenario:           sc.Name,
 		Load:               out,
+		PoolGets:           gets,
+		PoolPuts:           puts,
 		Counters:           server.CountersSnapshot(),
 		CDRs:               server.CDRs(),
 		Signaling:          server.SignalingStats(),
@@ -260,9 +315,14 @@ func (r *Result) Goodput(minMOS float64) int {
 //   - CDRs balance the counters: completed CDRs == Completed,
 //     established CDRs == Established;
 //   - generator accounting conserves calls:
-//     Attempts == Established + Blocked + Abandoned + Failed.
+//     Attempts == Established + Blocked + Abandoned + Failed;
+//   - the packet pool balances: every packet taken from the pool went
+//     back exactly once, whichever shard released it.
 func (r *Result) CheckInvariants() []string {
 	var bad []string
+	if r.PoolGets != r.PoolPuts {
+		bad = append(bad, fmt.Sprintf("packet pool leak: %d gets vs %d puts", r.PoolGets, r.PoolPuts))
+	}
 	if r.ActiveChannels != 0 {
 		bad = append(bad, fmt.Sprintf("channel leak: %d channels still held", r.ActiveChannels))
 	}

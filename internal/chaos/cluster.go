@@ -70,6 +70,11 @@ type ClusterScenario struct {
 	Load sipp.Config
 	// Ops is the fault script.
 	Ops []Op
+	// Shards, when > 1, runs the scenario on the partitioned engine:
+	// the balancer and its backends share one shard (placement reads
+	// backend state synchronously), the generator banks another.
+	// Results are bit-identical to the single-scheduler run.
+	Shards int
 }
 
 // BackendReport is one backend's post-run accounting, aggregated
@@ -106,20 +111,37 @@ type ClusterResult struct {
 	Backends []BackendReport
 	// NoRoute counts packets that hit an unbound port — a crashed
 	// server's blackholed signalling and media.
-	NoRoute   uint64
-	Telemetry telemetry.Snapshot
-	Series    []monitor.Sample
+	NoRoute uint64
+	// PoolGets/PoolPuts are the packet pool's lifetime counters summed
+	// over shards; gets != puts after the drain is a buffer leak.
+	PoolGets, PoolPuts uint64
+	Telemetry          telemetry.Snapshot
+	Series             []monitor.Sample
 }
 
 // RunCluster executes one cluster scenario to completion.
 func RunCluster(sc ClusterScenario) (*ClusterResult, error) {
-	sched := netsim.NewScheduler()
-	net := netsim.NewNetwork(sched, stats.NewRNG(sc.Seed^0xc4a05))
+	k := sc.Shards
+	if k < 1 {
+		k = 1
+	}
+	// The balancer and every backend share a shard: placement decisions
+	// read backend channel occupancy synchronously. The generator banks
+	// take another; all cross-shard traffic rides default 1 ms links.
+	farm := []string{"balancer"}
+	for i := 0; i < sc.Servers; i++ {
+		farm = append(farm, fmt.Sprintf("pbx%d", i+1))
+	}
+	groups := [][]string{farm, {ClientHost, ServerHost}}
+	group := netsim.NewShardGroup(k)
+	hostShard := netsim.AssignShards(sc.Seed, groups, k)
+	net := netsim.NewShardedNetwork(group, stats.NewRNG(sc.Seed^0xc4a05), hostShard)
 	net.SetDefaultProfile(netsim.LinkProfile{Delay: time.Millisecond})
-	clock := transport.SimClock{Sched: sched}
+	farmSched := net.SchedulerFor("balancer")
+	clock := transport.SimClock{Sched: farmSched}
 
 	reg := telemetry.NewRegistry()
-	monitor.RegisterScheduler(reg, sched)
+	monitor.RegisterScheduler(reg, group)
 
 	pbxCfg := sc.PerServer
 	if pbxCfg.Seed == 0 {
@@ -155,7 +177,7 @@ func RunCluster(sc ClusterScenario) (*ClusterResult, error) {
 
 	for _, op := range sc.Ops {
 		op := op
-		sched.At(op.At, func(time.Duration) {
+		farmSched.At(op.At, func(time.Duration) {
 			switch op.Kind {
 			case CrashServer:
 				cl.CrashBackend(op.Backend)
@@ -170,11 +192,20 @@ func RunCluster(sc ClusterScenario) (*ClusterResult, error) {
 	sampler := monitor.NewSampler(reg, clock)
 	sampler.Start()
 
+	genSched := net.SchedulerFor(ClientHost)
+	genShard := net.ShardOf(ClientHost)
 	var out sipp.Results
 	done := false
-	gen.Start(func(r sipp.Results) { out = r; done = true; sampler.Stop() })
+	gen.Start(func(r sipp.Results) {
+		out = r
+		done = true
+		// The sampler lives on the farm shard; stop it via a barrier
+		// control stamped with the decision time (see Sampler.StopAt).
+		doneAt := genSched.Now()
+		group.Control(genShard, func() { sampler.StopAt(doneAt) })
+	})
 	for i := 0; i < 200 && !done; i++ {
-		if _, err := sched.Run(sched.Now() + 10*time.Minute); err != nil {
+		if err := group.Run(group.Now() + 10*time.Minute); err != nil {
 			return nil, err
 		}
 	}
@@ -185,7 +216,7 @@ func RunCluster(sc ClusterScenario) (*ClusterResult, error) {
 	// traffic keeps lingering server transactions alive on every
 	// backend, which would read as a leak below.
 	cl.StopProbes()
-	if _, err := sched.Run(sched.Now() + drainTail); err != nil {
+	if err := group.Run(group.Now() + drainTail); err != nil {
 		return nil, err
 	}
 
@@ -194,6 +225,7 @@ func RunCluster(sc ClusterScenario) (*ClusterResult, error) {
 		Load:     out,
 		NoRoute:  net.NoRoute(),
 	}
+	res.PoolGets, res.PoolPuts = net.PoolStats()
 	for i := 0; i < sc.Servers; i++ {
 		rep := BackendReport{Host: fmt.Sprintf("pbx%d", i+1)}
 		recovered := cl.Recovered(i)
@@ -252,6 +284,9 @@ func RunCluster(sc ClusterScenario) (*ClusterResult, error) {
 //   - generator accounting conserves calls.
 func (r *ClusterResult) CheckInvariants() []string {
 	var bad []string
+	if r.PoolGets != r.PoolPuts {
+		bad = append(bad, fmt.Sprintf("packet pool leak: %d gets vs %d puts", r.PoolGets, r.PoolPuts))
+	}
 	for _, b := range r.Backends {
 		if b.ActiveChannels != 0 {
 			bad = append(bad, fmt.Sprintf("%s: channel leak: %d channels still held", b.Host, b.ActiveChannels))

@@ -77,6 +77,20 @@ type ExperimentConfig struct {
 	QualityFloorMOS float64
 	// Seed drives all randomness in the run.
 	Seed uint64
+	// Shards, when > 1, partitions the simulated fabric across that
+	// many schedulers running on dedicated goroutines, synchronized
+	// with conservative lookahead on the minimum cross-shard link
+	// delay. The event order — and therefore every result field — is
+	// bit-identical to the single-threaded engine. 0 or 1 runs the
+	// classic single-scheduler engine.
+	Shards int
+	// Islands, when > 1, replicates the whole workload that many times
+	// in one simulation: island 0 keeps the canonical host names and
+	// seeds and is the one the result reports; the replicas only add
+	// events. With Shards > 1 each island is placed whole on one shard
+	// (no cross-shard traffic), which is the near-linear-scaling
+	// configuration the engine benchmarks use.
+	Islands int
 }
 
 // withDefaults fills the paper's parameter values.
@@ -127,6 +141,10 @@ type ExperimentResult struct {
 	// Series is the per-second sampler series (offered load, active
 	// calls, blocking, goodput, setup-latency quantiles).
 	Series []monitor.Sample
+	// CDRs is the server's call-detail-record stream in close order,
+	// the ledger the determinism-differential harness compares between
+	// engine modes.
+	CDRs []pbx.CDR
 }
 
 // BlockingProbability returns the measured Pb.
@@ -142,6 +160,9 @@ func (r ExperimentResult) AnalyticalBlocking(n int) float64 {
 
 // Run executes one experiment to completion and returns its results.
 func Run(cfg ExperimentConfig) ExperimentResult {
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
+	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
@@ -252,6 +273,7 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 	}
 	res.CPULo, res.CPUMean, res.CPUHi = server.CPUBand()
 	res.MOS = collectMOS(cfg, server, results)
+	res.CDRs = server.CDRs()
 	res.Telemetry = reg.Snapshot()
 	res.Series = sampler.Samples()
 	return res

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/pbx"
+	"repro/internal/sip"
+	"repro/internal/sipp"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// islandSalt decorrelates the replica workloads' seeds. Island 0 uses
+// salt 0, keeping the canonical seeds of the single-threaded engine.
+func islandSalt(i int) uint64 { return uint64(i) * 0x9e3779b97f4a7c15 }
+
+// islandHosts returns the host names of one workload replica. Island 0
+// keeps the canonical names, so its traffic, telemetry and capture are
+// byte-identical to a single-island run.
+func islandHosts(i int) (pbxHost, callerHost, calleeHost string) {
+	if i == 0 {
+		return "pbx", "sippc", "sipps"
+	}
+	return fmt.Sprintf("pbx%d", i), fmt.Sprintf("sippc%d", i), fmt.Sprintf("sipps%d", i)
+}
+
+// runSharded is Run on the partitioned engine: cfg.Shards schedulers in
+// conservative-lookahead lock-step, with host groups placed by
+// AssignShards. Every observable result field is bit-identical to the
+// single-threaded engine for the same config and seed (the difftest
+// package pins this); only Elapsed differs.
+func runSharded(cfg ExperimentConfig) ExperimentResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	k := cfg.Shards
+	nIslands := cfg.Islands
+	if nIslands < 1 {
+		nIslands = 1
+	}
+
+	group := netsim.NewShardGroup(k)
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Placement: a lone island splits into {generator pair} and {pbx}
+	// so the signalling and media paths actually cross shards; replica
+	// islands are placed whole (they never talk to each other, which
+	// unbounds the lookahead and is what makes them scale).
+	var groups [][]string
+	for i := 0; i < nIslands; i++ {
+		p, c, s := islandHosts(i)
+		if nIslands > 1 {
+			groups = append(groups, []string{p, c, s})
+		} else {
+			groups = append(groups, []string{c, s}, []string{p})
+		}
+	}
+	hostShard := netsim.AssignShards(cfg.Seed, groups, k)
+	net := netsim.NewShardedNetwork(group, rng.Split(), hostShard)
+	if nIslands > 1 {
+		net.SetIsolatedShards()
+	}
+	net.SetDefaultProfile(netsim.LinkProfile{
+		Delay:  cfg.LinkDelay,
+		Jitter: cfg.LinkJitter,
+		Loss:   cfg.LinkLoss,
+	})
+
+	reg := telemetry.NewRegistry()
+	monitor.RegisterScheduler(reg, group)
+
+	// Measurement taps: one capture per shard that carries island-0
+	// hosts, merged after the run. With replicas present the taps
+	// filter on island-0 senders so the merged capture equals the
+	// single-island one.
+	obsShards := map[int]bool{net.ShardOf("pbx"): true, net.ShardOf("sippc"): true}
+	var caps []*monitor.Capture
+	for s := 0; s < k; s++ {
+		if !obsShards[s] {
+			continue
+		}
+		c := monitor.NewCapture()
+		caps = append(caps, c)
+		tap := c.Tap()
+		if nIslands > 1 {
+			inner := tap
+			tap = func(now time.Duration, pkt *netsim.Packet) {
+				switch pkt.Src.Host {
+				case "pbx", "sippc", "sipps":
+					inner(now, pkt)
+				}
+			}
+		}
+		net.AddShardTap(s, tap)
+	}
+
+	type island struct {
+		server   *pbx.Server
+		finished bool
+		results  sipp.Results
+	}
+	islands := make([]*island, nIslands)
+
+	var sampler *monitor.Sampler
+	for i := 0; i < nIslands; i++ {
+		isl := &island{}
+		islands[i] = isl
+		pbxHost, callerHost, calleeHost := islandHosts(i)
+		pbxClock := transport.SimClock{Sched: net.SchedulerFor(pbxHost)}
+
+		var islReg *telemetry.Registry
+		if i == 0 {
+			islReg = reg
+		}
+
+		dir := directory.New()
+		for _, u := range []string{"uac", "uas"} {
+			if err := dir.AddUser(directory.User{Username: u, Password: "pw-" + u}); err != nil {
+				panic(fmt.Sprintf("core: provisioning %s: %v", u, err))
+			}
+		}
+		host := pbxHost
+		factory := func(port int) (transport.Transport, error) {
+			return transport.NewSim(net, fmt.Sprintf("%s:%d", host, port)), nil
+		}
+		pbxEP := sip.NewEndpoint(transport.NewSim(net, pbxHost+":5060"), pbxClock)
+		if islReg != nil {
+			pbxEP.UseTelemetry(islReg)
+		}
+		isl.server = pbx.New(
+			pbxEP,
+			dir, factory,
+			pbx.Config{
+				MaxChannels:     cfg.Capacity,
+				CPUAdmission:    cfg.CPUAdmission,
+				CPUThreshold:    cfg.CPUThreshold,
+				RelayRTP:        cfg.Media == sipp.MediaPacketized,
+				Codecs:          cfg.PBXCodecs,
+				QualityFloorMOS: cfg.QualityFloorMOS,
+				Seed:            cfg.Seed ^ 0x9bd1 ^ islandSalt(i),
+				Telemetry:       islReg,
+			})
+
+		gen := sipp.New(net, callerHost, calleeHost, pbxHost+":5060", sipp.Config{
+			Rate:         cfg.ArrivalRate(),
+			Window:       cfg.Window,
+			Warmup:       cfg.Warmup,
+			Hold:         cfg.Hold,
+			Arrivals:     cfg.Arrivals,
+			HoldDist:     cfg.HoldDist,
+			Media:        cfg.Media,
+			CodecMix:     cfg.CodecMix,
+			CalleeCodecs: cfg.CalleeCodecs,
+			Target:       "uas",
+			Seed:         cfg.Seed ^ 0x51bb01 ^ islandSalt(i),
+			Telemetry:    islReg,
+		})
+
+		if i == 0 {
+			// The sampler ticks as an event on the PBX shard, exactly
+			// like the single-threaded engine; whole-second window
+			// splits make each tick's cross-shard counter reads
+			// deterministic.
+			sampler = monitor.NewSampler(reg, pbxClock)
+			sampler.Start()
+		}
+
+		genSched := net.SchedulerFor(callerHost)
+		genShard := net.ShardOf(callerHost)
+		isl0 := i == 0
+		server := isl.server
+		gen.Start(func(r sipp.Results) {
+			isl.results = r
+			isl.finished = true
+			// Stopping the sampler and freezing the PBX touch another
+			// shard's state, so both are staged as barrier controls —
+			// stamped with the decision time so the flushed sample
+			// matches the single-threaded engine's.
+			doneAt := genSched.Now()
+			group.Control(genShard, func() {
+				if isl0 {
+					sampler.StopAt(doneAt)
+				}
+				server.Close()
+			})
+		})
+	}
+
+	allDone := func() bool {
+		for _, isl := range islands {
+			if !isl.finished {
+				return false
+			}
+		}
+		return true
+	}
+
+	horizon := cfg.Window + 10*cfg.Hold + 5*time.Minute
+	if err := group.Run(horizon); err != nil {
+		panic(fmt.Sprintf("core: sharded scheduler: %v", err))
+	}
+	if !allDone() {
+		for i := 0; i < 64 && !allDone(); i++ {
+			if err := group.Run(group.Now() + horizon); err != nil {
+				panic(fmt.Sprintf("core: sharded scheduler: %v", err))
+			}
+		}
+		if !allDone() {
+			panic("core: experiment did not converge")
+		}
+	}
+
+	capture := caps[0]
+	for _, c := range caps[1:] {
+		capture.Merge(c)
+	}
+
+	server0 := islands[0].server
+	res := ExperimentResult{
+		Config:       cfg,
+		Load:         islands[0].results,
+		Server:       server0.CountersSnapshot(),
+		Capture:      capture.Row(),
+		ChannelsUsed: server0.CountersSnapshot().PeakChannels,
+		Events:       group.Fired(),
+		Elapsed:      time.Since(start),
+	}
+	res.CPULo, res.CPUMean, res.CPUHi = server0.CPUBand()
+	res.MOS = collectMOS(cfg, server0, islands[0].results)
+	res.CDRs = server0.CDRs()
+	res.Telemetry = reg.Snapshot()
+	res.Series = sampler.Samples()
+	return res
+}

@@ -92,6 +92,31 @@ func (c *Capture) Observe(now time.Duration, data []byte) {
 	c.unparsable++
 }
 
+// Merge folds other's counts into c. A sharded run gives every shard
+// its own Capture (registered with Network.AddShardTap, so each only
+// sees traffic sent by its own hosts) and merges them afterwards; the
+// sums equal what one capture on a single-threaded run records, since
+// every packet is observed by exactly one shard's tap.
+func (c *Capture) Merge(other *Capture) {
+	for k, v := range other.sipByKind {
+		c.sipByKind[k] += v
+	}
+	c.sipTotal += other.sipTotal
+	c.errorMsgs += other.errorMsgs
+	c.rtpPackets += other.rtpPackets
+	c.rtpBytes += other.rtpBytes
+	c.unparsable += other.unparsable
+	if other.sawAny {
+		if !c.sawAny || other.firstAt < c.firstAt {
+			c.firstAt = other.firstAt
+		}
+		if !c.sawAny || other.lastAt > c.lastAt {
+			c.lastAt = other.lastAt
+		}
+		c.sawAny = true
+	}
+}
+
 // statusKey interns the decimal row label for a status code.
 func (c *Capture) statusKey(code int) string {
 	if s, ok := c.statusStrs[code]; ok {

@@ -160,7 +160,14 @@ func (sp *Sampler) observe(now time.Duration) {
 
 // Stop halts sampling, flushing a final partial-second sample when
 // time advanced past the last tick.
-func (sp *Sampler) Stop() {
+func (sp *Sampler) Stop() { sp.StopAt(sp.clock.Now()) }
+
+// StopAt halts sampling with the final partial-second sample stamped at
+// now — the virtual time the stopping decision was made. A sharded run
+// stages the stop as a barrier control, so the clock has moved past the
+// decision by the time it applies; passing the decision time keeps the
+// flushed sample identical to the single-threaded engine's.
+func (sp *Sampler) StopAt(now time.Duration) {
 	if sp.stopped {
 		return
 	}
@@ -168,7 +175,7 @@ func (sp *Sampler) Stop() {
 	if sp.timer != nil {
 		sp.timer.Stop()
 	}
-	if now := sp.clock.Now(); now > sp.lastT {
+	if now > sp.lastT {
 		sp.observe(now)
 	}
 }
@@ -209,11 +216,17 @@ func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 	return cw.Error()
 }
 
+// SchedStatser is anything exposing scheduler counters: a single
+// netsim.Scheduler or a netsim.ShardGroup summing across shards.
+type SchedStatser interface {
+	Stats() netsim.SchedStats
+}
+
 // RegisterScheduler exposes the netsim scheduler's internals as
 // pull-style sched_* families: the values are read from
 // Scheduler.Stats() when a snapshot or exposition runs, so the event
 // loop itself pays nothing per event.
-func RegisterScheduler(reg *telemetry.Registry, sched *netsim.Scheduler) {
+func RegisterScheduler(reg *telemetry.Registry, sched SchedStatser) {
 	reg.CounterFunc("sched_events_total", "events fired by the virtual-time scheduler",
 		func() float64 { return float64(sched.Stats().Fired) })
 	reg.CounterFunc("sched_scheduled_total", "events ever scheduled",

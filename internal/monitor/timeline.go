@@ -120,6 +120,20 @@ func (t *Timeline) bucket(now time.Duration) *Second {
 	return &t.buckets[idx]
 }
 
+// Merge folds other's buckets into t, for combining per-shard
+// timelines. Retransmission detection stays exact across the split: a
+// message and its wire duplicates are always sent by the same host,
+// hence observed by the same shard's timeline and deduplicated against
+// the same seen-set.
+func (t *Timeline) Merge(other *Timeline) {
+	for len(t.buckets) < len(other.buckets) {
+		t.buckets = append(t.buckets, Second{})
+	}
+	for i := range other.buckets {
+		t.buckets[i].add(other.buckets[i])
+	}
+}
+
 // Buckets returns the per-second series, index 0 = virtual t in [0,1s).
 func (t *Timeline) Buckets() []Second { return t.buckets }
 

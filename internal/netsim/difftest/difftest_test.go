@@ -1,0 +1,181 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sipp"
+)
+
+// goldenEvents pins the sharded engine directly against the event
+// totals of internal/core's TestGoldenDeterminism: the partitioned run
+// must fire exactly the events the single-threaded engine fires, not
+// merely agree with a fresh legacy run.
+var goldenEvents = map[string]map[uint64]uint64{
+	"signalling-200E": {1: 5882, 42: 5704, 160: 6169},
+	"flow-model-12E":  {1: 915, 42: 934, 160: 1133},
+	"packetized-12E":  {1: 576947, 42: 612968, 160: 1009189},
+}
+
+func goldenConfigs() map[string]func(seed uint64) core.ExperimentConfig {
+	return map[string]func(seed uint64) core.ExperimentConfig{
+		"signalling-200E": func(seed uint64) core.ExperimentConfig {
+			return core.ExperimentConfig{Workload: 200, Capacity: 165, Seed: seed}
+		},
+		"flow-model-12E": func(seed uint64) core.ExperimentConfig {
+			return core.ExperimentConfig{Workload: 12, Capacity: 165, Media: sipp.MediaNone, Seed: seed}
+		},
+		"packetized-12E": func(seed uint64) core.ExperimentConfig {
+			return core.ExperimentConfig{Workload: 12, Capacity: 165, Media: sipp.MediaPacketized, Seed: seed}
+		},
+	}
+}
+
+// TestDiffGoldenConfigs runs every golden configuration at three seeds
+// under shards=2 and shards=4, demanding bit-identical results against
+// the single-threaded engine and the pinned golden event totals. The
+// flow-model seed-1 cell doubles as the telemetry-snapshot golden
+// (core pins its JSON byte-for-byte; the diff harness pins sharded ==
+// legacy, so the sharded snapshot is transitively pinned to the file).
+func TestDiffGoldenConfigs(t *testing.T) {
+	for name, mk := range goldenConfigs() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []uint64{1, 42, 160} {
+				for _, shards := range []int{2, 4} {
+					cfg := mk(seed)
+					if diffs := DiffExperiment(cfg, shards); len(diffs) > 0 {
+						for _, d := range diffs {
+							t.Errorf("seed=%d shards=%d %s", seed, shards, d)
+						}
+						return
+					}
+					cfg.Shards = shards
+					if got, want := ExperimentEvents(cfg), goldenEvents[name][seed]; got != want {
+						t.Errorf("seed=%d shards=%d events=%d, golden pin %d", seed, shards, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDiffCodecMix covers the transcoding plane: a mixed-codec
+// workload against an all-codec PBX forces SDP negotiation, payload
+// re-framing and per-call codec RNG draws through the sharded engine.
+func TestDiffCodecMix(t *testing.T) {
+	cfg := core.ExperimentConfig{
+		Workload: 12, Capacity: 165, Media: sipp.MediaPacketized,
+		CodecMix: []sipp.CodecShare{
+			{Name: "g711", Payloads: []int{0, 8}, Share: 0.5},
+			{Name: "g729", Payloads: []int{18}, Share: 0.5},
+		},
+		PBXCodecs:    codec.AllPayloadTypes(),
+		CalleeCodecs: []int{0, 8},
+		Seed:         42,
+	}
+	for _, shards := range []int{2, 4} {
+		for _, d := range DiffExperiment(cfg, shards) {
+			t.Errorf("shards=%d %s", shards, d)
+		}
+	}
+}
+
+// TestDiffIslands checks the replicated-workload placement: island 0 of
+// a 4-island, 4-shard run must report exactly what a single-island
+// single-thread run reports, while the replicas only add events.
+func TestDiffIslands(t *testing.T) {
+	base := core.ExperimentConfig{Workload: 12, Capacity: 10, Seed: 7}
+	single := core.Run(base)
+	repl := base
+	repl.Shards = 4
+	repl.Islands = 4
+	res := core.Run(repl)
+	if got, want := res.Load, single.Load; len(got.Records) != len(want.Records) || got.Attempts != want.Attempts {
+		t.Errorf("island-0 load diverged: %+v vs %+v", got, want)
+	}
+	if len(res.CDRs) != len(single.CDRs) {
+		t.Errorf("island-0 CDRs: %d vs %d", len(res.CDRs), len(single.CDRs))
+	}
+	if res.Capture != single.Capture {
+		t.Errorf("island-0 capture diverged: %+v vs %+v", res.Capture, single.Capture)
+	}
+	if res.Events <= single.Events {
+		t.Errorf("replicas added no events: %d vs %d", res.Events, single.Events)
+	}
+}
+
+// TestDiffChaosScenarios replays the full chaos catalog — overload
+// control, dirty links (jitter ≥ delay collapses to one host group),
+// signalling partitions, the Erlang operating point — on the
+// partitioned engine.
+func TestDiffChaosScenarios(t *testing.T) {
+	for _, sc := range chaos.Catalog(7) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, d := range DiffScenario(sc, 4) {
+				t.Errorf("shards=4 %s", d)
+			}
+		})
+	}
+}
+
+// TestDiffChaosSmokeShards2 adds the intermediate shard count on the
+// cheap scenario, so both the split and the collapsed placements see a
+// 2-shard group.
+func TestDiffChaosSmokeShards2(t *testing.T) {
+	for _, sc := range []chaos.Scenario{chaos.Smoke(7), chaos.DirtyLink(7)} {
+		for _, d := range DiffScenario(sc, 2) {
+			t.Errorf("%s shards=2 %s", sc.Name, d)
+		}
+	}
+}
+
+// TestDiffClusterScenarios replays the server-failure drills — crash
+// with failover, crash with live media, rolling drain — sharded, which
+// exercises barrier-applied crash/restart ops, cross-shard probe-plane
+// silence and the CDR journal recovery path.
+func TestDiffClusterScenarios(t *testing.T) {
+	cases := []chaos.ClusterScenario{
+		chaos.CrashFailover(7),
+		chaos.CrashMedia(7),
+		chaos.DrainRolling(7),
+	}
+	for _, sc := range cases {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, shards := range []int{2, 4} {
+				for _, d := range DiffCluster(sc, shards) {
+					t.Errorf("shards=%d %s", shards, d)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedChaosSmoke is the `make verify` gate: the cheap end-to-end
+// scenario on a 4-shard group (usually under -race via the Makefile),
+// with the scenario's own invariants — including the packet-pool
+// gets==puts balance — checked on the sharded run.
+func TestShardedChaosSmoke(t *testing.T) {
+	sc := chaos.Smoke(7)
+	sc.Shards = 4
+	res, err := chaos.Run(sc)
+	if err != nil {
+		t.Fatalf("sharded smoke: %v", err)
+	}
+	for _, v := range res.CheckInvariants() {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if res.PoolGets == 0 {
+		t.Fatalf("pool counters not wired: gets=0 after a packetized run")
+	}
+	for _, d := range DiffScenario(chaos.Smoke(7), 4) {
+		t.Errorf("shards=4 %s", d)
+	}
+}

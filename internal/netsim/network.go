@@ -21,6 +21,15 @@ func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
 // pooled: both the Packet and its Payload are only valid for the
 // duration of the HandlePacket (or Tap) call that receives them.
 // Handlers that need the bytes later must copy them.
+//
+// Ownership across shards: a packet is allocated from the sending
+// shard's pool, but released into the pool of the shard recorded in
+// its shard field — the destination host's shard for a handoff. The
+// receiving shard is the only goroutine touching the packet after the
+// barrier publishes it, so neither the payload buffer nor the free
+// list is ever shared between concurrently running shards. The
+// gets/puts pool counters stay balanced globally, not per shard; the
+// PoolStats invariant checks exactly that.
 type Packet struct {
 	Src, Dst Addr
 	Payload  []byte
@@ -32,7 +41,8 @@ type Packet struct {
 	// schedules without allocating a closure.
 	n      *Network
 	l      *link
-	rated  bool // holds a serialization queue slot to release
+	shard  int32 // shard whose pool receives the packet on release
+	rated  bool  // holds a same-shard serialization queue slot to release
 	srcStr string
 	buf    []byte // backing array for Payload, reused across lives
 }
@@ -47,7 +57,10 @@ func (p *Packet) SrcString() string {
 }
 
 // RunEvent delivers the packet; it is the scheduler callback for every
-// in-flight datagram.
+// in-flight datagram. rated is only ever set on same-shard deliveries:
+// a cross-shard delivery must not touch the sending shard's queue
+// counter, so rate-limited handoffs release their queue slot lazily on
+// the sending side instead (see link.pendingRelease).
 func (p *Packet) RunEvent(now time.Duration) {
 	if p.rated && p.l.queued > 0 {
 		p.l.queued--
@@ -93,13 +106,53 @@ type LinkProfile struct {
 	ReorderDelay time.Duration
 }
 
+// Lookahead returns the profile's guaranteed minimum delay — the
+// conservative-synchronization budget a link contributes when it
+// crosses a shard boundary. Jitter subtracts from it; serialization,
+// reordering and duplication only ever add delay.
+func (p LinkProfile) Lookahead() time.Duration {
+	d := p.Delay - p.Jitter
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// link state is owned by the shard of its source host: every field
+// except delivered is only touched during that shard's Send calls.
+// delivered is written by the destination shard at delivery time and
+// read after the run — a disjoint field, so the single-writer rule
+// holds per field.
 type link struct {
-	profile LinkProfile
+	profile    LinkProfile
+	rng        *stats.RNG
+	dstShard   int32
+	crossShard bool
 	// busyUntil tracks the serialization horizon for rate limiting.
 	busyUntil time.Duration
 	queued    int
+	// pendingRelease holds the arrival times of rate-limited packets
+	// handed to another shard; their queue slots free lazily when the
+	// sending shard next consults the queue. Arrival times are
+	// monotone per link, so the slice stays sorted by construction.
+	pendingRelease []time.Duration
+	relHead        int
 	// counters
 	sent, dropped, delivered, duplicated, reordered uint64
+}
+
+// releaseDue frees queue slots whose packets have arrived by now.
+func (l *link) releaseDue(now time.Duration) {
+	for l.relHead < len(l.pendingRelease) && l.pendingRelease[l.relHead] <= now {
+		if l.queued > 0 {
+			l.queued--
+		}
+		l.relHead++
+	}
+	if l.relHead == len(l.pendingRelease) {
+		l.pendingRelease = l.pendingRelease[:0]
+		l.relHead = 0
+	}
 }
 
 // LinkStats reports per-link counters. Delivered counts duplicate
@@ -111,66 +164,145 @@ type LinkStats struct {
 
 // Tap observes every packet accepted onto the network, before loss is
 // applied — the position a port-mirroring switch (where the paper ran
-// Wireshark) would see.
+// Wireshark) would see. Taps run on the shard of the sending host.
 type Tap func(now time.Duration, pkt *Packet)
 
-// Network is a simulated datagram fabric: hosts, point-to-point link
-// profiles, and port bindings. All methods must be called from the
-// scheduler's goroutine (i.e., inside events or before Run).
-type Network struct {
-	sched    *Scheduler
-	rng      *stats.RNG
-	links    map[[2]string]*link
-	defaults LinkProfile
-	bindings map[Addr]Handler
-	taps     []Tap
-	// counters
-	noRoute uint64
-
-	// pktFree recycles delivered packets; addrStrs interns the
-	// "host:port" form of source addresses so the transport layer's
-	// receive path never formats strings per packet.
-	pktFree  []*Packet
-	addrStrs map[Addr]string
+// handoff is one cross-shard delivery staged in an outbox: the packet
+// plus the (at, schedAt, ord) key the destination scheduler needs to
+// place it exactly where the sending shard would have.
+type handoff struct {
+	at, schedAt time.Duration
+	ord         uint64
+	pkt         *Packet
 }
 
-// NewNetwork creates a network on the given scheduler, with rng
-// driving loss and jitter decisions.
-func NewNetwork(s *Scheduler, rng *stats.RNG) *Network {
-	return &Network{
-		sched:    s,
-		rng:      rng,
+// netShard is the per-shard slice of the network: everything a Send or
+// a delivery touches on the hot path, owned by exactly one shard
+// goroutine while the group runs.
+type netShard struct {
+	sched    *Scheduler
+	links    map[[2]string]*link // links whose source host lives here
+	bindings map[Addr]Handler    // addresses whose host lives here
+	taps     []Tap
+	pktFree  []*Packet
+	addrStrs map[Addr]string
+	noRoute  uint64
+	gets     uint64 // packets taken from (or allocated for) the pool
+	puts     uint64 // packets returned to the pool
+	outSeq   uint64 // handoff ordinal counter, unique per source shard
+	outbox   [][]handoff
+}
+
+func newNetShard(sched *Scheduler, n int) *netShard {
+	return &netShard{
+		sched:    sched,
 		links:    make(map[[2]string]*link),
 		bindings: make(map[Addr]Handler),
 		addrStrs: make(map[Addr]string),
+		outbox:   make([][]handoff, n),
 	}
 }
 
-// newPacket takes a packet from the free list or allocates one.
-func (n *Network) newPacket() *Packet {
-	if k := len(n.pktFree); k > 0 {
-		p := n.pktFree[k-1]
-		n.pktFree[k-1] = nil
-		n.pktFree = n.pktFree[:k-1]
+// Network is a simulated datagram fabric: hosts, point-to-point link
+// profiles, and port bindings. In the classic single-scheduler form all
+// methods must be called from the scheduler's goroutine (inside events
+// or before Run). In sharded form (NewShardedNetwork) the same rule
+// applies per shard: each host's traffic is handled on its own shard,
+// and setup must finish before the group first runs.
+type Network struct {
+	shards    []*netShard
+	group     *ShardGroup
+	hostShard map[string]int
+	defaults  LinkProfile
+	// linkSeed derives the per-link RNG streams: each (src, dst) pair
+	// gets an independent xoshiro stream seeded from linkSeed and the
+	// host names. Draws therefore depend only on that link's own send
+	// sequence, which is what makes a sharded run reproduce the
+	// single-threaded run's impairment decisions bit-for-bit.
+	linkSeed uint64
+	// isolated declares that no packet will ever cross a shard
+	// boundary (replicated-workload placement); see SetIsolatedShards.
+	isolated bool
+}
+
+// NewNetwork creates a single-shard network on the given scheduler,
+// with rng seeding the per-link impairment streams.
+func NewNetwork(s *Scheduler, rng *stats.RNG) *Network {
+	return &Network{
+		shards:   []*netShard{newNetShard(s, 1)},
+		linkSeed: rng.Uint64(),
+	}
+}
+
+// NewShardedNetwork creates a network partitioned across the shard
+// group: hostShard maps each host name to the shard that owns it
+// (unlisted hosts fall to shard 0). The group gains the network as its
+// handoff source.
+func NewShardedNetwork(g *ShardGroup, rng *stats.RNG, hostShard map[string]int) *Network {
+	n := &Network{
+		shards:    make([]*netShard, g.N()),
+		group:     g,
+		hostShard: hostShard,
+		linkSeed:  rng.Uint64(),
+	}
+	for i := range n.shards {
+		n.shards[i] = newNetShard(g.Shard(i), g.N())
+	}
+	g.net = n
+	return n
+}
+
+// SetIsolatedShards declares that the workload never sends between
+// hosts of different shards — the replicated-islands placement, where
+// each shard simulates a self-contained copy of the topology. The
+// conservative lookahead then stops binding window length (windows are
+// still split at whole seconds for the per-second observers), which is
+// what lets isolated shards scale near-linearly. A cross-shard send
+// under this declaration panics: it would silently violate causality.
+func (n *Network) SetIsolatedShards() { n.isolated = true }
+
+// ShardOf returns the shard index owning host.
+func (n *Network) ShardOf(host string) int {
+	if len(n.shards) == 1 {
+		return 0
+	}
+	return n.hostShard[host]
+}
+
+// SchedulerFor returns the scheduler that runs host's events — the
+// clock source for any component living on that host.
+func (n *Network) SchedulerFor(host string) *Scheduler {
+	return n.shards[n.ShardOf(host)].sched
+}
+
+// newPacket takes a packet from the shard's free list or allocates one.
+func (sh *netShard) newPacket() *Packet {
+	sh.gets++
+	if k := len(sh.pktFree); k > 0 {
+		p := sh.pktFree[k-1]
+		sh.pktFree[k-1] = nil
+		sh.pktFree = sh.pktFree[:k-1]
 		return p
 	}
 	return &Packet{}
 }
 
-// release returns a packet to the free list, keeping its payload
-// buffer for the next life.
+// release returns a packet to the free list of the shard stamped on it,
+// keeping its payload buffer for the next life.
 func (n *Network) release(p *Packet) {
 	p.Payload = nil
 	p.n, p.l = nil, nil
-	n.pktFree = append(n.pktFree, p)
+	sh := n.shards[p.shard]
+	sh.puts++
+	sh.pktFree = append(sh.pktFree, p)
 }
 
-func (n *Network) addrString(a Addr) string {
-	if s, ok := n.addrStrs[a]; ok {
+func (sh *netShard) addrString(a Addr) string {
+	if s, ok := sh.addrStrs[a]; ok {
 		return s
 	}
 	s := a.String()
-	n.addrStrs[a] = s
+	sh.addrStrs[a] = s
 	return s
 }
 
@@ -180,7 +312,8 @@ func (n *Network) SetDefaultProfile(p LinkProfile) { n.defaults = p }
 
 // SetLink installs a unidirectional link profile from src to dst hosts.
 func (n *Network) SetLink(srcHost, dstHost string, p LinkProfile) {
-	n.links[[2]string{srcHost, dstHost}] = &link{profile: p}
+	sh := n.shards[n.ShardOf(srcHost)]
+	sh.links[[2]string{srcHost, dstHost}] = n.newLink(srcHost, dstHost, p)
 }
 
 // SetDuplexLink installs the same profile in both directions.
@@ -192,38 +325,67 @@ func (n *Network) SetDuplexLink(a, b string, p LinkProfile) {
 // Bind attaches a handler to an address. Binding an already bound
 // address replaces the previous handler, matching UDP rebind semantics
 // in the tests.
-func (n *Network) Bind(addr Addr, h Handler) { n.bindings[addr] = h }
+func (n *Network) Bind(addr Addr, h Handler) {
+	n.shards[n.ShardOf(addr.Host)].bindings[addr] = h
+}
 
 // Unbind removes a binding; packets to it are then dropped and counted.
-func (n *Network) Unbind(addr Addr) { delete(n.bindings, addr) }
+func (n *Network) Unbind(addr Addr) {
+	delete(n.shards[n.ShardOf(addr.Host)].bindings, addr)
+}
 
 // Handler returns the handler bound at addr, or nil when unbound —
 // lets fault injectors save a binding across an Unbind/Bind partition
 // window without owning the endpoint.
-func (n *Network) Handler(addr Addr) Handler { return n.bindings[addr] }
+func (n *Network) Handler(addr Addr) Handler {
+	return n.shards[n.ShardOf(addr.Host)].bindings[addr]
+}
 
-// AddTap registers an observer for all sent packets.
-func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+// AddTap registers an observer for all sent packets. On a sharded
+// network the tap runs on whichever shard sends, so it must be safe for
+// that; observers with mutable state should use AddShardTap and merge.
+func (n *Network) AddTap(t Tap) {
+	for _, sh := range n.shards {
+		sh.taps = append(sh.taps, t)
+	}
+}
 
-// Send queues a datagram for delivery. The payload is copied into a
-// pooled buffer, so the caller may reuse its slice as soon as Send
-// returns; conversely, receivers only own the delivered Payload for
-// the duration of their HandlePacket call. Loss, jitter and rate
-// limiting are applied per the link profile between the source and
-// destination hosts.
+// AddShardTap registers a tap observing only traffic sent by hosts of
+// one shard — the sharded form of AddTap, letting per-shard observer
+// instances accumulate without sharing state.
+func (n *Network) AddShardTap(shard int, t Tap) {
+	n.shards[shard].taps = append(n.shards[shard].taps, t)
+}
+
+// Send queues a datagram for delivery, resolving the sending shard from
+// the source host. The payload is copied into a pooled buffer, so the
+// caller may reuse its slice as soon as Send returns; conversely,
+// receivers only own the delivered Payload for the duration of their
+// HandlePacket call. Loss, jitter and rate limiting are applied per the
+// link profile between the source and destination hosts.
 func (n *Network) Send(src, dst Addr, payload []byte) {
-	now := n.sched.Now()
-	pkt := n.newPacket()
+	n.SendFrom(n.ShardOf(src.Host), src, dst, payload)
+}
+
+// SendFrom is Send with the source host's shard already resolved —
+// the allocation-free hot path for transports that cached it at bind
+// time. Must execute on that shard.
+func (n *Network) SendFrom(shard int, src, dst Addr, payload []byte) {
+	sh := n.shards[shard]
+	now := sh.sched.Now()
+	pkt := sh.newPacket()
 	pkt.Src, pkt.Dst = src, dst
 	pkt.buf = append(pkt.buf[:0], payload...)
 	pkt.Payload = pkt.buf
 	pkt.SentAt = now
 	pkt.n = n
-	pkt.srcStr = n.addrString(src)
-	for _, t := range n.taps {
+	pkt.shard = int32(shard)
+	pkt.rated = false
+	pkt.srcStr = sh.addrString(src)
+	for _, t := range sh.taps {
 		t(now, pkt)
 	}
-	l := n.linkFor(src.Host, dst.Host)
+	l := sh.linkFor(n, src.Host, dst.Host)
 	pkt.l = l
 	l.sent++
 	p := l.profile
@@ -231,6 +393,9 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 	// Serialization under a rate limit.
 	depart := now
 	if p.RateBps > 0 {
+		if l.crossShard {
+			l.releaseDue(now)
+		}
 		limit := p.QueueLimit
 		if limit == 0 {
 			limit = 512
@@ -250,14 +415,15 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 		depart += txTime
 	}
 
-	if p.Loss > 0 && n.rng.Float64() < p.Loss {
+	if p.Loss > 0 && l.rng.Float64() < p.Loss {
 		l.dropped++
 		if p.RateBps > 0 && depart > now {
 			// Still consumed wire time before being lost downstream;
 			// queue accounting below handles the slot release. Lost
 			// packets on rate-limited links are rare enough that the
-			// closure here is not worth pooling.
-			n.sched.At(depart, func(time.Duration) {
+			// closure here is not worth pooling. The event is local to
+			// the sending shard in both engine modes.
+			sh.sched.At(depart, func(time.Duration) {
 				if l.queued > 0 {
 					l.queued--
 				}
@@ -269,7 +435,7 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 
 	delay := p.Delay
 	if p.Jitter > 0 {
-		delay += time.Duration((2*n.rng.Float64() - 1) * float64(p.Jitter))
+		delay += time.Duration((2*l.rng.Float64() - 1) * float64(p.Jitter))
 		if delay < 0 {
 			delay = 0
 		}
@@ -278,7 +444,7 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 	// after it to overtake it. The RNG draw happens only when the
 	// profile asks for it, so profiles without reordering keep their
 	// exact random stream (deterministic replay compatibility).
-	if p.ReorderProb > 0 && n.rng.Float64() < p.ReorderProb {
+	if p.ReorderProb > 0 && l.rng.Float64() < p.ReorderProb {
 		l.reordered++
 		extra := p.ReorderDelay
 		if extra <= 0 {
@@ -286,60 +452,193 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 		}
 		delay += extra
 	}
-	pkt.rated = p.RateBps > 0
-	n.sched.AtRunner(depart+delay, pkt)
+	n.dispatch(sh, l, pkt, now, depart+delay, p.RateBps > 0)
 	// Duplication: an extra copy trails the original; it does not hold
 	// a queue slot (the switch already forwarded the original).
-	if p.DupProb > 0 && n.rng.Float64() < p.DupProb {
+	if p.DupProb > 0 && l.rng.Float64() < p.DupProb {
 		l.duplicated++
 		dupDelay := p.DupDelay
 		if dupDelay <= 0 {
 			dupDelay = time.Millisecond
 		}
-		dup := n.newPacket()
+		dup := sh.newPacket()
 		dup.Src, dup.Dst = src, dst
 		dup.buf = append(dup.buf[:0], payload...)
 		dup.Payload = dup.buf
 		dup.SentAt = now
 		dup.n, dup.l = n, l
-		dup.srcStr = pkt.srcStr
+		dup.shard = int32(shard)
 		dup.rated = false
-		n.sched.AtRunner(depart+delay+dupDelay, dup)
+		dup.srcStr = pkt.srcStr
+		n.dispatch(sh, l, dup, now, depart+delay+dupDelay, false)
 	}
 }
 
+// dispatch schedules a delivery: directly on the local scheduler for a
+// same-shard destination, or staged in the outbox for the destination
+// shard to be inserted at the next window barrier. rated queue slots of
+// cross-shard packets are released lazily (pendingRelease) because the
+// destination shard must never write the sending shard's link state.
+func (n *Network) dispatch(sh *netShard, l *link, pkt *Packet, now, at time.Duration, rated bool) {
+	if !l.crossShard {
+		pkt.rated = rated
+		sh.sched.AtRunner(at, pkt)
+		return
+	}
+	if n.isolated {
+		panic(fmt.Sprintf("netsim: cross-shard send %s -> %s on a network declared isolated",
+			pkt.Src.Host, pkt.Dst.Host))
+	}
+	if rated {
+		l.pendingRelease = append(l.pendingRelease, at)
+	}
+	pkt.shard = l.dstShard
+	sh.outSeq++
+	sh.outbox[l.dstShard] = append(sh.outbox[l.dstShard], handoff{
+		at:      at,
+		schedAt: now,
+		ord:     sh.sched.shardTag | sh.outSeq,
+		pkt:     pkt,
+	})
+}
+
+// drainHandoffs moves every staged cross-shard delivery into its
+// destination scheduler. Called by the group coordinator at a window
+// barrier, when all shards are parked. Outboxes are visited in
+// ascending (source, destination) shard order; the result does not
+// depend on it, because the (at, schedAt, ord) keys already total-order
+// the events, but a deterministic walk keeps the pool and counter state
+// reproducible too.
+func (n *Network) drainHandoffs() {
+	for _, sh := range n.shards {
+		for dst, box := range sh.outbox {
+			if len(box) == 0 {
+				continue
+			}
+			dsched := n.shards[dst].sched
+			for _, h := range box {
+				dsched.ScheduleHandoff(h.at, h.schedAt, h.ord, h.pkt)
+			}
+			sh.outbox[dst] = box[:0]
+		}
+	}
+}
+
+// lookaheadQuantum computes the conservative lookahead: the minimum
+// guaranteed delay over the default profile (any host pair may use it)
+// and every explicit cross-shard link. A non-positive result means the
+// topology cannot be sharded as assigned.
+func (n *Network) lookaheadQuantum() (time.Duration, error) {
+	if n.isolated {
+		// No packet ever crosses a shard boundary; windows are bounded
+		// only by the whole-second observer splits.
+		return time.Hour, nil
+	}
+	q := n.defaults.Lookahead()
+	if q <= 0 {
+		return 0, fmt.Errorf("%w: default profile", ErrNoLookahead)
+	}
+	for _, sh := range n.shards {
+		for key, l := range sh.links {
+			if !l.crossShard {
+				continue
+			}
+			d := l.profile.Lookahead()
+			if d <= 0 {
+				return 0, fmt.Errorf("%w: %s->%s", ErrNoLookahead, key[0], key[1])
+			}
+			if d < q {
+				q = d
+			}
+		}
+	}
+	return q, nil
+}
+
 // deliver hands a packet to its destination binding, counting strays.
+// Runs on the destination host's shard.
 func (n *Network) deliver(l *link, pkt *Packet, at time.Duration) {
-	h, ok := n.bindings[pkt.Dst]
+	sh := n.shards[pkt.shard]
+	h, ok := sh.bindings[pkt.Dst]
 	if !ok {
-		n.noRoute++
+		sh.noRoute++
 		return
 	}
 	l.delivered++
 	h.HandlePacket(at, pkt)
 }
 
-func (n *Network) linkFor(src, dst string) *link {
+func (n *Network) newLink(src, dst string, p LinkProfile) *link {
+	return &link{
+		profile:    p,
+		rng:        stats.NewRNG(n.linkSeed ^ hashHosts(src, dst)),
+		dstShard:   int32(n.ShardOf(dst)),
+		crossShard: len(n.shards) > 1 && n.ShardOf(src) != n.ShardOf(dst),
+	}
+}
+
+// hashHosts mixes a host pair into a link-stream seed (FNV-1a).
+func hashHosts(src, dst string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= 1099511628211
+	}
+	h ^= 0xff // separator outside the host alphabet
+	h *= 1099511628211
+	for i := 0; i < len(dst); i++ {
+		h ^= uint64(dst[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// linkFor returns the src→dst link, creating it with the default
+// profile on first use.
+func (sh *netShard) linkFor(n *Network, src, dst string) *link {
 	key := [2]string{src, dst}
-	if l, ok := n.links[key]; ok {
+	if l, ok := sh.links[key]; ok {
 		return l
 	}
-	l := &link{profile: n.defaults}
-	n.links[key] = l
+	l := n.newLink(src, dst, n.defaults)
+	sh.links[key] = l
 	return l
 }
 
 // LinkStats returns counters for the src→dst link, creating it if absent.
 func (n *Network) LinkStats(srcHost, dstHost string) LinkStats {
-	l := n.linkFor(srcHost, dstHost)
+	sh := n.shards[n.ShardOf(srcHost)]
+	l := sh.linkFor(n, srcHost, dstHost)
 	return LinkStats{
 		Sent: l.sent, Dropped: l.dropped, Delivered: l.delivered,
 		Duplicated: l.duplicated, Reordered: l.reordered,
 	}
 }
 
-// NoRoute returns the count of packets addressed to unbound ports.
-func (n *Network) NoRoute() uint64 { return n.noRoute }
+// NoRoute returns the count of packets addressed to unbound ports,
+// summed over shards.
+func (n *Network) NoRoute() uint64 {
+	var total uint64
+	for _, sh := range n.shards {
+		total += sh.noRoute
+	}
+	return total
+}
 
-// Scheduler returns the scheduler driving this network.
-func (n *Network) Scheduler() *Scheduler { return n.sched }
+// PoolStats returns the packet pool's total gets and puts across
+// shards. With no packets in flight (after a drained run) the two must
+// be equal; a difference is a pool leak across a shard boundary.
+func (n *Network) PoolStats() (gets, puts uint64) {
+	for _, sh := range n.shards {
+		gets += sh.gets
+		puts += sh.puts
+	}
+	return gets, puts
+}
+
+// Scheduler returns the scheduler driving shard 0 — the only scheduler
+// of a classic single-shard network.
+func (n *Network) Scheduler() *Scheduler { return n.shards[0].sched }
+
+// Group returns the shard group of a sharded network, or nil.
+func (n *Network) Group() *ShardGroup { return n.group }

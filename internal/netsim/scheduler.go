@@ -3,15 +3,19 @@
 // simulated packet network with configurable per-link delay, jitter,
 // loss and rate limits.
 //
-// The scheduler is single-threaded and deterministic: events at equal
-// timestamps fire in the order they were scheduled. Parallelism in the
-// benchmark harness comes from running many independent simulations,
-// each with its own Scheduler, across a worker pool — not from sharing
-// one scheduler between goroutines.
+// Each Scheduler is single-threaded and deterministic: events at equal
+// timestamps fire in the order they were scheduled. Parallelism comes
+// in two forms, neither of which shares a scheduler between goroutines:
+// running many independent simulations across a worker pool, or
+// partitioning one simulation's hosts across a ShardGroup — several
+// schedulers advancing in conservative-lookahead windows, exchanging
+// packets only at barriers, with an event order (and therefore output)
+// bit-identical to the single-scheduler run.
 package netsim
 
 import (
 	"errors"
+	"fmt"
 	"math/bits"
 	"slices"
 	"time"
@@ -45,9 +49,19 @@ func tickOf(at time.Duration) int64 { return int64(at) >> tickShift }
 // schedItem is a pooled event record. gen guards Timer handles against
 // recycled items: a Timer captured before recycling can no longer stop
 // the item's next life.
+//
+// Ordering: items fire in (at, schedAt, ord) order. schedAt is the
+// scheduler's clock when the item was inserted and ord is a
+// shard-tagged insertion ordinal. For a single scheduler schedAt is
+// non-decreasing in insertion order, so the triple orders exactly like
+// the historical (at, seq) pair — the extension exists so a cross-shard
+// handoff (inserted late, at a barrier) can reconstruct the position it
+// would have had if the sending shard had scheduled it directly.
 type schedItem struct {
 	at      time.Duration
+	schedAt time.Duration
 	seq     uint64
+	ord     uint64
 	gen     uint64
 	fn      Event
 	r       Runner
@@ -57,8 +71,8 @@ type schedItem struct {
 func (it *schedItem) cancelled() bool { return it.fn == nil && it.r == nil }
 
 // slot is one wheel bucket. Items [0:idx) have been consumed; the
-// pending tail [idx:] is sorted by (at, seq) lazily, just before the
-// cursor consumes it.
+// pending tail [idx:] is sorted by (at, schedAt, ord) lazily, just
+// before the cursor consumes it.
 type slot struct {
 	items  []*schedItem
 	idx    int
@@ -108,6 +122,10 @@ type Scheduler struct {
 	fired     uint64
 	cancelled uint64
 	running   bool
+	// shardTag is OR'ed into every locally scheduled item's ord (the
+	// shard index in the high bits), so tie-break ordinals from
+	// different shards never collide. Zero for standalone schedulers.
+	shardTag uint64
 
 	cursorTick     int64
 	slots          [wheelSize]slot
@@ -188,14 +206,22 @@ func (s *Scheduler) recycle(it *schedItem) {
 func (s *Scheduler) schedule(at time.Duration, fn Event, r Runner) *schedItem {
 	it := s.alloc()
 	it.at = at
+	it.schedAt = s.now
 	it.seq = s.seq
+	it.ord = s.shardTag | s.seq
 	it.fn = fn
 	it.r = r
 	it.heapIdx = -1
 	s.seq++
 	s.pendingTotal++
+	s.insert(it)
+	return it
+}
 
-	t := tickOf(at)
+// insert places an already initialised item into the wheel or the
+// overflow heap according to its timestamp.
+func (s *Scheduler) insert(it *schedItem) {
+	t := tickOf(it.at)
 	if t < s.cursorTick {
 		t = s.cursorTick
 	}
@@ -215,7 +241,6 @@ func (s *Scheduler) schedule(at time.Duration, fn Event, r Runner) *schedItem {
 	} else {
 		s.overflowPush(it)
 	}
-	return it
 }
 
 // At schedules fn at absolute virtual time at. Scheduling in the past
@@ -263,18 +288,27 @@ func (s *Scheduler) AtTimer(at time.Duration, r Runner) Timer {
 	return Timer{s: s, item: it, gen: it.gen}
 }
 
-// sortPending orders the unconsumed tail of a slot by (at, seq). Items
-// are appended in seq order, so the sort is near-sorted and cheap; it
-// is what preserves the documented determinism contract inside a tick.
+// itemLess is the scheduler's total event order: timestamp, then the
+// virtual time the event was scheduled at, then the shard-tagged
+// insertion ordinal. ord values are unique within one scheduler, so
+// ties cannot remain.
+func itemLess(a, b *schedItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	return a.ord < b.ord
+}
+
+// sortPending orders the unconsumed tail of a slot by (at, schedAt,
+// ord). Items are appended in insertion order, so the sort is
+// near-sorted and cheap; it is what preserves the documented
+// determinism contract inside a tick.
 func sortPending(sl *slot) {
 	slices.SortFunc(sl.items[sl.idx:], func(a, b *schedItem) int {
-		if a.at != b.at {
-			if a.at < b.at {
-				return -1
-			}
-			return 1
-		}
-		if a.seq < b.seq {
+		if itemLess(a, b) {
 			return -1
 		}
 		return 1
@@ -433,6 +467,80 @@ func (s *Scheduler) Run(until time.Duration) (uint64, error) {
 	return s.fired - start, nil
 }
 
+// setShardTag marks this scheduler as shard idx of a ShardGroup. Must
+// be called before any event is scheduled.
+func (s *Scheduler) setShardTag(idx int) { s.shardTag = ordTag(idx) }
+
+// ordTag returns the high-bits shard tag for ordinals originating on
+// shard idx. The low 48 bits carry the per-shard insertion counter,
+// which leaves room for ~2.8e14 events per shard per run.
+func ordTag(idx int) uint64 { return uint64(idx+1) << 48 }
+
+// RunBefore executes events strictly before bound, leaving the clock at
+// the last fired event rather than advancing it to the bound — the
+// shard-window primitive: a shard may only consume events it can prove
+// no other shard can still influence. It returns the timestamp of the
+// next pending event, if any.
+func (s *Scheduler) RunBefore(bound time.Duration) (next time.Duration, hasNext bool, err error) {
+	if s.running {
+		return 0, false, ErrReentrantRun
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		it := s.peek()
+		if it == nil {
+			return 0, false, nil
+		}
+		if it.at >= bound {
+			return it.at, true, nil
+		}
+		s.pop()
+		s.fire(it)
+	}
+}
+
+// NextEventAt reports the timestamp of the earliest pending event. Like
+// every scheduler method it must not run concurrently with Run.
+func (s *Scheduler) NextEventAt() (time.Duration, bool) {
+	it := s.peek()
+	if it == nil {
+		return 0, false
+	}
+	return it.at, true
+}
+
+// AdvanceTo moves the clock forward to t without firing anything, so a
+// windowed run ends with the same clock reading as Run(until) would.
+func (s *Scheduler) AdvanceTo(t time.Duration) {
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// ScheduleHandoff inserts an event delivered from another shard,
+// carrying the (schedAt, ord) key the sending shard assigned at send
+// time — the event sorts exactly where the sender's own scheduler
+// would have placed it. It panics if the delivery is already in this
+// shard's past, which would mean the conservative-lookahead window was
+// violated.
+func (s *Scheduler) ScheduleHandoff(at, schedAt time.Duration, ord uint64, r Runner) {
+	if at < s.now {
+		panic(fmt.Sprintf("netsim: cross-shard handoff into the past (lookahead violated): at=%d schedAt=%d now=%d", at, schedAt, s.now))
+	}
+	it := s.alloc()
+	it.at = at
+	it.schedAt = schedAt
+	it.seq = s.seq
+	it.ord = ord
+	it.fn = nil
+	it.r = r
+	it.heapIdx = -1
+	s.seq++
+	s.pendingTotal++
+	s.insert(it)
+}
+
 // Drain runs until no events remain, with a safety cap on the number of
 // events to stop runaway self-scheduling loops in tests. It returns
 // the number of events fired and whether the cap was hit.
@@ -452,15 +560,11 @@ func (s *Scheduler) Drain(maxEvents uint64) (uint64, bool) {
 	return n, s.Pending() > 0
 }
 
-// Overflow heap: a plain binary min-heap by (at, seq) with index
-// tracking so Stop can remove cancelled far-future timers eagerly.
+// Overflow heap: a plain binary min-heap by (at, schedAt, ord) with
+// index tracking so Stop can remove cancelled far-future timers
+// eagerly.
 
-func overflowLess(a, b *schedItem) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
+func overflowLess(a, b *schedItem) bool { return itemLess(a, b) }
 
 func (s *Scheduler) overflowPush(it *schedItem) {
 	it.heapIdx = len(s.overflow)

