@@ -10,10 +10,14 @@ BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 # scheduler (see `make cover`).
 COVER_MIN ?= 85
 
-.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke fuzz-smoke telemetry-smoke cover verify bench bench-check
+.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke cover verify bench bench-check
 
+# The darwin cross-build keeps the portable (non-linux) data plane
+# compiling: batch_other.go must satisfy the same interfaces as the
+# recvmmsg/sendmmsg/GSO path behind the linux build tag.
 build:
 	$(GO) build ./...
+	GOOS=darwin $(GO) build ./...
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +45,13 @@ chaos-crash-smoke:
 # single-scheduler engine.
 shard-smoke:
 	$(GO) test -race -run 'TestShardedChaosSmoke' -count=1 ./internal/netsim/difftest/
+
+# The real-socket data plane under the race detector: an in-process
+# pbxd+sipload soak — sharded REUSEPORT listener, batched read loops,
+# GSO send queues, RTP relay cut-through — ending with the buffer-pool
+# gets==puts ownership check on every socket opened.
+udp-smoke:
+	$(GO) test -race -run 'TestLoopbackSoak' -count=1 ./internal/pbx/
 
 # Short coverage-guided fuzz of the SIP parser and the SDP
 # offer/answer engine; regression seeds live in
@@ -79,10 +90,10 @@ telemetry-smoke:
 	$(GO) run ./cmd/capacity -telemetry-out .telemetry-smoke.json
 	@rm -f .telemetry-smoke.json
 
-# The pre-merge gate: build, vet, full tests, race tests, chaos smoke,
-# crash smoke, sharded-engine smoke, fuzz smoke, telemetry smoke,
-# coverage floors.
-verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke fuzz-smoke telemetry-smoke cover
+# The pre-merge gate: build (native + darwin cross), vet, full tests,
+# race tests, chaos smoke, crash smoke, sharded-engine smoke, real-UDP
+# soak, fuzz smoke, telemetry smoke, coverage floors.
+verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke cover
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per
@@ -97,6 +108,8 @@ bench:
 		-benchtime 10000x -count $(BENCH_COUNT) ./internal/netsim/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkRelayForward' \
 		-benchtime 10000x -count $(BENCH_COUNT) ./internal/pbx/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkUDPTransport' \
+		-benchtime 10000x -count $(BENCH_COUNT) ./internal/transport/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkSessionFrameExchange' \
 		-benchtime 10000x -count $(BENCH_COUNT) ./internal/media/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMessageRoundTrip' \

@@ -33,10 +33,13 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress periodic stats")
 		occ      = flag.Float64("occupancy", 0, "shed load at this fraction of capacity with 503+Retry-After (0 = hard cap)")
 		admin    = flag.String("admin", "127.0.0.1:9690", "admin HTTP address serving /metrics, /healthz, /debug/vars and /debug/pprof (empty = disabled)")
+		shards   = flag.Int("shards", 1, "SO_REUSEPORT listener shards on the SIP port (1 = single socket)")
 	)
 	flag.Parse()
 
-	tr, err := transport.ListenUDP(*addr)
+	// The SIP listener runs the batched data plane; with -shards > 1
+	// the kernel spreads inbound flows across N sockets on the port.
+	tr, err := transport.ListenUDPSharded(*addr, *shards, transport.UDPConfig{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbxd:", err)
 		os.Exit(1)
@@ -45,6 +48,7 @@ func main() {
 	ep := sip.NewEndpoint(tr, clock)
 	reg := telemetry.NewRegistry()
 	ep.UseTelemetry(reg)
+	transport.PublishTelemetry(reg, "sip", tr)
 
 	dir := directory.New()
 	dir.Provision("u", 0, *users)
@@ -52,8 +56,12 @@ func main() {
 	dir.AddUser(directory.User{Username: "uas", Password: "pw-uas"})
 
 	host, _, _ := strings.Cut(tr.LocalAddr(), ":")
+	// Relay legs are per-call, so they trade receive-side aggregation
+	// (GRO needs 64KB buffers) for bounded memory: a small batch of
+	// small buffers still amortizes syscalls and sends with GSO.
+	relayCfg := transport.UDPConfig{BatchSize: 8, BufferSize: transport.MaxDatagram}
 	factory := func(port int) (transport.Transport, error) {
-		return transport.ListenUDP(fmt.Sprintf("%s:%d", host, port))
+		return transport.ListenUDPConfig(fmt.Sprintf("%s:%d", host, port), relayCfg)
 	}
 	cfg := pbx.Config{
 		MaxChannels: *capacity,
@@ -70,8 +78,9 @@ func main() {
 		cfg.Admission = pbx.OccupancyPolicy{Max: *capacity, Target: *occ}
 	}
 	server := pbx.New(ep, dir, factory, cfg)
-	fmt.Printf("pbxd: listening on %s, capacity %d, %d users, relay=%v, admission=%s\n",
-		tr.LocalAddr(), *capacity, dir.Users(), *relay, server.AdmissionPolicyName())
+	fmt.Printf("pbxd: listening on %s (%d shard(s), batched=%v), capacity %d, %d users, relay=%v, admission=%s\n",
+		tr.LocalAddr(), tr.NumShards(), tr.Batched(),
+		*capacity, dir.Users(), *relay, server.AdmissionPolicyName())
 
 	if *admin != "" {
 		// /healthz doubles as the load-balancer readiness signal: it
@@ -97,13 +106,18 @@ func main() {
 			if !*quiet {
 				c := server.CountersSnapshot()
 				_, mean, _ := server.CPUBand()
-				fmt.Printf("pbxd: active=%d attempts=%d established=%d blocked=%d relayed=%d cpu~%.1f%%\n",
-					server.ActiveChannels(), c.Attempts, c.Established, c.Blocked, c.RelayedPackets, mean)
+				st := tr.Stats()
+				fmt.Printf("pbxd: active=%d attempts=%d established=%d blocked=%d relayed=%d cpu~%.1f%% sip_rx=%d(%d batches) sip_tx=%d\n",
+					server.ActiveChannels(), c.Attempts, c.Established, c.Blocked, c.RelayedPackets, mean,
+					st.RxPackets, st.RxBatches, st.TxPackets)
 			}
 		case <-stop:
 			server.Close()
 			c := server.CountersSnapshot()
+			st := tr.Stats()
+			gets, puts := tr.PoolStats()
 			fmt.Printf("\npbxd: final counters: %+v\n", c)
+			fmt.Printf("pbxd: sip transport: %+v pool gets=%d puts=%d\n", st, gets, puts)
 			return
 		}
 	}

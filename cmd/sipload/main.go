@@ -2,13 +2,17 @@
 // a caller (uac) and an auto-answering callee (uas) against a pbxd
 // server, places calls at a Poisson rate for a window, holds each for
 // the configured duration, and prints the blocking rate — the paper's
-// empirical method (Fig. 5) on real sockets.
+// empirical method (Fig. 5) on real sockets. With -media each
+// established call also runs bidirectional G.711 RTP through the
+// PBX relay, so the run reports packet rates and MOS alongside Pb;
+// with -json the summary is machine-readable for experiment scripts.
 //
 //	pbxd -addr 127.0.0.1:5060 &
-//	sipload -proxy 127.0.0.1:5060 -rate 2 -window 30s -hold 10s
+//	sipload -proxy 127.0.0.1:5060 -rate 2 -window 30s -hold 10s -media -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -16,10 +20,74 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/media"
+	"repro/internal/mos"
 	"repro/internal/sip"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
+
+// summary is the machine-readable run result (-json).
+type summary struct {
+	Attempts    int     `json:"attempts"`
+	Established int     `json:"established"`
+	Blocked     int     `json:"blocked"`
+	Failed      int     `json:"failed"`
+	Retries     int     `json:"retries"`
+	Pb          float64 `json:"pb"`
+	Seed        uint64  `json:"seed"`
+	Rate        float64 `json:"rate"`
+	WindowS     float64 `json:"window_s"`
+	HoldS       float64 `json:"hold_s"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	Media       bool    `json:"media"`
+	MediaLegs   int     `json:"media_legs,omitempty"`
+	RTPSent     uint64  `json:"rtp_sent,omitempty"`
+	RTPReceived uint64  `json:"rtp_received,omitempty"`
+	// PPS is the endpoint-side RTP packet rate (sent+received across
+	// both legs) over the whole run — every received packet crossed
+	// the PBX relay once.
+	PPS    float64 `json:"pps,omitempty"`
+	MOSAvg float64 `json:"mos_avg,omitempty"`
+	MOSMin float64 `json:"mos_min,omitempty"`
+}
+
+// mediaAgg accumulates per-leg media outcomes as calls finish.
+type mediaAgg struct {
+	mu       sync.Mutex
+	legs     int
+	sent     uint64
+	received uint64
+	mosSum   float64
+	mosMin   float64
+	ssrc     uint32
+}
+
+func (a *mediaAgg) nextSSRC() uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ssrc++
+	return a.ssrc
+}
+
+// finish folds one ended leg's report into the aggregate and releases
+// the session.
+func (a *mediaAgg) finish(s *media.Session) {
+	if s == nil {
+		return
+	}
+	r := s.Report(mos.G711)
+	s.Close()
+	a.mu.Lock()
+	a.legs++
+	a.sent += r.Sent
+	a.received += r.Stream.Received
+	a.mosSum += r.MOS
+	if a.legs == 1 || r.MOS < a.mosMin {
+		a.mosMin = r.MOS
+	}
+	a.mu.Unlock()
+}
 
 func main() {
 	var (
@@ -33,21 +101,70 @@ func main() {
 		retries   = flag.Int("retries", 0, "max re-attempts after a 503/486 rejection")
 		retryBase = flag.Duration("retry-base", 500*time.Millisecond, "base for full-jitter retry backoff")
 		seed      = flag.Uint64("seed", 0, "RNG seed for arrivals and backoff jitter (0 = from wall clock)")
+		withMedia = flag.Bool("media", false, "run bidirectional G.711 RTP on every established call")
+		mediaPort = flag.Int("media-port", 41000, "uac RTP port base (uas uses +8192); 2 ports per concurrent call")
+		jsonOut   = flag.Bool("json", false, "print a JSON summary to stdout (progress goes to stderr)")
 	)
 	flag.Parse()
 
+	info := func(format string, args ...any) {
+		w := os.Stdout
+		if *jsonOut {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, format, args...)
+	}
+
 	clock := transport.NewRealClock()
-	mkPhone := func(addr, user string) *sip.Phone {
+	mkPhone := func(addr, user string, mediaBase int) *sip.Phone {
 		tr, err := transport.ListenUDP(addr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sipload:", err)
 			os.Exit(1)
 		}
 		return sip.NewPhone(sip.NewEndpoint(tr, clock),
-			sip.PhoneConfig{User: user, Password: "pw-" + user, Proxy: *proxy})
+			sip.PhoneConfig{User: user, Password: "pw-" + user, Proxy: *proxy,
+				MediaPort: mediaBase})
 	}
-	uac := mkPhone(*caller, "uac")
-	uas := mkPhone(*callee, *target)
+	uac := mkPhone(*caller, "uac", *mediaPort)
+	uas := mkPhone(*callee, *target, *mediaPort+8192)
+
+	agg := &mediaAgg{}
+	// startMedia opens this leg's negotiated RTP socket and starts a
+	// paced G.711 session toward the peer (through the PBX relay). A
+	// single 50 pps stream gains nothing from syscall batching, so the
+	// phone side runs the portable loop and its small buffers — the
+	// batched data plane under test is the server's.
+	startMedia := func(c *sip.Call) *media.Session {
+		mi := c.Media()
+		tr, err := transport.ListenUDPConfig(
+			fmt.Sprintf("%s:%d", mi.LocalHost, mi.LocalPort),
+			transport.UDPConfig{DisableBatch: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sipload: media bind:", err)
+			return nil
+		}
+		sess := media.NewSession(tr, clock, media.SessionConfig{
+			Remote: fmt.Sprintf("%s:%d", mi.RemoteHost, mi.RemotePort),
+			SSRC:   agg.nextSSRC(),
+		})
+		sess.Start()
+		return sess
+	}
+	if *withMedia {
+		uas.Sync(func() {
+			uas.OnIncoming = func(c *sip.Call) {
+				var sess *media.Session
+				c.OnEstablished = func(c *sip.Call) { sess = startMedia(c) }
+				c.OnEnded = func(*sip.Call) {
+					if sess != nil {
+						sess.Stop()
+						agg.finish(sess)
+					}
+				}
+			}
+		})
+	}
 
 	reg := make(chan bool, 2)
 	uac.Register(time.Hour, func(ok bool) { reg <- ok })
@@ -64,7 +181,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("sipload: registered uac and %s at %s; λ=%.2f/s window=%v hold=%v (A=%.1f E)\n",
+	info("sipload: registered uac and %s at %s; λ=%.2f/s window=%v hold=%v (A=%.1f E)\n",
 		*target, *proxy, *rate, *window, *hold, *rate*hold.Seconds())
 
 	var (
@@ -89,12 +206,21 @@ func main() {
 	// tick and re-collide.
 	var place func(try int)
 	place = func(try int) {
+		var sess *media.Session
 		uac.InviteWithHandlers(*target, nil, func(c *sip.Call) {
 			mu.Lock()
 			established++
 			mu.Unlock()
+			if *withMedia {
+				sess = startMedia(c)
+			}
 			time.AfterFunc(*hold, func() { uac.Hangup(c) })
 		}, func(c *sip.Call) {
+			if sess != nil {
+				sess.Stop()
+				agg.finish(sess)
+				sess = nil
+			}
 			capacity := false
 			if c.Cause() == sip.EndRejected {
 				capacity = c.RejectStatus() == sip.StatusServiceUnavailable ||
@@ -127,7 +253,8 @@ func main() {
 		})
 	}
 
-	deadline := time.Now().Add(*window)
+	start := time.Now()
+	deadline := start.Add(*window)
 	for time.Now().Before(deadline) {
 		gap := time.Duration(rng.Exp(1 / *rate) * float64(time.Second))
 		time.Sleep(gap)
@@ -141,13 +268,49 @@ func main() {
 		place(0)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	// Let the callee legs' OnEnded handlers drain before reading agg.
+	time.Sleep(200 * time.Millisecond)
 
 	pb := 0.0
 	if attempts > 0 {
 		pb = float64(blocked) / float64(attempts)
 	}
-	fmt.Printf("sipload: attempts=%d established=%d blocked=%d failed=%d retries=%d Pb=%.2f%%\n",
-		attempts, established, blocked, failed, retried, pb*100)
+	s := summary{
+		Attempts: attempts, Established: established, Blocked: blocked,
+		Failed: failed, Retries: retried, Pb: pb, Seed: *seed,
+		Rate: *rate, WindowS: window.Seconds(), HoldS: hold.Seconds(),
+		ElapsedS: elapsed.Seconds(), Media: *withMedia,
+	}
+	if *withMedia {
+		agg.mu.Lock()
+		s.MediaLegs = agg.legs
+		s.RTPSent = agg.sent
+		s.RTPReceived = agg.received
+		if elapsed > 0 {
+			s.PPS = float64(agg.sent+agg.received) / elapsed.Seconds()
+		}
+		if agg.legs > 0 {
+			s.MOSAvg = agg.mosSum / float64(agg.legs)
+			s.MOSMin = agg.mosMin
+		}
+		agg.mu.Unlock()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintln(os.Stderr, "sipload:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("sipload: attempts=%d established=%d blocked=%d failed=%d retries=%d Pb=%.2f%%\n",
+			attempts, established, blocked, failed, retried, pb*100)
+		if *withMedia {
+			fmt.Printf("sipload: media legs=%d rtp_sent=%d rtp_received=%d pps=%.0f mos_avg=%.2f mos_min=%.2f\n",
+				s.MediaLegs, s.RTPSent, s.RTPReceived, s.PPS, s.MOSAvg, s.MOSMin)
+		}
+	}
 	if math.IsNaN(pb) {
 		os.Exit(1)
 	}

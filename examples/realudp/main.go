@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/mos"
 	"repro/internal/pbx"
 	"repro/internal/sip"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -33,24 +35,31 @@ func must[T any](v T, err error) T {
 func main() {
 	clock := transport.NewRealClock()
 
-	// PBX on an ephemeral loopback port.
-	pbxTr := must(transport.ListenUDP("127.0.0.1:0"))
+	// PBX on an ephemeral loopback port: two SO_REUSEPORT shards, each
+	// with its own batched read loop, presented as one Transport. The
+	// registry exposes the data-plane counters next to the SIP ones.
+	pbxTr := must(transport.ListenUDPSharded("127.0.0.1:0", 2, transport.UDPConfig{}))
+	reg := telemetry.NewRegistry()
+	transport.PublishTelemetry(reg, "sip", pbxTr)
 	dir := directory.New()
 	dir.AddUser(directory.User{Username: "alice", Password: "pw-alice"})
 	dir.AddUser(directory.User{Username: "bob", Password: "pw-bob"})
 	host, _, _ := strings.Cut(pbxTr.LocalAddr(), ":")
+	relayCfg := transport.UDPConfig{BatchSize: 8, BufferSize: transport.MaxDatagram}
 	factory := func(port int) (transport.Transport, error) {
 		if port == 0 {
-			return transport.ListenUDP(host + ":0")
+			return transport.ListenUDPConfig(host+":0", relayCfg)
 		}
-		return transport.ListenUDP(fmt.Sprintf("%s:%d", host, port))
+		return transport.ListenUDPConfig(fmt.Sprintf("%s:%d", host, port), relayCfg)
 	}
 	server := pbx.New(sip.NewEndpoint(pbxTr, clock), dir, factory, pbx.Config{
 		RelayRTP:    true,
 		RTPPortBase: 17000,
+		Telemetry:   reg,
 	})
 	defer server.Close()
-	fmt.Println("PBX listening on", pbxTr.LocalAddr())
+	fmt.Printf("PBX listening on %s (%d shards, batched=%v)\n",
+		pbxTr.LocalAddr(), pbxTr.NumShards(), pbxTr.Batched())
 
 	// Both phones share the loopback IP, so they need disjoint RTP
 	// port ranges (in the simulator each host has its own port space).
@@ -65,11 +74,11 @@ func main() {
 	}
 	alice, bob := mkPhone("alice", 41000), mkPhone("bob", 42000)
 
-	reg := make(chan bool, 2)
-	alice.Register(time.Hour, func(ok bool) { reg <- ok })
-	bob.Register(time.Hour, func(ok bool) { reg <- ok })
+	regOK := make(chan bool, 2)
+	alice.Register(time.Hour, func(ok bool) { regOK <- ok })
+	bob.Register(time.Hour, func(ok bool) { regOK <- ok })
 	for i := 0; i < 2; i++ {
-		if !<-reg {
+		if !<-regOK {
 			fmt.Fprintln(os.Stderr, "registration failed")
 			os.Exit(1)
 		}
@@ -147,4 +156,25 @@ func main() {
 	}
 	c := server.CountersSnapshot()
 	fmt.Printf("PBX relayed %d RTP packets\n", c.RelayedPackets)
+
+	// Data-plane counters, straight from the telemetry registry the
+	// transport publishes into (the same values /metrics would serve).
+	var names []string
+	vals := map[string]float64{}
+	for _, fam := range reg.Snapshot().Families {
+		if !strings.HasPrefix(fam.Name, "udp_") {
+			continue
+		}
+		for _, m := range fam.Metrics {
+			if m.Value != nil {
+				names = append(names, fam.Name)
+				vals[fam.Name] += *m.Value
+			}
+		}
+	}
+	sort.Strings(names)
+	fmt.Println("SIP transport data plane:")
+	for _, n := range names {
+		fmt.Printf("  %s = %.0f\n", n, vals[n])
+	}
 }

@@ -64,6 +64,12 @@ type relay struct {
 	// observers read values only, so nothing aliases it after forward
 	// returns.
 	scratch rtp.Packet
+
+	// Per-direction transmit functions, bound once in newRelay: the
+	// outbound leg's QueueSend when it batches (flushed at the inbound
+	// leg's batch end), plain Send otherwise.
+	sendToCallee func(dst string, data []byte)
+	sendToCaller func(dst string, data []byte)
 }
 
 // newRelay opens the two relay ports for a call whose caller offered
@@ -110,15 +116,48 @@ func (s *Server) newRelay(br *bridge, offer *sdp.Session) (*relay, error) {
 		fromCaller: rtp.NewReceiver(),
 		fromCallee: rtp.NewReceiver(),
 	}
+	// Cut-through batching: each forwarded packet is queued on the
+	// opposite leg and the queue is flushed when the inbound leg's
+	// read batch ends — one sendmmsg per inbound burst, nothing held
+	// across bursts. The transmit functions are bound before the
+	// receivers are installed (SetReceiver publishes them safely).
+	r.sendToCallee = sendVia(bTr)
+	r.sendToCaller = sendVia(aTr)
+	wireBatch(aTr, bTr)
+	wireBatch(bTr, aTr)
+
 	// Caller RTP arrives on the A port and leaves toward the callee
 	// from the B port, and vice versa.
 	aTr.SetReceiver(func(src string, data []byte) {
-		r.forward(data, r.fromCaller, r.bTr, false)
+		r.forward(data, r.fromCaller, r.sendToCallee, false)
 	})
 	bTr.SetReceiver(func(src string, data []byte) {
-		r.forward(data, r.fromCallee, r.aTr, true)
+		r.forward(data, r.fromCallee, r.sendToCaller, true)
 	})
 	return r, nil
+}
+
+// sendVia returns a leg's transmit function: queued on transports
+// with a send queue, immediate otherwise (netsim, portable UDP).
+func sendVia(tr transport.Transport) func(string, []byte) {
+	if bs, ok := tr.(transport.BatchSender); ok {
+		return bs.QueueSend
+	}
+	return tr.Send
+}
+
+// wireBatch ties the inbound leg's batch boundary to the outbound
+// leg's flush, when both sides support it.
+func wireBatch(in, out transport.Transport) {
+	n, ok := in.(transport.BatchEndNotifier)
+	if !ok {
+		return
+	}
+	bs, ok := out.(transport.BatchSender)
+	if !ok {
+		return
+	}
+	n.SetBatchEnd(bs.Flush)
 }
 
 // setBridgeCodecs arms the relay with the negotiated bridge outcome.
@@ -162,7 +201,7 @@ func (r *relay) setCalleeMedia(host string, port int) {
 
 // forward observes and forwards one RTP packet, applying the overload
 // drop model. toCaller selects the output direction.
-func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport, toCaller bool) {
+func (r *relay) forward(data []byte, obs *rtp.Receiver, out func(string, []byte), toCaller bool) {
 	r.mu.Lock()
 	dst := r.calleeAddr
 	if toCaller {
@@ -179,7 +218,7 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport,
 		// prioritized handling of control packets) and do not count it
 		// against the stream statistics.
 		r.mu.Unlock()
-		out.Send(dst, data)
+		out(dst, data)
 		return
 	}
 	// The in-leg audio payload type for this direction (zero until the
@@ -239,7 +278,7 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out transport.Transport,
 			r.s.traceMark(r.aCallID, telemetry.StageFirstRTP)
 		}
 	}
-	out.Send(dst, wire)
+	out(dst, wire)
 }
 
 // overloadDrop samples the CPU model's drop decision under the server

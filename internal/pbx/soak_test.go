@@ -1,0 +1,227 @@
+package pbx
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/media"
+	"repro/internal/sip"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// TestLoopbackSoak is cmd/pbxd + cmd/sipload in one process: a sharded
+// PBX on real loopback sockets, seeded Poisson call arrivals against a
+// small channel capacity, bidirectional G.711 RTP on every established
+// call. It is the `make udp-smoke` gate — short enough for CI, real
+// enough to exercise the batched data plane (recvmmsg read loops, GSO
+// send queues, REUSEPORT shards, relay cut-through batching) under
+// -race, and it closes by checking the buffer-pool ownership invariant
+// on every socket the run opened.
+func TestLoopbackSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	const (
+		capacity = 4
+		rate     = 15.0 // calls/s
+		window   = 2 * time.Second
+		hold     = 400 * time.Millisecond
+	)
+	clock := transport.NewRealClock()
+	pbxTr, err := transport.ListenUDPSharded("127.0.0.1:0", 2, transport.UDPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := directory.New()
+	dir.AddUser(directory.User{Username: "uac", Password: "pw-uac"})
+	dir.AddUser(directory.User{Username: "uas", Password: "pw-uas"})
+	host, _, _ := strings.Cut(pbxTr.LocalAddr(), ":")
+
+	// Capture the relay legs so their pool invariant is checkable after
+	// the calls release them. Same bounded per-call config as pbxd.
+	var (
+		legMu sync.Mutex
+		legs  []*transport.UDPTransport
+	)
+	relayCfg := transport.UDPConfig{BatchSize: 8, BufferSize: transport.MaxDatagram}
+	factory := func(port int) (transport.Transport, error) {
+		tr, err := transport.ListenUDPConfig(fmt.Sprintf("%s:%d", host, port), relayCfg)
+		if err == nil {
+			legMu.Lock()
+			legs = append(legs, tr)
+			legMu.Unlock()
+		}
+		return tr, err
+	}
+	server := New(sip.NewEndpoint(pbxTr, clock), dir, factory,
+		Config{MaxChannels: capacity, RelayRTP: true, RTPPortBase: nextPortBase(), Seed: 7})
+	defer server.Close()
+
+	mk := func(user string, mediaPort int) *sip.Phone {
+		tr, err := transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		phone := sip.NewPhone(sip.NewEndpoint(tr, clock), sip.PhoneConfig{
+			User: user, Password: "pw-" + user, Proxy: pbxTr.LocalAddr(), MediaPort: mediaPort,
+		})
+		t.Cleanup(func() { phone.Endpoint().Close() })
+		return phone
+	}
+	uac, uas := mk("uac", nextPortBase()), mk("uas", nextPortBase())
+
+	// Media legs run the portable loop like sipload's phones: one paced
+	// 50 pps stream per direction, batching under test on the PBX side.
+	// Sessions close at call end so the phone can rebind the port slot
+	// for the next call that lands on it.
+	var (
+		sessMu sync.Mutex
+		ssrc   uint32
+	)
+	startMedia := func(c *sip.Call) *media.Session {
+		mi := c.Media()
+		tr, err := transport.ListenUDPConfig(
+			fmt.Sprintf("%s:%d", mi.LocalHost, mi.LocalPort),
+			transport.UDPConfig{DisableBatch: true})
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		sessMu.Lock()
+		ssrc++
+		s := media.NewSession(tr, clock, media.SessionConfig{
+			Remote: fmt.Sprintf("%s:%d", mi.RemoteHost, mi.RemotePort), SSRC: ssrc,
+		})
+		sessMu.Unlock()
+		s.Start()
+		return s
+	}
+	endMedia := func(s *media.Session) {
+		if s != nil {
+			s.Stop()
+			s.Close()
+		}
+	}
+	uas.Sync(func() {
+		uas.OnIncoming = func(c *sip.Call) {
+			var s *media.Session
+			c.OnEstablished = func(c *sip.Call) { s = startMedia(c) }
+			c.OnEnded = func(*sip.Call) { endMedia(s) }
+		}
+	})
+
+	regOK := make(chan bool, 2)
+	uac.Register(time.Hour, func(ok bool) { regOK <- ok })
+	uas.Register(time.Hour, func(ok bool) { regOK <- ok })
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-regOK:
+			if !ok {
+				t.Fatal("registration failed")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("registration timeout")
+		}
+	}
+
+	var (
+		mu          sync.Mutex
+		attempts    int
+		established int
+		blocked     int
+		failed      int
+		wg          sync.WaitGroup
+	)
+	place := func() {
+		var s *media.Session
+		uac.InviteWithHandlers("uas", nil, func(c *sip.Call) {
+			mu.Lock()
+			established++
+			mu.Unlock()
+			s = startMedia(c)
+			time.AfterFunc(hold, func() { uac.Hangup(c) })
+		}, func(c *sip.Call) {
+			endMedia(s)
+			switch c.Cause() {
+			case sip.EndRejected:
+				mu.Lock()
+				if c.RejectStatus() == sip.StatusServiceUnavailable ||
+					c.RejectStatus() == sip.StatusBusyHere {
+					blocked++
+				} else {
+					failed++
+				}
+				mu.Unlock()
+			case sip.EndTimeout:
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+			wg.Done()
+		})
+	}
+
+	rng := stats.NewRNG(42)
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Duration(rng.Exp(1/rate) * float64(time.Second)))
+		if !time.Now().Before(deadline) {
+			break
+		}
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		wg.Add(1)
+		place()
+	}
+	wg.Wait()
+	// Let the uas legs' OnEnded handlers and trailing RTP drain.
+	time.Sleep(300 * time.Millisecond)
+
+	mu.Lock()
+	t.Logf("soak: attempts=%d established=%d blocked=%d failed=%d", attempts, established, blocked, failed)
+	if attempts == 0 || established == 0 {
+		t.Fatalf("no load placed: attempts=%d established=%d", attempts, established)
+	}
+	if failed != 0 {
+		t.Errorf("%d calls failed outside admission control", failed)
+	}
+	if attempts != established+blocked+failed {
+		t.Errorf("attempts=%d != established+blocked+failed=%d", attempts, established+blocked+failed)
+	}
+	pb := float64(blocked) / float64(attempts)
+	if pb < 0 || pb > 1 {
+		t.Errorf("Pb=%v out of range", pb)
+	}
+	mu.Unlock()
+
+	if c := server.CountersSnapshot(); c.RelayedPackets == 0 {
+		t.Error("no RTP crossed the relay")
+	}
+
+	// Teardown in dependency order, then verify the ownership
+	// invariant: every buffer the pools handed out came back.
+	server.Close()
+	if err := pbxTr.Close(); err != nil {
+		t.Errorf("pbx transport close: %v", err)
+	}
+	if gets, puts := pbxTr.PoolStats(); gets != puts {
+		t.Errorf("pbx pool leak: gets=%d puts=%d", gets, puts)
+	}
+	legMu.Lock()
+	defer legMu.Unlock()
+	if len(legs) == 0 {
+		t.Error("no relay legs were opened")
+	}
+	for i, tr := range legs {
+		tr.Close()
+		if gets, puts := tr.PoolStats(); gets != puts {
+			t.Errorf("relay leg %d pool leak: gets=%d puts=%d", i, gets, puts)
+		}
+	}
+}

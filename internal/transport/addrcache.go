@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+)
+
+// addrCache interns the two per-packet address conversions of the
+// real-UDP path so neither direction allocates in steady state:
+//
+//   - send: "host:port" string → netip.AddrPort (the seed resolved
+//     with net.ResolveUDPAddr on every Send), and
+//   - receive: source netip.AddrPort → its canonical "host:port"
+//     string (the seed called UDPAddr.String per datagram).
+//
+// Interning a source address also primes the forward map, so replying
+// to a peer we have heard from — the normal SIP request/response
+// pattern — never parses at all. Entries are tiny and peers are
+// bounded by the experiment population; a defensive cap resets the
+// maps if an adversarial address stream ever grows them past
+// addrCacheMax entries.
+type addrCache struct {
+	mu  sync.RWMutex
+	fwd map[string]netip.AddrPort
+	rev map[netip.AddrPort]string
+}
+
+const addrCacheMax = 1 << 16
+
+func newAddrCache() *addrCache {
+	return &addrCache{
+		fwd: make(map[string]netip.AddrPort),
+		rev: make(map[netip.AddrPort]string),
+	}
+}
+
+// toAddrPort resolves dst, consulting the cache first. Lookup hits are
+// allocation-free. Hostnames resolve once through the system resolver;
+// failures are not cached so a transient miss cannot stick.
+func (c *addrCache) toAddrPort(dst string) (netip.AddrPort, bool) {
+	c.mu.RLock()
+	ap, ok := c.fwd[dst]
+	c.mu.RUnlock()
+	if ok {
+		return ap, true
+	}
+	ap, err := netip.ParseAddrPort(dst)
+	if err != nil {
+		ua, rerr := net.ResolveUDPAddr("udp", dst)
+		if rerr != nil {
+			return netip.AddrPort{}, false
+		}
+		ap = ua.AddrPort()
+	}
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	c.store(strings.Clone(dst), ap)
+	return ap, true
+}
+
+// intern returns the canonical "host:port" string for a source
+// address, formatting it at most once per peer.
+func (c *addrCache) intern(ap netip.AddrPort) string {
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	c.mu.RLock()
+	s, ok := c.rev[ap]
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = ap.String()
+	c.store(s, ap)
+	return s
+}
+
+// store records the pair in both directions under the write lock.
+func (c *addrCache) store(s string, ap netip.AddrPort) {
+	c.mu.Lock()
+	if len(c.fwd) >= addrCacheMax || len(c.rev) >= addrCacheMax {
+		c.fwd = make(map[string]netip.AddrPort)
+		c.rev = make(map[netip.AddrPort]string)
+	}
+	c.fwd[s] = ap
+	if _, ok := c.rev[ap]; !ok {
+		c.rev[ap] = s
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// Syscall numbers the stdlib syscall package does not export on this
+// architecture (golang.org/x/sys/unix carries the same values).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,33 @@
+package transport
+
+import "repro/internal/telemetry"
+
+// StatsSource is anything exposing wire-transport counters —
+// *UDPTransport and *ShardedUDP both qualify.
+type StatsSource interface {
+	Stats() TransportStats
+	PoolStats() (gets, puts uint64)
+}
+
+// PublishTelemetry registers src's datagram, syscall-batch and
+// buffer-pool counters on reg as live CounterFuncs, labelled with
+// name (e.g. "sip" for the signalling socket). The registry reads the
+// transport's atomics at scrape time, so the packet hot path carries
+// no extra instrumentation cost.
+func PublishTelemetry(reg *telemetry.Registry, name string, src StatsSource) {
+	l := telemetry.L("transport", name)
+	reg.CounterFunc("udp_rx_packets_total", "datagrams received by the wire transport",
+		func() float64 { return float64(src.Stats().RxPackets) }, l)
+	reg.CounterFunc("udp_rx_batches_total", "read syscalls that returned at least one datagram",
+		func() float64 { return float64(src.Stats().RxBatches) }, l)
+	reg.CounterFunc("udp_tx_packets_total", "datagrams transmitted by the wire transport",
+		func() float64 { return float64(src.Stats().TxPackets) }, l)
+	reg.CounterFunc("udp_tx_batches_total", "sendmmsg flushes that moved at least one datagram",
+		func() float64 { return float64(src.Stats().TxBatches) }, l)
+	reg.CounterFunc("udp_tx_dropped_total", "datagrams abandoned on send errors",
+		func() float64 { return float64(src.Stats().TxDropped) }, l)
+	reg.CounterFunc("udp_pool_gets_total", "buffer-pool gets (must equal puts when idle)",
+		func() float64 { gets, _ := src.PoolStats(); return float64(gets) }, l)
+	reg.CounterFunc("udp_pool_puts_total", "buffer-pool puts (must equal gets when idle)",
+		func() float64 { _, puts := src.PoolStats(); return float64(puts) }, l)
+}

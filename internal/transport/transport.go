@@ -75,8 +75,35 @@ func (t *afterFuncRearm) Stop() bool {
 	return t.tm.Stop()
 }
 
-// Receiver consumes inbound datagrams. src is the sender's address.
+// Receiver consumes inbound datagrams. src is the sender's address,
+// interned by the transport so repeated packets from one peer share a
+// string. data follows the netsim packet-pool ownership contract: it
+// is valid only for the duration of the call (the transport reuses
+// the buffer), so receivers that need the bytes later must copy them.
 type Receiver func(src string, data []byte)
+
+// BatchSender is an optional Transport extension for send-side
+// batching: QueueSend enqueues a datagram (copying data, so the
+// caller may reuse its buffer immediately, exactly as with Send) and
+// Flush transmits the queued run in as few syscalls as the platform
+// allows. Transports without a batched path implement QueueSend as an
+// immediate Send and Flush as a no-op, so callers can use the
+// interface unconditionally.
+type BatchSender interface {
+	QueueSend(dst string, data []byte)
+	Flush()
+}
+
+// BatchEndNotifier is an optional Transport extension: SetBatchEnd
+// registers a hook the read loop invokes after delivering each
+// inbound batch. Pairing it with a BatchSender turns a forwarder into
+// a cut-through pipeline — the RTP relay queues every packet of an
+// inbound burst onto the opposite leg and flushes exactly once when
+// the burst ends, so batching adds no residency latency beyond the
+// burst itself.
+type BatchEndNotifier interface {
+	SetBatchEnd(fn func())
+}
 
 // Transport sends and receives datagrams.
 type Transport interface {

