@@ -10,7 +10,7 @@ BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 # scheduler (see `make cover`).
 COVER_MIN ?= 85
 
-.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke cover verify bench bench-check
+.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke lint-metrics cover verify bench bench-check
 
 # The darwin cross-build keeps the portable (non-linux) data plane
 # compiling: batch_other.go must satisfy the same interfaces as the
@@ -90,10 +90,24 @@ telemetry-smoke:
 	$(GO) run ./cmd/capacity -telemetry-out .telemetry-smoke.json
 	@rm -f .telemetry-smoke.json
 
+# The measured-QoS plane: per-stream sensor estimators (jitter/loss
+# property tests, RTCP RTT pairing, zero-alloc observe) and the pinned
+# end-to-end QoS goldens (measured MOS histogram + SLO verdicts).
+qos-smoke:
+	$(GO) test -run 'TestQoS' -count=1 ./internal/media/
+	$(GO) test -run 'TestRTCPInfo' -count=1 ./internal/rtp/
+	$(GO) test -run 'TestGoldenQoSSnapshot' -count=1 ./internal/core/
+
+# Telemetry naming rule: every registered family name is a snake_case
+# const declared exactly once (see cmd/lintmetrics).
+lint-metrics:
+	$(GO) run ./cmd/lintmetrics
+
 # The pre-merge gate: build (native + darwin cross), vet, full tests,
 # race tests, chaos smoke, crash smoke, sharded-engine smoke, real-UDP
-# soak, fuzz smoke, telemetry smoke, coverage floors.
-verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke cover
+# soak, fuzz smoke, telemetry smoke, QoS smoke, metric-name lint,
+# coverage floors.
+verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke lint-metrics cover
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per

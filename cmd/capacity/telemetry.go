@@ -36,6 +36,8 @@ var requiredFamilies = []string{
 	"sip_retransmissions_total",
 	"rtp_relay_packets_total",
 	"sched_events_total",
+	"pbx_call_mos_measured",
+	"pbx_slo_breach_total",
 }
 
 // runTelemetryDump executes one instrumented overload run (A=200 E on

@@ -1,0 +1,196 @@
+// Command lintmetrics enforces the repo's telemetry naming rule: every
+// metric family registered on a telemetry.Registry must be named by a
+// snake_case string constant from the registering package, and each
+// family-name constant must be declared exactly once across the tree —
+// so `grep <const>` finds the single definition, renames cannot
+// half-happen, and no two subsystems can silently claim one family.
+//
+//	lintmetrics [dir ...]   (default: ./internal ./cmd)
+//
+// Registration methods checked: Counter, Gauge, Histogram, CounterFunc,
+// GaugeFunc. Test files and testdata trees are exempt (tests may build
+// throwaway registries with literal names). Exits 1 with one line per
+// violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var registrationMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// constDecl is one top-level string constant declaration.
+type constDecl struct {
+	pos   token.Position
+	value string
+}
+
+// registration is one metric-family registration call site.
+type registration struct {
+	pos    token.Position
+	method string
+	arg    ast.Expr
+	pkgDir string
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"./internal", "./cmd"}
+	}
+	fset := token.NewFileSet()
+	// consts[pkgDir][name] = declarations of that const in the package.
+	consts := map[string]map[string][]constDecl{}
+	// declsByValue counts const declarations per family-name value.
+	declsByValue := map[string][]constDecl{}
+	var regs []registration
+
+	for _, root := range dirs {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return fmt.Errorf("parse %s: %w", path, err)
+			}
+			pkgDir := filepath.Dir(path)
+			collect(fset, file, pkgDir, consts, declsByValue, &regs)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintmetrics:", err)
+			os.Exit(2)
+		}
+	}
+
+	var violations []string
+	families := map[string]bool{}
+	for _, r := range regs {
+		switch arg := r.arg.(type) {
+		case *ast.BasicLit:
+			violations = append(violations, fmt.Sprintf(
+				"%s: %s registration uses string literal %s; name it with a package const",
+				r.pos, r.method, arg.Value))
+		case *ast.Ident:
+			decls := consts[r.pkgDir][arg.Name]
+			if len(decls) == 0 {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s registration name %q does not resolve to a string const in %s",
+					r.pos, r.method, arg.Name, r.pkgDir))
+				continue
+			}
+			value := decls[0].value
+			families[value] = true
+			if !snakeCase.MatchString(value) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: family name %q (const %s) is not snake_case", r.pos, value, arg.Name))
+			}
+			if n := len(declsByValue[value]); n != 1 {
+				var where []string
+				for _, d := range declsByValue[value] {
+					where = append(where, d.pos.String())
+				}
+				violations = append(violations, fmt.Sprintf(
+					"%s: family name %q declared by %d consts (%s); want exactly one",
+					r.pos, value, n, strings.Join(where, ", ")))
+			}
+		default:
+			violations = append(violations, fmt.Sprintf(
+				"%s: %s registration name is a %T expression; use a package string const",
+				r.pos, r.method, r.arg))
+		}
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		seen := map[string]bool{}
+		for _, v := range violations {
+			if !seen[v] {
+				seen[v] = true
+				fmt.Fprintln(os.Stderr, v)
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("lintmetrics: OK (%d registration sites, %d families)\n", len(regs), len(families))
+}
+
+// collect gathers the file's top-level string consts and registration
+// call sites.
+func collect(fset *token.FileSet, file *ast.File, pkgDir string,
+	consts map[string]map[string][]constDecl, declsByValue map[string][]constDecl,
+	regs *[]registration) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				value, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				cd := constDecl{pos: fset.Position(name.Pos()), value: value}
+				if consts[pkgDir] == nil {
+					consts[pkgDir] = map[string][]constDecl{}
+				}
+				consts[pkgDir][name.Name] = append(consts[pkgDir][name.Name], cd)
+				declsByValue[value] = append(declsByValue[value], cd)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !registrationMethods[sel.Sel.Name] || len(call.Args) < 2 {
+			return true
+		}
+		*regs = append(*regs, registration{
+			pos:    fset.Position(call.Pos()),
+			method: sel.Sel.Name,
+			arg:    call.Args[0],
+			pkgDir: pkgDir,
+		})
+		return true
+	})
+}

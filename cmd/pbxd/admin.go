@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 
+	"repro/internal/pbx"
 	"repro/internal/telemetry"
 )
 
@@ -15,13 +17,16 @@ import (
 //	/healthz      readiness probe (200 "ok", 503 while draining)
 //	/drain        POST: begin graceful drain (503 new calls, finish old)
 //	/debug/vars   the registry's JSON snapshot (expvar-style)
+//	/debug/calls  wide-event records of recently torn-down calls (JSON)
+//	/debug/flight the tracer's flight-recorder ring (JSON, oldest first)
 //	/debug/pprof  the standard Go profiling handlers
 //
 // The mux is private — none of this is registered on
 // http.DefaultServeMux, so importing net/http/pprof side-effects
 // elsewhere cannot widen the surface. Returns the bound address
 // (useful with ":0").
-func startAdmin(addr string, reg *telemetry.Registry, healthy func() bool, drain func()) (string, error) {
+func startAdmin(addr string, reg *telemetry.Registry, healthy func() bool, drain func(),
+	calls func() []pbx.CallEvent, flight func() []telemetry.SpanEvent) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -56,6 +61,26 @@ func startAdmin(addr string, reg *telemetry.Registry, healthy func() bool, drain
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.Write(out)
+	})
+	mux.HandleFunc("/debug/calls", func(w http.ResponseWriter, r *http.Request) {
+		ev := []pbx.CallEvent{}
+		if calls != nil {
+			if v := calls(); v != nil {
+				ev = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(ev)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		ev := []telemetry.SpanEvent{}
+		if flight != nil {
+			if v := flight(); v != nil {
+				ev = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(ev)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +18,26 @@ import (
 	"time"
 
 	"repro/internal/directory"
+	"repro/internal/monitor"
 	"repro/internal/pbx"
 	"repro/internal/sip"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
+
+// dumpFlight writes the flight-recorder ring as JSON — the crash-path
+// twin of /debug/flight. Best-effort: a failed dump must not mask the
+// panic that triggered it.
+func dumpFlight(path string, events []telemetry.SpanEvent) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbxd: flight dump:", err)
+		return
+	}
+	json.NewEncoder(f).Encode(events)
+	f.Close()
+	fmt.Fprintf(os.Stderr, "pbxd: flight recorder dumped to %s (%d events)\n", path, len(events))
+}
 
 func main() {
 	var (
@@ -32,8 +48,11 @@ func main() {
 		rtpBase  = flag.Int("rtp-base", 10000, "first RTP relay port")
 		quiet    = flag.Bool("quiet", false, "suppress periodic stats")
 		occ      = flag.Float64("occupancy", 0, "shed load at this fraction of capacity with 503+Retry-After (0 = hard cap)")
-		admin    = flag.String("admin", "127.0.0.1:9690", "admin HTTP address serving /metrics, /healthz, /debug/vars and /debug/pprof (empty = disabled)")
+		admin    = flag.String("admin", "127.0.0.1:9690", "admin HTTP address serving /metrics, /healthz, /debug/vars, /debug/calls, /debug/flight and /debug/pprof (empty = disabled)")
 		shards   = flag.Int("shards", 1, "SO_REUSEPORT listener shards on the SIP port (1 = single socket)")
+		callLog  = flag.String("call-log", "", "append one JSON call event per teardown to this file (empty = ring buffer only)")
+		instance = flag.String("instance", "pbxd", "instance name stamped into call events (backend field)")
+		flight   = flag.String("flight-dump", "pbxd-flight.json", "write the flight-recorder ring here on panic (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -66,9 +85,22 @@ func main() {
 	cfg := pbx.Config{
 		MaxChannels: *capacity,
 		RelayRTP:    *relay,
-		RTPPortBase: *rtpBase,
-		Seed:        uint64(time.Now().UnixNano()),
-		Telemetry:   reg,
+		// Real endpoints stamp RTP from their own clocks; transit
+		// estimates at the relay are epoch offsets, not delays.
+		RemoteMediaClocks: true,
+		RTPPortBase:       *rtpBase,
+		Seed:              uint64(time.Now().UnixNano()),
+		Telemetry:         reg,
+		Instance:          *instance,
+	}
+	if *callLog != "" {
+		f, err := os.OpenFile(*callLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbxd: call-log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.CallLog = f
 	}
 	if *occ > 0 {
 		if *occ > 1 {
@@ -82,18 +114,39 @@ func main() {
 		tr.LocalAddr(), tr.NumShards(), tr.Batched(),
 		*capacity, dir.Users(), *relay, server.AdmissionPolicyName())
 
+	// The flight recorder is most valuable exactly when the process
+	// dies: dump the ring before re-panicking so a crashed run leaves
+	// its last ~512 call-stage transitions on disk.
+	if *flight != "" {
+		defer func() {
+			if r := recover(); r != nil {
+				dumpFlight(*flight, server.TraceEvents())
+				panic(r)
+			}
+		}()
+	}
+
+	// The same per-second sampler + SLO evaluator the simulator runs,
+	// on the wall clock: breach counters and the active-breach gauge
+	// land in /metrics for pbxtop and any scraper.
+	sampler := monitor.NewSampler(reg, clock)
+	slo := monitor.NewSLO(reg, monitor.DefaultSLORules())
+	sampler.SetObserver(slo.Observe)
+	sampler.Start()
+
 	if *admin != "" {
 		// /healthz doubles as the load-balancer readiness signal: it
 		// flips to 503 the moment a drain starts, before the last call
 		// ends, so orchestrators stop routing while calls finish.
 		bound, err := startAdmin(*admin, reg,
 			func() bool { return !server.Draining() },
-			func() { server.Drain() })
+			func() { server.Drain() },
+			server.RecentCalls, server.TraceEvents)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pbxd: admin:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("pbxd: admin HTTP on http://%s (/metrics /healthz /drain /debug/vars /debug/pprof)\n", bound)
+		fmt.Printf("pbxd: admin HTTP on http://%s (/metrics /healthz /drain /debug/vars /debug/calls /debug/flight /debug/pprof)\n", bound)
 	}
 
 	stop := make(chan os.Signal, 1)

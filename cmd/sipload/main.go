@@ -50,6 +50,17 @@ type summary struct {
 	PPS    float64 `json:"pps,omitempty"`
 	MOSAvg float64 `json:"mos_avg,omitempty"`
 	MOSMin float64 `json:"mos_min,omitempty"`
+	// Measured per-stream sensor outputs, aggregated across legs:
+	// RFC 3550 interarrival jitter, effective loss (network + late
+	// discards, packet-weighted), and RTCP-derived round trips (zero
+	// unless -rtcp is enabled and reports made it back).
+	JitterAvgMs  float64 `json:"jitter_avg_ms,omitempty"`
+	JitterMaxMs  float64 `json:"jitter_max_ms,omitempty"`
+	LossRatio    float64 `json:"loss_ratio,omitempty"`
+	RTTAvgMs     float64 `json:"rtt_avg_ms,omitempty"`
+	RTTMaxMs     float64 `json:"rtt_max_ms,omitempty"`
+	RTCPSent     uint64  `json:"rtcp_sent,omitempty"`
+	RTCPReceived uint64  `json:"rtcp_received,omitempty"`
 }
 
 // mediaAgg accumulates per-leg media outcomes as calls finish.
@@ -61,6 +72,16 @@ type mediaAgg struct {
 	mosSum   float64
 	mosMin   float64
 	ssrc     uint32
+
+	jitterSum time.Duration
+	jitterMax time.Duration
+	lost      uint64 // network loss + late discards, across legs
+	expected  uint64
+	rttSum    time.Duration
+	rttMax    time.Duration
+	rttN      int
+	rtcpSent  uint64
+	rtcpRecv  uint64
 }
 
 func (a *mediaAgg) nextSSRC() uint32 {
@@ -86,6 +107,23 @@ func (a *mediaAgg) finish(s *media.Session) {
 	if a.legs == 1 || r.MOS < a.mosMin {
 		a.mosMin = r.MOS
 	}
+	a.jitterSum += r.Stream.Jitter
+	if r.Stream.Jitter > a.jitterMax {
+		a.jitterMax = r.Stream.Jitter
+	}
+	if r.Stream.Expected > 0 {
+		a.lost += uint64(r.Stream.Lost) + r.Late
+		a.expected += uint64(r.Stream.Expected)
+	}
+	if r.RTT > 0 {
+		a.rttSum += r.RTT
+		a.rttN++
+		if r.RTT > a.rttMax {
+			a.rttMax = r.RTT
+		}
+	}
+	a.rtcpSent += r.RTCPSent
+	a.rtcpRecv += r.RTCPReceived
 	a.mu.Unlock()
 }
 
@@ -102,6 +140,7 @@ func main() {
 		retryBase = flag.Duration("retry-base", 500*time.Millisecond, "base for full-jitter retry backoff")
 		seed      = flag.Uint64("seed", 0, "RNG seed for arrivals and backoff jitter (0 = from wall clock)")
 		withMedia = flag.Bool("media", false, "run bidirectional G.711 RTP on every established call")
+		rtcp      = flag.Duration("rtcp", 2*time.Second, "RTCP sender-report interval on media legs, for RTT and loss feedback (0 = disabled)")
 		mediaPort = flag.Int("media-port", 41000, "uac RTP port base (uas uses +8192); 2 ports per concurrent call")
 		jsonOut   = flag.Bool("json", false, "print a JSON summary to stdout (progress goes to stderr)")
 	)
@@ -145,8 +184,9 @@ func main() {
 			return nil
 		}
 		sess := media.NewSession(tr, clock, media.SessionConfig{
-			Remote: fmt.Sprintf("%s:%d", mi.RemoteHost, mi.RemotePort),
-			SSRC:   agg.nextSSRC(),
+			Remote:       fmt.Sprintf("%s:%d", mi.RemoteHost, mi.RemotePort),
+			SSRC:         agg.nextSSRC(),
+			RTCPInterval: *rtcp,
 		})
 		sess.Start()
 		return sess
@@ -293,7 +333,18 @@ func main() {
 		if agg.legs > 0 {
 			s.MOSAvg = agg.mosSum / float64(agg.legs)
 			s.MOSMin = agg.mosMin
+			s.JitterAvgMs = agg.jitterSum.Seconds() * 1000 / float64(agg.legs)
+			s.JitterMaxMs = agg.jitterMax.Seconds() * 1000
 		}
+		if agg.expected > 0 {
+			s.LossRatio = float64(agg.lost) / float64(agg.expected)
+		}
+		if agg.rttN > 0 {
+			s.RTTAvgMs = agg.rttSum.Seconds() * 1000 / float64(agg.rttN)
+			s.RTTMaxMs = agg.rttMax.Seconds() * 1000
+		}
+		s.RTCPSent = agg.rtcpSent
+		s.RTCPReceived = agg.rtcpRecv
 		agg.mu.Unlock()
 	}
 
@@ -309,6 +360,9 @@ func main() {
 		if *withMedia {
 			fmt.Printf("sipload: media legs=%d rtp_sent=%d rtp_received=%d pps=%.0f mos_avg=%.2f mos_min=%.2f\n",
 				s.MediaLegs, s.RTPSent, s.RTPReceived, s.PPS, s.MOSAvg, s.MOSMin)
+			fmt.Printf("sipload: measured jitter_avg=%.2fms jitter_max=%.2fms loss=%.4f rtt_avg=%.1fms rtt_max=%.1fms rtcp=%d/%d\n",
+				s.JitterAvgMs, s.JitterMaxMs, s.LossRatio, s.RTTAvgMs, s.RTTMaxMs,
+				s.RTCPReceived, s.RTCPSent)
 		}
 	}
 	if math.IsNaN(pb) {

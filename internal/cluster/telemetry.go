@@ -19,19 +19,29 @@ type clusterMetrics struct {
 	ups           *telemetry.Counter
 }
 
+// Cluster telemetry family names.
+const (
+	mClusterRedirects     = "cluster_redirects_total"
+	mClusterFailovers     = "cluster_failovers_total"
+	mClusterRepins        = "cluster_repins_total"
+	mClusterProbeFailures = "cluster_probe_failures_total"
+	mClusterTransitions   = "cluster_backend_transitions_total"
+	mClusterBackendUp     = "cluster_backend_up"
+)
+
 func newClusterMetrics(reg *telemetry.Registry, servers int) *clusterMetrics {
 	tm := &clusterMetrics{
-		redirects: reg.Counter("cluster_redirects_total", "INVITEs answered with 302 toward a backend"),
-		failovers: reg.Counter("cluster_failovers_total",
+		redirects: reg.Counter(mClusterRedirects, "INVITEs answered with 302 toward a backend"),
+		failovers: reg.Counter(mClusterFailovers,
 			"redirects placed while at least one backend was marked down"),
-		repins: reg.Counter("cluster_repins_total",
+		repins: reg.Counter(mClusterRepins,
 			"REGISTERs re-pinned from a down backend to a live one"),
-		probeFailures: reg.Counter("cluster_probe_failures_total", "health probes that timed out or got non-200"),
-		downs:         reg.Counter("cluster_backend_transitions_total", "backend liveness transitions", telemetry.L("to", "down")),
-		ups:           reg.Counter("cluster_backend_transitions_total", "backend liveness transitions", telemetry.L("to", "up")),
+		probeFailures: reg.Counter(mClusterProbeFailures, "health probes that timed out or got non-200"),
+		downs:         reg.Counter(mClusterTransitions, "backend liveness transitions", telemetry.L("to", "down")),
+		ups:           reg.Counter(mClusterTransitions, "backend liveness transitions", telemetry.L("to", "up")),
 	}
 	for i := 0; i < servers; i++ {
-		tm.backendUp = append(tm.backendUp, reg.Gauge("cluster_backend_up",
+		tm.backendUp = append(tm.backendUp, reg.Gauge(mClusterBackendUp,
 			"1 while the backend is in placement rotation",
 			telemetry.L("backend", fmt.Sprintf("pbx%d", i+1))))
 	}

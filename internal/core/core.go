@@ -75,6 +75,9 @@ type ExperimentConfig struct {
 	// over the configured policy: calls whose predicted E-model MOS
 	// falls below the floor are shed with 503.
 	QualityFloorMOS float64
+	// SLO overrides the service-level rules the per-second series is
+	// judged against; nil applies monitor.DefaultSLORules().
+	SLO *monitor.SLORules
 	// Seed drives all randomness in the run.
 	Seed uint64
 	// Shards, when > 1, partitions the simulated fabric across that
@@ -141,6 +144,9 @@ type ExperimentResult struct {
 	// Series is the per-second sampler series (offered load, active
 	// calls, blocking, goodput, setup-latency quantiles).
 	Series []monitor.Sample
+	// SLOBreaches is the rule-violation timeline the SLO evaluator
+	// produced over Series (empty when every tick met the rules).
+	SLOBreaches []monitor.Breach
 	// CDRs is the server's call-detail-record stream in close order,
 	// the ledger the determinism-differential harness compares between
 	// engine modes.
@@ -228,8 +234,15 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 	})
 
 	// Per-second time series, stopped with the traffic so the drain
-	// tail does not pad the series.
+	// tail does not pad the series. The SLO evaluator rides the
+	// sampler's tick hook, judging each finished second.
 	sampler := monitor.NewSampler(reg, clock)
+	rules := monitor.DefaultSLORules()
+	if cfg.SLO != nil {
+		rules = *cfg.SLO
+	}
+	slo := monitor.NewSLO(reg, rules)
+	sampler.SetObserver(slo.Observe)
 	sampler.Start()
 
 	var results sipp.Results
@@ -276,6 +289,7 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 	res.CDRs = server.CDRs()
 	res.Telemetry = reg.Snapshot()
 	res.Series = sampler.Samples()
+	res.SLOBreaches = slo.Breaches()
 	return res
 }
 

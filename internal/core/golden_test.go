@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/monitor"
 	"repro/internal/sipp"
 )
 
@@ -120,6 +121,78 @@ func TestGoldenTelemetrySnapshot(t *testing.T) {
 		t.Errorf("telemetry snapshot drifted from %s (%d vs %d bytes); "+
 			"regenerate with UPDATE_GOLDEN=1 if the change is intended",
 			golden, len(first), len(want))
+	}
+}
+
+// qosSummary flattens the measured-QoS plane of one run into a pinned
+// string: the sensor-derived MOS histogram, the RTCP counters (zero in
+// the simulator — sim media sessions emit no RTCP, a determinism
+// invariant), the SLO breach counters per rule, and the breach
+// timeline length.
+func qosSummary(res ExperimentResult) string {
+	snap := res.Telemetry
+	var mosN uint64
+	var mosSum float64
+	if f := snap.Family("pbx_call_mos_measured"); f != nil && len(f.Metrics) > 0 {
+		mosN = *f.Metrics[0].Count
+		mosSum = *f.Metrics[0].Sum
+	}
+	var rttN uint64
+	if f := snap.Family("pbx_call_rtt_seconds"); f != nil && len(f.Metrics) > 0 {
+		rttN = *f.Metrics[0].Count
+	}
+	breach := map[string]float64{}
+	if f := snap.Family("pbx_slo_breach_total"); f != nil {
+		for _, m := range f.Metrics {
+			for _, l := range m.Labels {
+				if l.Key == "rule" {
+					breach[l.Value] = *m.Value
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("mosMeasuredN=%d mosMeasuredSum=%.17g rttN=%d rtcp=%.17g "+
+		"breachBlocking=%.17g breachMOS=%.17g breachDrops=%.17g breaches=%d",
+		mosN, mosSum, rttN, snap.Scalar("rtp_relay_rtcp_total"),
+		breach["blocking"], breach["mos_floor"], breach["drop_rate"], len(res.SLOBreaches))
+}
+
+// TestGoldenQoSSnapshot pins the measured-QoS plane end to end: the
+// per-stream sensors' aggregate MOS on the relay path and the SLO
+// verdict stream, for an uncongested packetized run and a blocking-
+// heavy one with a deliberately unmeetable MOS floor.
+func TestGoldenQoSSnapshot(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     ExperimentConfig
+		summary string
+	}{
+		{
+			name:    "packetized-12E",
+			cfg: ExperimentConfig{Workload: 12, Capacity: 165, Media: sipp.MediaPacketized, Seed: 1},
+			// The measured sum equals TestGoldenDeterminism's modeled
+			// mosSum for the same cell: with zero link jitter and no
+			// RTCP the sensor's delay terms reduce to the CDR model's.
+			summary: "mosMeasuredN=16 mosMeasuredSum=70.057201531372186 rttN=0 rtcp=0 " +
+				"breachBlocking=0 breachMOS=0 breachDrops=0 breaches=0",
+		},
+		{
+			name: "blocking-30E-cap10",
+			cfg: ExperimentConfig{Workload: 30, Capacity: 10, Media: sipp.MediaPacketized, Seed: 1,
+				SLO: &monitor.SLORules{MaxBlocking: 0.01, MinOffered: 1, MinMOS: 4.5, MaxDropRate: 0.05}},
+			summary: "mosMeasuredN=19 mosMeasuredSum=83.193227370136967 rttN=0 rtcp=0 " +
+				"breachBlocking=24 breachMOS=17 breachDrops=0 breaches=41",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := qosSummary(Run(tc.cfg))
+			if got != tc.summary {
+				t.Errorf("qos summary:\n got  %s\n want %s", got, tc.summary)
+			}
+		})
 	}
 }
 

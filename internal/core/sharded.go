@@ -106,6 +106,7 @@ func runSharded(cfg ExperimentConfig) ExperimentResult {
 	islands := make([]*island, nIslands)
 
 	var sampler *monitor.Sampler
+	var slo *monitor.SLO
 	for i := 0; i < nIslands; i++ {
 		isl := &island{}
 		islands[i] = isl
@@ -164,8 +165,15 @@ func runSharded(cfg ExperimentConfig) ExperimentResult {
 			// The sampler ticks as an event on the PBX shard, exactly
 			// like the single-threaded engine; whole-second window
 			// splits make each tick's cross-shard counter reads
-			// deterministic.
+			// deterministic. The SLO evaluator hangs off the sampler
+			// identically to Run, so verdicts stay bit-identical too.
 			sampler = monitor.NewSampler(reg, pbxClock)
+			rules := monitor.DefaultSLORules()
+			if cfg.SLO != nil {
+				rules = *cfg.SLO
+			}
+			slo = monitor.NewSLO(reg, rules)
+			sampler.SetObserver(slo.Observe)
 			sampler.Start()
 		}
 
@@ -234,5 +242,6 @@ func runSharded(cfg ExperimentConfig) ExperimentResult {
 	res.CDRs = server0.CDRs()
 	res.Telemetry = reg.Snapshot()
 	res.Series = sampler.Samples()
+	res.SLOBreaches = slo.Breaches()
 	return res
 }

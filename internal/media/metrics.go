@@ -11,11 +11,18 @@ type Metrics struct {
 	BadDatagrams   *telemetry.Counter
 }
 
+// Media telemetry family names.
+const (
+	mFramesSent     = "media_frames_sent_total"
+	mFramesReceived = "media_frames_received_total"
+	mBadDatagrams   = "media_bad_datagrams_total"
+)
+
 // NewMetrics registers the media metric families on reg.
 func NewMetrics(reg *telemetry.Registry) *Metrics {
 	return &Metrics{
-		FramesSent:     reg.Counter("media_frames_sent_total", "RTP audio frames transmitted by endpoints"),
-		FramesReceived: reg.Counter("media_frames_received_total", "RTP audio frames received by endpoints"),
-		BadDatagrams:   reg.Counter("media_bad_datagrams_total", "undecodable inbound media datagrams"),
+		FramesSent:     reg.Counter(mFramesSent, "RTP audio frames transmitted by endpoints"),
+		FramesReceived: reg.Counter(mFramesReceived, "RTP audio frames received by endpoints"),
+		BadDatagrams:   reg.Counter(mBadDatagrams, "undecodable inbound media datagrams"),
 	}
 }

@@ -1,0 +1,219 @@
+package media
+
+import (
+	"time"
+
+	"repro/internal/mos"
+	"repro/internal/rtp"
+)
+
+// QoSMeter is a per-stream quality sensor for the relay/receiver path:
+// it folds the RFC 3550 receiver statistics (interarrival jitter,
+// sequence-gap loss, transit), plus the RTCP-derived round-trip delay
+// seen in forwarded report blocks, through the E-model into a
+// *measured* MOS — the observation VoIPmonitor performed in the
+// paper's testbed, computed inline instead of from a capture.
+//
+// The observe path is allocation-free: ObserveRTP delegates to the
+// embedded value Receiver, ObserveRTCP decodes through an in-place
+// rtp.RTCPInfo view. The meter carries no lock; callers serialize
+// access (the relay observes under its per-call mutex).
+type QoSMeter struct {
+	recv    rtp.Receiver
+	profile mos.Codec
+
+	// jbDepth and frame model the receiving endpoint's playout buffer
+	// and packetization, the two delay terms the relay cannot observe.
+	jbDepth time.Duration
+	frame   time.Duration
+
+	// remoteClocks marks streams whose senders stamp RTP timestamps
+	// from their own clocks: transit estimates are then cross-clock
+	// offsets, so the score takes its delay term from the RTCP round
+	// trip only. False (the simulator, single-clock unit traces) lets
+	// min-transit stand in for one-way delay when RTCP never flowed.
+	remoteClocks bool
+
+	rtt      time.Duration // latest RTCP LSR/DLSR round trip
+	rttMax   time.Duration
+	rtcpSeen uint64
+
+	// shed counts observed packets the relay itself dropped on egress
+	// (the overload model). The inbound receiver statistics cannot see
+	// these — the sensor taps packets before the drop decision — but the
+	// downstream listener never hears them, so the measured score folds
+	// them into the effective loss while the raw Stream view (and any
+	// model built on it) keeps the true inbound picture. This is the
+	// term that makes measured MOS diverge from modeled MOS under
+	// overload.
+	shed uint64
+
+	// lsrNTP/lsrAt record the last SR seen in this direction (middle
+	// NTP timestamp and local arrival time) so the opposite direction's
+	// meter can pair the echoed LastSR against a local timestamp — the
+	// relay's two clocks (its own and each endpoint's) share no epoch,
+	// so cross-process LSR math must stay on local arrival times.
+	lsrNTP uint32
+	lsrAt  time.Duration
+
+	info rtp.RTCPInfo // scratch decode target, reused per packet
+}
+
+// NewQoSMeter returns a meter scoring with the given E-model profile.
+func NewQoSMeter(profile mos.Codec) *QoSMeter {
+	m := &QoSMeter{}
+	m.Reset(profile)
+	return m
+}
+
+// Reset clears all stream state and installs profile.
+func (m *QoSMeter) Reset(profile mos.Codec) {
+	*m = QoSMeter{
+		profile: profile,
+		jbDepth: 40 * time.Millisecond,
+		frame:   20 * time.Millisecond,
+	}
+}
+
+// SetRemoteClocks marks the stream's sender as running on its own
+// clock (see the remoteClocks field).
+func (m *QoSMeter) SetRemoteClocks(remote bool) {
+	m.remoteClocks = remote
+}
+
+// SetProfile swaps the scoring profile (codec negotiation happens after
+// the meter is built) without disturbing accumulated stream state.
+func (m *QoSMeter) SetProfile(profile mos.Codec) {
+	m.profile = profile
+	if m.profile.FrameMs > 0 {
+		m.frame = time.Duration(m.profile.FrameMs) * time.Millisecond
+	}
+}
+
+// ObserveRTP records one audio packet arrival.
+func (m *QoSMeter) ObserveRTP(now time.Duration, p *rtp.Packet) {
+	m.recv.Observe(now, p)
+}
+
+// NoteShed records that the packet just observed was dropped by the
+// relay itself before forwarding: received on the tap, lost to the
+// listener.
+func (m *QoSMeter) NoteShed() {
+	m.shed++
+}
+
+// ObserveRTCP records one RTCP SR/RR passing through in this meter's
+// direction. An SR updates the receiver's LSR state and is remembered
+// (middle NTP + local arrival) so report blocks flowing the other way
+// can be paired against it. echo is the opposite direction's meter: a
+// block whose LastSR matches echo's remembered SR yields a round-trip
+// sample measured entirely on the local clock — now − echo.lsrAt −
+// DLSR, the meter→peer→meter loop of the stream's sender. With echo
+// nil (a single-ended tap whose clock the peers share, e.g. the
+// simulator) the standard rtp.RoundTrip applies. Reports that do not
+// decode are ignored (false).
+func (m *QoSMeter) ObserveRTCP(now time.Duration, data []byte, echo *QoSMeter) bool {
+	if rtp.ParseRTCPInfo(data, &m.info) != nil {
+		return false
+	}
+	m.rtcpSeen++
+	if m.info.Type == rtp.RTCPSenderReport {
+		m.recv.NoteSR(now, m.info.SSRC, m.info.NTPTime)
+		m.lsrNTP = rtp.MiddleNTP(m.info.NTPTime)
+		m.lsrAt = now
+	}
+	for i := 0; i < m.info.NumBlocks(); i++ {
+		b := m.info.Block(i)
+		if b.LastSR == 0 {
+			continue
+		}
+		var rtt time.Duration
+		if echo != nil {
+			if b.LastSR != echo.lsrNTP {
+				continue
+			}
+			rtt = now - echo.lsrAt - time.Duration(b.DelaySinceLastSR)*time.Second/65536
+		} else {
+			rtt = rtp.RoundTrip(now, b)
+		}
+		if rtt > 0 {
+			m.rtt = rtt
+			if rtt > m.rttMax {
+				m.rttMax = rtt
+			}
+		}
+	}
+	return true
+}
+
+// QoS is one stream's measured-quality snapshot.
+type QoS struct {
+	// Stream is the RFC 3550 receiver view (loss, jitter, transit).
+	Stream rtp.Stats
+	// RTT and RTTMax are RTCP LSR/DLSR round-trip estimates; zero when
+	// no echoed report block passed the meter (always, in the
+	// simulator: sim media sessions emit no RTCP).
+	RTT    time.Duration
+	RTTMax time.Duration
+	// RTCPObserved counts decodable RTCP packets seen.
+	RTCPObserved uint64
+	// Shed counts observed packets the relay dropped on egress; they
+	// raise the effective loss behind MOS but not Stream.LossRatio.
+	Shed uint64
+	// MOS is the measured E-model score; zero with no received audio.
+	MOS float64
+}
+
+// Snapshot computes the measured-quality view.
+func (m *QoSMeter) Snapshot() QoS {
+	st := m.recv.Snapshot()
+	return QoS{
+		Stream:       st,
+		RTT:          m.rtt,
+		RTTMax:       m.rttMax,
+		RTCPObserved: m.rtcpSeen,
+		Shed:         m.shed,
+		MOS:          m.score(st),
+	}
+}
+
+// score runs the E-model over the observed stream. The mouth-to-ear
+// delay is built from measurement where available: the RTCP round trip
+// halves into a one-way estimate (falling back to twice the relay's
+// min-transit when RTCP never flowed), plus the modeled playout buffer,
+// one packetization interval, and the observed jitter the buffer must
+// absorb.
+func (m *QoSMeter) score(st rtp.Stats) float64 {
+	if st.Received == 0 {
+		return 0
+	}
+	oneWay := time.Duration(0)
+	if !m.remoteClocks {
+		oneWay = 2 * st.MinTransit
+		if oneWay < 0 {
+			oneWay = 0
+		}
+	}
+	if half := m.rtt / 2; half > oneWay {
+		oneWay = half
+	}
+	delay := oneWay + m.jbDepth + m.frame + st.Jitter
+	// Effective loss at the listener: network gaps the receiver stats
+	// saw, plus packets this relay shed on egress after observing them.
+	loss := st.LossRatio
+	if m.shed > 0 && st.Expected > 0 {
+		lost := st.Lost
+		if lost < 0 { // transient duplicate skew
+			lost = 0
+		}
+		loss = (float64(lost) + float64(m.shed)) / float64(st.Expected)
+		if loss > 1 {
+			loss = 1
+		}
+	}
+	return mos.Score(m.profile, mos.Metrics{
+		OneWayDelay: delay,
+		LossRatio:   loss,
+		BurstRatio:  1,
+	})
+}

@@ -1,0 +1,333 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/mos"
+	"repro/internal/rtp"
+)
+
+// feedTrace drives a synthetic packet trace through a meter: seq i is
+// sent at i*frame (stamped into the RTP timestamp) and arrives at
+// i*frame + delay[i]; drop[i] skips the packet entirely.
+func feedTrace(m *QoSMeter, n int, frame time.Duration, delay func(i int) time.Duration, drop func(i int) bool) {
+	tsPerFrame := uint32(frame * rtp.ClockRate / time.Second)
+	for i := 0; i < n; i++ {
+		if drop != nil && drop(i) {
+			continue
+		}
+		sendAt := time.Duration(i) * frame
+		p := rtp.Packet{
+			PayloadType: 0,
+			Sequence:    uint16(i),
+			Timestamp:   uint32(i) * tsPerFrame,
+			SSRC:        0xABCD,
+			Payload:     make([]byte, 160),
+		}
+		m.ObserveRTP(sendAt+delay(i), &p)
+	}
+}
+
+// TestQoSJitterZeroWhenPaced: a perfectly paced stream with constant
+// transit has zero interarrival jitter by construction.
+func TestQoSJitterZeroWhenPaced(t *testing.T) {
+	m := NewQoSMeter(mos.G711)
+	feedTrace(m, 200, 20*time.Millisecond,
+		func(int) time.Duration { return 5 * time.Millisecond }, nil)
+	q := m.Snapshot()
+	if q.Stream.Jitter != 0 {
+		t.Errorf("paced stream jitter = %v, want 0", q.Stream.Jitter)
+	}
+	if q.Stream.LossRatio != 0 || q.Stream.Received != 200 {
+		t.Errorf("paced stream loss = %v received = %d", q.Stream.LossRatio, q.Stream.Received)
+	}
+	if q.MOS < 4.0 {
+		t.Errorf("clean G.711 stream MOS = %.2f, want >= 4.0", q.MOS)
+	}
+}
+
+// TestQoSJitterMatchesReference replays random-delay traces against an
+// independent implementation of the RFC 3550 A.8 estimator
+// (J += (|D| − J)/16 over timestamp-unit transit differences).
+func TestQoSJitterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		m := NewQoSMeter(mos.G711)
+		const n = 500
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(30)) * time.Millisecond
+		}
+		feedTrace(m, n, 20*time.Millisecond,
+			func(i int) time.Duration { return delays[i] }, nil)
+
+		// Reference: same arithmetic, written independently in test
+		// space. Transit in timestamp units = arrival·rate − ts.
+		var j, last float64
+		have := false
+		for i := 0; i < n; i++ {
+			arrival := time.Duration(i)*20*time.Millisecond + delays[i]
+			ts := float64(i) * 20 * 8 // 160 ts units per 20 ms frame
+			transit := float64(arrival)*rtp.ClockRate/float64(time.Second) - ts
+			if have {
+				d := transit - last
+				if d < 0 {
+					d = -d
+				}
+				j += (d - j) / 16
+			}
+			last = transit
+			have = true
+		}
+		want := time.Duration(j / rtp.ClockRate * float64(time.Second))
+		got := m.Snapshot().Stream.Jitter
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Fatalf("trial %d: jitter = %v, reference %v", trial, got, want)
+		}
+	}
+}
+
+// TestQoSLossMatchesDrops drops known subsets of random traces and
+// checks the sequence-gap estimator recovers the exact drop count.
+// Tail drops are invisible to a sequence-gap detector (nothing after
+// them advances the highest seq), so the reference counts only drops
+// before the last delivered packet.
+func TestQoSLossMatchesDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		const n = 400
+		dropped := make(map[int]bool)
+		for i := 1; i < n; i++ { // never drop seq 0: it anchors baseSeq
+			if rng.Float64() < 0.07 {
+				dropped[i] = true
+			}
+		}
+		last := n - 1
+		for dropped[last] {
+			last--
+		}
+		wantLost := 0
+		for i := range dropped {
+			if i < last {
+				wantLost++
+			}
+		}
+		m := NewQoSMeter(mos.G711)
+		feedTrace(m, n, 20*time.Millisecond,
+			func(int) time.Duration { return 2 * time.Millisecond },
+			func(i int) bool { return dropped[i] })
+		st := m.Snapshot().Stream
+		if int(st.Lost) != wantLost {
+			t.Fatalf("trial %d: lost = %d, want %d", trial, st.Lost, wantLost)
+		}
+		wantExpected := uint64(last + 1)
+		if st.Expected != wantExpected {
+			t.Fatalf("trial %d: expected = %d, want %d", trial, st.Expected, wantExpected)
+		}
+		if wantLost > 0 && m.Snapshot().MOS >= cleanScore() {
+			t.Fatalf("trial %d: lossy MOS not below clean score", trial)
+		}
+	}
+}
+
+// cleanScore is the meter's score for a loss-free stream with the same
+// delay profile, the baseline for monotonicity checks.
+func cleanScore() float64 {
+	clean := NewQoSMeter(mos.G711)
+	feedTrace(clean, 400, 20*time.Millisecond,
+		func(int) time.Duration { return 2 * time.Millisecond }, nil)
+	return clean.Snapshot().MOS
+}
+
+// TestQoSShedFoldsIntoMeasuredLoss: packets the relay observes and then
+// sheds on egress must lower the measured score (the listener never
+// hears them) while leaving the raw receiver statistics untouched —
+// the divergence between measured and modeled MOS under overload.
+func TestQoSShedFoldsIntoMeasuredLoss(t *testing.T) {
+	m := NewQoSMeter(mos.G711)
+	feedTrace(m, 400, 20*time.Millisecond,
+		func(int) time.Duration { return 2 * time.Millisecond }, nil)
+	clean := m.Snapshot()
+	if clean.Shed != 0 || clean.Stream.LossRatio != 0 {
+		t.Fatalf("clean snapshot: %+v", clean)
+	}
+	for i := 0; i < 40; i++ { // 10% shed on egress
+		m.NoteShed()
+	}
+	q := m.Snapshot()
+	if q.Shed != 40 {
+		t.Errorf("Shed = %d, want 40", q.Shed)
+	}
+	if q.Stream.LossRatio != 0 || q.Stream.Lost != 0 {
+		t.Errorf("shed leaked into receiver stats: %+v", q.Stream)
+	}
+	if q.MOS >= clean.MOS {
+		t.Errorf("MOS with 10%% shed (%.3f) not below clean (%.3f)", q.MOS, clean.MOS)
+	}
+	// Match the score the meter would give a stream with the same real
+	// loss ratio: shed is effective loss, nothing more.
+	ref := mos.Score(mos.G711, mos.Metrics{
+		OneWayDelay: 2*2*time.Millisecond + 40*time.Millisecond + 20*time.Millisecond,
+		LossRatio:   40.0 / 400.0,
+		BurstRatio:  1,
+	})
+	if d := q.MOS - ref; d > 1e-9 || d < -1e-9 {
+		t.Errorf("shed score %.6f != equivalent-loss score %.6f", q.MOS, ref)
+	}
+}
+
+// TestQoSRTTPairing replays the relay's cross-clock RTT protocol: the
+// caller's SR is observed by the caller-direction meter (remembered at
+// local arrival time), the callee's echoed report block flows through
+// the callee-direction meter, which pairs it against the sibling. The
+// endpoints' own clocks use a deliberately alien epoch to prove the
+// computation never mixes them with the relay's.
+func TestQoSRTTPairing(t *testing.T) {
+	fromCaller := NewQoSMeter(mos.G711)
+	fromCallee := NewQoSMeter(mos.G711)
+
+	// Caller's clock origin is ~12 days ahead of the relay's.
+	callerEpoch := 1_000_000 * time.Second
+	srWire := (&rtp.SenderReport{
+		SSRC:    0x1111,
+		NTPTime: rtp.NTPTime(callerEpoch + 5*time.Second),
+	}).Marshal(nil)
+	t1 := 2 * time.Second // relay-local arrival of the SR
+	if !fromCaller.ObserveRTCP(t1, srWire, fromCallee) {
+		t.Fatalf("SR did not decode")
+	}
+
+	// Callee echoes the SR after holding it for 500 ms; the block
+	// arrives back at the relay 80 ms + 500 ms later.
+	dlsr := uint32(500 * 65536 / 1000)
+	echoWire := (&rtp.SenderReport{
+		SSRC:    0x2222,
+		NTPTime: rtp.NTPTime(9_999_999 * time.Second), // callee's own alien epoch
+		Blocks: []rtp.ReportBlock{{
+			SSRC:             0x1111,
+			LastSR:           rtp.MiddleNTP(rtp.NTPTime(callerEpoch + 5*time.Second)),
+			DelaySinceLastSR: dlsr,
+		}},
+	}).Marshal(nil)
+	t2 := t1 + 580*time.Millisecond
+	if !fromCallee.ObserveRTCP(t2, echoWire, fromCaller) {
+		t.Fatalf("echo did not decode")
+	}
+
+	got := fromCallee.Snapshot().RTT
+	want := 80 * time.Millisecond
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// DLSR carries 1/65536 s granularity.
+	if diff > time.Millisecond {
+		t.Errorf("paired RTT = %v, want ~%v", got, want)
+	}
+
+	// A block echoing an SR the sibling never saw must not produce a
+	// sample (stale or foreign LastSR).
+	stale := (&rtp.SenderReport{
+		SSRC:    0x2222,
+		NTPTime: rtp.NTPTime(9_999_999*time.Second + time.Second),
+		Blocks: []rtp.ReportBlock{{
+			SSRC:   0x1111,
+			LastSR: 0xDEAD_BEEF,
+		}},
+	}).Marshal(nil)
+	before := fromCallee.Snapshot().RTT
+	fromCallee.ObserveRTCP(t2+time.Second, stale, fromCaller)
+	if after := fromCallee.Snapshot().RTT; after != before {
+		t.Errorf("stale LastSR changed RTT: %v -> %v", before, after)
+	}
+}
+
+// TestQoSRTTSharedClockFallback covers the echo==nil path: with both
+// ends on one clock (the simulator), plain rtp.RoundTrip arithmetic
+// applies.
+func TestQoSRTTSharedClockFallback(t *testing.T) {
+	m := NewQoSMeter(mos.G711)
+	srAt := 10 * time.Second
+	wire := (&rtp.SenderReport{
+		SSRC:    0x3333,
+		NTPTime: rtp.NTPTime(srAt),
+		Blocks: []rtp.ReportBlock{{
+			SSRC:             0x4444,
+			LastSR:           rtp.MiddleNTP(rtp.NTPTime(srAt - 300*time.Millisecond)),
+			DelaySinceLastSR: uint32(200 * 65536 / 1000),
+		}},
+	}).Marshal(nil)
+	if !m.ObserveRTCP(srAt, wire, nil) {
+		t.Fatalf("SR did not decode")
+	}
+	got := m.Snapshot().RTT
+	want := 100 * time.Millisecond
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Errorf("fallback RTT = %v, want ~%v", got, want)
+	}
+}
+
+// TestQoSMOSDegradesWithRTT: a larger measured round trip must not
+// raise the score.
+func TestQoSMOSDegradesWithRTT(t *testing.T) {
+	score := func(rtt time.Duration) float64 {
+		m := NewQoSMeter(mos.G711)
+		feedTrace(m, 100, 20*time.Millisecond,
+			func(int) time.Duration { return time.Millisecond }, nil)
+		m.rtt = rtt
+		return m.Snapshot().MOS
+	}
+	if a, b := score(0), score(600*time.Millisecond); b >= a {
+		t.Errorf("MOS with 600 ms RTT (%.2f) not below zero-RTT score (%.2f)", b, a)
+	}
+}
+
+// TestQoSObserveZeroAlloc pins the sensor's hot-path allocation
+// contract: per-packet RTP and RTCP observation must not allocate (the
+// relay adds these calls to a path benched at 0 allocs/op).
+func TestQoSObserveZeroAlloc(t *testing.T) {
+	m := NewQoSMeter(mos.G711)
+	echo := NewQoSMeter(mos.G711)
+	p := rtp.Packet{SSRC: 0xAA, Payload: make([]byte, 160)}
+	now := time.Second
+	seq := uint16(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		p.Sequence = seq
+		p.Timestamp = uint32(seq) * 160
+		seq++
+		now += 20 * time.Millisecond
+		m.ObserveRTP(now, &p)
+	}); avg != 0 {
+		t.Errorf("ObserveRTP allocates %.1f/op, want 0", avg)
+	}
+	sr := (&rtp.SenderReport{SSRC: 0xAA, NTPTime: rtp.NTPTime(time.Second),
+		Blocks: []rtp.ReportBlock{{SSRC: 0xBB, LastSR: 1, DelaySinceLastSR: 2}}}).Marshal(nil)
+	if avg := testing.AllocsPerRun(1000, func() {
+		now += 20 * time.Millisecond
+		m.ObserveRTCP(now, sr, echo)
+	}); avg != 0 {
+		t.Errorf("ObserveRTCP allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestQoSReset: a reset meter reports a zero snapshot.
+func TestQoSReset(t *testing.T) {
+	m := NewQoSMeter(mos.G711)
+	feedTrace(m, 10, 20*time.Millisecond,
+		func(int) time.Duration { return time.Millisecond }, nil)
+	m.Reset(mos.G711)
+	q := m.Snapshot()
+	if q.Stream.Received != 0 || q.MOS != 0 || q.RTCPObserved != 0 {
+		t.Errorf("reset meter snapshot = %+v", q)
+	}
+}

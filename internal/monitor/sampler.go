@@ -23,6 +23,7 @@ type Sample struct {
 	Active   int     `json:"active"`   // channels in use at tick time
 	Retrans  uint64  `json:"retrans"`  // SIP retransmissions this second
 	RTP      uint64  `json:"rtp"`      // relayed RTP packets this second
+	Drops    uint64  `json:"drops"`    // relay packets dropped this second
 	// Blocking is Blocked/Offered within the tick; 0 with no offers.
 	Blocking float64 `json:"blocking"`
 	// SetupN and the quantiles describe INVITE→200 setup times recorded
@@ -31,6 +32,10 @@ type Sample struct {
 	SetupP50 float64 `json:"setup_p50"`
 	SetupP90 float64 `json:"setup_p90"`
 	SetupP99 float64 `json:"setup_p99"`
+	// MeasuredN and MeasuredP50 describe the sensor-measured MOS of
+	// calls that tore down this second (zero when none carried media).
+	MeasuredN   uint64  `json:"mos_n"`
+	MeasuredP50 float64 `json:"mos_p50"`
 }
 
 // Sampler polls a telemetry registry once per clock second and
@@ -52,6 +57,7 @@ type Sampler struct {
 	active   func() float64
 	retrans  func() float64
 	rtp      func() float64
+	drops    func() float64
 
 	setup       *telemetry.Histogram
 	setupBounds []float64
@@ -59,8 +65,18 @@ type Sampler struct {
 	delta       []uint64
 	prevCount   uint64
 
+	measured       *telemetry.Histogram
+	measuredBounds []float64
+	mCur, mPrev    []uint64
+	mDelta         []uint64
+	mPrevCount     uint64
+
 	prevOffered, prevBlocked, prevAnswered float64
-	prevRetrans, prevRTP                   float64
+	prevRetrans, prevRTP, prevDrops        float64
+
+	// observer, when set, sees every finished Sample in tick order —
+	// the hook the SLO evaluator rides on.
+	observer func(Sample)
 
 	start   time.Duration
 	lastT   time.Duration
@@ -90,7 +106,9 @@ func NewSampler(reg *telemetry.Registry, clock transport.Clock) *Sampler {
 		active:   reader(reg, "pbx_active_channels"),
 		retrans:  reader(reg, "sip_retransmissions_total"),
 		rtp:      reader(reg, "rtp_relay_packets_total"),
+		drops:    reader(reg, "rtp_relay_dropped_total"),
 		setup:    reg.FindHistogram("pbx_call_setup_seconds"),
+		measured: reg.FindHistogram("pbx_call_mos_measured"),
 	}
 	if sp.setup != nil {
 		n := sp.setup.NumBuckets()
@@ -99,8 +117,20 @@ func NewSampler(reg *telemetry.Registry, clock transport.Clock) *Sampler {
 		sp.prev = make([]uint64, n)
 		sp.delta = make([]uint64, n)
 	}
+	if sp.measured != nil {
+		n := sp.measured.NumBuckets()
+		sp.measuredBounds = sp.measured.Bounds()
+		sp.mCur = make([]uint64, n)
+		sp.mPrev = make([]uint64, n)
+		sp.mDelta = make([]uint64, n)
+	}
 	return sp
 }
+
+// SetObserver installs a per-sample hook (e.g. the SLO evaluator),
+// invoked synchronously after each tick's Sample is complete. Must be
+// set before Start.
+func (sp *Sampler) SetObserver(fn func(Sample)) { sp.observer = fn }
 
 // Start begins per-second sampling at the next whole second. The tick
 // reuses one rearmed timer, so steady-state sampling allocates only
@@ -127,14 +157,15 @@ func (sp *Sampler) observe(now time.Duration) {
 		Active: int(sp.active()),
 	}
 	offered, blocked, answered := sp.offered(), sp.blocked(), sp.answered()
-	retrans, rtpPkts := sp.retrans(), sp.rtp()
+	retrans, rtpPkts, drops := sp.retrans(), sp.rtp(), sp.drops()
 	s.Offered = uint64(offered - sp.prevOffered)
 	s.Blocked = uint64(blocked - sp.prevBlocked)
 	s.Answered = uint64(answered - sp.prevAnswered)
 	s.Retrans = uint64(retrans - sp.prevRetrans)
 	s.RTP = uint64(rtpPkts - sp.prevRTP)
+	s.Drops = uint64(drops - sp.prevDrops)
 	sp.prevOffered, sp.prevBlocked, sp.prevAnswered = offered, blocked, answered
-	sp.prevRetrans, sp.prevRTP = retrans, rtpPkts
+	sp.prevRetrans, sp.prevRTP, sp.prevDrops = retrans, rtpPkts, drops
 	if s.Offered > 0 {
 		s.Blocking = float64(s.Blocked) / float64(s.Offered)
 	}
@@ -154,8 +185,24 @@ func (sp *Sampler) observe(now time.Duration) {
 		sp.prevCount = count
 	}
 
+	if sp.measured != nil {
+		count, _ := sp.measured.Load(sp.mCur)
+		s.MeasuredN = count - sp.mPrevCount
+		if s.MeasuredN > 0 {
+			for i := range sp.mCur {
+				sp.mDelta[i] = sp.mCur[i] - sp.mPrev[i]
+			}
+			s.MeasuredP50 = telemetry.QuantileFromCounts(sp.measuredBounds, sp.mDelta, 0.50)
+		}
+		sp.mCur, sp.mPrev = sp.mPrev, sp.mCur
+		sp.mPrevCount = count
+	}
+
 	sp.samples = append(sp.samples, s)
 	sp.lastT = now
+	if sp.observer != nil {
+		sp.observer(s)
+	}
 }
 
 // Stop halts sampling, flushing a final partial-second sample when
@@ -188,7 +235,8 @@ func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"t", "offered", "blocked", "answered", "active",
-		"retrans", "rtp", "blocking", "setup_n", "setup_p50", "setup_p90", "setup_p99",
+		"retrans", "rtp", "drops", "blocking", "setup_n", "setup_p50", "setup_p90", "setup_p99",
+		"mos_n", "mos_p50",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -202,11 +250,14 @@ func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 			fmt.Sprintf("%d", s.Active),
 			fmt.Sprintf("%d", s.Retrans),
 			fmt.Sprintf("%d", s.RTP),
+			fmt.Sprintf("%d", s.Drops),
 			fmt.Sprintf("%.4f", s.Blocking),
 			fmt.Sprintf("%d", s.SetupN),
 			fmt.Sprintf("%.4f", s.SetupP50),
 			fmt.Sprintf("%.4f", s.SetupP90),
 			fmt.Sprintf("%.4f", s.SetupP99),
+			fmt.Sprintf("%d", s.MeasuredN),
+			fmt.Sprintf("%.2f", s.MeasuredP50),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -222,23 +273,35 @@ type SchedStatser interface {
 	Stats() netsim.SchedStats
 }
 
+// Scheduler telemetry family names (see the lint-metrics rule: one
+// snake_case const per family, registrations only through it).
+const (
+	mSchedEvents    = "sched_events_total"
+	mSchedScheduled = "sched_scheduled_total"
+	mSchedCancelled = "sched_cancelled_total"
+	mSchedPending   = "sched_pending_events"
+	mSchedWheel     = "sched_wheel_items"
+	mSchedOverflow  = "sched_overflow_depth"
+	mSchedVirtual   = "sched_virtual_seconds"
+)
+
 // RegisterScheduler exposes the netsim scheduler's internals as
 // pull-style sched_* families: the values are read from
 // Scheduler.Stats() when a snapshot or exposition runs, so the event
 // loop itself pays nothing per event.
 func RegisterScheduler(reg *telemetry.Registry, sched SchedStatser) {
-	reg.CounterFunc("sched_events_total", "events fired by the virtual-time scheduler",
+	reg.CounterFunc(mSchedEvents, "events fired by the virtual-time scheduler",
 		func() float64 { return float64(sched.Stats().Fired) })
-	reg.CounterFunc("sched_scheduled_total", "events ever scheduled",
+	reg.CounterFunc(mSchedScheduled, "events ever scheduled",
 		func() float64 { return float64(sched.Stats().Scheduled) })
-	reg.CounterFunc("sched_cancelled_total", "timers stopped before firing",
+	reg.CounterFunc(mSchedCancelled, "timers stopped before firing",
 		func() float64 { return float64(sched.Stats().Cancelled) })
-	reg.GaugeFunc("sched_pending_events", "live scheduled events",
+	reg.GaugeFunc(mSchedPending, "live scheduled events",
 		func() float64 { return float64(sched.Stats().Pending) })
-	reg.GaugeFunc("sched_wheel_items", "items resident in timing-wheel slots",
+	reg.GaugeFunc(mSchedWheel, "items resident in timing-wheel slots",
 		func() float64 { return float64(sched.Stats().WheelItems) })
-	reg.GaugeFunc("sched_overflow_depth", "far-future items in the overflow heap",
+	reg.GaugeFunc(mSchedOverflow, "far-future items in the overflow heap",
 		func() float64 { return float64(sched.Stats().OverflowDepth) })
-	reg.GaugeFunc("sched_virtual_seconds", "virtual time at snapshot",
+	reg.GaugeFunc(mSchedVirtual, "virtual time at snapshot",
 		func() float64 { return sched.Stats().Now.Seconds() })
 }

@@ -1,0 +1,119 @@
+package monitor
+
+import "repro/internal/telemetry"
+
+// SLO rule names — the {rule} label values of pbx_slo_breach_total.
+const (
+	RuleBlocking = "blocking"
+	RuleMOSFloor = "mos_floor"
+	RuleDropRate = "drop_rate"
+)
+
+// SLO telemetry family names.
+const (
+	mSLOBreach = "pbx_slo_breach_total"
+	mSLOActive = "pbx_slo_active_breaches"
+)
+
+// SLORules are the per-second service-level objectives an experiment is
+// judged against. The zero value of a field disables that rule.
+type SLORules struct {
+	// MaxBlocking is the per-tick blocking-probability ceiling
+	// (Blocked/Offered); evaluated only on ticks offering at least
+	// MinOffered calls so a single blocked call in a quiet second does
+	// not page.
+	MaxBlocking float64 `json:"max_blocking"`
+	MinOffered  uint64  `json:"min_offered"`
+	// MinMOS is the floor on the tick's median measured MOS, evaluated
+	// only on ticks where calls with media tore down.
+	MinMOS float64 `json:"min_mos"`
+	// MaxDropRate bounds relay packet drops as a fraction of relay
+	// traffic (drops / (forwarded + dropped)) within the tick.
+	MaxDropRate float64 `json:"max_drop_rate"`
+}
+
+// DefaultSLORules mirror the paper's quality bars: ~1% blocking (the
+// Erlang-B target of Table III), the 3.5 "acceptable" MOS boundary, and
+// a 5% packet-error budget (the A=240 overload signature).
+func DefaultSLORules() SLORules {
+	return SLORules{
+		MaxBlocking: 0.01,
+		MinOffered:  5,
+		MinMOS:      3.5,
+		MaxDropRate: 0.05,
+	}
+}
+
+// Breach is one rule violation at one sampler tick.
+type Breach struct {
+	Rule  string  `json:"rule"`
+	T     float64 `json:"t"`     // seconds since sampling started
+	Value float64 `json:"value"` // the observed value that broke the rule
+}
+
+// SLO evaluates SLORules over the sampler's per-second series. Feed it
+// through Sampler.SetObserver; every evaluation is pure arithmetic on
+// the finished Sample, so the verdict sequence is deterministic for a
+// deterministic series. Each rule's breach counter is registered up
+// front (even if never incremented), keeping the exposition shape
+// independent of traffic.
+type SLO struct {
+	rules SLORules
+
+	breachBlocking *telemetry.Counter
+	breachMOS      *telemetry.Counter
+	breachDrops    *telemetry.Counter
+	activeGauge    *telemetry.Gauge
+
+	active   map[string]bool
+	breaches []Breach
+}
+
+// NewSLO registers the SLO families on reg and returns the evaluator.
+func NewSLO(reg *telemetry.Registry, rules SLORules) *SLO {
+	return &SLO{
+		rules: rules,
+		breachBlocking: reg.Counter(mSLOBreach, "sampler ticks violating an SLO rule",
+			telemetry.L("rule", RuleBlocking)),
+		breachMOS: reg.Counter(mSLOBreach, "sampler ticks violating an SLO rule",
+			telemetry.L("rule", RuleMOSFloor)),
+		breachDrops: reg.Counter(mSLOBreach, "sampler ticks violating an SLO rule",
+			telemetry.L("rule", RuleDropRate)),
+		activeGauge: reg.Gauge(mSLOActive, "SLO rules in breach at the latest sampler tick"),
+		active:      make(map[string]bool, 3),
+	}
+}
+
+// Observe evaluates every rule against one finished sample.
+func (o *SLO) Observe(s Sample) {
+	if o.rules.MaxBlocking > 0 && s.Offered >= o.rules.MinOffered {
+		o.judge(RuleBlocking, o.breachBlocking, s.T, s.Blocking, s.Blocking > o.rules.MaxBlocking)
+	}
+	if o.rules.MinMOS > 0 && s.MeasuredN > 0 {
+		o.judge(RuleMOSFloor, o.breachMOS, s.T, s.MeasuredP50, s.MeasuredP50 < o.rules.MinMOS)
+	}
+	if o.rules.MaxDropRate > 0 && s.RTP+s.Drops > 0 {
+		rate := float64(s.Drops) / float64(s.RTP+s.Drops)
+		o.judge(RuleDropRate, o.breachDrops, s.T, rate, rate > o.rules.MaxDropRate)
+	}
+	n := 0
+	for _, on := range o.active {
+		if on {
+			n++
+		}
+	}
+	o.activeGauge.SetInt(n)
+}
+
+// judge records one rule's verdict for the tick.
+func (o *SLO) judge(rule string, c *telemetry.Counter, t, value float64, broken bool) {
+	o.active[rule] = broken
+	if !broken {
+		return
+	}
+	c.Inc()
+	o.breaches = append(o.breaches, Breach{Rule: rule, T: t, Value: value})
+}
+
+// Breaches returns the breach timeline in tick order.
+func (o *SLO) Breaches() []Breach { return o.breaches }

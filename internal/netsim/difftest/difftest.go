@@ -61,6 +61,7 @@ func DiffExperiment(cfg core.ExperimentConfig, shards int) []string {
 	d.eq("Events", a.Events, b.Events)
 	d.eq("CDRs", a.CDRs, b.CDRs)
 	d.eq("Series", a.Series, b.Series)
+	d.eq("SLOBreaches", a.SLOBreaches, b.SLOBreaches)
 	aj, aerr := a.Telemetry.MarshalIndent()
 	bj, berr := b.Telemetry.MarshalIndent()
 	d.eq("Telemetry marshal error", aerr, berr)

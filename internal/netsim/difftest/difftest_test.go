@@ -45,7 +45,7 @@ func TestDiffGoldenConfigs(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			for _, seed := range []uint64{1, 42, 160} {
-				for _, shards := range []int{2, 4} {
+				for _, shards := range []int{1, 2, 4} {
 					cfg := mk(seed)
 					if diffs := DiffExperiment(cfg, shards); len(diffs) > 0 {
 						for _, d := range diffs {
@@ -77,7 +77,7 @@ func TestDiffCodecMix(t *testing.T) {
 		CalleeCodecs: []int{0, 8},
 		Seed:         42,
 	}
-	for _, shards := range []int{2, 4} {
+	for _, shards := range []int{1, 2, 4} {
 		for _, d := range DiffExperiment(cfg, shards) {
 			t.Errorf("shards=%d %s", shards, d)
 		}

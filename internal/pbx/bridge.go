@@ -45,9 +45,16 @@ type bridge struct {
 	state         bridgeState
 	canceled      bool
 	establishedAt time.Duration
+	ringingAt     time.Duration // first provisional >100 from the callee
 	startedAt     time.Duration
 	callee        string
 	caller        string
+
+	// Wide-event fields: the admission policy that admitted the call
+	// and the E-model MOS it predicted at that moment — compared
+	// against the measured score in the teardown call event.
+	admission    string
+	predictedMOS float64
 }
 
 type bridgeState int
@@ -125,13 +132,14 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 	if route, matched := s.cfg.Dialplan.Resolve(callee); matched {
 		switch route.Kind {
 		case RouteTrunk:
-			if !s.admitCall(tx, req, offer) {
+			ok, predicted := s.admitCall(tx, req, offer)
+			if !ok {
 				return
 			}
 			s.mu.Lock()
 			s.counters.TrunkCalls++
 			s.mu.Unlock()
-			s.bridgeTo(tx, req, src, route.Target, route.Trunk, offer)
+			s.bridgeTo(tx, req, src, route.Target, route.Trunk, offer, predicted)
 			return
 		case RouteReject:
 			s.rejectInvite(tx, req, route.Status, false)
@@ -145,7 +153,7 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 		// Unreachable user: voicemail answers when enabled and the
 		// user is provisioned; otherwise 404.
 		if _, err := s.dir.Lookup(callee); err == nil && s.cfg.Voicemail {
-			if !s.admitCall(tx, req, offer) {
+			if ok, _ := s.admitCall(tx, req, offer); !ok {
 				return
 			}
 			s.answerVoicemail(tx, req, src, callee, offer)
@@ -155,16 +163,17 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 		return
 	}
 
-	if !s.admitCall(tx, req, offer) {
+	ok, predicted := s.admitCall(tx, req, offer)
+	if !ok {
 		return
 	}
-	s.bridgeTo(tx, req, src, callee, calleeContact, offer)
+	s.bridgeTo(tx, req, src, callee, calleeContact, offer, predicted)
 }
 
 // bridgeTo runs the B2BUA flow toward a resolved destination (a
 // registered contact or a trunk gateway). Admission must already have
 // been charged.
-func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calleeContact string, offer *sdp.Session) {
+func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calleeContact string, offer *sdp.Session, predicted float64) {
 	br := &bridge{
 		s:         s,
 		aCallID:   req.CallID,
@@ -175,6 +184,9 @@ func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calle
 		caller:    req.From.URI.User,
 		callee:    callee,
 		startedAt: s.ep.Clock().Now(),
+
+		admission:    s.admission.Name(),
+		predictedMOS: predicted,
 	}
 	br.aOfferPTs = offer.PayloadTypes
 	if req.Contact != nil {
@@ -272,8 +284,11 @@ func (s *Server) cancelBLeg(br *bridge) {
 // happen — charging one channel on success. On rejection it answers
 // the INVITE with 503 (plus the policy's Retry-After backoff hint)
 // and reports false. The caller's SDP offer feeds the quality-aware
-// policies; nil is allowed for offer-less admission points.
-func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Session) bool {
+// policies; nil is allowed for offer-less admission points. The second
+// return is the admission-time E-model prediction — always computed
+// now (pure per-INVITE math, no randomness) because the wide-event
+// call record compares it against the measured score at teardown.
+func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Session) (bool, float64) {
 	s.mu.Lock()
 	projected := s.cfg.CPU.UtilizationWith(s.channels+1,
 		float64(s.attemptsWindow), float64(s.errorsWindow), s.transcodeLoad)
@@ -286,11 +301,7 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Sessio
 		ErrorsRate:    s.errorsEWMA,
 		TranscodeLoad: s.transcodeLoad,
 	}
-	if s.wantPredictedMOS {
-		// The E-model evaluation is only paid when a quality-aware
-		// policy will read it — it is pure math, but per-INVITE math.
-		st.PredictedMOS = s.predictMOSLocked(offer, projected)
-	}
+	st.PredictedMOS = s.predictMOSLocked(offer, projected)
 	dec := s.admission.Admit(st)
 	if !dec.Admit {
 		s.counters.Blocked++
@@ -308,7 +319,7 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Sessio
 		resp.To.Tag = s.ep.NewTag()
 		resp.RetryAfter = dec.RetryAfter
 		tx.Respond(resp)
-		return false
+		return false, st.PredictedMOS
 	}
 	s.channels++
 	if s.channels > s.counters.PeakChannels {
@@ -320,7 +331,7 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Sessio
 		s.tm.admitOK.Inc()
 	}
 	s.traceMark(req.CallID, telemetry.StageAdmitted)
-	return true
+	return true, st.PredictedMOS
 }
 
 // predictMOSNominalDelay is the mouth-to-ear delay assumed when
@@ -430,6 +441,9 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 		fwd.ReasonStr = resp.ReasonStr
 		fwd.To.Tag = br.aLocalTag
 		br.aTx.Respond(fwd)
+		if br.ringingAt == 0 {
+			br.ringingAt = s.ep.Clock().Now()
+		}
 		s.traceMark(br.aCallID, telemetry.StageRinging)
 	case resp.StatusCode == sip.StatusOK:
 		br.bRemoteTag = resp.To.Tag
@@ -686,7 +700,9 @@ func (s *Server) removeBridge(br *bridge, completed bool) {
 	s.cdrs = append(s.cdrs, cdr)
 	s.recordCDRMetricsLocked(cdr)
 	s.updateChannelGaugesLocked()
+	ev := s.buildCallEventLocked(br, cdr)
 	s.mu.Unlock()
+	s.callEvents.append(ev)
 	if releasedLoad && s.tm != nil {
 		s.tm.transcodeLoad.Set(load)
 	}

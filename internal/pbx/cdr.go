@@ -31,6 +31,18 @@ type CDR struct {
 	// MOS is the E-model score of the worse direction; zero when the
 	// call carried no scored media.
 	MOS float64
+	// MeasuredMOS is the QoS meters' measured E-model score (worse
+	// direction): observed jitter, loss and — over real UDP — the RTCP
+	// round trip folded in, per-leg codec profiles. Zero without media.
+	MeasuredMOS float64
+	// PredictedMOS is the admission-time model estimate for this call
+	// (nominal delay plus the CPU model's drop forecast at the offered
+	// load when the call was admitted). Zero when never admitted.
+	PredictedMOS float64
+	// RTT is the worse direction's RTCP LSR/DLSR round-trip estimate;
+	// zero when no echoed report block crossed the relay (always in the
+	// simulator, whose media sessions emit no RTCP).
+	RTT time.Duration
 	// Lost marks a record closed by journal recovery after a server
 	// crash rather than by normal teardown: Duration then runs to the
 	// crash tick, not to a BYE.
@@ -50,8 +62,13 @@ func (s *Server) buildCDR(br *bridge, completed bool) CDR {
 		cdr.Duration = s.ep.Clock().Now() - br.establishedAt
 	}
 	if br.relay != nil {
-		cdr.FromCaller = br.relay.fromCaller.Snapshot()
-		cdr.FromCallee = br.relay.fromCallee.Snapshot()
+		// The relay is closed before the CDR is built (removeBridge), so
+		// the meters are quiescent; snapshotting without the relay lock
+		// avoids inverting the relay→server lock order.
+		qa := br.relay.fromCaller.Snapshot()
+		qb := br.relay.fromCallee.Snapshot()
+		cdr.FromCaller = qa.Stream
+		cdr.FromCallee = qb.Stream
 		profile := s.cfg.ScoreCodec
 		if br.scoreProfile.Name != "" {
 			// Non-default negotiation outcome: score with the codec the
@@ -59,8 +76,29 @@ func (s *Server) buildCDR(br *bridge, completed bool) CDR {
 			profile = br.scoreProfile
 		}
 		cdr.MOS = s.scoreStreamsAs(profile, cdr.FromCaller, cdr.FromCallee)
+		cdr.MeasuredMOS = worseMOS(qa.MOS, qb.MOS)
+		cdr.RTT = qa.RTT
+		if qb.RTT > cdr.RTT {
+			cdr.RTT = qb.RTT
+		}
 	}
+	cdr.PredictedMOS = br.predictedMOS
 	return cdr
+}
+
+// worseMOS picks the lower of two per-direction scores, ignoring
+// directions that carried no media.
+func worseMOS(a, b float64) float64 {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
 }
 
 // scoreStreams computes the call MOS with the configured default
@@ -78,7 +116,8 @@ func (s *Server) scoreStreamsAs(profile mos.Codec, a, b rtp.Stats) float64 {
 			return 0
 		}
 		delay := st.MinTransit
-		if delay < 0 {
+		if delay < 0 || s.cfg.RemoteMediaClocks {
+			// Cross-clock transit is an epoch offset, not a delay.
 			delay = 0
 		}
 		// The relay sees one hop; the mouth-to-ear path adds the
@@ -134,6 +173,7 @@ func WriteCSV(w io.Writer, cdrs []CDR) error {
 	header := []string{
 		"src", "dst", "start", "duration_s", "disposition", "mos",
 		"rtp_from_caller", "rtp_from_callee", "loss_from_caller", "loss_from_callee",
+		"mos_measured", "mos_predicted", "rtt_s",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -150,6 +190,9 @@ func WriteCSV(w io.Writer, cdrs []CDR) error {
 			fmt.Sprintf("%d", c.FromCallee.Received),
 			fmt.Sprintf("%.4f", c.FromCaller.LossRatio),
 			fmt.Sprintf("%.4f", c.FromCallee.LossRatio),
+			fmt.Sprintf("%.2f", c.MeasuredMOS),
+			fmt.Sprintf("%.2f", c.PredictedMOS),
+			fmt.Sprintf("%.4f", c.RTT.Seconds()),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

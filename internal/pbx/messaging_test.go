@@ -260,7 +260,7 @@ func TestCDRCSVExport(t *testing.T) {
 	// Parse back through the csv reader for structural validity.
 	rd := csv.NewReader(strings.NewReader(out))
 	rows, err := rd.ReadAll()
-	if err != nil || len(rows) != 2 || len(rows[1]) != 10 {
+	if err != nil || len(rows) != 2 || len(rows[1]) != 13 {
 		t.Errorf("reparse: %d rows, err=%v", len(rows), err)
 	}
 }

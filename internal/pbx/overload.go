@@ -196,22 +196,6 @@ func (p QualityFloorPolicy) Admit(st AdmissionState) AdmissionDecision {
 	return AdmissionDecision{Admit: true}
 }
 
-// policyWantsMOS reports whether the policy chain contains a consumer
-// of AdmissionState.PredictedMOS, walking composite wrappers.
-func policyWantsMOS(p AdmissionPolicy) bool {
-	switch q := p.(type) {
-	case QualityFloorPolicy:
-		return true
-	case AllOfPolicy:
-		for _, m := range q.Policies {
-			if policyWantsMOS(m) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // retryAfter maps rejection pressure — the fraction of recent work
 // that was errors (mostly rejected INVITEs) — into the configured
 // Retry-After band. A lightly loaded shed returns the minimum; a

@@ -21,6 +21,7 @@ package pbx
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -98,6 +99,13 @@ type Config struct {
 	// Default is mos.G711PLC, matching VoIPmonitor's concealment-aware
 	// G.711 scoring.
 	ScoreCodec mos.Codec
+	// RemoteMediaClocks declares that RTP senders stamp timestamps from
+	// their own clocks (real endpoints over the wire). The relay's
+	// transit-time estimates are then cross-clock offsets, not one-way
+	// delays, so call scoring must ignore them and take delay from RTCP
+	// round trips instead. Leave false in the simulator, where senders
+	// and the PBX share one clock base and transit is a real delay.
+	RemoteMediaClocks bool
 	// Journal, when non-nil, write-ahead logs every call's lifecycle
 	// (begin at admission, answer at ACK, end at teardown) so records
 	// interrupted by a crash can be recovered. The journal models the
@@ -113,6 +121,13 @@ type Config struct {
 	// the per-call tracer on the given registry. Nil disables
 	// instrumentation entirely (record sites reduce to one nil check).
 	Telemetry *telemetry.Registry
+	// CallLog, when non-nil, receives one JSON line per bridged call at
+	// teardown — the wide-event record (CallEvent). Independent of the
+	// sink, the last events stay queryable via RecentCalls.
+	CallLog io.Writer
+	// Instance names this server in wide events (the backend/shard
+	// field of a cluster deployment). Empty omits the field.
+	Instance string
 }
 
 // DefaultCapacity is the concurrent-call capacity the paper measured
@@ -160,9 +175,6 @@ type Server struct {
 	vmSessions map[string]*vmSession
 	channels   int
 	admission  AdmissionPolicy
-	// wantPredictedMOS gates the per-INVITE E-model evaluation: only
-	// quality-aware policy chains read AdmissionState.PredictedMOS.
-	wantPredictedMOS bool
 	codecs           []int   // supported payload types (Config.Codecs or {0,8})
 	transcodeLoad    float64 // CPU percent charged by active transcoding bridges
 	nextPort         int
@@ -185,6 +197,10 @@ type Server struct {
 	draining       bool
 	drainStart     time.Duration
 	drainDone      bool
+
+	// callEvents retains the recent wide-event call records and owns
+	// the JSONL sink (its own lock; see callevent.go).
+	callEvents callEventLog
 
 	tm *pbxMetrics // nil when Config.Telemetry is nil
 }
@@ -246,10 +262,11 @@ func New(ep *sip.Endpoint, dir *directory.Directory, factory TransportFactory, c
 	if cfg.QualityFloorMOS > 0 {
 		s.admission = QualityFloorPolicy{Floor: cfg.QualityFloorMOS, Base: s.admission, RetryAfter: 4}
 	}
-	s.wantPredictedMOS = policyWantsMOS(s.admission)
 	if cfg.Telemetry != nil {
 		s.tm = newPBXMetrics(cfg.Telemetry, s.admission.Name())
 	}
+	s.callEvents.sink = cfg.CallLog
+	s.callEvents.sinkOK = true
 	ep.Handle(s.handleRequest)
 	s.scheduleSample()
 	return s

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/codec"
+	"repro/internal/media"
 	"repro/internal/rtp"
 	"repro/internal/sdp"
 	"repro/internal/telemetry"
@@ -31,9 +32,11 @@ type relay struct {
 	callerAddr string
 	calleeAddr string
 
-	// Per-direction stream observers (caller→callee and callee→caller).
-	fromCaller *rtp.Receiver
-	fromCallee *rtp.Receiver
+	// Per-direction QoS sensors (caller→callee and callee→caller):
+	// RFC 3550 receiver statistics plus RTCP round-trip tracking,
+	// folded into a measured E-model MOS at teardown.
+	fromCaller *media.QoSMeter
+	fromCallee *media.QoSMeter
 
 	forwarded  uint64
 	dropped    uint64
@@ -113,9 +116,11 @@ func (s *Server) newRelay(br *bridge, offer *sdp.Session) (*relay, error) {
 		bTr:        bTr,
 		aCallID:    callID,
 		callerAddr: fmt.Sprintf("%s:%d", offer.Host, offer.Port),
-		fromCaller: rtp.NewReceiver(),
-		fromCallee: rtp.NewReceiver(),
+		fromCaller: media.NewQoSMeter(s.cfg.ScoreCodec),
+		fromCallee: media.NewQoSMeter(s.cfg.ScoreCodec),
 	}
+	r.fromCaller.SetRemoteClocks(s.cfg.RemoteMediaClocks)
+	r.fromCallee.SetRemoteClocks(s.cfg.RemoteMediaClocks)
 	// Cut-through batching: each forwarded packet is queued on the
 	// opposite leg and the queue is flushed when the inbound leg's
 	// read batch ends — one sendmmsg per inbound burst, nothing held
@@ -171,11 +176,19 @@ func (r *relay) setBridgeCodecs(br codec.Bridge) {
 	r.aPT = uint8(br.APayloadType)
 	r.bPT = uint8(br.BPayloadType)
 	r.transcode = br.Transcode && br.APayloadType != br.BPayloadType
+	a, aKnown := codec.ByPayloadType(br.APayloadType)
+	b, bKnown := codec.ByPayloadType(br.BPayloadType)
+	// Each direction's measured MOS scores with the codec that leg
+	// actually carries: the caller encodes with A, the callee with B.
+	if aKnown {
+		r.fromCaller.SetProfile(a.MOS())
+	}
+	if bKnown {
+		r.fromCallee.SetProfile(b.MOS())
+	}
 	if !r.transcode {
 		return
 	}
-	a, _ := codec.ByPayloadType(br.APayloadType)
-	b, _ := codec.ByPayloadType(br.BPayloadType)
 	r.toCalleePayload = syntheticFrame(b.PayloadBytes)
 	r.toCallerPayload = syntheticFrame(a.PayloadBytes)
 	r.toCalleeBuf = make([]byte, 0, rtp.HeaderLen+b.PayloadBytes)
@@ -201,7 +214,7 @@ func (r *relay) setCalleeMedia(host string, port int) {
 
 // forward observes and forwards one RTP packet, applying the overload
 // drop model. toCaller selects the output direction.
-func (r *relay) forward(data []byte, obs *rtp.Receiver, out func(string, []byte), toCaller bool) {
+func (r *relay) forward(data []byte, obs *media.QoSMeter, out func(string, []byte), toCaller bool) {
 	r.mu.Lock()
 	dst := r.calleeAddr
 	if toCaller {
@@ -216,8 +229,19 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out func(string, []byte)
 		// RTCP is control traffic: forward it unconditionally (it is
 		// exempt from the overload drop model, like Asterisk's
 		// prioritized handling of control packets) and do not count it
-		// against the stream statistics.
+		// against the audio stream statistics — but the QoS sensor taps
+		// it for LSR/DLSR round-trip samples on the way through. The
+		// report blocks in this packet echo SRs that flowed the other
+		// way, so the opposite direction's meter holds the pairing state.
+		echo := r.fromCallee
+		if toCaller {
+			echo = r.fromCaller
+		}
+		obs.ObserveRTCP(now, data, echo)
 		r.mu.Unlock()
+		if tm := r.s.tm; tm != nil {
+			tm.relayRTCP.Inc()
+		}
 		out(dst, data)
 		return
 	}
@@ -232,11 +256,18 @@ func (r *relay) forward(data []byte, obs *rtp.Receiver, out func(string, []byte)
 	// not track the audio clock and would poison loss/transit stats —
 	// unless that dynamic type IS this leg's negotiated codec (iLBC).
 	parsed := r.scratch.Unmarshal(data) == nil
-	if parsed && (r.scratch.PayloadType < 96 || r.scratch.PayloadType == inPT) {
-		obs.Observe(now, &r.scratch)
+	observed := parsed && (r.scratch.PayloadType < 96 || r.scratch.PayloadType == inPT)
+	if observed {
+		obs.ObserveRTP(now, &r.scratch)
 	}
-	// Overload packet errors: the paper's A=240 row.
+	// Overload packet errors: the paper's A=240 row. An observed packet
+	// shed here was received by the sensor but never reaches the
+	// listener — tell the meter so the measured score carries the loss
+	// the downstream party actually experiences.
 	if r.overloadDrop() {
+		if observed {
+			obs.NoteShed()
+		}
 		r.dropped++
 		r.mu.Unlock()
 		if tm := r.s.tm; tm != nil {

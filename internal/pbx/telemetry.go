@@ -6,6 +6,37 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Telemetry family names. Every family this package exposes is named
+// by exactly one snake_case const here and registered only through it
+// (`make lint-metrics` enforces the rule repo-wide), so the exposition
+// surface is greppable in one place.
+const (
+	mInvites       = "pbx_invites_total"
+	mBlocked       = "pbx_blocked_total"
+	mRejected      = "pbx_rejected_total"
+	mEstablished   = "pbx_calls_established_total"
+	mAdmission     = "pbx_admission_total"
+	mActive        = "pbx_active_channels"
+	mPeak          = "pbx_peak_channels"
+	mCDR           = "pbx_cdr_total"
+	mJitter        = "pbx_call_jitter_seconds"
+	mLoss          = "pbx_call_loss_ratio"
+	mMOS           = "pbx_call_mos"
+	mMOSMeasured   = "pbx_call_mos_measured"
+	mRTT           = "pbx_call_rtt_seconds"
+	mRelayPkts     = "rtp_relay_packets_total"
+	mRelayBytes    = "rtp_relay_bytes_total"
+	mRelayDrops    = "rtp_relay_dropped_total"
+	mRelayTrans    = "rtp_relay_transcoded_total"
+	mRelayRTCP     = "rtp_relay_rtcp_total"
+	mCallsByCodec  = "pbx_calls_by_codec_total"
+	mTranscoded    = "pbx_transcoded_calls_total"
+	mTranscodeLoad = "pbx_transcode_load_percent"
+	mDraining      = "pbx_draining"
+	mDrainDur      = "pbx_drain_duration_seconds"
+	mDrainRejects  = "pbx_drain_rejected_total"
+)
+
 // pbxMetrics holds the server's pre-resolved telemetry handles plus
 // the per-call tracer. All handles are registered once in New; record
 // sites are nil-guarded so a PBX without a registry pays only a
@@ -26,11 +57,14 @@ type pbxMetrics struct {
 	jitter      *telemetry.Histogram
 	loss        *telemetry.Histogram
 	mosScore    *telemetry.Histogram
+	mosMeasured *telemetry.Histogram
+	rttHist     *telemetry.Histogram
 
 	relayPkts       *telemetry.Counter
 	relayBytes      *telemetry.Counter
 	relayDrops      *telemetry.Counter
 	relayTranscoded *telemetry.Counter
+	relayRTCP       *telemetry.Counter
 
 	// Codec plane: answered bridges by negotiated leg codec, active
 	// transcode surcharge, and transcoding-bridge count.
@@ -49,53 +83,58 @@ type pbxMetrics struct {
 
 func newPBXMetrics(reg *telemetry.Registry, policy string) *pbxMetrics {
 	tm := &pbxMetrics{
-		invites:     reg.Counter("pbx_invites_total", "new-call INVITEs received"),
-		blocked:     reg.Counter("pbx_blocked_total", "calls shed by admission control (503)"),
-		rejected:    reg.Counter("pbx_rejected_total", "calls rejected for non-capacity reasons"),
-		established: reg.Counter("pbx_calls_established_total", "calls that reached ACK confirmation"),
-		admitOK: reg.Counter("pbx_admission_total", "admission decisions by policy and verdict",
+		invites:     reg.Counter(mInvites, "new-call INVITEs received"),
+		blocked:     reg.Counter(mBlocked, "calls shed by admission control (503)"),
+		rejected:    reg.Counter(mRejected, "calls rejected for non-capacity reasons"),
+		established: reg.Counter(mEstablished, "calls that reached ACK confirmation"),
+		admitOK: reg.Counter(mAdmission, "admission decisions by policy and verdict",
 			telemetry.L("policy", policy), telemetry.L("verdict", "admit")),
-		admitNo: reg.Counter("pbx_admission_total", "admission decisions by policy and verdict",
+		admitNo: reg.Counter(mAdmission, "admission decisions by policy and verdict",
 			telemetry.L("policy", policy), telemetry.L("verdict", "reject")),
-		active: reg.Gauge("pbx_active_channels", "calls currently holding a channel"),
-		peak:   reg.Gauge("pbx_peak_channels", "high-water mark of concurrent calls"),
+		active: reg.Gauge(mActive, "calls currently holding a channel"),
+		peak:   reg.Gauge(mPeak, "high-water mark of concurrent calls"),
 
-		cdrAnswered: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+		cdrAnswered: reg.Counter(mCDR, "call detail records by disposition",
 			telemetry.L("disposition", "answered")),
-		cdrFailed: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+		cdrFailed: reg.Counter(mCDR, "call detail records by disposition",
 			telemetry.L("disposition", "failed")),
-		cdrNoAnswer: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+		cdrNoAnswer: reg.Counter(mCDR, "call detail records by disposition",
 			telemetry.L("disposition", "no-answer")),
-		jitter: reg.Histogram("pbx_call_jitter_seconds", "per-direction RFC 3550 jitter at CDR close",
+		jitter: reg.Histogram(mJitter, "per-direction RFC 3550 jitter at CDR close",
 			telemetry.ExponentialBuckets(0.0005, 2, 12)), // 0.5ms .. ~1s
-		loss: reg.Histogram("pbx_call_loss_ratio", "per-direction RTP loss ratio at CDR close",
+		loss: reg.Histogram(mLoss, "per-direction RTP loss ratio at CDR close",
 			[]float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}),
-		mosScore: reg.Histogram("pbx_call_mos", "E-model MOS of scored calls",
+		mosScore: reg.Histogram(mMOS, "E-model MOS of scored calls",
 			telemetry.LinearBuckets(1.5, 0.25, 12)), // 1.5 .. 4.25
+		mosMeasured: reg.Histogram(mMOSMeasured, "measured E-model MOS from per-stream QoS sensors",
+			telemetry.LinearBuckets(1.5, 0.25, 12)),
+		rttHist: reg.Histogram(mRTT, "RTCP LSR/DLSR round-trip delay at CDR close",
+			telemetry.ExponentialBuckets(0.001, 2, 12)), // 1ms .. ~4s
 
-		relayPkts:       reg.Counter("rtp_relay_packets_total", "RTP packets forwarded by call relays"),
-		relayBytes:      reg.Counter("rtp_relay_bytes_total", "RTP payload bytes forwarded by call relays"),
-		relayDrops:      reg.Counter("rtp_relay_dropped_total", "RTP packets dropped by the overload model"),
-		relayTranscoded: reg.Counter("rtp_relay_transcoded_total", "RTP packets payload-converted by transcoding bridges"),
+		relayPkts:       reg.Counter(mRelayPkts, "RTP packets forwarded by call relays"),
+		relayBytes:      reg.Counter(mRelayBytes, "RTP payload bytes forwarded by call relays"),
+		relayDrops:      reg.Counter(mRelayDrops, "RTP packets dropped by the overload model"),
+		relayTranscoded: reg.Counter(mRelayTrans, "RTP packets payload-converted by transcoding bridges"),
+		relayRTCP:       reg.Counter(mRelayRTCP, "RTCP reports forwarded (and QoS-tapped) by call relays"),
 
-		otherCodec: reg.Counter("pbx_calls_by_codec_total", "answered bridges by negotiated leg codec",
+		otherCodec: reg.Counter(mCallsByCodec, "answered bridges by negotiated leg codec",
 			telemetry.L("codec", "other")),
-		transcoded: reg.Counter("pbx_transcoded_calls_total", "bridges established with a transcoding media path"),
-		transcodeLoad: reg.Gauge("pbx_transcode_load_percent",
+		transcoded: reg.Counter(mTranscoded, "bridges established with a transcoding media path"),
+		transcodeLoad: reg.Gauge(mTranscodeLoad,
 			"CPU percent currently charged to active transcoding bridges"),
 
-		draining: reg.Gauge("pbx_draining", "1 while the server is in administrative drain"),
-		drainDur: reg.Histogram("pbx_drain_duration_seconds",
+		draining: reg.Gauge(mDraining, "1 while the server is in administrative drain"),
+		drainDur: reg.Histogram(mDrainDur,
 			"drain start to last channel released", telemetry.SetupBuckets),
-		drainRejects: reg.Counter("pbx_drain_rejected_total", "INVITEs 503'd while draining"),
-		cdrLost: reg.Counter("pbx_cdr_total", "call detail records by disposition",
+		drainRejects: reg.Counter(mDrainRejects, "INVITEs 503'd while draining"),
+		cdrLost: reg.Counter(mCDR, "call detail records by disposition",
 			telemetry.L("disposition", "lost")),
 
 		tracer: telemetry.NewTracer(reg, 0),
 	}
 	tm.byCodec = make(map[int]*telemetry.Counter)
 	for _, c := range codec.Registry() {
-		tm.byCodec[c.PayloadType] = reg.Counter("pbx_calls_by_codec_total",
+		tm.byCodec[c.PayloadType] = reg.Counter(mCallsByCodec,
 			"answered bridges by negotiated leg codec", telemetry.L("codec", c.Name))
 	}
 	return tm
@@ -166,6 +205,12 @@ func (s *Server) recordCDRMetricsLocked(cdr CDR) {
 	observe(cdr.FromCallee)
 	if cdr.MOS > 0 {
 		s.tm.mosScore.Observe(cdr.MOS)
+	}
+	if cdr.MeasuredMOS > 0 {
+		s.tm.mosMeasured.Observe(cdr.MeasuredMOS)
+	}
+	if cdr.RTT > 0 {
+		s.tm.rttHist.Observe(cdr.RTT.Seconds())
 	}
 }
 

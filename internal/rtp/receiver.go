@@ -130,10 +130,16 @@ type Stats struct {
 // enabling LSR/DLSR fields in subsequent report blocks (and therefore
 // RTT measurement at the original sender).
 func (r *Receiver) NoteSenderReport(now time.Duration, sr *SenderReport) {
-	if r.started && sr.SSRC != r.ssrc {
+	r.NoteSR(now, sr.SSRC, sr.NTPTime)
+}
+
+// NoteSR is the allocation-free variant of NoteSenderReport for callers
+// decoding through an RTCPInfo view.
+func (r *Receiver) NoteSR(now time.Duration, ssrc uint32, ntp uint64) {
+	if r.started && ssrc != r.ssrc {
 		return
 	}
-	r.lastSRNTP = MiddleNTP(sr.NTPTime)
+	r.lastSRNTP = MiddleNTP(ntp)
 	r.lastSRAt = now
 }
 

@@ -69,20 +69,29 @@ type epMetrics struct {
 	stray    *telemetry.Counter
 }
 
+// SIP telemetry family names.
+const (
+	mSIPRetrans   = "sip_retransmissions_total"
+	mSIPTimeouts  = "sip_timeouts_total"
+	mSIPParseErrs = "sip_parse_errors_total"
+	mSIPStray     = "sip_stray_responses_total"
+	mSIPMessages  = "sip_messages_total"
+)
+
 // UseTelemetry registers the endpoint's SIP-layer metric families on
 // reg and mirrors the existing Stats counters into them from then on.
 // Call it once, before traffic starts.
 func (ep *Endpoint) UseTelemetry(reg *telemetry.Registry) {
 	tm := &epMetrics{
-		retrans:  reg.Counter("sip_retransmissions_total", "messages retransmitted or replayed by the transaction layer"),
-		timeouts: reg.Counter("sip_timeouts_total", "client transactions that timed out (synthesized 408)"),
-		parseErr: reg.Counter("sip_parse_errors_total", "inbound datagrams that failed to parse"),
-		stray:    reg.Counter("sip_stray_responses_total", "responses matching no client transaction"),
+		retrans:  reg.Counter(mSIPRetrans, "messages retransmitted or replayed by the transaction layer"),
+		timeouts: reg.Counter(mSIPTimeouts, "client transactions that timed out (synthesized 408)"),
+		parseErr: reg.Counter(mSIPParseErrs, "inbound datagrams that failed to parse"),
+		stray:    reg.Counter(mSIPStray, "responses matching no client transaction"),
 	}
 	for k := msgKind(0); k < numMsgKinds; k++ {
-		tm.sent[k] = reg.Counter("sip_messages_total", "SIP messages by direction and kind",
+		tm.sent[k] = reg.Counter(mSIPMessages, "SIP messages by direction and kind",
 			telemetry.L("dir", "sent"), telemetry.L("kind", msgKindNames[k]))
-		tm.recv[k] = reg.Counter("sip_messages_total", "SIP messages by direction and kind",
+		tm.recv[k] = reg.Counter(mSIPMessages, "SIP messages by direction and kind",
 			telemetry.L("dir", "recv"), telemetry.L("kind", msgKindNames[k]))
 	}
 	ep.mu.Lock()

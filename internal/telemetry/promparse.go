@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition line: a flat sample, histograms
+// appearing as their constituent _bucket/_sum/_count series exactly as
+// the text format carries them.
+type PromSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s PromSample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParsePrometheus reads the text exposition format (version 0.0.4, the
+// subset WritePrometheus emits): `name value` and
+// `name{k="v",...} value` lines, `#` comments and blanks skipped.
+// It is the scrape side of the repo's observability loop — cmd/pbxtop
+// polls /metrics through it — and round-trips WritePrometheus exactly.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prometheus parse: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value field in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	if rest[0] == '{' {
+		end, labels, err := parsePromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	val := strings.TrimSpace(rest)
+	// A timestamp may trail the value; the repo's writer never emits
+	// one, but tolerate it for foreign expositions.
+	if i := strings.IndexByte(val, ' '); i >= 0 {
+		val = val[:i]
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", val, err)
+	}
+	s.Value = f
+	return s, nil
+}
+
+// parsePromLabels decodes a `{k="v",...}` block starting at in[0] == '{',
+// returning the index just past the closing brace. Escapes inside label
+// values (\\ \" \n) are unwound.
+func parsePromLabels(in string) (int, []Label, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", in)
+		}
+		key := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s: value not quoted in %q", key, in)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value in %q", key, in)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default: // \\ and \" unescape to themselves
+					val.WriteByte(in[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+	}
+}
+
+// PromIndex groups parsed samples by family/series name for the lookup
+// patterns a dashboard needs.
+type PromIndex map[string][]PromSample
+
+// IndexSamples builds a PromIndex.
+func IndexSamples(samples []PromSample) PromIndex {
+	ix := make(PromIndex)
+	for _, s := range samples {
+		ix[s.Name] = append(ix[s.Name], s)
+	}
+	return ix
+}
+
+// Sum adds every sample of the series — the aggregate view of a
+// labelled family (e.g. udp_rx_packets_total across shards).
+func (ix PromIndex) Sum(name string) float64 {
+	var total float64
+	for _, s := range ix[name] {
+		total += s.Value
+	}
+	return total
+}
+
+// ByLabel folds the series into a map keyed by one label's value,
+// summing samples that share it (e.g. pbx_calls_by_codec by "codec").
+func (ix PromIndex) ByLabel(name, key string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range ix[name] {
+		out[s.Label(key)] += s.Value
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromRoundTrip feeds WritePrometheus output straight back through
+// ParsePrometheus and checks every value survives — the contract that
+// lets cmd/pbxtop scrape cmd/pbxd without a foreign client library.
+func TestPromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sip_messages_total", "messages", L("dir", "in"), L("kind", "INVITE")).Add(13)
+	reg.Counter("sip_messages_total", "messages", L("dir", "out"), L("kind", "BYE")).Add(7)
+	reg.Gauge("pbx_active_channels", "active").SetInt(4)
+	reg.Counter("weird_total", "escapes", L("k", `a\b"c`+"\n")).Add(1)
+	h := reg.Histogram("pbx_call_setup_seconds", "setup", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	ix := IndexSamples(samples)
+
+	if got := ix.Sum("sip_messages_total"); got != 20 {
+		t.Errorf("sip_messages_total sum = %v, want 20", got)
+	}
+	byDir := ix.ByLabel("sip_messages_total", "dir")
+	if byDir["in"] != 13 || byDir["out"] != 7 {
+		t.Errorf("by dir = %v, want in:13 out:7", byDir)
+	}
+	if got := ix.Sum("pbx_active_channels"); got != 4 {
+		t.Errorf("pbx_active_channels = %v, want 4", got)
+	}
+	if got := ix.Sum("pbx_call_setup_seconds_count"); got != 3 {
+		t.Errorf("setup count = %v, want 3", got)
+	}
+	if got := ix.Sum("pbx_call_setup_seconds_sum"); math.Abs(got-5.55) > 1e-9 {
+		t.Errorf("setup sum = %v, want 5.55", got)
+	}
+	var infSeen bool
+	for _, s := range ix["pbx_call_setup_seconds_bucket"] {
+		switch s.Label("le") {
+		case "0.1":
+			if s.Value != 1 {
+				t.Errorf("bucket le=0.1 = %v, want 1", s.Value)
+			}
+		case "1":
+			if s.Value != 2 {
+				t.Errorf("bucket le=1 = %v, want 2", s.Value)
+			}
+		case "+Inf":
+			infSeen = true
+			if s.Value != 3 {
+				t.Errorf("bucket le=+Inf = %v, want 3", s.Value)
+			}
+		}
+	}
+	if !infSeen {
+		t.Errorf("no +Inf bucket parsed")
+	}
+	if got := ix["weird_total"][0].Label("k"); got != `a\b"c`+"\n" {
+		t.Errorf("escaped label = %q, round-trip broken", got)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		`m{k="unterminated} 1`,
+		`m{k=unquoted} 1`,
+		"m not-a-number",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePrometheus(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestParsePrometheusTolerates(t *testing.T) {
+	in := "# HELP x y\n# TYPE x counter\n\nx 1\nx{a=\"b\"} 2 1700000000\n"
+	samples, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	if len(samples) != 2 || samples[0].Value != 1 || samples[1].Value != 2 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	if samples[1].Label("a") != "b" {
+		t.Fatalf("label lost: %+v", samples[1])
+	}
+}

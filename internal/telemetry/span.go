@@ -108,6 +108,15 @@ var SetupBuckets = []float64{
 	0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60,
 }
 
+// Tracer telemetry family names.
+const (
+	mCallSetup    = "pbx_call_setup_seconds"
+	mPostDial     = "pbx_post_dial_delay_seconds"
+	mCallTeardown = "pbx_call_teardown_seconds"
+	mActiveSpans  = "pbx_trace_active_spans"
+	mCallsTotal   = "pbx_calls_total"
+)
+
 // NewTracer registers the tracer's instruments on reg. ringCap bounds
 // the flight-recorder event ring; 0 selects 512.
 func NewTracer(reg *Registry, ringCap int) *Tracer {
@@ -116,14 +125,14 @@ func NewTracer(reg *Registry, ringCap int) *Tracer {
 	}
 	t := &Tracer{
 		active:   make(map[string]*span),
-		setup:    reg.Histogram("pbx_call_setup_seconds", "INVITE to 200 OK call-setup time", SetupBuckets),
-		pdd:      reg.Histogram("pbx_post_dial_delay_seconds", "INVITE to 180 Ringing post-dial delay", SetupBuckets),
-		teardown: reg.Histogram("pbx_call_teardown_seconds", "BYE to CDR-close teardown time", SetupBuckets),
-		gauge:    reg.Gauge("pbx_trace_active_spans", "call spans currently open"),
+		setup:    reg.Histogram(mCallSetup, "INVITE to 200 OK call-setup time", SetupBuckets),
+		pdd:      reg.Histogram(mPostDial, "INVITE to 180 Ringing post-dial delay", SetupBuckets),
+		teardown: reg.Histogram(mCallTeardown, "BYE to CDR-close teardown time", SetupBuckets),
+		gauge:    reg.Gauge(mActiveSpans, "call spans currently open"),
 		ring:     make([]SpanEvent, ringCap),
 	}
 	for o := Outcome(0); o < numOutcomes; o++ {
-		t.outcomes[o] = reg.Counter("pbx_calls_total", "call spans ended, by outcome",
+		t.outcomes[o] = reg.Counter(mCallsTotal, "call spans ended, by outcome",
 			L("outcome", o.String()))
 	}
 	return t

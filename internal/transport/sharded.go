@@ -104,6 +104,11 @@ func (g *ShardedUDP) NumShards() int { return len(g.shards) }
 // Batched reports whether the shards run the batched-syscall path.
 func (g *ShardedUDP) Batched() bool { return g.shards[0].Batched() }
 
+// ShardStats snapshots one listening socket's counters — the
+// per-shard view behind the shard-labelled udp_* telemetry, where
+// REUSEPORT hash imbalance across the shards becomes visible.
+func (g *ShardedUDP) ShardStats(i int) TransportStats { return g.shards[i].Stats() }
+
 // Stats sums the per-shard transport counters.
 func (g *ShardedUDP) Stats() TransportStats {
 	var s TransportStats

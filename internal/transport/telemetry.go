@@ -1,6 +1,22 @@
 package transport
 
-import "repro/internal/telemetry"
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Transport telemetry family names (one snake_case const per family;
+// `make lint-metrics` enforces registration through these).
+const (
+	mUDPRxPackets = "udp_rx_packets_total"
+	mUDPRxBatches = "udp_rx_batches_total"
+	mUDPTxPackets = "udp_tx_packets_total"
+	mUDPTxBatches = "udp_tx_batches_total"
+	mUDPTxDropped = "udp_tx_dropped_total"
+	mUDPPoolGets  = "udp_pool_gets_total"
+	mUDPPoolPuts  = "udp_pool_puts_total"
+)
 
 // StatsSource is anything exposing wire-transport counters —
 // *UDPTransport and *ShardedUDP both qualify.
@@ -9,25 +25,58 @@ type StatsSource interface {
 	PoolStats() (gets, puts uint64)
 }
 
+// ShardStatser is a StatsSource whose counters decompose per listening
+// socket (*ShardedUDP). When a source exposes more than one shard,
+// PublishTelemetry registers the packet counters shard-labelled
+// instead of aggregated — a scraper summing the label sets recovers
+// the aggregate, while REUSEPORT imbalance stays visible per shard.
+type ShardStatser interface {
+	NumShards() int
+	ShardStats(i int) TransportStats
+}
+
 // PublishTelemetry registers src's datagram, syscall-batch and
 // buffer-pool counters on reg as live CounterFuncs, labelled with
 // name (e.g. "sip" for the signalling socket). The registry reads the
 // transport's atomics at scrape time, so the packet hot path carries
 // no extra instrumentation cost.
+//
+// A multi-shard source gets one {transport,shard} label set per
+// listening socket on the packet/batch families — they REPLACE the
+// aggregate series (registry readers sum across label sets, so
+// registering both would double-count). The pool counters stay
+// unlabelled by shard: the buffer pool is shared.
 func PublishTelemetry(reg *telemetry.Registry, name string, src StatsSource) {
 	l := telemetry.L("transport", name)
-	reg.CounterFunc("udp_rx_packets_total", "datagrams received by the wire transport",
-		func() float64 { return float64(src.Stats().RxPackets) }, l)
-	reg.CounterFunc("udp_rx_batches_total", "read syscalls that returned at least one datagram",
-		func() float64 { return float64(src.Stats().RxBatches) }, l)
-	reg.CounterFunc("udp_tx_packets_total", "datagrams transmitted by the wire transport",
-		func() float64 { return float64(src.Stats().TxPackets) }, l)
-	reg.CounterFunc("udp_tx_batches_total", "sendmmsg flushes that moved at least one datagram",
-		func() float64 { return float64(src.Stats().TxBatches) }, l)
-	reg.CounterFunc("udp_tx_dropped_total", "datagrams abandoned on send errors",
-		func() float64 { return float64(src.Stats().TxDropped) }, l)
-	reg.CounterFunc("udp_pool_gets_total", "buffer-pool gets (must equal puts when idle)",
+	if ss, ok := src.(ShardStatser); ok && ss.NumShards() > 1 {
+		for i := 0; i < ss.NumShards(); i++ {
+			i := i
+			ls := telemetry.L("shard", strconv.Itoa(i))
+			reg.CounterFunc(mUDPRxPackets, "datagrams received by the wire transport",
+				func() float64 { return float64(ss.ShardStats(i).RxPackets) }, l, ls)
+			reg.CounterFunc(mUDPRxBatches, "read syscalls that returned at least one datagram",
+				func() float64 { return float64(ss.ShardStats(i).RxBatches) }, l, ls)
+			reg.CounterFunc(mUDPTxPackets, "datagrams transmitted by the wire transport",
+				func() float64 { return float64(ss.ShardStats(i).TxPackets) }, l, ls)
+			reg.CounterFunc(mUDPTxBatches, "sendmmsg flushes that moved at least one datagram",
+				func() float64 { return float64(ss.ShardStats(i).TxBatches) }, l, ls)
+			reg.CounterFunc(mUDPTxDropped, "datagrams abandoned on send errors",
+				func() float64 { return float64(ss.ShardStats(i).TxDropped) }, l, ls)
+		}
+	} else {
+		reg.CounterFunc(mUDPRxPackets, "datagrams received by the wire transport",
+			func() float64 { return float64(src.Stats().RxPackets) }, l)
+		reg.CounterFunc(mUDPRxBatches, "read syscalls that returned at least one datagram",
+			func() float64 { return float64(src.Stats().RxBatches) }, l)
+		reg.CounterFunc(mUDPTxPackets, "datagrams transmitted by the wire transport",
+			func() float64 { return float64(src.Stats().TxPackets) }, l)
+		reg.CounterFunc(mUDPTxBatches, "sendmmsg flushes that moved at least one datagram",
+			func() float64 { return float64(src.Stats().TxBatches) }, l)
+		reg.CounterFunc(mUDPTxDropped, "datagrams abandoned on send errors",
+			func() float64 { return float64(src.Stats().TxDropped) }, l)
+	}
+	reg.CounterFunc(mUDPPoolGets, "buffer-pool gets (must equal puts when idle)",
 		func() float64 { gets, _ := src.PoolStats(); return float64(gets) }, l)
-	reg.CounterFunc("udp_pool_puts_total", "buffer-pool puts (must equal gets when idle)",
+	reg.CounterFunc(mUDPPoolPuts, "buffer-pool puts (must equal gets when idle)",
 		func() float64 { _, puts := src.PoolStats(); return float64(puts) }, l)
 }
