@@ -10,7 +10,7 @@ BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 # scheduler (see `make cover`).
 COVER_MIN ?= 85
 
-.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke lint-metrics cover verify bench bench-check
+.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke degradation-smoke lint-metrics cover verify bench bench-check
 
 # The darwin cross-build keeps the portable (non-linux) data plane
 # compiling: batch_other.go must satisfy the same interfaces as the
@@ -98,6 +98,13 @@ qos-smoke:
 	$(GO) test -run 'TestRTCPInfo' -count=1 ./internal/rtp/
 	$(GO) test -run 'TestGoldenQoSSnapshot' -count=1 ./internal/core/
 
+# The graceful-degradation ladder under the race detector: a sustained
+# surge must walk the controller up to upstream-throttle, shed load
+# client-side via the advertised overload window, relax back down the
+# hysteresis band, and never renegotiate an established call.
+degradation-smoke:
+	$(GO) test -race -run 'TestDegradationSurge' -count=1 ./internal/chaos/
+
 # Telemetry naming rule: every registered family name is a snake_case
 # const declared exactly once (see cmd/lintmetrics).
 lint-metrics:
@@ -105,9 +112,9 @@ lint-metrics:
 
 # The pre-merge gate: build (native + darwin cross), vet, full tests,
 # race tests, chaos smoke, crash smoke, sharded-engine smoke, real-UDP
-# soak, fuzz smoke, telemetry smoke, QoS smoke, metric-name lint,
-# coverage floors.
-verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke lint-metrics cover
+# soak, fuzz smoke, telemetry smoke, QoS smoke, degradation smoke,
+# metric-name lint, coverage floors.
+verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke degradation-smoke lint-metrics cover
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per

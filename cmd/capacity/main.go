@@ -38,6 +38,7 @@ func main() {
 		fig7      = flag.Bool("fig7", false, "Figure 7: population blocking")
 		sizing    = flag.Bool("sizing", false, "Sec. IV sizing check")
 		ablations = flag.Bool("ablations", false, "design ablations")
+		frontier  = flag.Bool("frontier", false, "overload-strategy frontier: MOS-weighted carried minutes head-to-head")
 		extras    = flag.Bool("extras", false, "codec, finite-population and redial studies")
 		codecMix  = flag.Bool("codec-mix", false, "mixed-codec transcoding capacity table")
 		quick     = flag.Bool("quick", false, "fast mode: flow media, fewer reps")
@@ -52,7 +53,7 @@ func main() {
 		telOut    = flag.String("telemetry-out", "", "run one instrumented A=200 E experiment and write its telemetry JSON dump here")
 	)
 	flag.Parse()
-	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *extras || *codecMix || *scaling) {
+	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *frontier || *extras || *codecMix || *scaling) {
 		*all = true
 	}
 	if *cpuProf != "" {
@@ -144,6 +145,15 @@ func main() {
 		bench.WriteHoldAblation(out, bench.RunHoldAblation(200, reps, *seed))
 		fmt.Fprintln(out)
 		bench.WriteClusterScaling(out, bench.RunClusterScaling(240, 165, 3, *seed))
+		fmt.Fprintln(out)
+	}
+	if *all || *frontier {
+		tbl, err := bench.RunStrategyFrontier(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capacity: frontier:", err)
+			os.Exit(1)
+		}
+		bench.WriteStrategyFrontier(out, tbl)
 		fmt.Fprintln(out)
 	}
 	if *all || *scaling {

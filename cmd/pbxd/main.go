@@ -48,6 +48,7 @@ func main() {
 		rtpBase  = flag.Int("rtp-base", 10000, "first RTP relay port")
 		quiet    = flag.Bool("quiet", false, "suppress periodic stats")
 		occ      = flag.Float64("occupancy", 0, "shed load at this fraction of capacity with 503+Retry-After (0 = hard cap)")
+		degrade  = flag.Bool("degrade", false, "enable the graceful-degradation ladder (codec downgrade, passthrough-only, upstream throttle, block)")
 		admin    = flag.String("admin", "127.0.0.1:9690", "admin HTTP address serving /metrics, /healthz, /debug/vars, /debug/calls, /debug/flight and /debug/pprof (empty = disabled)")
 		shards   = flag.Int("shards", 1, "SO_REUSEPORT listener shards on the SIP port (1 = single socket)")
 		callLog  = flag.String("call-log", "", "append one JSON call event per teardown to this file (empty = ring buffer only)")
@@ -109,10 +110,13 @@ func main() {
 		}
 		cfg.Admission = pbx.OccupancyPolicy{Max: *capacity, Target: *occ}
 	}
+	if *degrade {
+		cfg.Degradation = pbx.DegradationConfig{Enabled: true}
+	}
 	server := pbx.New(ep, dir, factory, cfg)
-	fmt.Printf("pbxd: listening on %s (%d shard(s), batched=%v), capacity %d, %d users, relay=%v, admission=%s\n",
+	fmt.Printf("pbxd: listening on %s (%d shard(s), batched=%v), capacity %d, %d users, relay=%v, admission=%s, degrade=%v\n",
 		tr.LocalAddr(), tr.NumShards(), tr.Batched(),
-		*capacity, dir.Users(), *relay, server.AdmissionPolicyName())
+		*capacity, dir.Users(), *relay, server.AdmissionPolicyName(), *degrade)
 
 	// The flight recorder is most valuable exactly when the process
 	// dies: dump the ring before re-panicking so a crashed run leaves

@@ -149,6 +149,23 @@ func render(w *strings.Builder, base string, frame int, prev, cur scrape) {
 		ix.Sum("pbx_active_channels"), ix.Sum("pbx_peak_channels"),
 		draining, ix.Sum("pbx_transcode_load_percent"))
 
+	stage := pbx.DegradationStage(int(ix.Sum("pbx_degradation_stage")))
+	byStage := ix.ByLabel("pbx_calls_by_stage_total", "stage")
+	var stageCols []string
+	for st := pbx.StageNormal; st <= pbx.StageBlock; st++ {
+		if n := byStage[st.String()]; n > 0 || st == pbx.StageNormal {
+			stageCols = append(stageCols, fmt.Sprintf("%s:%.0f", st.String(), n))
+		}
+	}
+	degMark := ""
+	if stage > pbx.StageNormal {
+		degMark = "  << DEGRADED"
+	}
+	fmt.Fprintf(w, "DEGRADE    stage %-17s transitions %3.0f   throttle signals %.0f%s\n",
+		stage, ix.Sum("pbx_degradation_transitions_total"),
+		ix.Sum("pbx_throttle_signals_total"), degMark)
+	fmt.Fprintf(w, "           admits by stage: %s\n", strings.Join(stageCols, "  "))
+
 	byCodec := ix.ByLabel("pbx_calls_by_codec_total", "codec")
 	var codecs []string
 	for name, n := range byCodec {

@@ -33,6 +33,7 @@ type summary struct {
 	Established int     `json:"established"`
 	Blocked     int     `json:"blocked"`
 	Failed      int     `json:"failed"`
+	Throttled   int     `json:"throttled"`
 	Retries     int     `json:"retries"`
 	Pb          float64 `json:"pb"`
 	Seed        uint64  `json:"seed"`
@@ -230,9 +231,28 @@ func main() {
 		established int
 		blocked     int
 		failed      int
+		throttled   int
 		retried     int
 		wg          sync.WaitGroup
+
+		// Server overload feedback (X-Overload-Window): arrivals inside
+		// the window are paced past its edge with full jitter; a window
+		// that re-arms sheds the deferred arrival client-side.
+		throttleUntil time.Time
+		lastWindow    int
 	)
+	noteOverload := func(c *sip.Call) {
+		w := c.OverloadWindow()
+		if w <= 0 {
+			return
+		}
+		mu.Lock()
+		if until := time.Now().Add(time.Duration(w) * time.Second); until.After(throttleUntil) {
+			throttleUntil = until
+		}
+		lastWindow = w
+		mu.Unlock()
+	}
 	if *seed == 0 {
 		*seed = uint64(time.Now().UnixNano())
 	}
@@ -248,6 +268,7 @@ func main() {
 	place = func(try int) {
 		var sess *media.Session
 		uac.InviteWithHandlers(*target, nil, func(c *sip.Call) {
+			noteOverload(c)
 			mu.Lock()
 			established++
 			mu.Unlock()
@@ -261,6 +282,7 @@ func main() {
 				agg.finish(sess)
 				sess = nil
 			}
+			noteOverload(c)
 			capacity := false
 			if c.Cause() == sip.EndRejected {
 				capacity = c.RejectStatus() == sip.StatusServiceUnavailable ||
@@ -301,6 +323,27 @@ func main() {
 		if !time.Now().Before(deadline) {
 			break
 		}
+		// Honor the server's overload window: pace this arrival past the
+		// window edge plus a full-jitter draw (the same seeded RNG as the
+		// retry backoff); if the window re-armed while we slept, shed the
+		// call client-side as throttled instead of placing it.
+		mu.Lock()
+		until, w := throttleUntil, lastWindow
+		mu.Unlock()
+		if now := time.Now(); now.Before(until) {
+			jitter := time.Duration(rng.Float64() * float64(time.Duration(w)*time.Second))
+			time.Sleep(until.Sub(now) + jitter)
+			mu.Lock()
+			still := time.Now().Before(throttleUntil)
+			if still {
+				attempts++
+				throttled++
+			}
+			mu.Unlock()
+			if still {
+				continue
+			}
+		}
 		mu.Lock()
 		attempts++
 		mu.Unlock()
@@ -318,7 +361,7 @@ func main() {
 	}
 	s := summary{
 		Attempts: attempts, Established: established, Blocked: blocked,
-		Failed: failed, Retries: retried, Pb: pb, Seed: *seed,
+		Failed: failed, Throttled: throttled, Retries: retried, Pb: pb, Seed: *seed,
 		Rate: *rate, WindowS: window.Seconds(), HoldS: hold.Seconds(),
 		ElapsedS: elapsed.Seconds(), Media: *withMedia,
 	}
@@ -355,8 +398,8 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		fmt.Printf("sipload: attempts=%d established=%d blocked=%d failed=%d retries=%d Pb=%.2f%%\n",
-			attempts, established, blocked, failed, retried, pb*100)
+		fmt.Printf("sipload: attempts=%d established=%d blocked=%d failed=%d throttled=%d retries=%d Pb=%.2f%%\n",
+			attempts, established, blocked, failed, throttled, retried, pb*100)
 		if *withMedia {
 			fmt.Printf("sipload: media legs=%d rtp_sent=%d rtp_received=%d pps=%.0f mos_avg=%.2f mos_min=%.2f\n",
 				s.MediaLegs, s.RTPSent, s.RTPReceived, s.PPS, s.MOSAvg, s.MOSMin)

@@ -123,6 +123,9 @@ type Result struct {
 	ActiveSpans int
 	// CPU band (lo, mean, hi) over the busy plateau.
 	CPULo, CPUMean, CPUHi float64
+	// Degradation is the ladder's transition timeline (empty when the
+	// scenario runs without Config.Degradation).
+	Degradation []pbx.DegradationTransition
 	// Telemetry is the end-of-run metrics snapshot; Series the
 	// per-second sampler rows over the loaded interval.
 	Telemetry telemetry.Snapshot
@@ -275,6 +278,7 @@ func Run(sc Scenario) (*Result, error) {
 		CPULo:              lo,
 		CPUMean:            mean,
 		CPUHi:              hi,
+		Degradation:        server.DegradationTimeline(),
 		Telemetry:          reg.Snapshot(),
 		Series:             sampler.Samples(),
 		Links:              map[string]netsim.LinkStats{},
@@ -315,9 +319,11 @@ func (r *Result) Goodput(minMOS float64) int {
 //   - CDRs balance the counters: completed CDRs == Completed,
 //     established CDRs == Established;
 //   - generator accounting conserves calls:
-//     Attempts == Established + Blocked + Abandoned + Failed;
+//     Attempts == Established + Blocked + Abandoned + Failed + Throttled;
 //   - the packet pool balances: every packet taken from the pool went
-//     back exactly once, whichever shard released it.
+//     back exactly once, whichever shard released it;
+//   - no mid-call renegotiation: the degradation ladder only shapes
+//     calls at admission, so the renegotiation sentinel must read zero.
 func (r *Result) CheckInvariants() []string {
 	var bad []string
 	if r.PoolGets != r.PoolPuts {
@@ -350,9 +356,13 @@ func (r *Result) CheckInvariants() []string {
 			established, r.Counters.Established))
 	}
 	l := r.Load
-	if l.Attempts != l.Established+l.Blocked+l.Abandoned+l.Failed {
-		bad = append(bad, fmt.Sprintf("call accounting: %d attempts != %d+%d+%d+%d",
-			l.Attempts, l.Established, l.Blocked, l.Abandoned, l.Failed))
+	if l.Attempts != l.Established+l.Blocked+l.Abandoned+l.Failed+l.Throttled {
+		bad = append(bad, fmt.Sprintf("call accounting: %d attempts != %d+%d+%d+%d+%d",
+			l.Attempts, l.Established, l.Blocked, l.Abandoned, l.Failed, l.Throttled))
+	}
+	if r.Counters.Renegotiations != 0 {
+		bad = append(bad, fmt.Sprintf("mid-call renegotiation: sentinel=%d (must be 0)",
+			r.Counters.Renegotiations))
 	}
 	return bad
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/erlang"
+	"repro/internal/pbx"
 )
 
 func mustRun(t *testing.T, sc Scenario) *Result {
@@ -120,6 +121,52 @@ func TestSignalingPartitionHeals(t *testing.T) {
 	if res.Load.Failed > res.Load.Attempts/2 {
 		t.Errorf("partition failed %d of %d calls; retransmissions did not heal",
 			res.Load.Failed, res.Load.Attempts)
+	}
+}
+
+// TestDegradationSurge is the ladder's smoke gate: the surge must walk
+// the controller up to the upstream-throttle rung, shed at least some
+// load client-side as Throttled, and never renegotiate an established
+// call — all with the books balanced (mustRun checks the invariants,
+// which include the Renegotiations sentinel and Throttled in the
+// conservation sum).
+func TestDegradationSurge(t *testing.T) {
+	res := mustRun(t, DegradationSurge(1))
+
+	peak := pbx.StageNormal
+	for _, tr := range res.Degradation {
+		if tr.To > peak {
+			peak = tr.To
+		}
+	}
+	t.Logf("surge: transitions=%d peak=%v throttled=%d refused=%d cpu=[%.0f %.0f %.0f]",
+		len(res.Degradation), peak, res.Load.Throttled,
+		res.Counters.TranscodeRefused, res.CPULo, res.CPUMean, res.CPUHi)
+
+	if peak < pbx.StageUpstreamThrottle {
+		t.Errorf("ladder peaked at %v; surge should reach at least %v",
+			peak, pbx.StageUpstreamThrottle)
+	}
+	if peak >= pbx.StageBlock {
+		t.Errorf("ladder hit the block rung; surge tuning reserves it for pathology")
+	}
+	if res.Load.Throttled == 0 {
+		t.Error("no calls shed client-side; overload window never reached the generator")
+	}
+	if res.Counters.Renegotiations != 0 {
+		t.Errorf("established calls renegotiated mid-stream: sentinel=%d",
+			res.Counters.Renegotiations)
+	}
+	// Relaxation: at least one downward transition once the window drains.
+	var relaxed bool
+	for _, tr := range res.Degradation {
+		if tr.To < tr.From {
+			relaxed = true
+			break
+		}
+	}
+	if !relaxed {
+		t.Error("ladder never relaxed; hysteresis descent untested by surge")
 	}
 }
 

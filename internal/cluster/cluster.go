@@ -79,6 +79,7 @@ type Counters struct {
 	ProbeFailures     uint64
 	BackendDowns      uint64 // down transitions
 	BackendUps        uint64 // up transitions (after a down)
+	OverloadSignals   uint64 // probe responses carrying X-Overload-Window
 }
 
 // HealthConfig tunes the balancer's OPTIONS liveness probing.
@@ -130,6 +131,11 @@ type node struct {
 	crashed     bool
 	consecFails int
 	slowUntil   time.Duration // full placement weight at/after this tick
+	// overloadUntil holds the end of the backend's advertised overload
+	// window (X-Overload-Window on a probe's 200): placement weight is
+	// penalized until it passes — the balancer half of the ladder's
+	// closed upstream-feedback loop.
+	overloadUntil time.Duration
 
 	probeTimer    transport.Timer
 	probeDeadline transport.Timer
@@ -534,7 +540,7 @@ func (c *Cluster) probe(n *node) {
 			n.probeDeadline.Stop()
 		}
 		c.mu.Unlock()
-		c.probeResult(n, resp.StatusCode == sip.StatusOK)
+		c.probeResult(n, resp.StatusCode == sip.StatusOK, resp.OverloadWindow())
 	})
 	deadline := c.clock.AfterFunc(c.health.ProbeTimeout, func() {
 		c.mu.Lock()
@@ -545,7 +551,7 @@ func (c *Cluster) probe(n *node) {
 		settled = true
 		c.mu.Unlock()
 		tx.Terminate()
-		c.probeResult(n, false)
+		c.probeResult(n, false, 0)
 	})
 	c.mu.Lock()
 	n.probeTx = tx
@@ -554,14 +560,27 @@ func (c *Cluster) probe(n *node) {
 }
 
 // probeResult applies one probe verdict to the node's liveness state
-// machine and arms the next probe.
-func (c *Cluster) probeResult(n *node, ok bool) {
+// machine and arms the next probe. window is the X-Overload-Window the
+// probe's 200 carried (0 when absent): an overloaded-but-up backend
+// stays in rotation at a reduced placement weight until the window
+// passes, so the balancer sheds toward healthier peers without a
+// down/up flap.
+func (c *Cluster) probeResult(n *node, ok bool, window int) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return
 	}
 	now := c.clock.Now()
+	if ok && window > 0 {
+		if until := now + time.Duration(window)*time.Second; until > n.overloadUntil {
+			n.overloadUntil = until
+		}
+		c.counters.OverloadSignals++
+		if c.tm != nil {
+			c.tm.overloads.Inc()
+		}
+	}
 	if ok {
 		n.consecFails = 0
 		if !n.up {
@@ -594,15 +613,24 @@ func (c *Cluster) probeResult(n *node, ok bool) {
 	c.scheduleProbe(n)
 }
 
-// weightLocked is a node's slow-start placement weight in (0,1].
-// Callers hold c.mu.
+// overloadWeightPenalty scales a backend's placement weight while its
+// advertised overload window is open: still routable (unlike down),
+// but the balancer prefers unloaded peers 4:1.
+const overloadWeightPenalty = 0.25
+
+// weightLocked is a node's placement weight in (0,1]: the slow-start
+// ramp after recovery, times the overload penalty while the backend's
+// X-Overload-Window is open. Callers hold c.mu.
 func (c *Cluster) weightLocked(n *node, now time.Duration) float64 {
-	if n.slowUntil == 0 || now >= n.slowUntil {
-		return 1
+	w := 1.0
+	if n.slowUntil != 0 && now < n.slowUntil {
+		w = 1 - float64(n.slowUntil-now)/float64(c.health.SlowStart)
+		if w < 0.1 {
+			w = 0.1
+		}
 	}
-	w := 1 - float64(n.slowUntil-now)/float64(c.health.SlowStart)
-	if w < 0.1 {
-		w = 0.1
+	if now < n.overloadUntil {
+		w *= overloadWeightPenalty
 	}
 	return w
 }

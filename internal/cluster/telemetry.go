@@ -17,6 +17,7 @@ type clusterMetrics struct {
 	probeFailures *telemetry.Counter
 	downs         *telemetry.Counter
 	ups           *telemetry.Counter
+	overloads     *telemetry.Counter
 }
 
 // Cluster telemetry family names.
@@ -27,6 +28,7 @@ const (
 	mClusterProbeFailures = "cluster_probe_failures_total"
 	mClusterTransitions   = "cluster_backend_transitions_total"
 	mClusterBackendUp     = "cluster_backend_up"
+	mClusterOverloads     = "cluster_overload_signals_total"
 )
 
 func newClusterMetrics(reg *telemetry.Registry, servers int) *clusterMetrics {
@@ -39,6 +41,8 @@ func newClusterMetrics(reg *telemetry.Registry, servers int) *clusterMetrics {
 		probeFailures: reg.Counter(mClusterProbeFailures, "health probes that timed out or got non-200"),
 		downs:         reg.Counter(mClusterTransitions, "backend liveness transitions", telemetry.L("to", "down")),
 		ups:           reg.Counter(mClusterTransitions, "backend liveness transitions", telemetry.L("to", "up")),
+		overloads: reg.Counter(mClusterOverloads,
+			"probe responses carrying an X-Overload-Window backoff hint"),
 	}
 	for i := 0; i < servers; i++ {
 		tm.backendUp = append(tm.backendUp, reg.Gauge(mClusterBackendUp,

@@ -221,6 +221,46 @@ func BridgeOffer(offer, pbx []int) []int {
 	return out
 }
 
+// MutualOffer is BridgeOffer restricted to the passthrough
+// intersection: the caller's preference order filtered to mutual
+// support, with no transcode-fallback appendix. A PBX in
+// passthrough-only degradation re-offers this list, so a callee that
+// shares none of the caller's codecs answers 488 instead of forcing a
+// transcoding bridge.
+func MutualOffer(offer, pbx []int) []int {
+	out := make([]int, 0, len(offer))
+	for _, pt := range offer {
+		if contains(pbx, pt) && !contains(out, pt) {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// DegradedOrder re-sorts a payload-type preference list cheapest
+// bitrate first (stable for equal rates, unknown types last in their
+// original order) — the codec-downgrade rung's rewrite of an SDP
+// preference order: a G.711-or-G.729 offer comes back G.729-first, so
+// the answerer lands on the low-rate codec while the loaded spell
+// lasts.
+func DegradedOrder(pts []int) []int {
+	out := append([]int(nil), pts...)
+	rate := func(pt int) float64 {
+		if c, ok := ByPayloadType(pt); ok {
+			return c.BitsPerSecond()
+		}
+		return 1 << 30 // unknown codecs sort last
+	}
+	// Insertion sort keeps the rewrite dependency-free and stable; the
+	// lists are a handful of entries.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && rate(out[j]) < rate(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 func contains(pts []int, pt int) bool {
 	for _, p := range pts {
 		if p == pt {

@@ -75,6 +75,13 @@ type ExperimentConfig struct {
 	// over the configured policy: calls whose predicted E-model MOS
 	// falls below the floor are shed with 503.
 	QualityFloorMOS float64
+	// Strategy names the overload-control strategy under test — the
+	// knob the bench frontier sweeps head-to-head. "" keeps the legacy
+	// per-field knobs (Capacity/CPUAdmission/QualityFloorMOS) exactly
+	// as configured; the named strategies overlay the admission and
+	// degradation fields through one shared mapping, so the two
+	// engines (and therefore every shard count) agree bit-for-bit.
+	Strategy string
 	// SLO overrides the service-level rules the per-second series is
 	// judged against; nil applies monitor.DefaultSLORules().
 	SLO *monitor.SLORules
@@ -94,6 +101,56 @@ type ExperimentConfig struct {
 	// (no cross-shard traffic), which is the near-linear-scaling
 	// configuration the engine benchmarks use.
 	Islands int
+}
+
+// Overload-control strategies selectable via ExperimentConfig.Strategy.
+const (
+	// StrategyStatic is the classical hard channel cap: admit to the
+	// pool limit, 503 the rest (the paper's measured behaviour).
+	StrategyStatic = "static"
+	// StrategyOccupancy sheds early at 70% of the pool with the
+	// EWMA-damped occupancy controller (503 + Retry-After).
+	StrategyOccupancy = "occupancy"
+	// StrategyQuality is the static cap plus the E-model quality
+	// floor: predicted-MOS-below-floor calls are shed with 503.
+	StrategyQuality = "quality"
+	// StrategyLadder is the full graceful-degradation ladder — codec
+	// downgrade → passthrough-only → upstream throttle → block —
+	// layered over the occupancy controller's early shed ("degrade
+	// before you block" is relative to the same admission baseline).
+	StrategyLadder = "ladder"
+)
+
+// applyStrategy overlays the named strategy onto the PBX config. Run
+// and runSharded both route through this single mapping, which is what
+// keeps a strategy's behaviour engine-invariant (and therefore
+// shard-count-invariant).
+func applyStrategy(cfg ExperimentConfig, pc pbx.Config) pbx.Config {
+	switch cfg.Strategy {
+	case "":
+		// Legacy knobs only.
+	case StrategyStatic:
+		pc.Admission = pbx.ChannelCapPolicy{Max: cfg.Capacity}
+	case StrategyOccupancy:
+		pc.Admission = pbx.OccupancyPolicy{
+			Max: cfg.Capacity, Target: 0.7,
+			RetryAfterMin: 1, RetryAfterMax: 8,
+		}
+	case StrategyQuality:
+		pc.Admission = pbx.ChannelCapPolicy{Max: cfg.Capacity}
+		if pc.QualityFloorMOS == 0 {
+			pc.QualityFloorMOS = 3.5
+		}
+	case StrategyLadder:
+		pc.Admission = pbx.OccupancyPolicy{
+			Max: cfg.Capacity, Target: 0.7,
+			RetryAfterMin: 1, RetryAfterMax: 8,
+		}
+		pc.Degradation = pbx.DegradationConfig{Enabled: true}
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %q", cfg.Strategy))
+	}
+	return pc
 }
 
 // withDefaults fills the paper's parameter values.
@@ -206,7 +263,7 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 	server := pbx.New(
 		pbxEP,
 		dir, factory,
-		pbx.Config{
+		applyStrategy(cfg, pbx.Config{
 			MaxChannels:     cfg.Capacity,
 			CPUAdmission:    cfg.CPUAdmission,
 			CPUThreshold:    cfg.CPUThreshold,
@@ -215,7 +272,7 @@ func Run(cfg ExperimentConfig) ExperimentResult {
 			QualityFloorMOS: cfg.QualityFloorMOS,
 			Seed:            cfg.Seed ^ 0x9bd1,
 			Telemetry:       reg,
-		})
+		}))
 
 	// The SIPp pair (Fig. 4: generator client and server machines).
 	gen := sipp.New(net, "sippc", "sipps", "pbx:5060", sipp.Config{

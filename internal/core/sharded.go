@@ -135,7 +135,7 @@ func runSharded(cfg ExperimentConfig) ExperimentResult {
 		isl.server = pbx.New(
 			pbxEP,
 			dir, factory,
-			pbx.Config{
+			applyStrategy(cfg, pbx.Config{
 				MaxChannels:     cfg.Capacity,
 				CPUAdmission:    cfg.CPUAdmission,
 				CPUThreshold:    cfg.CPUThreshold,
@@ -144,7 +144,7 @@ func runSharded(cfg ExperimentConfig) ExperimentResult {
 				QualityFloorMOS: cfg.QualityFloorMOS,
 				Seed:            cfg.Seed ^ 0x9bd1 ^ islandSalt(i),
 				Telemetry:       islReg,
-			})
+			}))
 
 		gen := sipp.New(net, callerHost, calleeHost, pbxHost+":5060", sipp.Config{
 			Rate:         cfg.ArrivalRate(),

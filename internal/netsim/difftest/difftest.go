@@ -104,6 +104,7 @@ func DiffScenario(sc chaos.Scenario, shards int) []string {
 	d.eq("Leaks", [3]int{a.ActiveChannels, a.ActiveTransactions, a.ActiveSpans},
 		[3]int{b.ActiveChannels, b.ActiveTransactions, b.ActiveSpans})
 	d.eq("CPUBand", [3]float64{a.CPULo, a.CPUMean, a.CPUHi}, [3]float64{b.CPULo, b.CPUMean, b.CPUHi})
+	d.eq("Degradation", a.Degradation, b.Degradation)
 	d.eq("Series", a.Series, b.Series)
 	aj, ajErr := a.Telemetry.MarshalIndent()
 	bj, bjErr := b.Telemetry.MarshalIndent()

@@ -1,11 +1,14 @@
 package difftest
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/pbx"
 	"repro/internal/sipp"
 )
 
@@ -119,6 +122,69 @@ func TestDiffChaosScenarios(t *testing.T) {
 			t.Parallel()
 			for _, d := range DiffScenario(sc, 4) {
 				t.Errorf("shards=4 %s", d)
+			}
+		})
+	}
+}
+
+// goldenDegradationTimeline pins the seed-1 DegradationSurge ladder
+// walk: climb to upstream-throttle as the plateau builds, then three
+// throttle/relax cycles as each overload window quenches the storm and
+// the hysteresis walks back down, ending at normal after the drain.
+var goldenDegradationTimeline = []struct {
+	at       time.Duration
+	from, to pbx.DegradationStage
+}{
+	{21 * time.Second, pbx.StageNormal, pbx.StageCodecDowngrade},
+	{23 * time.Second, pbx.StageCodecDowngrade, pbx.StagePassthroughOnly},
+	{30 * time.Second, pbx.StagePassthroughOnly, pbx.StageUpstreamThrottle},
+	{38 * time.Second, pbx.StageUpstreamThrottle, pbx.StagePassthroughOnly},
+	{48 * time.Second, pbx.StagePassthroughOnly, pbx.StageUpstreamThrottle},
+	{59 * time.Second, pbx.StageUpstreamThrottle, pbx.StagePassthroughOnly},
+	{64 * time.Second, pbx.StagePassthroughOnly, pbx.StageCodecDowngrade},
+	{75 * time.Second, pbx.StageCodecDowngrade, pbx.StagePassthroughOnly},
+	{78 * time.Second, pbx.StagePassthroughOnly, pbx.StageUpstreamThrottle},
+	{84 * time.Second, pbx.StageUpstreamThrottle, pbx.StagePassthroughOnly},
+	{89 * time.Second, pbx.StagePassthroughOnly, pbx.StageCodecDowngrade},
+	{101 * time.Second, pbx.StageCodecDowngrade, pbx.StagePassthroughOnly},
+	{114 * time.Second, pbx.StagePassthroughOnly, pbx.StageCodecDowngrade},
+	{125 * time.Second, pbx.StageCodecDowngrade, pbx.StageNormal},
+}
+
+// TestDiffDegradationTimeline is the ladder's determinism gate: the
+// DegradationSurge transition timeline must be bit-identical across
+// shards {1,2,4} for seeds {1,42,160} (DiffScenario compares the
+// Degradation field along with everything else), and the seed-1
+// timeline must match the pinned golden walk above.
+func TestDiffDegradationTimeline(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 160} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaos.Run(chaos.DegradationSurge(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Degradation) == 0 {
+				t.Fatal("surge produced no ladder transitions")
+			}
+			if seed == 1 {
+				if len(res.Degradation) != len(goldenDegradationTimeline) {
+					t.Fatalf("timeline has %d transitions, golden has %d: %v",
+						len(res.Degradation), len(goldenDegradationTimeline), res.Degradation)
+				}
+				for i, tr := range res.Degradation {
+					want := goldenDegradationTimeline[i]
+					if tr.At != want.at || tr.From != want.from || tr.To != want.to {
+						t.Errorf("transition %d = %v %v->%v, golden %v %v->%v",
+							i, tr.At, tr.From, tr.To, want.at, want.from, want.to)
+					}
+				}
+			}
+			for _, shards := range []int{2, 4} {
+				for _, d := range DiffScenario(chaos.DegradationSurge(seed), shards) {
+					t.Errorf("shards=%d %s", shards, d)
+				}
 			}
 		})
 	}

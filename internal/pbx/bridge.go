@@ -55,6 +55,16 @@ type bridge struct {
 	// against the measured score in the teardown call event.
 	admission    string
 	predictedMOS float64
+
+	// degradeStage is the ladder rung active when the call was
+	// admitted. Frozen here on purpose: codec actuators read this
+	// snapshot, never the live stage, so an established call can never
+	// be renegotiated by a later ladder move (chaos invariant).
+	degradeStage DegradationStage
+	// negotiated flags that negotiateBridgeCodecs already ran for this
+	// bridge; a second run means a mid-call renegotiation, which the
+	// ladder must never cause (Counters.Renegotiations sentinel).
+	negotiated bool
 }
 
 type bridgeState int
@@ -132,14 +142,14 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 	if route, matched := s.cfg.Dialplan.Resolve(callee); matched {
 		switch route.Kind {
 		case RouteTrunk:
-			ok, predicted := s.admitCall(tx, req, offer)
+			ok, predicted, stage := s.admitCall(tx, req, offer)
 			if !ok {
 				return
 			}
 			s.mu.Lock()
 			s.counters.TrunkCalls++
 			s.mu.Unlock()
-			s.bridgeTo(tx, req, src, route.Target, route.Trunk, offer, predicted)
+			s.bridgeTo(tx, req, src, route.Target, route.Trunk, offer, predicted, stage)
 			return
 		case RouteReject:
 			s.rejectInvite(tx, req, route.Status, false)
@@ -153,7 +163,7 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 		// Unreachable user: voicemail answers when enabled and the
 		// user is provisioned; otherwise 404.
 		if _, err := s.dir.Lookup(callee); err == nil && s.cfg.Voicemail {
-			if ok, _ := s.admitCall(tx, req, offer); !ok {
+			if ok, _, _ := s.admitCall(tx, req, offer); !ok {
 				return
 			}
 			s.answerVoicemail(tx, req, src, callee, offer)
@@ -163,17 +173,17 @@ func (s *Server) handleInvite(tx *sip.ServerTx, req *sip.Message, src string) {
 		return
 	}
 
-	ok, predicted := s.admitCall(tx, req, offer)
+	ok, predicted, stage := s.admitCall(tx, req, offer)
 	if !ok {
 		return
 	}
-	s.bridgeTo(tx, req, src, callee, calleeContact, offer, predicted)
+	s.bridgeTo(tx, req, src, callee, calleeContact, offer, predicted, stage)
 }
 
 // bridgeTo runs the B2BUA flow toward a resolved destination (a
 // registered contact or a trunk gateway). Admission must already have
 // been charged.
-func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calleeContact string, offer *sdp.Session, predicted float64) {
+func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calleeContact string, offer *sdp.Session, predicted float64, stage DegradationStage) {
 	br := &bridge{
 		s:         s,
 		aCallID:   req.CallID,
@@ -187,6 +197,7 @@ func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calle
 
 		admission:    s.admission.Name(),
 		predictedMOS: predicted,
+		degradeStage: stage,
 	}
 	br.aOfferPTs = offer.PayloadTypes
 	if req.Contact != nil {
@@ -239,9 +250,22 @@ func (s *Server) bridgeTo(tx *sip.ServerTx, req *sip.Message, src, callee, calle
 	if br.relay != nil {
 		// Re-offer toward the callee: the caller's mutually supported
 		// preferences first so a shared codec wins (passthrough), then
-		// the PBX's remaining codecs as transcode fallbacks.
-		bOffer = sdp.NewSessionWith("asterisk", s.host, br.relay.bPort,
-			codec.BridgeOffer(offer.PayloadTypes, s.codecs))
+		// the PBX's remaining codecs as transcode fallbacks. The
+		// degradation ladder rewrites this list for *new* calls only
+		// (the stage was frozen at admission): rung 2 drops the
+		// transcode fallbacks so only passthrough can be answered, and
+		// rung 1 re-orders the offer cheapest-bitrate-first
+		// (G.711→G.729).
+		var pts []int
+		switch {
+		case br.degradeStage >= StagePassthroughOnly:
+			pts = codec.DegradedOrder(codec.MutualOffer(offer.PayloadTypes, s.codecs))
+		case br.degradeStage >= StageCodecDowngrade:
+			pts = codec.DegradedOrder(codec.BridgeOffer(offer.PayloadTypes, s.codecs))
+		default:
+			pts = codec.BridgeOffer(offer.PayloadTypes, s.codecs)
+		}
+		bOffer = sdp.NewSessionWith("asterisk", s.host, br.relay.bPort, pts)
 	} else {
 		bOffer = offer
 	}
@@ -288,7 +312,7 @@ func (s *Server) cancelBLeg(br *bridge) {
 // return is the admission-time E-model prediction — always computed
 // now (pure per-INVITE math, no randomness) because the wide-event
 // call record compares it against the measured score at teardown.
-func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Session) (bool, float64) {
+func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Session) (bool, float64, DegradationStage) {
 	s.mu.Lock()
 	projected := s.cfg.CPU.UtilizationWith(s.channels+1,
 		float64(s.attemptsWindow), float64(s.errorsWindow), s.transcodeLoad)
@@ -300,13 +324,28 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Sessio
 		AttemptsRate:  s.attemptsEWMA,
 		ErrorsRate:    s.errorsEWMA,
 		TranscodeLoad: s.transcodeLoad,
+		OccupancyEWMA: s.channelsEWMA,
 	}
 	st.PredictedMOS = s.predictMOSLocked(offer, projected)
-	dec := s.admission.Admit(st)
+	stage := s.degradeStageLocked()
+	window := s.overloadWindowLocked()
+	blockStage := stage >= StageBlock
+	dec := AdmissionDecision{}
+	if blockStage {
+		// The ladder's last rung: the classic 503 block, with the
+		// backoff window as the Retry-After hint.
+		dec.RetryAfter = window
+		s.counters.DegradeBlocked++
+	} else {
+		dec = s.admission.Admit(st)
+	}
 	if !dec.Admit {
 		s.counters.Blocked++
-		if qf, ok := s.admission.(QualityFloorPolicy); ok && st.PredictedMOS < qf.Floor {
+		if qf, ok := s.admission.(QualityFloorPolicy); ok && !blockStage && st.PredictedMOS < qf.Floor {
 			s.counters.QualityRejected++
+		}
+		if window > 0 {
+			s.counters.ThrottleSignals++
 		}
 		s.errorsWindow++
 		s.mu.Unlock()
@@ -318,8 +357,20 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Sessio
 		resp := req.Response(sip.StatusServiceUnavailable)
 		resp.To.Tag = s.ep.NewTag()
 		resp.RetryAfter = dec.RetryAfter
+		if window > 0 {
+			// Rung 3: explicit upstream feedback on the rejection —
+			// Retry-After paces the one caller, X-Overload-Window tells
+			// generators and balancers to withhold new work.
+			if resp.RetryAfter == 0 {
+				resp.RetryAfter = window
+			}
+			resp.SetOverloadWindow(window)
+			if s.tm != nil && s.tm.throttleSignals != nil {
+				s.tm.throttleSignals.Inc()
+			}
+		}
 		tx.Respond(resp)
-		return false, st.PredictedMOS
+		return false, st.PredictedMOS, stage
 	}
 	s.channels++
 	if s.channels > s.counters.PeakChannels {
@@ -329,9 +380,12 @@ func (s *Server) admitCall(tx *sip.ServerTx, req *sip.Message, offer *sdp.Sessio
 	s.mu.Unlock()
 	if s.tm != nil {
 		s.tm.admitOK.Inc()
+		if s.tm.callsByStage[0] != nil {
+			s.tm.callsByStage[stage].Inc()
+		}
 	}
 	s.traceMark(req.CallID, telemetry.StageAdmitted)
-	return true, st.PredictedMOS
+	return true, st.PredictedMOS, stage
 }
 
 // predictMOSNominalDelay is the mouth-to-ear delay assumed when
@@ -456,6 +510,22 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 			return
 		}
 		br.bSDP = answer
+		// Rung 2 backstop: the degraded B-leg offer already excluded the
+		// transcode fallbacks, so a transcoding answer should be
+		// impossible — but a callee answering off-offer must not light
+		// up a transcoder under overload. Refuse with 488 before any
+		// transcode cost is charged.
+		if br.degradeStage >= StagePassthroughOnly && wouldTranscode(br.aOfferPTs, s.codecs, answer) {
+			s.mu.Lock()
+			s.counters.TranscodeRefused++
+			s.errorsWindow++
+			s.mu.Unlock()
+			fwd := br.aInvite.Response(sip.StatusNotAcceptableHere)
+			fwd.To.Tag = br.aLocalTag
+			br.aTx.Respond(fwd)
+			s.terminateBridge(br, true)
+			return
+		}
 		if !s.negotiateBridgeCodecs(br, answer) {
 			s.terminateBridge(br, true)
 			return
@@ -486,6 +556,22 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 		} else {
 			fwd.Body = resp.Body
 		}
+		// Rung 3 closed loop, success path: while the throttle window is
+		// open every answer carries it too, so generators that only see
+		// 200s still learn to withhold new work (RFC 7339-style
+		// rate-based feedback, not just rejection-coupled).
+		s.mu.Lock()
+		window := s.overloadWindowLocked()
+		if window > 0 {
+			s.counters.ThrottleSignals++
+		}
+		s.mu.Unlock()
+		if window > 0 {
+			fwd.SetOverloadWindow(window)
+			if s.tm != nil && s.tm.throttleSignals != nil {
+				s.tm.throttleSignals.Inc()
+			}
+		}
 		br.aTx.Respond(fwd)
 		s.traceMark(br.aCallID, telemetry.StageAnswered)
 		// Established is confirmed by the caller's ACK (handleAck).
@@ -513,6 +599,12 @@ func (s *Server) handleBLegResponse(br *bridge, resp *sip.Message) {
 // reports false when the answer is unusable (no payload type, or one
 // outside the registry).
 func (s *Server) negotiateBridgeCodecs(br *bridge, answer *sdp.Session) bool {
+	if br.negotiated {
+		s.mu.Lock()
+		s.counters.Renegotiations++
+		s.mu.Unlock()
+	}
+	br.negotiated = true
 	if len(answer.PayloadTypes) == 0 {
 		return false
 	}
@@ -554,6 +646,17 @@ func (s *Server) negotiateBridgeCodecs(br *bridge, answer *sdp.Session) bool {
 		}
 	}
 	return true
+}
+
+// wouldTranscode reports whether accepting the callee's answer would
+// require a transcoding media path — the rung-2 refusal predicate,
+// evaluated before negotiateBridgeCodecs charges any transcode cost.
+func wouldTranscode(offer, pbx []int, answer *sdp.Session) bool {
+	if len(answer.PayloadTypes) == 0 {
+		return false
+	}
+	cbr, ok := codec.NegotiateBridge(offer, pbx, answer.PayloadTypes[0])
+	return ok && cbr.Transcode
 }
 
 // answerPayloadTypes builds the A-leg answer list: the negotiated
@@ -699,6 +802,18 @@ func (s *Server) removeBridge(br *bridge, completed bool) {
 	cdr := s.buildCDR(br, completed && wasEstablished)
 	s.cdrs = append(s.cdrs, cdr)
 	s.recordCDRMetricsLocked(cdr)
+	// Feed the ladder's quality sensor: measured (sensor) MOS when the
+	// relay scored the call, the E-model estimate otherwise. Averaged
+	// per sampler tick in evaluateDegradationLocked.
+	if s.degrade != nil && wasEstablished {
+		if m := cdr.MeasuredMOS; m > 0 {
+			s.mosTickSum += m
+			s.mosTickCalls++
+		} else if cdr.MOS > 0 {
+			s.mosTickSum += cdr.MOS
+			s.mosTickCalls++
+		}
+	}
 	s.updateChannelGaugesLocked()
 	ev := s.buildCallEventLocked(br, cdr)
 	s.mu.Unlock()

@@ -52,6 +52,11 @@ type CallEvent struct {
 	MeasuredMOS  float64 `json:"mos_measured,omitempty"`
 	PredictedMOS float64 `json:"mos_predicted,omitempty"`
 
+	// Degradation names the ladder rung active when the call was
+	// admitted ("normal".."block"); set only while the ladder is
+	// enabled, so ladder-free call logs are unchanged.
+	Degradation string `json:"degradation,omitempty"`
+
 	Disposition string `json:"disposition"`
 }
 
@@ -137,6 +142,9 @@ func (s *Server) buildCallEventLocked(br *bridge, cdr CDR) CallEvent {
 	}
 	if br.bSDP != nil { // codecs are meaningful only once the B leg answered
 		ev.CodecA, ev.CodecB = codecName(br.codecBr.APayloadType), codecName(br.codecBr.BPayloadType)
+	}
+	if s.degrade != nil {
+		ev.Degradation = br.degradeStage.String()
 	}
 	if br.ringingAt > br.startedAt {
 		ev.PDDS = (br.ringingAt - br.startedAt).Seconds()

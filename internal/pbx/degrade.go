@@ -1,0 +1,233 @@
+package pbx
+
+import "time"
+
+// Graceful degradation: instead of jumping straight from "admit
+// everything" to "503 everything" at the capacity cliff, the PBX walks
+// a ladder of progressively harsher actuators — trade quality for
+// capacity first, shed expensive work second, push back on upstream
+// load third, and only block as the last rung. The design follows the
+// SIP overload-control literature (RFC 7339's explicit-feedback model;
+// the three-dimensional CAC work admitting on connection *and*
+// communication quality): every rejected INVITE still costs CPU, so a
+// server that degrades early carries more MOS-weighted minutes through
+// an overload than one that rejects at the wall.
+//
+// The ladder:
+//
+//	Normal → CodecDowngrade → PassthroughOnly → UpstreamThrottle → Block
+//
+// Rung 1 re-orders the codec preference of *new* calls down the
+// registry (G.711→G.729: lowest bitrate first), rung 2 refuses
+// transcoded bridges (restricted passthrough-only re-offers; 488 when
+// no intersection survives), rung 3 advertises a backoff window to
+// upstream callers and balancers (Retry-After + X-Overload-Window),
+// and rung 4 is the classic 503 block. Established calls are never
+// touched: the stage is consulted at admission only, so no call is
+// renegotiated mid-stream (a chaos invariant).
+
+// DegradationStage is a rung of the graceful-degradation ladder.
+type DegradationStage int
+
+// The ladder's rungs, mildest first. Ordering is meaningful: actuators
+// activate at "stage >= rung" so each rung includes all milder ones.
+const (
+	StageNormal DegradationStage = iota
+	StageCodecDowngrade
+	StagePassthroughOnly
+	StageUpstreamThrottle
+	StageBlock
+)
+
+// degradationStageCount is the number of ladder rungs.
+const degradationStageCount = int(StageBlock) + 1
+
+// String names the stage for telemetry labels and timelines.
+func (st DegradationStage) String() string {
+	switch st {
+	case StageNormal:
+		return "normal"
+	case StageCodecDowngrade:
+		return "codec-downgrade"
+	case StagePassthroughOnly:
+		return "passthrough-only"
+	case StageUpstreamThrottle:
+		return "upstream-throttle"
+	case StageBlock:
+		return "block"
+	default:
+		return "unknown"
+	}
+}
+
+// DegradationConfig tunes the ladder controller. The zero value is
+// disabled; set Enabled and leave the rest zero for the defaults.
+type DegradationConfig struct {
+	// Enabled turns the controller on. Off, the server behaves exactly
+	// as before: no per-tick evaluation, no headers, no extra RNG
+	// draws — existing goldens stay bit-identical.
+	Enabled bool
+	// Enter[i] is the pressure at or above which the ladder escalates
+	// from stage i to stage i+1 (after EscalateTicks consecutive
+	// ticks). Defaults: 0.70, 0.78, 0.86, 0.94.
+	Enter [4]float64
+	// Exit[i] is the pressure below which stage i+1 relaxes back to
+	// stage i (after RelaxTicks consecutive ticks). Each Exit must sit
+	// below its Enter — the hysteresis band that stops flapping.
+	// Defaults: Enter[i] − 0.10.
+	Exit [4]float64
+	// EscalateTicks / RelaxTicks are the consecutive-tick debounce on
+	// each direction. Escalation reacts fast (default 2); relaxation
+	// waits out transients (default 5).
+	EscalateTicks int
+	RelaxTicks    int
+	// MOSFloor is the measured-MOS level below which call quality
+	// contributes pressure (default 3.5, the top of G.107's "some
+	// users dissatisfied" band).
+	MOSFloor float64
+	// DropRef is the relay drop rate that saturates the drop-pressure
+	// term at 1.0 (default 0.25).
+	DropRef float64
+	// ThrottleWindow is the backoff window in seconds advertised via
+	// Retry-After/X-Overload-Window while at StageUpstreamThrottle or
+	// above (default 10).
+	ThrottleWindow int
+}
+
+// withDefaults fills the zero fields.
+func (c DegradationConfig) withDefaults() DegradationConfig {
+	if c.Enter == [4]float64{} {
+		c.Enter = [4]float64{0.70, 0.78, 0.86, 0.94}
+	}
+	if c.Exit == [4]float64{} {
+		for i, e := range c.Enter {
+			c.Exit[i] = e - 0.10
+		}
+	}
+	if c.EscalateTicks <= 0 {
+		c.EscalateTicks = 2
+	}
+	if c.RelaxTicks <= 0 {
+		c.RelaxTicks = 5
+	}
+	if c.MOSFloor == 0 {
+		c.MOSFloor = 3.5
+	}
+	if c.DropRef == 0 {
+		c.DropRef = 0.25
+	}
+	if c.ThrottleWindow <= 0 {
+		c.ThrottleWindow = 10
+	}
+	return c
+}
+
+// DegradationSignals is one tick's sensor snapshot, produced by the
+// server's per-second sampler from the PR 8 measurement plane.
+type DegradationSignals struct {
+	// CPU is the sampled utilization percentage (the cpu.Meter value).
+	CPU float64
+	// DropRate is the fraction of relayed RTP packets the overload
+	// model dropped since the previous tick (0..1).
+	DropRate float64
+	// MOS is the mean measured E-model MOS of the calls that tore down
+	// since the previous tick; 0 means no scored teardowns this tick.
+	MOS float64
+}
+
+// DegradationTransition is one ladder step, recorded for the golden
+// timeline: transitions are a pure function of the deterministic
+// signal sequence, so they must be bit-identical across shard counts.
+type DegradationTransition struct {
+	At       time.Duration
+	From, To DegradationStage
+	Pressure float64
+}
+
+// DegradationController is the hysteresis state machine walking the
+// ladder. It is a pure deterministic function of the Evaluate call
+// sequence — no clock access, no randomness — and is driven under the
+// server lock from the per-second sampler tick.
+type DegradationController struct {
+	cfg      DegradationConfig
+	stage    DegradationStage
+	hot      int // consecutive ticks at/above the next rung's Enter
+	cool     int // consecutive ticks below the current rung's Exit
+	timeline []DegradationTransition
+}
+
+// NewDegradationController builds a controller at StageNormal.
+func NewDegradationController(cfg DegradationConfig) *DegradationController {
+	return &DegradationController{cfg: cfg.withDefaults()}
+}
+
+// Config returns the controller's effective (defaulted) tuning.
+func (d *DegradationController) Config() DegradationConfig { return d.cfg }
+
+// Pressure collapses one tick's signals into the scalar the thresholds
+// compare against: the worst of normalized CPU, normalized relay drop
+// rate, and the measured-MOS deficit below the floor. Taking the max
+// means any single saturated dimension drives the ladder — a host can
+// be quality-degraded long before its CPU pegs.
+func (d *DegradationController) Pressure(sig DegradationSignals) float64 {
+	p := sig.CPU / 100
+	if dp := sig.DropRate / d.cfg.DropRef; dp > p {
+		p = dp
+	}
+	if sig.MOS > 0 && sig.MOS < d.cfg.MOSFloor {
+		// Scale the deficit so MOS 1.0 (the E-model floor) is full
+		// pressure.
+		if mp := (d.cfg.MOSFloor - sig.MOS) / (d.cfg.MOSFloor - 1.0); mp > p {
+			p = mp
+		}
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Evaluate feeds one tick of signals and returns the (possibly new)
+// stage. The ladder moves at most one rung per tick, in either
+// direction, and only after the configured debounce: EscalateTicks
+// consecutive ticks at or above the next Enter threshold to climb,
+// RelaxTicks consecutive ticks below the current Exit threshold to
+// descend. Between the two thresholds — the hysteresis band — both
+// counters reset and the stage holds.
+func (d *DegradationController) Evaluate(now time.Duration, sig DegradationSignals) DegradationStage {
+	p := d.Pressure(sig)
+	switch {
+	case d.stage < StageBlock && p >= d.cfg.Enter[d.stage]:
+		d.cool = 0
+		d.hot++
+		if d.hot >= d.cfg.EscalateTicks {
+			d.step(now, d.stage+1, p)
+			d.hot = 0
+		}
+	case d.stage > StageNormal && p < d.cfg.Exit[d.stage-1]:
+		d.hot = 0
+		d.cool++
+		if d.cool >= d.cfg.RelaxTicks {
+			d.step(now, d.stage-1, p)
+			d.cool = 0
+		}
+	default:
+		d.hot, d.cool = 0, 0
+	}
+	return d.stage
+}
+
+func (d *DegradationController) step(now time.Duration, to DegradationStage, pressure float64) {
+	d.timeline = append(d.timeline, DegradationTransition{
+		At: now, From: d.stage, To: to, Pressure: pressure,
+	})
+	d.stage = to
+}
+
+// Stage returns the current rung.
+func (d *DegradationController) Stage() DegradationStage { return d.stage }
+
+// Timeline returns a copy of every transition taken so far.
+func (d *DegradationController) Timeline() []DegradationTransition {
+	return append([]DegradationTransition(nil), d.timeline...)
+}

@@ -1,0 +1,219 @@
+package pbx
+
+import (
+	"testing"
+	"time"
+)
+
+// tickCfg is the test tuning: debounce of 2 up / 3 down and evenly
+// spaced thresholds so each transition is reachable in a short script.
+func tickCfg() DegradationConfig {
+	return DegradationConfig{
+		Enabled:       true,
+		Enter:         [4]float64{0.50, 0.60, 0.70, 0.80},
+		Exit:          [4]float64{0.40, 0.50, 0.60, 0.70},
+		EscalateTicks: 2,
+		RelaxTicks:    3,
+	}
+}
+
+// feed drives n ticks of constant CPU pressure (cpu is the raw percent)
+// and returns the final stage.
+func feed(d *DegradationController, at *time.Duration, cpu float64, n int) DegradationStage {
+	st := d.Stage()
+	for i := 0; i < n; i++ {
+		*at += time.Second
+		st = d.Evaluate(*at, DegradationSignals{CPU: cpu})
+	}
+	return st
+}
+
+// TestDegradationLadderTransitions walks every escalation and every
+// relaxation of the ladder, checking the debounce on both directions
+// and the one-rung-per-tick rule.
+func TestDegradationLadderTransitions(t *testing.T) {
+	d := NewDegradationController(tickCfg())
+	var at time.Duration
+
+	// Escalate one rung at a time. Each climb needs EscalateTicks=2
+	// consecutive hot ticks; a single hot tick must not move the stage.
+	climbs := []struct {
+		cpu  float64
+		want DegradationStage
+	}{
+		{55, StageCodecDowngrade},   // ≥ Enter[0]=0.50
+		{65, StagePassthroughOnly},  // ≥ Enter[1]=0.60
+		{75, StageUpstreamThrottle}, // ≥ Enter[2]=0.70
+		{85, StageBlock},            // ≥ Enter[3]=0.80
+	}
+	for _, c := range climbs {
+		if st := feed(d, &at, c.cpu, 1); st != c.want-1 {
+			t.Fatalf("one hot tick at cpu=%v moved stage to %v (debounce broken)", c.cpu, st)
+		}
+		if st := feed(d, &at, c.cpu, 1); st != c.want {
+			t.Fatalf("two hot ticks at cpu=%v: stage=%v, want %v", c.cpu, st, c.want)
+		}
+	}
+
+	// At the top, extreme pressure must stay clamped at StageBlock.
+	if st := feed(d, &at, 99, 5); st != StageBlock {
+		t.Fatalf("stage above StageBlock: %v", st)
+	}
+
+	// Relax one rung at a time. Each descent needs RelaxTicks=3
+	// consecutive cool ticks below the current rung's Exit.
+	descents := []struct {
+		cpu  float64
+		want DegradationStage
+	}{
+		{65, StageUpstreamThrottle}, // < Exit[3]=0.70
+		{55, StagePassthroughOnly},  // < Exit[2]=0.60
+		{45, StageCodecDowngrade},   // < Exit[1]=0.50
+		{35, StageNormal},           // < Exit[0]=0.40
+	}
+	for _, c := range descents {
+		if st := feed(d, &at, c.cpu, 2); st != c.want+1 {
+			t.Fatalf("two cool ticks at cpu=%v moved stage to %v (relax debounce broken)", c.cpu, st)
+		}
+		if st := feed(d, &at, c.cpu, 1); st != c.want {
+			t.Fatalf("three cool ticks at cpu=%v: stage=%v, want %v", c.cpu, st, c.want)
+		}
+	}
+
+	// Below everything at StageNormal: stays put.
+	if st := feed(d, &at, 5, 5); st != StageNormal {
+		t.Fatalf("stage below StageNormal: %v", st)
+	}
+
+	// The timeline recorded exactly the 8 transitions, in order.
+	tl := d.Timeline()
+	if len(tl) != 8 {
+		t.Fatalf("timeline has %d transitions, want 8", len(tl))
+	}
+	for i, tr := range tl {
+		if i < 4 && tr.To != tr.From+1 {
+			t.Fatalf("transition %d is not a single-rung climb: %v -> %v", i, tr.From, tr.To)
+		}
+		if i >= 4 && tr.To != tr.From-1 {
+			t.Fatalf("transition %d is not a single-rung descent: %v -> %v", i, tr.From, tr.To)
+		}
+	}
+}
+
+// TestDegradationHysteresisBand parks the pressure between Exit and
+// Enter: the stage must hold indefinitely, and the band must also reset
+// a partially accumulated debounce in either direction.
+func TestDegradationHysteresisBand(t *testing.T) {
+	d := NewDegradationController(tickCfg())
+	var at time.Duration
+	feed(d, &at, 55, 2) // climb to CodecDowngrade
+	if d.Stage() != StageCodecDowngrade {
+		t.Fatalf("setup failed: stage=%v", d.Stage())
+	}
+
+	// Band for stage 1 is [Exit[0], Enter[1]) = [0.40, 0.60).
+	if st := feed(d, &at, 45, 20); st != StageCodecDowngrade {
+		t.Fatalf("stage moved inside hysteresis band: %v", st)
+	}
+
+	// One hot tick, then a band tick, then one hot tick: the band tick
+	// must have reset the escalate counter, so no climb yet.
+	feed(d, &at, 65, 1)
+	feed(d, &at, 45, 1)
+	if st := feed(d, &at, 65, 1); st != StageCodecDowngrade {
+		t.Fatalf("escalate debounce not reset by band tick: %v", st)
+	}
+
+	// Two cool ticks, a band tick, two cool ticks: no descent either.
+	feed(d, &at, 45, 1) // clears the hot counter
+	feed(d, &at, 35, 2)
+	feed(d, &at, 45, 1)
+	if st := feed(d, &at, 35, 2); st != StageCodecDowngrade {
+		t.Fatalf("relax debounce not reset by band tick: %v", st)
+	}
+}
+
+// TestDegradationPressureTerms checks that each sensor dimension can
+// drive the pressure on its own, and that the max wins.
+func TestDegradationPressureTerms(t *testing.T) {
+	d := NewDegradationController(DegradationConfig{Enabled: true})
+	cfg := d.Config()
+
+	cases := []struct {
+		name string
+		sig  DegradationSignals
+		want float64
+	}{
+		{"cpu", DegradationSignals{CPU: 70}, 0.70},
+		{"drop", DegradationSignals{DropRate: cfg.DropRef / 2}, 0.50},
+		{"mos at floor", DegradationSignals{MOS: cfg.MOSFloor}, 0},
+		{"mos floor breach", DegradationSignals{MOS: (cfg.MOSFloor + 1.0) / 2},
+			0.5}, // halfway from floor to the E-model minimum
+		{"mos zero means unscored", DegradationSignals{MOS: 0}, 0},
+		{"max wins", DegradationSignals{CPU: 30, DropRate: cfg.DropRef}, 1.0},
+	}
+	for _, c := range cases {
+		if got := d.Pressure(c.sig); !closeTo(got, c.want, 1e-9) {
+			t.Errorf("%s: pressure=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func closeTo(a, b, eps float64) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return b-a <= eps
+}
+
+// TestDegradationDefaults checks the documented default tuning and the
+// Enter/Exit band invariant.
+func TestDegradationDefaults(t *testing.T) {
+	cfg := NewDegradationController(DegradationConfig{Enabled: true}).Config()
+	if cfg.Enter != [4]float64{0.70, 0.78, 0.86, 0.94} {
+		t.Errorf("default Enter = %v", cfg.Enter)
+	}
+	for i := range cfg.Enter {
+		if cfg.Exit[i] >= cfg.Enter[i] {
+			t.Errorf("Exit[%d]=%v not below Enter[%d]=%v (no hysteresis band)",
+				i, cfg.Exit[i], i, cfg.Enter[i])
+		}
+	}
+	if cfg.EscalateTicks <= 0 || cfg.RelaxTicks <= 0 || cfg.ThrottleWindow <= 0 {
+		t.Errorf("defaults left a debounce or window at zero: %+v", cfg)
+	}
+}
+
+// TestOccupancyMonotoneInLoad is the property test for the EWMA-damped
+// occupancy policy: the admit verdict must be monotone non-increasing
+// in both the instantaneous channel count and the occupancy EWMA —
+// raising either load dimension can only flip admit→reject, never
+// reject→admit.
+func TestOccupancyMonotoneInLoad(t *testing.T) {
+	p := OccupancyPolicy{Max: 100, Target: 0.7, RetryAfterMin: 1, RetryAfterMax: 8}
+	admit := func(ch int, ewma float64) bool {
+		return p.Admit(AdmissionState{
+			Channels: ch, MaxChannels: 100, OccupancyEWMA: ewma,
+		}).Admit
+	}
+	for ch := 0; ch <= 100; ch += 5 {
+		for e := 0.0; e <= 100; e += 2.5 {
+			ok := admit(ch, e)
+			// Monotone in channels.
+			if ch > 0 && !admit(ch-5, e) && ok {
+				t.Fatalf("non-monotone in channels: admit(%d,%v)=false but admit(%d,%v)=true",
+					ch-5, e, ch, e)
+			}
+			// Monotone in EWMA.
+			if e > 0 && !admit(ch, e-2.5) && ok {
+				t.Fatalf("non-monotone in EWMA: admit(%d,%v)=false but admit(%d,%v)=true",
+					ch, e-2.5, ch, e)
+			}
+			// The dampened dimension really gates: an idle instantaneous
+			// count with a saturated EWMA must still reject.
+			if ch == 0 && e >= 70 && ok {
+				t.Fatalf("EWMA=%v above target did not gate admission", e)
+			}
+		}
+	}
+}

@@ -33,6 +33,13 @@ type AdmissionState struct {
 	// TranscodeLoad is the extra CPU percentage currently charged by
 	// active transcoding bridges (included in ProjectedCPU).
 	TranscodeLoad float64
+	// OccupancyEWMA is the smoothed channel occupancy (EWMA of Channels
+	// over the meter's 1 s samples). Occupancy-based policies decide on
+	// max(Channels, OccupancyEWMA): the instantaneous count still caps
+	// a sudden spike, while the smoothed term keeps a just-drained pool
+	// shedding for a few seconds instead of flapping open at the
+	// boundary on every teardown.
+	OccupancyEWMA float64
 	// PredictedMOS is the E-model score this call is predicted to get if
 	// admitted: the offered codec's profile evaluated at a nominal
 	// mouth-to-ear delay and the RTP loss the CPU model would impose at
@@ -157,7 +164,17 @@ func (p OccupancyPolicy) Admit(st AdmissionState) AdmissionDecision {
 	if limit < 1 {
 		limit = 1
 	}
-	if max <= 0 || st.Channels < limit {
+	// Decide on the dampened occupancy: the worse of the instantaneous
+	// channel count and its EWMA. Rising load is capped immediately
+	// (Channels dominates); falling load re-opens only after the EWMA
+	// decays below the limit, so decisions don't flap with every
+	// teardown at the boundary. Rejection stays monotone in both
+	// inputs — see TestOccupancyMonotoneInLoad.
+	occ := float64(st.Channels)
+	if st.OccupancyEWMA > occ {
+		occ = st.OccupancyEWMA
+	}
+	if max <= 0 || occ < float64(limit) {
 		return AdmissionDecision{Admit: true}
 	}
 	return AdmissionDecision{RetryAfter: p.retryAfter(st)}

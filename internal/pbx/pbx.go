@@ -95,6 +95,12 @@ type Config struct {
 	// QualityFloorPolicy: INVITEs whose predicted E-model MOS falls
 	// below the floor are shed even when capacity remains.
 	QualityFloorMOS float64
+	// Degradation, when Enabled, runs the graceful-degradation ladder
+	// (see degrade.go): the per-second sampler feeds a hysteresis state
+	// machine whose rungs re-order new calls' codec preference, refuse
+	// transcoded bridges, advertise an upstream backoff window, and
+	// finally block. Disabled, the server behaves exactly as before.
+	Degradation DegradationConfig
 	// ScoreCodec selects the E-model codec profile for CDR MOS values.
 	// Default is mos.G711PLC, matching VoIPmonitor's concealment-aware
 	// G.711 scoring.
@@ -157,6 +163,12 @@ type Counters struct {
 	VoicemailDeposits uint64 // completed voicemail recordings
 	TrunkCalls        uint64 // calls routed to a trunk gateway
 	DrainRejected     uint64 // INVITEs 503'd while draining (subset of Blocked)
+
+	// Degradation-ladder totals (all zero while the ladder is off).
+	DegradeBlocked   uint64 // INVITEs 503'd by the Block rung (subset of Blocked)
+	TranscodeRefused uint64 // transcode-requiring answers refused at PassthroughOnly
+	ThrottleSignals  uint64 // responses stamped with X-Overload-Window
+	Renegotiations   uint64 // mid-call codec renegotiations (must stay 0: chaos invariant)
 }
 
 // Server is the PBX.
@@ -167,36 +179,45 @@ type Server struct {
 	factory TransportFactory
 	host    string
 
-	mu         sync.Mutex
-	bridges    map[string]*bridge // by either leg's Call-ID
-	offline    map[string][]StoredMessage
-	voicemails map[string][]Voicemail
-	vmNotified map[string]bool
-	vmSessions map[string]*vmSession
-	channels   int
-	admission  AdmissionPolicy
-	codecs           []int   // supported payload types (Config.Codecs or {0,8})
-	transcodeLoad    float64 // CPU percent charged by active transcoding bridges
-	nextPort         int
-	freePorts        []int
-	counters         Counters
-	cdrs             []CDR
-	meter            *cpu.Meter
-	cpuSamples       []cpuSample
-	rng              *stats.RNG
-	nonceSeq         uint64
+	mu            sync.Mutex
+	bridges       map[string]*bridge // by either leg's Call-ID
+	offline       map[string][]StoredMessage
+	voicemails    map[string][]Voicemail
+	vmNotified    map[string]bool
+	vmSessions    map[string]*vmSession
+	channels      int
+	admission     AdmissionPolicy
+	codecs        []int   // supported payload types (Config.Codecs or {0,8})
+	transcodeLoad float64 // CPU percent charged by active transcoding bridges
+	nextPort      int
+	freePorts     []int
+	counters      Counters
+	cdrs          []CDR
+	meter         *cpu.Meter
+	cpuSamples    []cpuSample
+	rng           *stats.RNG
+	nonceSeq      uint64
 
 	// per-second rate tracking for the CPU meter
 	attemptsWindow uint64
 	errorsWindow   uint64
 	attemptsEWMA   float64
 	errorsEWMA     float64
+	channelsEWMA   float64 // dampened occupancy for OccupancyPolicy
 	sampler        transport.Timer
-	closed         bool
-	crashed        bool
-	draining       bool
-	drainStart     time.Duration
-	drainDone      bool
+
+	// Degradation ladder (nil while Config.Degradation is disabled)
+	// plus the per-tick sensor deltas its signals are derived from.
+	degrade      *DegradationController
+	lastRelayed  uint64  // counters.RelayedPackets at the previous tick
+	lastDropped  uint64  // counters.DroppedPackets at the previous tick
+	mosTickSum   float64 // measured MOS accumulated since the last tick
+	mosTickCalls int
+	closed       bool
+	crashed      bool
+	draining     bool
+	drainStart   time.Duration
+	drainDone    bool
 
 	// callEvents retains the recent wide-event call records and owns
 	// the JSONL sink (its own lock; see callevent.go).
@@ -262,8 +283,14 @@ func New(ep *sip.Endpoint, dir *directory.Directory, factory TransportFactory, c
 	if cfg.QualityFloorMOS > 0 {
 		s.admission = QualityFloorPolicy{Floor: cfg.QualityFloorMOS, Base: s.admission, RetryAfter: 4}
 	}
+	if cfg.Degradation.Enabled {
+		s.degrade = NewDegradationController(cfg.Degradation)
+	}
 	if cfg.Telemetry != nil {
 		s.tm = newPBXMetrics(cfg.Telemetry, s.admission.Name())
+		if s.degrade != nil {
+			s.tm.registerDegradation(cfg.Telemetry)
+		}
 	}
 	s.callEvents.sink = cfg.CallLog
 	s.callEvents.sinkOK = true
@@ -416,10 +443,12 @@ func (s *Server) scheduleSample() {
 		const alpha = 0.3
 		s.attemptsEWMA = (1-alpha)*s.attemptsEWMA + alpha*float64(s.attemptsWindow)
 		s.errorsEWMA = (1-alpha)*s.errorsEWMA + alpha*float64(s.errorsWindow)
+		s.channelsEWMA = (1-alpha)*s.channelsEWMA + alpha*float64(s.channels)
 		u := s.meter.SampleWith(s.channels, s.attemptsEWMA, s.errorsEWMA, s.transcodeLoad)
 		s.cpuSamples = append(s.cpuSamples, cpuSample{util: u, channels: s.channels})
 		s.attemptsWindow = 0
 		s.errorsWindow = 0
+		s.evaluateDegradationLocked(u)
 		s.mu.Unlock()
 		s.scheduleSample()
 	})
@@ -430,6 +459,74 @@ func (s *Server) scheduleSample() {
 		s.sampler = timer
 	}
 	s.mu.Unlock()
+}
+
+// evaluateDegradationLocked feeds one sampler tick into the ladder:
+// the fresh CPU reading, the relay drop rate since the previous tick,
+// and the mean measured MOS of the calls that tore down since then.
+// Transitions land in the controller's timeline and the stage gauge.
+// Callers hold s.mu. A no-op while the ladder is disabled.
+func (s *Server) evaluateDegradationLocked(util float64) {
+	if s.degrade == nil {
+		return
+	}
+	sig := DegradationSignals{CPU: util}
+	rel := s.counters.RelayedPackets - s.lastRelayed
+	drp := s.counters.DroppedPackets - s.lastDropped
+	s.lastRelayed, s.lastDropped = s.counters.RelayedPackets, s.counters.DroppedPackets
+	if tot := rel + drp; tot > 0 {
+		sig.DropRate = float64(drp) / float64(tot)
+	}
+	if s.mosTickCalls > 0 {
+		sig.MOS = s.mosTickSum / float64(s.mosTickCalls)
+		s.mosTickSum, s.mosTickCalls = 0, 0
+	}
+	prev := s.degrade.Stage()
+	stage := s.degrade.Evaluate(s.ep.Clock().Now(), sig)
+	if s.tm != nil && s.tm.degradeStage != nil {
+		s.tm.degradeStage.SetInt(int(stage))
+		if stage != prev {
+			s.tm.degradeTransitions.Inc()
+		}
+	}
+}
+
+// degradeStageLocked is the current rung (StageNormal when the ladder
+// is disabled). Callers hold s.mu.
+func (s *Server) degradeStageLocked() DegradationStage {
+	if s.degrade == nil {
+		return StageNormal
+	}
+	return s.degrade.Stage()
+}
+
+// overloadWindowLocked returns the advertised backoff window in
+// seconds while the ladder is at UpstreamThrottle or above, else 0.
+// Callers hold s.mu.
+func (s *Server) overloadWindowLocked() int {
+	if s.degrade == nil || s.degrade.Stage() < StageUpstreamThrottle {
+		return 0
+	}
+	return s.degrade.Config().ThrottleWindow
+}
+
+// DegradationStage returns the ladder's current rung (StageNormal when
+// the ladder is disabled).
+func (s *Server) DegradationStage() DegradationStage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degradeStageLocked()
+}
+
+// DegradationTimeline returns every ladder transition taken so far
+// (nil when the ladder is disabled) — the golden-timeline surface.
+func (s *Server) DegradationTimeline() []DegradationTransition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.degrade == nil {
+		return nil
+	}
+	return s.degrade.Timeline()
 }
 
 // CPUBand returns the utilization band (lo, mean, hi) over the busy
@@ -544,6 +641,10 @@ func (s *Server) handleRequest(tx *sip.ServerTx, req *sip.Message, src string) {
 		s.mu.Lock()
 		draining := s.draining
 		ra := s.drainRetryAfterLocked()
+		window := s.overloadWindowLocked()
+		if window > 0 {
+			s.counters.ThrottleSignals++
+		}
 		s.mu.Unlock()
 		if draining {
 			resp := req.Response(sip.StatusServiceUnavailable)
@@ -551,7 +652,17 @@ func (s *Server) handleRequest(tx *sip.ServerTx, req *sip.Message, src string) {
 			tx.Respond(resp)
 			return
 		}
-		tx.Respond(req.Response(sip.StatusOK))
+		// While the ladder throttles, the probe answer carries the
+		// backoff window so balancers de-weight this backend — the
+		// closed-loop feedback path toward the cluster plane.
+		resp := req.Response(sip.StatusOK)
+		if window > 0 {
+			resp.SetOverloadWindow(window)
+			if s.tm != nil && s.tm.throttleSignals != nil {
+				s.tm.throttleSignals.Inc()
+			}
+		}
+		tx.Respond(resp)
 	default:
 		s.countError()
 		tx.Respond(req.Response(sip.StatusInternalError))

@@ -35,6 +35,13 @@ const (
 	mDraining      = "pbx_draining"
 	mDrainDur      = "pbx_drain_duration_seconds"
 	mDrainRejects  = "pbx_drain_rejected_total"
+
+	// Degradation-ladder families (registered only while the ladder is
+	// enabled, so ladder-free runs expose an unchanged surface).
+	mDegradeStage       = "pbx_degradation_stage"
+	mDegradeTransitions = "pbx_degradation_transitions_total"
+	mCallsByStage       = "pbx_calls_by_stage_total"
+	mThrottleSignals    = "pbx_throttle_signals_total"
 )
 
 // pbxMetrics holds the server's pre-resolved telemetry handles plus
@@ -78,7 +85,31 @@ type pbxMetrics struct {
 	drainRejects *telemetry.Counter
 	cdrLost      *telemetry.Counter
 
+	// Degradation ladder (nil unless registerDegradation ran).
+	degradeStage       *telemetry.Gauge
+	degradeTransitions *telemetry.Counter
+	callsByStage       [degradationStageCount]*telemetry.Counter
+	throttleSignals    *telemetry.Counter
+
 	tracer *telemetry.Tracer
+}
+
+// registerDegradation adds the ladder families. Called from New only
+// when Config.Degradation is enabled: a ladder-free server exposes
+// exactly the pre-ladder metric surface, keeping the golden telemetry
+// snapshots byte-identical.
+func (tm *pbxMetrics) registerDegradation(reg *telemetry.Registry) {
+	tm.degradeStage = reg.Gauge(mDegradeStage,
+		"current degradation-ladder rung (0=normal .. 4=block)")
+	tm.degradeTransitions = reg.Counter(mDegradeTransitions,
+		"degradation-ladder stage transitions")
+	for i := range tm.callsByStage {
+		tm.callsByStage[i] = reg.Counter(mCallsByStage,
+			"calls admitted by the ladder rung active at admission",
+			telemetry.L("stage", DegradationStage(i).String()))
+	}
+	tm.throttleSignals = reg.Counter(mThrottleSignals,
+		"responses stamped with the X-Overload-Window backoff hint")
 }
 
 func newPBXMetrics(reg *telemetry.Registry, policy string) *pbxMetrics {

@@ -159,6 +159,38 @@ type Message struct {
 	Body []byte
 }
 
+// OverloadWindowHeader is the extension header carrying the PBX's
+// rate/window-based overload feedback (RFC 7339-style explicit
+// control): the number of seconds an upstream sender should pace or
+// withhold new work toward this server. It rides in Other, so the
+// parser and serializer need no special handling.
+const OverloadWindowHeader = "X-Overload-Window"
+
+// OverloadWindow returns the X-Overload-Window value in seconds, or 0
+// when the header is absent or malformed.
+func (m *Message) OverloadWindow() int {
+	for _, h := range m.Other {
+		if !strings.EqualFold(h.Name, OverloadWindowHeader) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(h.Value))
+		if err != nil || n < 0 {
+			return 0
+		}
+		return n
+	}
+	return 0
+}
+
+// SetOverloadWindow stamps the X-Overload-Window header (seconds).
+// Non-positive values are ignored: no window means no header.
+func (m *Message) SetOverloadWindow(secs int) {
+	if secs <= 0 {
+		return
+	}
+	m.Other = append(m.Other, Header{Name: OverloadWindowHeader, Value: strconv.Itoa(secs)})
+}
+
 // IsRequest reports whether m is a request.
 func (m *Message) IsRequest() bool { return m.Method != "" && m.StatusCode == 0 }
 

@@ -88,10 +88,11 @@ type Call struct {
 	remote    string // transport address for in-dialog requests
 	incoming  bool
 
-	state      CallState
-	cause      EndCause
-	status     int // final SIP status for rejected calls
-	retryAfter int // Retry-After seconds from the rejecting response
+	state          CallState
+	cause          EndCause
+	status         int // final SIP status for rejected calls
+	retryAfter     int // Retry-After seconds from the rejecting response
+	overloadWindow int // X-Overload-Window seconds from the final response
 
 	localSDP  *sdp.Session
 	remoteSDP *sdp.Session
@@ -131,6 +132,13 @@ func (c *Call) RejectStatus() int { return c.status }
 // that rejected the call, or zero if the server gave no hint. Overload
 // controllers use it to tell clients how long to back off.
 func (c *Call) RetryAfter() int { return c.retryAfter }
+
+// OverloadWindow returns the X-Overload-Window value (seconds) from the
+// final INVITE response — accepting or rejecting — or zero when the
+// server sent none. Unlike Retry-After it is a rate signal for the
+// whole upstream, not backoff for this one call: generators and
+// balancers withhold new work for the window (RFC 7339-style).
+func (c *Call) OverloadWindow() int { return c.overloadWindow }
 
 // Incoming reports whether this leg was received rather than placed.
 func (c *Call) Incoming() bool { return c.incoming }
@@ -509,6 +517,7 @@ func (p *Phone) handleInviteResponse(c *Call, invite *Message, resp *Message) {
 		}
 	case resp.StatusCode == StatusOK:
 		c.remoteTag = resp.To.Tag
+		c.overloadWindow = resp.OverloadWindow()
 		if len(resp.Body) > 0 {
 			if s, err := sdp.Parse(resp.Body); err == nil {
 				c.remoteSDP = s
@@ -558,6 +567,7 @@ func (p *Phone) handleInviteResponse(c *Call, invite *Message, resp *Message) {
 			cause = EndTimeout
 		}
 		c.retryAfter = resp.RetryAfter
+		c.overloadWindow = resp.OverloadWindow()
 		p.endCall(c, cause, resp.StatusCode)
 	}
 }

@@ -154,6 +154,7 @@ type CallRecord struct {
 	Blocked     bool // rejected with 486/503 (capacity)
 	Abandoned   bool // caller gave up ringing (CANCEL)
 	Failed      bool // any other non-establishment
+	Throttled   bool // shed client-side inside a server overload window
 	Status      int  // final SIP status for non-established calls
 	Retries     int  // re-attempts after capacity rejections
 	SetupTime   time.Duration
@@ -176,6 +177,11 @@ type Results struct {
 	Blocked     int
 	Abandoned   int
 	Failed      int
+	// Throttled counts calls the generator itself withheld because the
+	// server's X-Overload-Window was still open — demand the closed
+	// feedback loop moved off the wire (distinct from Blocked, which
+	// the server had to reject).
+	Throttled int
 	// Retries totals backoff re-attempts across counted calls.
 	Retries int
 	// BlockingProbability = Blocked / Attempts.
@@ -214,6 +220,13 @@ type Generator struct {
 	outstanding int
 	windowOver  bool
 	windowStart time.Duration
+
+	// Upstream-throttle state (rung 3 of the degradation ladder): any
+	// response carrying X-Overload-Window: W extends throttleUntil to
+	// now + W. Arrivals inside the window are deferred once with full
+	// jitter; still-windowed deferred arrivals are shed as Throttled.
+	throttleUntil time.Duration
+	lastWindow    int // seconds, sizes the jitter spread
 }
 
 // New creates a generator whose phones live on callerHost and
@@ -437,7 +450,45 @@ func (g *Generator) placeCall() {
 		rec.Codec = share.Name
 		offer = share.Payloads
 	}
-	g.attempt(rec, 0, hold, offer)
+	g.maybePlace(rec, hold, offer, false)
+}
+
+// noteOverload feeds one final response's X-Overload-Window into the
+// throttle state. Windows only extend (never shorten) the deadline, so
+// overlapping signals compose like RFC 7339 rate feedback.
+func (g *Generator) noteOverload(c *sip.Call) {
+	w := c.OverloadWindow()
+	if w <= 0 {
+		return
+	}
+	until := g.clock.Now() + time.Duration(w)*time.Second
+	if until > g.throttleUntil {
+		g.throttleUntil = until
+	}
+	g.lastWindow = w
+}
+
+// maybePlace is the throttle gate in front of attempt. An arrival
+// landing inside an open overload window is deferred exactly once to
+// past the window edge plus a full-jitter draw U(0, W) — the seeded RNG
+// spreads the post-window wave so released demand does not re-arrive in
+// lockstep. A deferred arrival that wakes inside a (re-armed) window is
+// shed client-side as Throttled. Ladder-free runs never open a window,
+// so this path draws nothing and changes nothing.
+func (g *Generator) maybePlace(rec CallRecord, hold time.Duration, offer []int, deferred bool) {
+	now := g.clock.Now()
+	if now >= g.throttleUntil {
+		g.attempt(rec, 0, hold, offer)
+		return
+	}
+	if deferred {
+		rec.Throttled = true
+		g.record(rec)
+		return
+	}
+	spread := time.Duration(g.lastWindow) * time.Second
+	delay := g.throttleUntil - now + time.Duration(g.rng.Float64()*float64(spread))
+	g.clock.AfterFunc(delay, func() { g.maybePlace(rec, hold, offer, true) })
 }
 
 // attempt places one INVITE for the logical call rec. A capacity
@@ -457,6 +508,7 @@ func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration, offer [
 	}
 	var sess *media.Session
 	call.OnEstablished = func(c *sip.Call) {
+		g.noteOverload(c)
 		rec.Established = true
 		rec.SetupTime = c.SetupTime()
 		g.active++
@@ -474,6 +526,7 @@ func (g *Generator) attempt(rec CallRecord, try int, hold time.Duration, offer [
 			g.active--
 			rec.Duration = c.Duration()
 		} else {
+			g.noteOverload(c)
 			rec.Status = c.RejectStatus()
 			capacity := c.Cause() == sip.EndRejected &&
 				(rec.Status == sip.StatusServiceUnavailable || rec.Status == sip.StatusBusyHere)
@@ -533,6 +586,8 @@ func (g *Generator) record(rec CallRecord) {
 		g.results.Blocked++
 	case rec.Abandoned:
 		g.results.Abandoned++
+	case rec.Throttled:
+		g.results.Throttled++
 	default:
 		g.results.Failed++
 	}
