@@ -10,7 +10,7 @@ BENCH_JSON  ?= BENCH_$(BENCH_DATE).json
 # scheduler (see `make cover`).
 COVER_MIN ?= 85
 
-.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke degradation-smoke lint-metrics cover verify bench bench-check
+.PHONY: build test vet race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke register-smoke fuzz-smoke telemetry-smoke qos-smoke degradation-smoke lint-metrics cover verify bench bench-check
 
 # The darwin cross-build keeps the portable (non-linux) data plane
 # compiling: batch_other.go must satisfy the same interfaces as the
@@ -53,13 +53,23 @@ shard-smoke:
 udp-smoke:
 	$(GO) test -race -run 'TestLoopbackSoak' -count=1 ./internal/pbx/
 
-# Short coverage-guided fuzz of the SIP parser and the SDP
-# offer/answer engine; regression seeds live in
-# internal/sip/testdata/fuzz/ and internal/sdp/testdata/fuzz/.
+# The sharded registrar under the race detector: concurrent
+# register/refresh/expire/lookup workers against the live expiry wheel
+# on the real clock, ending with the binding-count conservation check
+# (raw shard walk == LiveBindings gauge), plus the avalanche scenario's
+# own invariants (drain time, 503 peak, transaction/pool leaks).
+register-smoke:
+	$(GO) test -race -run 'TestRegistrarStress' -count=1 ./internal/directory/
+	$(GO) test -race -run 'TestRegisterAvalancheScenario' -count=1 ./internal/chaos/
+
+# Short coverage-guided fuzz of the SIP parser, the SDP offer/answer
+# engine and the registrar's REGISTER handling; regression seeds live
+# in internal/{sip,sdp,pbx}/testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzSIPParse -fuzztime=10s ./internal/sip/
 	$(GO) test -run '^$$' -fuzz=FuzzSDPParse -fuzztime=5s ./internal/sdp/
 	$(GO) test -run '^$$' -fuzz=FuzzSDPOfferAnswer -fuzztime=5s ./internal/sdp/
+	$(GO) test -run '^$$' -fuzz=FuzzRegisterHandle -fuzztime=5s ./internal/pbx/
 
 # Coverage gate on the codec negotiation plane: the registry and the
 # SDP offer/answer engine guard the golden-determinism contract, so
@@ -67,7 +77,10 @@ fuzz-smoke:
 # scheduler (internal/netsim/shard.go) carries the same floor — it is
 # the one component where an untested branch can silently break
 # determinism, so its statements are measured across both the netsim
-# unit tests and the difftest differential suite.
+# unit tests and the difftest differential suite. The sharded location
+# store (internal/directory) carries the floor too: a binding the
+# registrar silently drops or leaks is a reachability bug the call
+# path never notices.
 cover:
 	@$(GO) test -coverprofile=.cover.out ./internal/codec/ ./internal/sdp/ > /dev/null
 	@total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { gsub(/%/,"",$$3); print $$3 }'); \
@@ -81,6 +94,11 @@ cover:
 	rm -f .cover-shard.out; \
 	echo "cover: internal/netsim/shard.go statements $$shard% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$shard" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }'
+	@$(GO) test -coverprofile=.cover-dir.out ./internal/directory/ > /dev/null
+	@dir=$$($(GO) tool cover -func=.cover-dir.out | awk '/^total:/ { gsub(/%/,"",$$3); print $$3 }'); \
+	rm -f .cover-dir.out; \
+	echo "cover: internal/directory statements $$dir% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$dir" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }'
 
 # One instrumented overload run dumped to JSON and validated on
 # re-read: proves the metrics registry, tracer and sampler stay wired
@@ -112,9 +130,9 @@ lint-metrics:
 
 # The pre-merge gate: build (native + darwin cross), vet, full tests,
 # race tests, chaos smoke, crash smoke, sharded-engine smoke, real-UDP
-# soak, fuzz smoke, telemetry smoke, QoS smoke, degradation smoke,
-# metric-name lint, coverage floors.
-verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke fuzz-smoke telemetry-smoke qos-smoke degradation-smoke lint-metrics cover
+# soak, registrar smoke, fuzz smoke, telemetry smoke, QoS smoke,
+# degradation smoke, metric-name lint, coverage floors.
+verify: build vet test race chaos-smoke chaos-crash-smoke shard-smoke udp-smoke register-smoke fuzz-smoke telemetry-smoke qos-smoke degradation-smoke lint-metrics cover
 	@echo "verify: all gates passed"
 
 # Benchmark snapshot: full-experiment benches (one experiment per
@@ -137,6 +155,8 @@ bench:
 		-benchtime 10000x -count $(BENCH_COUNT) ./internal/sip/ | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' \
 		-benchtime 10000x -count $(BENCH_COUNT) ./internal/telemetry/ | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkRegistrarRegister|BenchmarkNonceCacheHit' \
+		-benchmem -benchtime 10000x -count $(BENCH_COUNT) ./internal/directory/ | tee -a .bench.out
 	$(GO) run ./cmd/benchdiff -parse -o $(BENCH_JSON) .bench.out
 	@rm -f .bench.out
 	@echo "bench: wrote $(BENCH_JSON)"

@@ -10,6 +10,8 @@
 //	capacity -ablations    # design-choice ablations
 //	capacity -codec-mix    # mixed-codec transcoding capacity
 //	capacity -shard-scaling # sharded-engine throughput scaling
+//	capacity -registrar    # registrar throughput + avalanche drain vs shards
+//	                         (-registrar-wire adds the loopback-UDP column)
 //
 // -shards N runs the experiment engine partitioned across N shard
 // goroutines (bit-identical results, faster on multi-core hosts).
@@ -44,6 +46,8 @@ func main() {
 		quick     = flag.Bool("quick", false, "fast mode: flow media, fewer reps")
 		steady    = flag.Bool("steady", false, "Figure 6 in steady-state mode (longer windows, warmup)")
 		scaling   = flag.Bool("shard-scaling", false, "engine scaling: events/sec at shards=1,2,4")
+		registrar = flag.Bool("registrar", false, "registrar throughput and avalanche-drain vs location-store shard count")
+		regWire   = flag.Bool("registrar-wire", false, "add the loopback-UDP column to -registrar (real sockets)")
 		capacity  = flag.Int("capacity", 165, "PBX channel capacity")
 		shards    = flag.Int("shards", 0, "run experiments on the partitioned engine with N shards (0 = classic engine)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment workers")
@@ -53,7 +57,7 @@ func main() {
 		telOut    = flag.String("telemetry-out", "", "run one instrumented A=200 E experiment and write its telemetry JSON dump here")
 	)
 	flag.Parse()
-	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *frontier || *extras || *codecMix || *scaling) {
+	if *telOut == "" && !(*all || *fig3 || *table1 || *fig6 || *fig7 || *sizing || *ablations || *frontier || *extras || *codecMix || *scaling || *registrar) {
 		*all = true
 	}
 	if *cpuProf != "" {
@@ -165,6 +169,13 @@ func main() {
 			Capacity:    *capacity,
 			ShardCounts: counts,
 			Seed:        *seed,
+		}))
+		fmt.Fprintln(out)
+	}
+	if *all || *registrar {
+		bench.WriteRegistrarCapacity(out, bench.RegistrarCapacityTable(bench.RegistrarOptions{
+			Seed: *seed,
+			Wire: *regWire,
 		}))
 		fmt.Fprintln(out)
 	}

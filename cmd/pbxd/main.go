@@ -54,6 +54,10 @@ func main() {
 		callLog  = flag.String("call-log", "", "append one JSON call event per teardown to this file (empty = ring buffer only)")
 		instance = flag.String("instance", "pbxd", "instance name stamped into call events (backend field)")
 		flight   = flag.String("flight-dump", "pbxd-flight.json", "write the flight-recorder ring here on panic (empty = disabled)")
+
+		registrar = flag.Bool("registrar", true, "enable the sharded registrar plane (binding TTL wheel, nonce cache, REGISTER admission lane)")
+		dirShards = flag.Int("dir-shards", 0, "location-store shard count, power of two (0 = default 16)")
+		regRate   = flag.Int("register-rate", 0, "max REGISTER arrivals per second before shedding with a spread Retry-After (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -70,7 +74,12 @@ func main() {
 	ep.UseTelemetry(reg)
 	transport.PublishTelemetry(reg, "sip", tr)
 
-	dir := directory.New()
+	var dir *directory.Directory
+	if *dirShards > 0 {
+		dir = directory.NewSharded(*dirShards)
+	} else {
+		dir = directory.New()
+	}
 	dir.Provision("u", 0, *users)
 	dir.AddUser(directory.User{Username: "uac", Password: "pw-uac"})
 	dir.AddUser(directory.User{Username: "uas", Password: "pw-uas"})
@@ -93,6 +102,16 @@ func main() {
 		Seed:              uint64(time.Now().UnixNano()),
 		Telemetry:         reg,
 		Instance:          *instance,
+	}
+	if *registrar {
+		// The registrar plane runs the binding-expiry wheel on the wall
+		// clock (pbx.New arms it from the endpoint clock) and REGISTER's
+		// own admission lane — REGISTER is never refused for channel
+		// capacity, only by this rate cap.
+		cfg.Registrar = pbx.RegistrarConfig{
+			Enabled:            true,
+			MaxRegistersPerSec: *regRate,
+		}
 	}
 	if *callLog != "" {
 		f, err := os.OpenFile(*callLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -117,6 +136,10 @@ func main() {
 	fmt.Printf("pbxd: listening on %s (%d shard(s), batched=%v), capacity %d, %d users, relay=%v, admission=%s, degrade=%v\n",
 		tr.LocalAddr(), tr.NumShards(), tr.Batched(),
 		*capacity, dir.Users(), *relay, server.AdmissionPolicyName(), *degrade)
+	if *registrar {
+		fmt.Printf("pbxd: registrar on: %d location shards, register rate cap %d/s\n",
+			dir.Shards(), *regRate)
+	}
 
 	// The flight recorder is most valuable exactly when the process
 	// dies: dump the ring before re-panicking so a crashed run leaves

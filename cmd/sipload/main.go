@@ -9,6 +9,14 @@
 //
 //	pbxd -addr 127.0.0.1:5060 &
 //	sipload -proxy 127.0.0.1:5060 -rate 2 -window 30s -hold 10s -media -json
+//
+// With -register it becomes a registration-storm generator instead: N
+// endpoints (u0..uN-1) register over a ramp, refresh at 80% of the
+// granted lifetime for the window, and with -avalanche re-REGISTER all
+// at once at the end — restart pbxd first to reproduce the cold-start
+// wave:
+//
+//	sipload -register -endpoints 500 -expires 30s -window 60s -avalanche
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -144,8 +153,28 @@ func main() {
 		rtcp      = flag.Duration("rtcp", 2*time.Second, "RTCP sender-report interval on media legs, for RTT and loss feedback (0 = disabled)")
 		mediaPort = flag.Int("media-port", 41000, "uac RTP port base (uas uses +8192); 2 ports per concurrent call")
 		jsonOut   = flag.Bool("json", false, "print a JSON summary to stdout (progress goes to stderr)")
+
+		register  = flag.Bool("register", false, "registration-storm mode: N endpoints register and refresh instead of placing calls")
+		endpoints = flag.Int("endpoints", 100, "endpoint population for -register (pbxd must provision at least this many -users)")
+		expires   = flag.Duration("expires", 60*time.Second, "binding lifetime requested by -register endpoints")
+		regRamp   = flag.Duration("register-ramp", 2*time.Second, "spread of the initial REGISTERs in -register mode")
+		avalanche = flag.Bool("avalanche", false, "after the window, re-REGISTER the whole population at once and report drain time")
 	)
 	flag.Parse()
+
+	if *register {
+		if *seed == 0 {
+			*seed = uint64(time.Now().UnixNano())
+		}
+		host, _, _ := strings.Cut(*caller, ":")
+		runRegister(registerOptions{
+			proxy: *proxy, bindHost: host, endpoints: *endpoints,
+			expires: *expires, ramp: *regRamp, window: *window,
+			avalanche: *avalanche, retries: *retries, retryBase: *retryBase,
+			seed: *seed, jsonOut: *jsonOut,
+		})
+		return
+	}
 
 	info := func(format string, args ...any) {
 		w := os.Stdout

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/sip"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// registerSummary is the machine-readable result of a -register run.
+type registerSummary struct {
+	Endpoints    int     `json:"endpoints"`
+	Registered   int     `json:"registered"`
+	Failed       int     `json:"failed"`
+	Retries      int     `json:"retries"`
+	Registers    int     `json:"registers"` // total 200 OKs incl. refreshes
+	StaleRetries int     `json:"stale_retries"`
+	PerSec       float64 `json:"reg_per_sec"`
+	WindowS      float64 `json:"window_s"`
+	ExpiresS     float64 `json:"expires_s"`
+	Avalanche    bool    `json:"avalanche"`
+	DrainS       float64 `json:"drain_s,omitempty"`
+	Seed         uint64  `json:"seed"`
+}
+
+// registerOptions carries the -register flags from main.
+type registerOptions struct {
+	proxy     string
+	bindHost  string
+	endpoints int
+	expires   time.Duration
+	ramp      time.Duration
+	window    time.Duration
+	avalanche bool
+	retries   int
+	retryBase time.Duration
+	seed      uint64
+	jsonOut   bool
+}
+
+// runRegister is sipload's registration-storm mode: N endpoints, each
+// on its own UDP socket, register against pbxd with their initial
+// REGISTERs spread over the ramp, auto-refresh at 80% of the granted
+// lifetime, and hold the population for the window. With -avalanche
+// the whole population re-REGISTERs at once at the end — run it
+// against a freshly restarted pbxd to reproduce the cold-restart wave
+// (the restart empties the nonce cache, so every phone eats a
+// stale=true re-challenge on top of the thundering herd).
+func runRegister(o registerOptions) {
+	info := func(format string, args ...any) {
+		w := os.Stdout
+		if o.jsonOut {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, format, args...)
+	}
+	clock := transport.NewRealClock()
+	rng := stats.NewRNG(o.seed)
+
+	phones := make([]*sip.Phone, 0, o.endpoints)
+	for i := 0; i < o.endpoints; i++ {
+		tr, err := transport.ListenUDP(o.bindHost + ":0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sipload: register bind:", err)
+			os.Exit(1)
+		}
+		user := fmt.Sprintf("u%d", i)
+		phones = append(phones, sip.NewPhone(sip.NewEndpoint(tr, clock),
+			sip.PhoneConfig{User: user, Password: "pw-" + user, Proxy: o.proxy,
+				RefreshRegistration: true}))
+	}
+
+	var (
+		mu         sync.Mutex
+		registered int
+		failed     int
+		retried    int
+		wg         sync.WaitGroup
+	)
+	// registerOnce drives one phone to a settled outcome, retrying shed
+	// registrations with full-jitter backoff so the herd de-synchronizes
+	// instead of re-colliding (pbxd's Retry-After spreading does the
+	// same server-side; the client only sees the final status).
+	var registerOnce func(p *sip.Phone, try int, settle func(ok bool))
+	registerOnce = func(p *sip.Phone, try int, settle func(ok bool)) {
+		p.Register(o.expires, func(ok bool) {
+			if !ok && try < o.retries {
+				mu.Lock()
+				retried++
+				delay := time.Duration(rng.Float64() * float64(o.retryBase<<uint(try)))
+				mu.Unlock()
+				time.AfterFunc(delay, func() { registerOnce(p, try+1, settle) })
+				return
+			}
+			settle(ok)
+		})
+	}
+
+	start := time.Now()
+	for _, p := range phones {
+		p := p
+		wg.Add(1)
+		mu.Lock()
+		delay := time.Duration(rng.Float64() * float64(o.ramp))
+		mu.Unlock()
+		time.AfterFunc(delay, func() {
+			registerOnce(p, 0, func(ok bool) {
+				mu.Lock()
+				if ok {
+					registered++
+				} else {
+					failed++
+				}
+				mu.Unlock()
+				wg.Done()
+			})
+		})
+	}
+	wg.Wait()
+	info("sipload: %d/%d endpoints registered in %v (expires=%v, refreshing)\n",
+		registered, o.endpoints, time.Since(start).Round(time.Millisecond), o.expires)
+	if registered == 0 {
+		fmt.Fprintln(os.Stderr, "sipload: no endpoint registered (is pbxd running with enough -users?)")
+		os.Exit(1)
+	}
+
+	// Hold the population: refreshes run on the phones' own timers.
+	if rest := o.window - time.Since(start); rest > 0 {
+		time.Sleep(rest)
+	}
+
+	var drain time.Duration
+	if o.avalanche {
+		for _, p := range phones {
+			p.StopRefreshing()
+		}
+		info("sipload: avalanche: re-registering all %d endpoints at once\n", o.endpoints)
+		t0 := time.Now()
+		var awg sync.WaitGroup
+		for _, p := range phones {
+			p := p
+			awg.Add(1)
+			go func() {
+				registerOnce(p, 0, func(ok bool) {
+					mu.Lock()
+					if ok {
+						// re-registration settles; counted via Registers()
+					} else {
+						failed++
+					}
+					mu.Unlock()
+					awg.Done()
+				})
+			}()
+		}
+		awg.Wait()
+		drain = time.Since(t0)
+		info("sipload: avalanche drained in %v\n", drain.Round(time.Millisecond))
+	}
+
+	elapsed := time.Since(start)
+	total, stale := 0, 0
+	for _, p := range phones {
+		total += p.Registers()
+		stale += p.StaleRetries()
+		p.StopRefreshing()
+	}
+	s := registerSummary{
+		Endpoints: o.endpoints, Registered: registered, Failed: failed,
+		Retries: retried, Registers: total, StaleRetries: stale,
+		WindowS: o.window.Seconds(), ExpiresS: o.expires.Seconds(),
+		Avalanche: o.avalanche, DrainS: drain.Seconds(), Seed: o.seed,
+	}
+	if elapsed > 0 {
+		s.PerSec = float64(total) / elapsed.Seconds()
+	}
+	if o.jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(s); err != nil {
+			fmt.Fprintln(os.Stderr, "sipload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("sipload: registers=%d (initial %d, failed %d, retries %d, stale %d) rate=%.0f/s",
+		s.Registers, s.Registered, s.Failed, s.Retries, s.StaleRetries, s.PerSec)
+	if o.avalanche {
+		fmt.Printf(" drain=%.3fs", s.DrainS)
+	}
+	fmt.Println()
+}

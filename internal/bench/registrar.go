@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/directory"
+	"repro/internal/pbx"
+	"repro/internal/sip"
+	"repro/internal/transport"
+)
+
+// RegistrarPoint is one shard-count row of the registrar capacity
+// study. The sim columns run in virtual time and are bit-identical
+// across shard counts by construction (the shard-invariance property);
+// the store and wire columns run on the wall clock, where shard count
+// is a lock-contention knob and the rates are expected to move.
+type RegistrarPoint struct {
+	Shards int
+	// SimPerSec is the sustained 200-OK REGISTER rate of the
+	// steady-state storm, in virtual time.
+	SimPerSec float64
+	// DrainTime and Peak503 come from the cold-restart avalanche:
+	// how long the re-REGISTER wave takes to fully drain, and the
+	// worst per-second 503 shed rate while it does.
+	DrainTime time.Duration
+	Peak503   int
+	// StorePerSec is the raw location-store register/refresh rate:
+	// GOMAXPROCS workers hammering Directory.Register concurrently.
+	StorePerSec float64
+	// WirePerSec is the full-stack rate over loopback UDP — digest
+	// auth, nonce cache, binding write — when the wire pass is on.
+	WirePerSec float64
+}
+
+// RegistrarCapacity is the registrar throughput / avalanche study.
+type RegistrarCapacity struct {
+	StormEndpoints     int
+	AvalancheEndpoints int
+	Cores              int
+	Wire               bool
+	Points             []RegistrarPoint
+}
+
+// RegistrarOptions tunes the study.
+type RegistrarOptions struct {
+	// ShardCounts defaults to {1, 4, 16, 64}.
+	ShardCounts []int
+	// Seed is the base seed (default 20150525).
+	Seed uint64
+	// StoreDuration is the wall-clock window for the raw store
+	// measurement per row (default 200ms).
+	StoreDuration time.Duration
+	// Wire enables the loopback-UDP pass (real sockets; off in tests).
+	Wire bool
+	// WireEndpoints and WireDuration size the wire pass (defaults 32
+	// phones, 1s).
+	WireEndpoints int
+	WireDuration  time.Duration
+}
+
+// RegistrarCapacityTable measures registrar throughput and
+// avalanche-drain time at each shard count, sim and wire side by side.
+func RegistrarCapacityTable(opts RegistrarOptions) RegistrarCapacity {
+	if len(opts.ShardCounts) == 0 {
+		opts.ShardCounts = []int{1, 4, 16, 64}
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 20150525
+	}
+	if opts.StoreDuration == 0 {
+		opts.StoreDuration = 200 * time.Millisecond
+	}
+	if opts.WireEndpoints == 0 {
+		opts.WireEndpoints = 32
+	}
+	if opts.WireDuration == 0 {
+		opts.WireDuration = time.Second
+	}
+	storm := chaos.RegisterStorm(opts.Seed)
+	avalanche := chaos.RegisterAvalanche(opts.Seed)
+	out := RegistrarCapacity{
+		StormEndpoints:     storm.Load.Endpoints,
+		AvalancheEndpoints: avalanche.Load.Endpoints,
+		Cores:              runtime.NumCPU(),
+		Wire:               opts.Wire,
+	}
+	for _, k := range opts.ShardCounts {
+		p := RegistrarPoint{Shards: k}
+
+		sc := chaos.RegisterStorm(opts.Seed)
+		sc.DirShards = k
+		if res, err := chaos.RunRegistration(sc); err == nil {
+			window := sc.Load.Ramp + sc.Load.Window
+			if window > 0 {
+				p.SimPerSec = float64(res.Load.Registers) / window.Seconds()
+			}
+		}
+
+		av := chaos.RegisterAvalanche(opts.Seed)
+		av.DirShards = k
+		if res, err := chaos.RunRegistration(av); err == nil {
+			p.DrainTime = res.Load.DrainTime
+			p.Peak503 = res.Load.PeakShedPerSec
+		}
+
+		p.StorePerSec = storeRegisterRate(k, opts.StoreDuration)
+		if opts.Wire {
+			p.WirePerSec, _ = wireRegisterRate(k, opts.WireEndpoints, opts.WireDuration)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// storeRegisterRate hammers the bare location store from GOMAXPROCS
+// goroutines — the same steady-state refresh mix the micro-benchmark
+// runs, as ops/sec on this host.
+func storeRegisterRate(shards int, dur time.Duration) float64 {
+	const users = 4096
+	d := directory.NewSharded(shards)
+	names := d.Provision("s", 0, users)
+	workers := runtime.GOMAXPROCS(0)
+	deadline := time.Now().Add(dur)
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n int64
+			for i := w; time.Now().Before(deadline); i++ {
+				d.Register(names[i&(users-1)], "10.0.0.1:5060", time.Duration(i), time.Hour)
+				n++
+			}
+			ops.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	return float64(ops.Load()) / dur.Seconds()
+}
+
+// wireRegisterRate measures the full-stack REGISTER rate over loopback
+// UDP: an in-process registrar on a real socket, N phones each looping
+// digest-authenticated registrations (first round pays the 401 detour,
+// every refresh rides the nonce cache preemptively).
+func wireRegisterRate(shards, endpoints int, dur time.Duration) (float64, error) {
+	tr, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	clock := transport.NewRealClock()
+	ep := sip.NewEndpoint(tr, clock)
+	dir := directory.NewSharded(shards)
+	dir.Provision("w", 0, endpoints)
+	factory := func(port int) (transport.Transport, error) {
+		return transport.ListenUDP(fmt.Sprintf("127.0.0.1:%d", port))
+	}
+	server := pbx.New(ep, dir, factory, pbx.Config{
+		Registrar: pbx.RegistrarConfig{Enabled: true},
+	})
+	defer server.Close()
+	proxy := tr.LocalAddr()
+
+	phones := make([]*sip.Phone, 0, endpoints)
+	for i := 0; i < endpoints; i++ {
+		ptr, err := transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		user := fmt.Sprintf("w%d", i)
+		phones = append(phones, sip.NewPhone(sip.NewEndpoint(ptr, clock),
+			sip.PhoneConfig{User: user, Password: "pw-" + user, Proxy: proxy}))
+	}
+
+	deadline := time.Now().Add(dur)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for _, p := range phones {
+		wg.Add(1)
+		go func(p *sip.Phone) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				done := make(chan bool, 1)
+				p.Register(time.Hour, func(ok bool) { done <- ok })
+				select {
+				case ok := <-done:
+					if !ok {
+						return
+					}
+					total.Add(1)
+				case <-time.After(2 * time.Second):
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	return float64(total.Load()) / dur.Seconds(), nil
+}
+
+// WriteRegistrarCapacity renders the study. The sim columns are flat
+// across rows on purpose: shard count must not change what the
+// registrar does, only how fast the host can do it — the store and
+// wire columns are where the shards pay rent.
+func WriteRegistrarCapacity(w io.Writer, rc RegistrarCapacity) {
+	fmt.Fprintf(w, "Registrar capacity: storm N=%d, avalanche N=%d (virtual time), %d core(s)\n",
+		rc.StormEndpoints, rc.AvalancheEndpoints, rc.Cores)
+	head := fmt.Sprintf("%8s%14s%12s%12s%16s", "shards", "sim reg/s", "drain(s)", "peak 503/s", "store ops/s")
+	if rc.Wire {
+		head += fmt.Sprintf("%14s", "wire reg/s")
+	}
+	fmt.Fprintln(w, head)
+	for _, p := range rc.Points {
+		row := fmt.Sprintf("%8d%14.0f%12.2f%12d%16.0f",
+			p.Shards, p.SimPerSec, p.DrainTime.Seconds(), p.Peak503, p.StorePerSec)
+		if rc.Wire {
+			row += fmt.Sprintf("%14.0f", p.WirePerSec)
+		}
+		fmt.Fprintln(w, row)
+	}
+}

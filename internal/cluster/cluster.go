@@ -731,6 +731,8 @@ func (c *Cluster) proxyRegister(tx *sip.ServerTx, req *sip.Message) {
 
 	fwd := sip.NewRequest(sip.REGISTER, req.RequestURI, req.From, req.To, req.CallID, req.CSeq.Seq)
 	fwd.Contact = req.Contact
+	fwd.ContactStar = req.ContactStar
+	fwd.ContactExpires = req.ContactExpires
 	fwd.Expires = req.Expires
 	fwd.Authorization = req.Authorization
 	c.ep.SendRequest(backend.addr, fwd, func(resp *sip.Message) {
@@ -738,7 +740,9 @@ func (c *Cluster) proxyRegister(tx *sip.ServerTx, req *sip.Message) {
 		back.ReasonStr = resp.ReasonStr
 		back.WWWAuthenticate = resp.WWWAuthenticate
 		back.Contact = resp.Contact
+		back.ContactExpires = resp.ContactExpires
 		back.Expires = resp.Expires
+		back.RetryAfter = resp.RetryAfter
 		tx.Respond(back)
 	})
 }

@@ -3,13 +3,25 @@
 // authentication and call registration" (Sec. II-A). It maps SIP
 // usernames to digest credentials and assigned extensions, and records
 // contact bindings created by REGISTER.
+//
+// The store is sharded for the million-endpoint registrar: a
+// power-of-two number of shards, each with its own lock, user map,
+// binding map and expiry heap, so concurrent REGISTER bursts from the
+// real-UDP listener shards do not serialize on one mutex. Binding
+// expiry is event-driven: each shard keeps a min-heap of deadlines and
+// arms one timer on the attached clock (the simulation timing wheel in
+// sim runs, the wall clock in pbxd) for the earliest one, instead of
+// scanning N bindings.
 package directory
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // User is one provisioned account.
@@ -28,21 +40,77 @@ type Binding struct {
 	ExpiresAt time.Duration
 }
 
+// DefaultShards is the shard count used by New. Sixteen keeps the
+// single-host sim cheap while giving the real-UDP PBX (one goroutine
+// per REUSEPORT listener shard) lock-free parallelism.
+const DefaultShards = 16
+
+// expiryEntry is one scheduled binding removal. Entries are never
+// deleted eagerly on refresh: a refreshed binding leaves its old entry
+// in the heap, and the pop path re-checks the live deadline, so a
+// refresh can never open a gap.
+type expiryEntry struct {
+	at      time.Duration
+	user    string
+	contact string
+}
+
+// shard is one lock domain of the directory.
+type shard struct {
+	mu       sync.Mutex
+	users    map[string]User
+	bindings map[string][]Binding
+	heap     []expiryEntry
+	// armedAt is the deadline the shard timer is currently set for,
+	// or -1 when no timer is pending.
+	armedAt time.Duration
+	timer   transport.Timer
+}
+
 // Directory is an in-memory user and registration store. It is safe
 // for concurrent use (the real-UDP PBX serves from multiple
 // goroutines).
 type Directory struct {
-	mu       sync.RWMutex
-	users    map[string]User
-	bindings map[string]Binding
+	shards []*shard
+	mask   uint32
+	// live counts stored bindings across all shards; kept with
+	// atomics so telemetry gauges never take shard locks.
+	live atomic.Int64
+	// clock drives event-driven expiry once StartExpiry attaches it.
+	// nil means bindings expire lazily on read, as before. Held in an
+	// atomic so the register hot path never takes a directory-wide
+	// lock.
+	clock atomic.Pointer[clockBox]
 }
 
-// New returns an empty directory.
-func New() *Directory {
-	return &Directory{
-		users:    make(map[string]User),
-		bindings: make(map[string]Binding),
+// clockBox wraps the clock interface for atomic.Pointer.
+type clockBox struct{ c transport.Clock }
+
+func (d *Directory) expiryClock() transport.Clock {
+	if b := d.clock.Load(); b != nil {
+		return b.c
 	}
+	return nil
+}
+
+// New returns an empty directory with DefaultShards shards.
+func New() *Directory { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty directory with the given power-of-two
+// shard count.
+func NewSharded(n int) *Directory {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("directory: shard count %d is not a power of two", n))
+	}
+	d := &Directory{shards: make([]*shard, n), mask: uint32(n - 1)}
+	for i := range d.shards {
+		d.shards[i] = &shard{
+			users:    make(map[string]User),
+			bindings: make(map[string][]Binding),
+			armedAt:  -1,
+		}
+	}
+	return d
 }
 
 // Errors.
@@ -51,17 +119,36 @@ var (
 	ErrDuplicateUser = errors.New("directory: user already exists")
 )
 
+// fnv1a32 is the shard hash. FNV-1a keeps equal usernames on equal
+// shards across restarts with zero allocation.
+func fnv1a32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (d *Directory) shardFor(username string) *shard {
+	return d.shards[fnv1a32(username)&d.mask]
+}
+
+// Shards returns the shard count.
+func (d *Directory) Shards() int { return len(d.shards) }
+
 // AddUser provisions an account. Adding an existing username fails.
 func (d *Directory) AddUser(u User) error {
 	if u.Username == "" {
 		return errors.New("directory: empty username")
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.users[u.Username]; ok {
+	s := d.shardFor(u.Username)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[u.Username]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicateUser, u.Username)
 	}
-	d.users[u.Username] = u
+	s.users[u.Username] = u
 	return nil
 }
 
@@ -81,9 +168,10 @@ func (d *Directory) Provision(prefix string, start, n int) []string {
 
 // Lookup returns the account for username.
 func (d *Directory) Lookup(username string) (User, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	u, ok := d.users[username]
+	s := d.shardFor(username)
+	s.mu.Lock()
+	u, ok := s.users[username]
+	s.mu.Unlock()
 	if !ok {
 		return User{}, fmt.Errorf("%w: %s", ErrNoSuchUser, username)
 	}
@@ -97,55 +185,272 @@ func (d *Directory) Authenticate(username, password string) bool {
 }
 
 // Register stores a contact binding for username with the given
-// lifetime measured on the caller's clock.
+// lifetime measured on the caller's clock. A user may hold several
+// contacts; registering an existing contact refreshes its deadline.
+// A non-positive ttl removes that one contact (RFC 3261 "Expires: 0").
 func (d *Directory) Register(username, contact string, now, ttl time.Duration) error {
-	if _, err := d.Lookup(username); err != nil {
-		return err
+	s := d.shardFor(username)
+	s.mu.Lock()
+	if _, ok := s.users[username]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSuchUser, username)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if ttl <= 0 {
-		delete(d.bindings, username)
+		d.removeContactLocked(s, username, contact)
+		s.mu.Unlock()
 		return nil
 	}
-	d.bindings[username] = Binding{Contact: contact, ExpiresAt: now + ttl}
+	bs := s.bindings[username]
+	refreshed := false
+	for i := range bs {
+		if bs[i].Contact == contact {
+			// Move the refreshed binding to the end: Contact()
+			// resolves to the most recently registered contact.
+			b := bs[i]
+			b.ExpiresAt = now + ttl
+			bs = append(append(bs[:i], bs[i+1:]...), b)
+			refreshed = true
+			break
+		}
+	}
+	if !refreshed {
+		bs = append(bs, Binding{Contact: contact, ExpiresAt: now + ttl})
+		d.live.Add(1)
+	}
+	s.bindings[username] = bs
+	d.scheduleExpiryLocked(s, expiryEntry{at: now + ttl, user: username, contact: contact})
+	s.mu.Unlock()
 	return nil
 }
 
-// Contact resolves a username to its registered, unexpired contact.
-func (d *Directory) Contact(username string, now time.Duration) (string, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	b, ok := d.bindings[username]
-	if !ok || b.ExpiresAt <= now {
-		return "", false
+// removeContactLocked drops one contact of username, or every contact
+// when contact is empty.
+func (d *Directory) removeContactLocked(s *shard, username, contact string) {
+	bs, ok := s.bindings[username]
+	if !ok {
+		return
 	}
-	return b.Contact, true
+	if contact == "" {
+		d.live.Add(int64(-len(bs)))
+		delete(s.bindings, username)
+		return
+	}
+	for i := range bs {
+		if bs[i].Contact == contact {
+			bs = append(bs[:i], bs[i+1:]...)
+			d.live.Add(-1)
+			break
+		}
+	}
+	if len(bs) == 0 {
+		delete(s.bindings, username)
+	} else {
+		s.bindings[username] = bs
+	}
 }
 
-// Unregister removes a binding.
+// Contact resolves a username to its most recently registered,
+// unexpired contact.
+func (d *Directory) Contact(username string, now time.Duration) (string, bool) {
+	s := d.shardFor(username)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs := s.bindings[username]
+	for i := len(bs) - 1; i >= 0; i-- {
+		if bs[i].ExpiresAt > now {
+			return bs[i].Contact, true
+		}
+	}
+	return "", false
+}
+
+// Contacts returns every unexpired contact of username, oldest
+// registration first.
+func (d *Directory) Contacts(username string, now time.Duration) []string {
+	s := d.shardFor(username)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, b := range s.bindings[username] {
+		if b.ExpiresAt > now {
+			out = append(out, b.Contact)
+		}
+	}
+	return out
+}
+
+// Unregister removes every binding of username.
 func (d *Directory) Unregister(username string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.bindings, username)
+	s := d.shardFor(username)
+	s.mu.Lock()
+	d.removeContactLocked(s, username, "")
+	s.mu.Unlock()
+}
+
+// UnregisterAll clears all of a user's contacts — the "Contact: *"
+// with "Expires: 0" wildcard from RFC 3261 §10.2.2.
+func (d *Directory) UnregisterAll(username string) error {
+	s := d.shardFor(username)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[username]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchUser, username)
+	}
+	d.removeContactLocked(s, username, "")
+	return nil
 }
 
 // Users returns the number of provisioned accounts.
 func (d *Directory) Users() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.users)
-}
-
-// Registered returns the number of live bindings at time now.
-func (d *Directory) Registered(now time.Duration) int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	n := 0
-	for _, b := range d.bindings {
-		if b.ExpiresAt > now {
-			n++
-		}
+	for _, s := range d.shards {
+		s.mu.Lock()
+		n += len(s.users)
+		s.mu.Unlock()
 	}
 	return n
+}
+
+// Registered returns the number of users with at least one live
+// binding at time now.
+func (d *Directory) Registered(now time.Duration) int {
+	n := 0
+	for _, s := range d.shards {
+		s.mu.Lock()
+		for _, bs := range s.bindings {
+			for _, b := range bs {
+				if b.ExpiresAt > now {
+					n++
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// LiveBindings returns the number of stored contact bindings. With the
+// expiry wheel running (StartExpiry) this tracks live bindings exactly;
+// without it, bindings past their deadline still count until removed.
+func (d *Directory) LiveBindings() int64 { return d.live.Load() }
+
+// StartExpiry attaches a clock and switches binding expiry from lazy
+// read-side checks to event-driven removal: each shard arms one timer
+// for its earliest deadline. In the sim this is the scheduler's timing
+// wheel; in pbxd it is the wall clock.
+func (d *Directory) StartExpiry(clock transport.Clock) {
+	d.clock.Store(&clockBox{c: clock})
+	now := clock.Now()
+	for _, s := range d.shards {
+		s.mu.Lock()
+		// Catch up deadlines registered before the clock attached.
+		for u, bs := range s.bindings {
+			for _, b := range bs {
+				heapPush(&s.heap, expiryEntry{at: b.ExpiresAt, user: u, contact: b.Contact})
+			}
+		}
+		d.armLocked(s, now)
+		s.mu.Unlock()
+	}
+}
+
+// scheduleExpiryLocked records a deadline and (if a clock is attached)
+// arms or advances the shard timer. Called with s.mu held.
+func (d *Directory) scheduleExpiryLocked(s *shard, e expiryEntry) {
+	clock := d.expiryClock()
+	if clock == nil {
+		return
+	}
+	heapPush(&s.heap, e)
+	d.armLocked(s, clock.Now())
+}
+
+// armLocked makes sure the shard timer fires at the heap head. Called
+// with s.mu held.
+func (d *Directory) armLocked(s *shard, now time.Duration) {
+	clock := d.expiryClock()
+	if clock == nil || len(s.heap) == 0 {
+		return
+	}
+	head := s.heap[0].at
+	if s.armedAt >= 0 && s.armedAt <= head {
+		return // pending timer already fires early enough
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.armedAt = head
+	delay := head - now
+	if delay < 0 {
+		delay = 0
+	}
+	s.timer = clock.AfterFunc(delay, func() { d.expire(s, clock) })
+}
+
+// expire pops every due deadline on one shard and removes bindings
+// whose live deadline has actually passed. Entries superseded by a
+// refresh are skipped: the refreshed binding's later deadline has its
+// own heap entry.
+func (d *Directory) expire(s *shard, clock transport.Clock) {
+	now := clock.Now()
+	s.mu.Lock()
+	for len(s.heap) > 0 && s.heap[0].at <= now {
+		e := heapPop(&s.heap)
+		bs := s.bindings[e.user]
+		for i := range bs {
+			if bs[i].Contact == e.contact && bs[i].ExpiresAt <= now {
+				d.removeContactLocked(s, e.user, e.contact)
+				break
+			}
+		}
+	}
+	s.armedAt = -1
+	s.timer = nil
+	d.armLocked(s, now)
+	s.mu.Unlock()
+}
+
+// heapPush / heapPop: a plain min-heap on at. Inlined rather than
+// container/heap to avoid the interface boxing on the registrar hot
+// path.
+
+func heapPush(h *[]expiryEntry, e expiryEntry) {
+	*h = append(*h, e)
+	hs := *h
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hs[parent].at <= hs[i].at {
+			break
+		}
+		hs[parent], hs[i] = hs[i], hs[parent]
+		i = parent
+	}
+}
+
+func heapPop(h *[]expiryEntry) expiryEntry {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs = hs[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && hs[l].at < hs[small].at {
+			small = l
+		}
+		if r < n && hs[r].at < hs[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hs[i], hs[small] = hs[small], hs[i]
+		i = small
+	}
+	*h = hs
+	return top
 }

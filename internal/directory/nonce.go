@@ -1,0 +1,217 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sip"
+)
+
+// NonceCache remembers the digest nonces the registrar has issued, so
+// the auth hot path validates a REGISTER against the server's own
+// challenge instead of re-deriving one from whatever nonce the client
+// offers (which would accept forged or replayed nonces). Entries carry
+// the user's precomputed HA1, making a cache hit a pure hash check
+// with no directory lookup and no allocation.
+//
+// The cache is sharded like the Directory, bounded per shard with
+// FIFO eviction, and entries age out of a replay window: a REGISTER
+// answering an aged-out nonce gets a fresh stale=true challenge
+// rather than a 403, per RFC 2617 3.2.1.
+type NonceCache struct {
+	shards []*nonceShard
+	mask   uint32
+	window time.Duration
+	cap    int // per shard
+}
+
+type nonceEntry struct {
+	user     string
+	ha1      string
+	issuedAt time.Duration
+}
+
+type nonceShard struct {
+	mu      sync.Mutex
+	entries map[string]nonceEntry
+	// order is a FIFO of nonce keys for bounded eviction; head indexes
+	// the oldest un-evicted key.
+	order   []string
+	head    int
+	scratch []byte
+
+	issued  uint64
+	hits    uint64
+	misses  uint64
+	stale   uint64
+	badAuth uint64
+	evicted uint64
+}
+
+// Nonce verdicts.
+type NonceVerdict int
+
+const (
+	// NonceHit: nonce known and in-window, response verified.
+	NonceHit NonceVerdict = iota
+	// NonceBadAuth: nonce known and in-window, response wrong — the
+	// credentials are bad and the request should be refused.
+	NonceBadAuth
+	// NonceStale: nonce unknown or aged out — re-challenge with
+	// stale=true so the client retries without user interaction.
+	NonceStale
+)
+
+// DefaultNonceWindow is how long an issued nonce stays answerable.
+const DefaultNonceWindow = 5 * time.Minute
+
+// DefaultNonceCap bounds the total entries across all shards.
+const DefaultNonceCap = 65536
+
+// NewNonceCache builds a cache with the given power-of-two shard
+// count, replay window and total capacity. Zero window/capacity pick
+// the defaults.
+func NewNonceCache(shards int, window time.Duration, capacity int) *NonceCache {
+	if shards <= 0 || shards&(shards-1) != 0 {
+		panic(fmt.Sprintf("directory: nonce shard count %d is not a power of two", shards))
+	}
+	if window <= 0 {
+		window = DefaultNonceWindow
+	}
+	if capacity <= 0 {
+		capacity = DefaultNonceCap
+	}
+	perShard := capacity / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &NonceCache{
+		shards: make([]*nonceShard, shards),
+		mask:   uint32(shards - 1),
+		window: window,
+		cap:    perShard,
+	}
+	for i := range c.shards {
+		c.shards[i] = &nonceShard{entries: make(map[string]nonceEntry)}
+	}
+	return c
+}
+
+func (c *NonceCache) shardFor(nonce string) *nonceShard {
+	return c.shards[fnv1a32(nonce)&c.mask]
+}
+
+// Issue records a freshly minted nonce for user with their
+// precomputed HA1, evicting the shard's oldest entry when full.
+func (c *NonceCache) Issue(nonce, user, ha1 string, now time.Duration) {
+	s := c.shardFor(nonce)
+	s.mu.Lock()
+	for len(s.entries) >= c.cap {
+		c.evictOldestLocked(s)
+	}
+	if _, ok := s.entries[nonce]; !ok {
+		s.order = append(s.order, nonce)
+	}
+	s.entries[nonce] = nonceEntry{user: user, ha1: ha1, issuedAt: now}
+	s.issued++
+	c.compactLocked(s)
+	s.mu.Unlock()
+}
+
+// evictOldestLocked drops the FIFO head (skipping keys already
+// removed by expiry).
+func (c *NonceCache) evictOldestLocked(s *nonceShard) {
+	for s.head < len(s.order) {
+		key := s.order[s.head]
+		s.head++
+		if _, ok := s.entries[key]; ok {
+			delete(s.entries, key)
+			s.evicted++
+			return
+		}
+	}
+	// order exhausted but entries non-empty should not happen; reset.
+	s.order = s.order[:0]
+	s.head = 0
+}
+
+// compactLocked reclaims the consumed FIFO prefix once it dominates
+// the slice.
+func (c *NonceCache) compactLocked(s *nonceShard) {
+	if s.head > len(s.order)/2 && s.head > 32 {
+		s.order = append(s.order[:0], s.order[s.head:]...)
+		s.head = 0
+	}
+}
+
+// Verify checks a digest response against the issued nonce. A hit
+// must name the same user the nonce was issued to (a nonce is not
+// transferable) and verify against the cached HA1; an unknown or
+// out-of-window nonce is stale, never an auth failure.
+func (c *NonceCache) Verify(nonce, user string, method sip.Method, uri, response string, now time.Duration) NonceVerdict {
+	s := c.shardFor(nonce)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[nonce]
+	if !ok {
+		s.misses++
+		s.stale++
+		return NonceStale
+	}
+	if now-e.issuedAt > c.window {
+		delete(s.entries, nonce)
+		s.stale++
+		return NonceStale
+	}
+	if e.user != user {
+		s.stale++
+		return NonceStale
+	}
+	okResp, buf := sip.VerifyHA1(e.ha1, nonce, method, uri, response, s.scratch)
+	s.scratch = buf
+	if !okResp {
+		s.badAuth++
+		return NonceBadAuth
+	}
+	s.hits++
+	return NonceHit
+}
+
+// NonceStats is a point-in-time aggregate across shards.
+type NonceStats struct {
+	Issued  uint64
+	Hits    uint64
+	Misses  uint64
+	Stale   uint64
+	BadAuth uint64
+	Evicted uint64
+	Size    int
+}
+
+// HitRate is hits / (hits + stale + badAuth), the fraction of
+// REGISTERs with credentials that verified on the first pass.
+func (st NonceStats) HitRate() float64 {
+	total := st.Hits + st.Stale + st.BadAuth
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats sums the per-shard counters.
+func (c *NonceCache) Stats() NonceStats {
+	var st NonceStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Issued += s.issued
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Stale += s.stale
+		st.BadAuth += s.badAuth
+		st.Evicted += s.evicted
+		st.Size += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}

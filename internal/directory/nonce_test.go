@@ -1,0 +1,154 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sip"
+)
+
+// answer computes the digest response a well-behaved client would send
+// for the given nonce, via the same public helpers the phone uses.
+func answer(user, realm, password, nonce, uri string) string {
+	ch := sip.DigestChallenge{Realm: realm, Nonce: nonce}
+	return ch.Answer(user, password, sip.REGISTER, uri).Response
+}
+
+func TestNonceCacheHitAndBadAuth(t *testing.T) {
+	c := NewNonceCache(4, 0, 0)
+	ha1 := sip.DigestHA1("alice", "pbx", "secret")
+	c.Issue("n1", "alice", ha1, 0)
+
+	good := answer("alice", "pbx", "secret", "n1", "sip:pbx")
+	if v := c.Verify("n1", "alice", sip.REGISTER, "sip:pbx", good, time.Second); v != NonceHit {
+		t.Fatalf("valid response: verdict %v, want NonceHit", v)
+	}
+	bad := answer("alice", "pbx", "wrong-password", "n1", "sip:pbx")
+	if v := c.Verify("n1", "alice", sip.REGISTER, "sip:pbx", bad, time.Second); v != NonceBadAuth {
+		t.Fatalf("wrong password: verdict %v, want NonceBadAuth", v)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.BadAuth != 1 || st.Issued != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 badauth / 1 issued", st)
+	}
+}
+
+// TestNonceCacheStaleVerdicts pins the three stale paths — unknown
+// nonce, aged-out nonce, and a nonce issued to a different user — all
+// of which must re-challenge rather than refuse.
+func TestNonceCacheStaleVerdicts(t *testing.T) {
+	c := NewNonceCache(4, time.Minute, 0)
+	ha1 := sip.DigestHA1("alice", "pbx", "secret")
+	good := answer("alice", "pbx", "secret", "n1", "sip:pbx")
+
+	if v := c.Verify("n1", "alice", sip.REGISTER, "sip:pbx", good, 0); v != NonceStale {
+		t.Fatalf("unknown nonce: verdict %v, want NonceStale", v)
+	}
+
+	c.Issue("n1", "alice", ha1, 0)
+	if v := c.Verify("n1", "alice", sip.REGISTER, "sip:pbx", good, time.Minute+time.Second); v != NonceStale {
+		t.Fatalf("aged-out nonce: verdict %v, want NonceStale", v)
+	}
+	// The aged entry is deleted on the way out.
+	if got := c.Stats().Size; got != 0 {
+		t.Fatalf("aged entry not deleted: size %d", got)
+	}
+
+	c.Issue("n2", "alice", ha1, 0)
+	if v := c.Verify("n2", "mallory", sip.REGISTER, "sip:pbx", good, time.Second); v != NonceStale {
+		t.Fatalf("user mismatch: verdict %v, want NonceStale (nonces are not transferable)", v)
+	}
+
+	st := c.Stats()
+	if st.Stale != 3 || st.Misses != 1 || st.Hits != 0 || st.BadAuth != 0 {
+		t.Fatalf("stats = %+v, want 3 stale / 1 miss / 0 hits / 0 badauth", st)
+	}
+	if st.HitRate() != 0 {
+		t.Fatalf("hit rate = %v, want 0", st.HitRate())
+	}
+}
+
+// TestNonceCacheEviction fills one shard past its bound and checks
+// FIFO order: the oldest nonce goes first, the population never
+// exceeds the cap, and evicted nonces verify as stale.
+func TestNonceCacheEviction(t *testing.T) {
+	c := NewNonceCache(1, 0, 8)
+	for i := 0; i < 20; i++ {
+		c.Issue(fmt.Sprintf("n%d", i), "alice", "ha1", time.Duration(i))
+	}
+	st := c.Stats()
+	if st.Size != 8 {
+		t.Fatalf("size %d after overfill, want cap 8", st.Size)
+	}
+	if st.Evicted != 12 {
+		t.Fatalf("evicted %d, want 12", st.Evicted)
+	}
+	if v := c.Verify("n0", "alice", sip.REGISTER, "sip:pbx", "x", 0); v != NonceStale {
+		t.Fatalf("evicted nonce: verdict %v, want NonceStale", v)
+	}
+	// The newest survive.
+	ha1 := sip.DigestHA1("alice", "pbx", "secret")
+	c2 := NewNonceCache(1, 0, 2)
+	c2.Issue("a", "alice", ha1, 0)
+	c2.Issue("b", "alice", ha1, 0)
+	c2.Issue("c", "alice", ha1, 0) // evicts "a"
+	good := answer("alice", "pbx", "secret", "c", "sip:pbx")
+	if v := c2.Verify("c", "alice", sip.REGISTER, "sip:pbx", good, 0); v != NonceHit {
+		t.Fatalf("newest nonce after eviction: verdict %v, want NonceHit", v)
+	}
+}
+
+// TestNonceCacheReissueAndCompact re-issues the same nonce key (no
+// duplicate FIFO slot) and drives enough eviction traffic through one
+// shard to trigger FIFO compaction.
+func TestNonceCacheReissueAndCompact(t *testing.T) {
+	c := NewNonceCache(1, 0, 64)
+	for i := 0; i < 1000; i++ {
+		c.Issue(fmt.Sprintf("n%d", i%100), "alice", "ha1", time.Duration(i))
+	}
+	st := c.Stats()
+	if st.Size > 64 {
+		t.Fatalf("size %d exceeds per-shard cap 64", st.Size)
+	}
+	if st.Issued != 1000 {
+		t.Fatalf("issued %d, want 1000", st.Issued)
+	}
+	s := c.shards[0]
+	s.mu.Lock()
+	order, head := len(s.order), s.head
+	s.mu.Unlock()
+	if order-head > 2*64+32 {
+		t.Fatalf("FIFO not compacted: len(order)=%d head=%d", order, head)
+	}
+}
+
+func TestNonceCacheShardCountValidation(t *testing.T) {
+	for _, n := range []int{-1, 0, 3, 48} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewNonceCache(%d,0,0) did not panic", n)
+				}
+			}()
+			NewNonceCache(n, 0, 0)
+		}()
+	}
+	// Tiny capacity with many shards still leaves one slot per shard.
+	c := NewNonceCache(16, 0, 4)
+	c.Issue("n", "u", "h", 0)
+	if c.Stats().Size != 1 {
+		t.Fatal("per-shard floor of one entry not honored")
+	}
+}
+
+func TestNonceHitRate(t *testing.T) {
+	st := NonceStats{Hits: 3, Stale: 1, BadAuth: 0}
+	if got := st.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+	if (NonceStats{}).HitRate() != 0 {
+		t.Fatal("empty stats must report rate 0")
+	}
+}

@@ -113,6 +113,37 @@ func DiffScenario(sc chaos.Scenario, shards int) []string {
 	return d.fields
 }
 
+// DiffRegistration runs a registration chaos scenario on both engines
+// and compares the generator's view, every incarnation's counters, the
+// nonce-cache counters, the location store's end state and the
+// telemetry snapshot.
+func DiffRegistration(sc chaos.RegistrationScenario, shards int) []string {
+	single := sc
+	single.Shards = 1
+	sharded := sc
+	sharded.Shards = shards
+
+	a, aerr := chaos.RunRegistration(single)
+	b, berr := chaos.RunRegistration(sharded)
+	if aerr != nil || berr != nil {
+		return []string{fmt.Sprintf("run error: shards=1: %v, sharded: %v", aerr, berr)}
+	}
+
+	var d diff
+	d.eq("TimelineSummary", a.TimelineSummary(), b.TimelineSummary())
+	d.eq("Load", a.Load, b.Load)
+	d.eq("Counters", a.Counters, b.Counters)
+	d.eq("Nonces", a.Nonces, b.Nonces)
+	d.eq("Store", [2]int64{int64(a.Registered), a.LiveBindings}, [2]int64{int64(b.Registered), b.LiveBindings})
+	d.eq("NoRoute", a.NoRoute, b.NoRoute)
+	d.eq("Leaks", a.ActiveTransactions, b.ActiveTransactions)
+	aj, ajErr := a.Telemetry.MarshalIndent()
+	bj, bjErr := b.Telemetry.MarshalIndent()
+	d.eq("Telemetry marshal error", ajErr, bjErr)
+	d.json("Telemetry", aj, bj)
+	return d.fields
+}
+
 // DiffCluster runs a cluster chaos scenario on both engines and
 // compares the failover timeline, balancer counters, per-backend
 // accounting and the observation plane.

@@ -190,6 +190,27 @@ func TestDiffDegradationTimeline(t *testing.T) {
 	}
 }
 
+// TestDiffRegistration is the registrar's determinism gate: the
+// 10k-endpoint cold-restart avalanche must be bit-identical between
+// the single-scheduler engine and the partitioned engine at shards
+// {2,4} for seeds {1,42,160} — the generator's per-second timeline,
+// both incarnations' counters, the nonce-cache stats, the location
+// store's end state and the registrar telemetry JSON all compared
+// field by field.
+func TestDiffRegistration(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 160} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			for _, shards := range []int{2, 4} {
+				for _, d := range DiffRegistration(chaos.RegisterAvalanche(seed), shards) {
+					t.Errorf("shards=%d %s", shards, d)
+				}
+			}
+		})
+	}
+}
+
 // TestDiffChaosSmokeShards2 adds the intermediate shard count on the
 // cheap scenario, so both the split and the collapsed placements see a
 // 2-shard group.

@@ -121,6 +121,11 @@ type Config struct {
 	// DrainRetryAfter is the Retry-After hint (seconds) on the 503s a
 	// draining server sends to new INVITEs; 0 selects 10.
 	DrainRetryAfter int
+	// Registrar tunes the REGISTER plane (admission lane, nonce cache,
+	// event-driven binding expiry, registrar telemetry). The zero value
+	// keeps the pre-registrar behavior: REGISTERs are never shed and
+	// bindings expire lazily on read.
+	Registrar RegistrarConfig
 	// Seed drives the server's randomness (overload drops, nonces).
 	Seed uint64
 	// Telemetry, when non-nil, registers the PBX metric families and
@@ -169,6 +174,14 @@ type Counters struct {
 	TranscodeRefused uint64 // transcode-requiring answers refused at PassthroughOnly
 	ThrottleSignals  uint64 // responses stamped with X-Overload-Window
 	Renegotiations   uint64 // mid-call codec renegotiations (must stay 0: chaos invariant)
+
+	// Registrar totals (REGISTER plane).
+	Registers          uint64 // REGISTERs accepted (binding added, refreshed or removed)
+	RegisterChallenges uint64 // 401 challenges issued with a fresh nonce
+	RegisterStale      uint64 // stale=true re-challenges (nonce aged out, unknown, or lost in a restart)
+	RegisterAuthFail   uint64 // REGISTERs 403'd for bad credentials
+	RegisterShed       uint64 // REGISTERs 503'd by the registrar admission lane
+	RegisterRemovals   uint64 // bindings removed by Expires:0 or the Contact:* wildcard
 }
 
 // Server is the PBX.
@@ -197,10 +210,14 @@ type Server struct {
 	cpuSamples    []cpuSample
 	rng           *stats.RNG
 	nonceSeq      uint64
+	nonces        *directory.NonceCache
 
 	// per-second rate tracking for the CPU meter
 	attemptsWindow uint64
 	errorsWindow   uint64
+	// registersWindow meters REGISTER arrivals for the registrar's
+	// per-second admission lane (reset each sampler tick).
+	registersWindow uint64
 	attemptsEWMA   float64
 	errorsEWMA     float64
 	channelsEWMA   float64 // dampened occupancy for OccupancyPolicy
@@ -286,10 +303,23 @@ func New(ep *sip.Endpoint, dir *directory.Directory, factory TransportFactory, c
 	if cfg.Degradation.Enabled {
 		s.degrade = NewDegradationController(cfg.Degradation)
 	}
+	// The nonce cache backs the strict registrar auth flow whether or
+	// not the registrar plane is tuned: a REGISTER must answer a nonce
+	// this server actually issued.
+	s.nonces = directory.NewNonceCache(nonceShards(cfg.Registrar),
+		cfg.Registrar.NonceWindow, cfg.Registrar.NonceCap)
+	if cfg.Registrar.Enabled {
+		// Event-driven binding expiry on the server's clock: the sim
+		// timing wheel in scenarios, the wall clock in pbxd.
+		dir.StartExpiry(ep.Clock())
+	}
 	if cfg.Telemetry != nil {
 		s.tm = newPBXMetrics(cfg.Telemetry, s.admission.Name())
 		if s.degrade != nil {
 			s.tm.registerDegradation(cfg.Telemetry)
+		}
+		if cfg.Registrar.Enabled {
+			s.tm.registerRegistrar(cfg.Telemetry)
 		}
 	}
 	s.callEvents.sink = cfg.CallLog
@@ -448,6 +478,7 @@ func (s *Server) scheduleSample() {
 		s.cpuSamples = append(s.cpuSamples, cpuSample{util: u, channels: s.channels})
 		s.attemptsWindow = 0
 		s.errorsWindow = 0
+		s.registersWindow = 0
 		s.evaluateDegradationLocked(u)
 		s.mu.Unlock()
 		s.scheduleSample()
@@ -675,51 +706,3 @@ func (s *Server) countError() {
 	s.mu.Unlock()
 }
 
-// handleRegister implements the registrar with digest auth against the
-// directory, the paper's LDAP-backed "user authentication and call
-// registration".
-func (s *Server) handleRegister(tx *sip.ServerTx, req *sip.Message, src string) {
-	user := req.To.URI.User
-	if user == "" {
-		user = req.From.URI.User
-	}
-	acct, err := s.dir.Lookup(user)
-	if err != nil {
-		s.countError()
-		tx.Respond(req.Response(sip.StatusNotFound))
-		return
-	}
-	creds, haveCreds := sip.ParseDigestCredentials(req.Authorization)
-	if !haveCreds {
-		resp := req.Response(sip.StatusUnauthorized)
-		resp.WWWAuthenticate = sip.DigestChallenge{Realm: s.cfg.Realm, Nonce: s.newNonce()}.Header()
-		tx.Respond(resp)
-		return
-	}
-	ch := sip.DigestChallenge{Realm: creds.Realm, Nonce: creds.Nonce}
-	if creds.Realm != s.cfg.Realm || !ch.Verify(creds, acct.Password, sip.REGISTER) {
-		s.countError()
-		tx.Respond(req.Response(sip.StatusTemporarilyDenied))
-		return
-	}
-	contact := src
-	if req.Contact != nil {
-		contact = req.Contact.URI.HostPort()
-	}
-	ttl := time.Hour
-	if req.Expires >= 0 {
-		ttl = time.Duration(req.Expires) * time.Second
-	}
-	if err := s.dir.Register(user, contact, s.ep.Clock().Now(), ttl); err != nil {
-		s.countError()
-		tx.Respond(req.Response(sip.StatusInternalError))
-		return
-	}
-	resp := req.Response(sip.StatusOK)
-	resp.Contact = req.Contact
-	resp.Expires = int(ttl / time.Second)
-	tx.Respond(resp)
-	if ttl > 0 {
-		s.deliverPending(user, contact)
-	}
-}

@@ -42,6 +42,12 @@ const (
 	mDegradeTransitions = "pbx_degradation_transitions_total"
 	mCallsByStage       = "pbx_calls_by_stage_total"
 	mThrottleSignals    = "pbx_throttle_signals_total"
+
+	// Registrar families (registered only while Config.Registrar is
+	// enabled, keeping registrar-free telemetry snapshots byte-stable).
+	mRegisters  = "pbx_registers_total"
+	mBindings   = "pbx_bindings"
+	mNonceCache = "pbx_nonce_cache_total"
 )
 
 // pbxMetrics holds the server's pre-resolved telemetry handles plus
@@ -91,7 +97,43 @@ type pbxMetrics struct {
 	callsByStage       [degradationStageCount]*telemetry.Counter
 	throttleSignals    *telemetry.Counter
 
+	// Registrar plane (nil unless registerRegistrar ran).
+	registersAccepted   *telemetry.Counter
+	registersChallenged *telemetry.Counter
+	registersStale      *telemetry.Counter
+	registersAuthFail   *telemetry.Counter
+	registersShed       *telemetry.Counter
+	registersRemoved    *telemetry.Counter
+	bindings            *telemetry.Gauge
+	nonceHits           *telemetry.Counter
+	nonceStale          *telemetry.Counter
+	nonceBad            *telemetry.Counter
+
 	tracer *telemetry.Tracer
+}
+
+// registerRegistrar adds the REGISTER-plane families. Called from New
+// only when Config.Registrar is enabled, so registrar-free servers
+// expose exactly the previous metric surface.
+func (tm *pbxMetrics) registerRegistrar(reg *telemetry.Registry) {
+	outcome := func(o string) *telemetry.Counter {
+		return reg.Counter(mRegisters, "REGISTER requests by outcome",
+			telemetry.L("outcome", o))
+	}
+	tm.registersAccepted = outcome("accepted")
+	tm.registersChallenged = outcome("challenged")
+	tm.registersStale = outcome("stale")
+	tm.registersAuthFail = outcome("authfail")
+	tm.registersShed = outcome("shed")
+	tm.registersRemoved = outcome("removed")
+	tm.bindings = reg.Gauge(mBindings, "contact bindings currently stored")
+	result := func(r string) *telemetry.Counter {
+		return reg.Counter(mNonceCache, "digest nonce-cache verification results",
+			telemetry.L("result", r))
+	}
+	tm.nonceHits = result("hit")
+	tm.nonceStale = result("stale")
+	tm.nonceBad = result("bad")
 }
 
 // registerDegradation adds the ladder families. Called from New only

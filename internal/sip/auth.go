@@ -16,10 +16,17 @@ import (
 type DigestChallenge struct {
 	Realm string
 	Nonce string
+	// Stale marks a re-challenge whose previous nonce aged out of the
+	// registrar's replay window (RFC 2617 3.2.1): the client should
+	// retry with the fresh nonce without re-prompting for credentials.
+	Stale bool
 }
 
 // Header renders the WWW-Authenticate value.
 func (c DigestChallenge) Header() string {
+	if c.Stale {
+		return fmt.Sprintf(`Digest realm="%s", nonce="%s", algorithm=MD5, stale=true`, c.Realm, c.Nonce)
+	}
 	return fmt.Sprintf(`Digest realm="%s", nonce="%s", algorithm=MD5`, c.Realm, c.Nonce)
 }
 
@@ -45,7 +52,11 @@ func ParseDigestChallenge(v string) (DigestChallenge, bool) {
 	if !ok {
 		return DigestChallenge{}, false
 	}
-	c := DigestChallenge{Realm: params["realm"], Nonce: params["nonce"]}
+	c := DigestChallenge{
+		Realm: params["realm"],
+		Nonce: params["nonce"],
+		Stale: strings.EqualFold(params["stale"], "true"),
+	}
 	return c, c.Realm != "" && c.Nonce != ""
 }
 
@@ -114,3 +125,53 @@ func md5hex(s string) string {
 	sum := md5.Sum([]byte(s))
 	return fmt.Sprintf("%x", sum)
 }
+
+// DigestHA1 computes the reusable first hash of the digest scheme,
+// MD5(username:realm:password). The registrar derives it once per user
+// and caches it alongside issued nonces, so the per-REGISTER verify
+// needs only the HA2 and response hashes.
+func DigestHA1(username, realm, password string) string {
+	return md5hex(username + ":" + realm + ":" + password)
+}
+
+// VerifyHA1 checks a digest response against a precomputed HA1 without
+// allocating: both MD5 inputs are assembled in scratch (grown as
+// needed and returned for reuse) and the hex digests land in stack
+// arrays. This is the registrar's nonce-cache hit path.
+func VerifyHA1(ha1, nonce string, method Method, uri, response string, scratch []byte) (bool, []byte) {
+	// HA2 = MD5(method:uri)
+	buf := append(scratch[:0], method...)
+	buf = append(buf, ':')
+	buf = append(buf, uri...)
+	ha2sum := md5.Sum(buf)
+	var ha2hex [2 * md5.Size]byte
+	hexEncode(ha2hex[:], ha2sum[:])
+	// response = MD5(ha1:nonce:ha2)
+	buf = append(buf[:0], ha1...)
+	buf = append(buf, ':')
+	buf = append(buf, nonce...)
+	buf = append(buf, ':')
+	buf = append(buf, ha2hex[:]...)
+	sum := md5.Sum(buf)
+	var want [2 * md5.Size]byte
+	hexEncode(want[:], sum[:])
+	if len(response) != len(want) {
+		return false, buf
+	}
+	for i := 0; i < len(want); i++ {
+		if response[i] != want[i] {
+			return false, buf
+		}
+	}
+	return true, buf
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hexEncode(dst, src []byte) {
+	for i, b := range src {
+		dst[2*i] = hexDigits[b>>4]
+		dst[2*i+1] = hexDigits[b&0x0f]
+	}
+}
+

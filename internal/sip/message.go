@@ -29,6 +29,7 @@ const (
 	StatusOK                 = 200
 	StatusAccepted           = 202
 	StatusMovedTemporarily   = 302
+	StatusBadRequest         = 400
 	StatusUnauthorized       = 401
 	StatusNotFound           = 404
 	StatusRequestTimeout     = 408
@@ -54,6 +55,8 @@ func ReasonPhrase(code int) string {
 		return "Accepted"
 	case StatusMovedTemporarily:
 		return "Moved Temporarily"
+	case StatusBadRequest:
+		return "Bad Request"
 	case StatusUnauthorized:
 		return "Unauthorized"
 	case StatusTemporarilyDenied:
@@ -140,8 +143,16 @@ type Message struct {
 	CallID      string
 	CSeq        CSeq
 	Contact     *NameAddr
-	MaxForwards int
-	Expires     int // -1 when absent
+	// ContactStar marks the RFC 3261 10.2.2 wildcard "Contact: *",
+	// which (with Expires: 0) unregisters every contact of the
+	// address-of-record. Mutually exclusive with Contact.
+	ContactStar bool
+	// ContactExpires is the per-Contact ";expires=" parameter
+	// (seconds), -1 when absent. It overrides the Expires header for
+	// that binding (RFC 3261 10.2.1.1).
+	ContactExpires int
+	MaxForwards    int
+	Expires        int // -1 when absent
 	ContentType string
 	// RetryAfter is the Retry-After value in seconds on 503 (and other
 	// rejection) responses — the overload-control feedback channel of
@@ -250,14 +261,15 @@ func (m *Message) DialogID(uas bool) string {
 // NewRequest builds a request with the mandatory headers filled in.
 func NewRequest(method Method, uri URI, from, to NameAddr, callID string, seq uint32) *Message {
 	return &Message{
-		Method:      method,
-		RequestURI:  uri,
-		From:        from,
-		To:          to,
-		CallID:      callID,
-		CSeq:        CSeq{Seq: seq, Method: method},
-		MaxForwards: 70,
-		Expires:     -1,
+		Method:         method,
+		RequestURI:     uri,
+		From:           from,
+		To:             to,
+		CallID:         callID,
+		CSeq:           CSeq{Seq: seq, Method: method},
+		MaxForwards:    70,
+		Expires:        -1,
+		ContactExpires: -1,
 	}
 }
 
@@ -267,13 +279,14 @@ func NewRequest(method Method, uri URI, from, to NameAddr, callID string, seq ui
 // sets its tag explicitly.
 func (req *Message) Response(status int) *Message {
 	return &Message{
-		StatusCode: status,
-		Via:        append([]Via(nil), req.Via...),
-		From:       req.From,
-		To:         req.To,
-		CallID:     req.CallID,
-		CSeq:       req.CSeq,
-		Expires:    -1,
+		StatusCode:     status,
+		Via:            append([]Via(nil), req.Via...),
+		From:           req.From,
+		To:             req.To,
+		CallID:         req.CallID,
+		CSeq:           req.CSeq,
+		Expires:        -1,
+		ContactExpires: -1,
 	}
 }
 
@@ -328,9 +341,15 @@ func (m *Message) Append(dst []byte) []byte {
 	dst = append(dst, ' ')
 	dst = append(dst, string(m.CSeq.Method)...)
 	dst = append(dst, "\r\n"...)
-	if m.Contact != nil {
+	if m.ContactStar {
+		dst = append(dst, "Contact: *\r\n"...)
+	} else if m.Contact != nil {
 		dst = append(dst, "Contact: "...)
 		dst = m.Contact.AppendTo(dst)
+		if m.ContactExpires >= 0 {
+			dst = append(dst, ";expires="...)
+			dst = strconv.AppendInt(dst, int64(m.ContactExpires), 10)
+		}
 		dst = append(dst, "\r\n"...)
 	}
 	if m.Expires >= 0 {

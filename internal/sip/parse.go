@@ -54,7 +54,7 @@ func Parse(data []byte) (*Message, error) {
 	head := text[:headerEnd]
 	body := text[headerEnd+4:]
 
-	m := &Message{Expires: -1}
+	m := &Message{Expires: -1, ContactExpires: -1}
 	startLine, rest, _ := strings.Cut(head, "\r\n")
 	if err := parseStartLine(m, startLine); err != nil {
 		return nil, err
@@ -101,11 +101,21 @@ func Parse(data []byte) (*Message, error) {
 			}
 			m.CSeq = cs
 		case headerIs(name, "contact", "m"):
-			na, err := ParseNameAddr(value)
+			if value == "*" {
+				// RFC 3261 10.2.2 wildcard: no addr-spec to parse.
+				m.ContactStar = true
+				continue
+			}
+			addr, exp, err := splitContactExpires(value)
+			if err != nil {
+				return nil, err
+			}
+			na, err := ParseNameAddr(addr)
 			if err != nil {
 				return nil, fmt.Errorf("%w: Contact: %v", ErrBadHeader, err)
 			}
 			m.Contact = &na
+			m.ContactExpires = exp
 		case headerIs(name, "max-forwards"):
 			n, err := strconv.Atoi(value)
 			if err != nil || n < 0 {
@@ -175,6 +185,45 @@ func Parse(data []byte) (*Message, error) {
 		return nil, fmt.Errorf("%w: missing To", ErrBadHeader)
 	}
 	return m, nil
+}
+
+// splitContactExpires pulls the per-Contact ";expires=" parameter
+// (RFC 3261 10.2.1.1) off a Contact value, returning the addr-spec
+// with that parameter removed and the expires seconds (-1 when
+// absent). Only header parameters — after the closing ">" of a
+// name-addr — are considered; inside brackets ";expires" would be a
+// URI parameter, which this grammar does not use.
+func splitContactExpires(value string) (addr string, expires int, err error) {
+	expires = -1
+	paramStart := 0
+	if end := strings.LastIndexByte(value, '>'); end >= 0 {
+		paramStart = end + 1
+	} else if i := strings.IndexByte(value, ';'); i >= 0 {
+		paramStart = i
+	} else {
+		return value, -1, nil
+	}
+	head, params := value[:paramStart], value[paramStart:]
+	var kept strings.Builder
+	for params != "" {
+		var p string
+		p, params, _ = strings.Cut(params, ";")
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(p, "=")
+		if strings.EqualFold(strings.TrimSpace(k), "expires") {
+			n, aerr := strconv.Atoi(strings.TrimSpace(v))
+			if aerr != nil || n < 0 {
+				return "", 0, fmt.Errorf("%w: Contact expires %q", ErrBadHeader, v)
+			}
+			expires = n
+			continue
+		}
+		kept.WriteByte(';')
+		kept.WriteString(p)
+	}
+	return head + kept.String(), expires, nil
 }
 
 // headerIs reports whether name matches one of the given canonical or

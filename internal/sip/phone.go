@@ -229,6 +229,12 @@ type Phone struct {
 	registered   bool
 	refreshTimer transport.Timer
 	registers    int // completed REGISTER round-trips (incl. refreshes)
+	// challenge caches the registrar's last digest challenge so
+	// refreshes authorize preemptively (one round trip instead of a
+	// 401 detour) while the nonce stays inside the replay window.
+	challenge     DigestChallenge
+	haveChallenge bool
+	staleRetries  int // REGISTERs re-challenged with stale=true
 
 	// OnIncoming fires for each new incoming call before ringing.
 	OnIncoming func(c *Call)
@@ -316,50 +322,102 @@ func portOf(addr string) int {
 // a digest challenge automatically. done (optional) receives the final
 // outcome.
 func (p *Phone) Register(expires time.Duration, done func(ok bool)) {
+	p.sendRegister(int(expires/time.Second), false, func(ok bool) {
+		if ok {
+			p.noteRegistered(expires)
+		}
+		if done != nil {
+			done(ok)
+		}
+	})
+}
+
+// UnregisterAll sends the RFC 3261 10.2.2 wildcard unregistration
+// ("Contact: *" with "Expires: 0"), clearing every binding of this
+// user at the registrar.
+func (p *Phone) UnregisterAll(done func(ok bool)) {
+	p.sendRegister(0, true, func(ok bool) {
+		if ok {
+			p.mu.Lock()
+			p.registered = false
+			if p.refreshTimer != nil {
+				p.refreshTimer.Stop()
+			}
+			p.mu.Unlock()
+		}
+		if done != nil {
+			done(ok)
+		}
+	})
+}
+
+// sendRegister runs one REGISTER operation, following up to two
+// digest challenges: one for the normal unauthenticated first contact,
+// and one more for a stale=true re-challenge when a preemptively
+// answered nonce has aged out of the registrar's replay window (or the
+// registrar restarted and lost its nonce cache).
+func (p *Phone) sendRegister(expiresSec int, wildcard bool, done func(ok bool)) {
 	proxyHost, _, _ := strings.Cut(p.cfg.Proxy, ":")
 	req := NewRequest(REGISTER, NewURI("", proxyHost, portOf(p.cfg.Proxy)),
 		NameAddr{URI: p.localURI(), Tag: p.ep.NewTag()},
 		NameAddr{URI: p.localURI()},
 		p.ep.NewCallID(), 1)
-	contact := NameAddr{URI: p.localURI()}
-	req.Contact = &contact
-	req.Expires = int(expires / time.Second)
+	if wildcard {
+		req.ContactStar = true
+	} else {
+		contact := NameAddr{URI: p.localURI()}
+		req.Contact = &contact
+	}
+	req.Expires = expiresSec
 
-	p.ep.SendRequest(p.cfg.Proxy, req, func(resp *Message) {
+	// Preemptive authorization: a cached challenge lets a refresh
+	// complete in one round trip instead of a 401 detour.
+	p.mu.Lock()
+	if p.haveChallenge {
+		creds := p.challenge.Answer(p.cfg.User, p.cfg.Password, REGISTER, req.RequestURI.String())
+		req.Authorization = creds.Header()
+	}
+	p.mu.Unlock()
+
+	var handle func(req *Message, round int, resp *Message)
+	handle = func(req *Message, round int, resp *Message) {
 		switch {
 		case resp.StatusCode == StatusUnauthorized:
 			ch, ok := ParseDigestChallenge(resp.WWWAuthenticate)
-			if !ok {
-				if done != nil {
-					done(false)
-				}
+			if !ok || round >= 2 {
+				done(false)
 				return
 			}
+			p.mu.Lock()
+			p.challenge, p.haveChallenge = ch, true
+			if ch.Stale {
+				p.staleRetries++
+			}
+			p.mu.Unlock()
 			retry := NewRequest(REGISTER, req.RequestURI, req.From, req.To, req.CallID, req.CSeq.Seq+1)
 			retry.Contact = req.Contact
+			retry.ContactStar = req.ContactStar
 			retry.Expires = req.Expires
 			creds := ch.Answer(p.cfg.User, p.cfg.Password, REGISTER, req.RequestURI.String())
 			retry.Authorization = creds.Header()
-			p.ep.SendRequest(p.cfg.Proxy, retry, func(resp2 *Message) {
-				ok := resp2.StatusCode == StatusOK
-				if ok {
-					p.noteRegistered(expires)
-				}
-				if done != nil {
-					done(ok)
-				}
+			p.ep.SendRequest(p.cfg.Proxy, retry, func(r2 *Message) {
+				handle(retry, round+1, r2)
 			})
 		case resp.StatusCode == StatusOK:
-			p.noteRegistered(expires)
-			if done != nil {
-				done(true)
-			}
+			done(true)
 		case resp.StatusCode >= 300:
-			if done != nil {
-				done(false)
-			}
+			done(false)
 		}
-	})
+	}
+	p.ep.SendRequest(p.cfg.Proxy, req, func(resp *Message) { handle(req, 1, resp) })
+}
+
+// StaleRetries returns how many REGISTERs were re-challenged with a
+// stale nonce (registrar restart or replay-window ageout).
+func (p *Phone) StaleRetries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.staleRetries
 }
 
 // noteRegistered records a successful binding and schedules the next
